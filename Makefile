@@ -1,0 +1,42 @@
+# Standard entry points; everything is pure Go with no external dependencies.
+
+.PHONY: all build test race cover bench experiments verify fmt vet examples
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	go run ./cmd/experiments -all
+
+# CI gate: fails when any reproduced shape diverges from the paper.
+verify:
+	go run ./cmd/experiments -all -verify > /dev/null
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	go vet ./...
+
+# Run every example end to end.
+examples:
+	go run ./examples/quickstart
+	go run ./examples/tpch
+	go run ./examples/acmdl
+	go run ./examples/unnormalized
+	go run ./examples/relatedwork

@@ -1,0 +1,70 @@
+// Command dbgen materializes the synthetic evaluation datasets as CSV files
+// (one file per relation, with a header row), for inspection or for loading
+// into an external database:
+//
+//	dbgen -dataset tpch -out ./tpch-csv
+//	dbgen -dataset acmdl-denorm -small -out ./acmdl-denorm-csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"strings"
+
+	"kwagg/internal/dataset/acmdl"
+	"kwagg/internal/dataset/tpch"
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/relation"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "tpch",
+			"university | fig2 | enrolment | tpch | tpch-denorm | acmdl | acmdl-denorm")
+		out   = flag.String("out", ".", "output directory")
+		small = flag.Bool("small", false, "use the small dataset scale")
+	)
+	flag.Parse()
+
+	db, err := build(*dataset, *small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// SaveDir writes schema.json plus one CSV per relation; the saved
+	// directory round-trips through kwsearch -load / kwagg.Load.
+	if err := relation.SaveDir(db, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-24s %s\n", "schema.json", filepath.Join(*out, "schema.json"))
+	for _, t := range db.Tables() {
+		path := filepath.Join(*out, strings.ToLower(t.Schema.Name)+".csv")
+		fmt.Printf("%-24s %6d rows  %s\n", t.Schema.String(), t.Len(), path)
+	}
+}
+
+func build(dataset string, small bool) (*relation.Database, error) {
+	tcfg, acfg := tpch.Default(), acmdl.Default()
+	if small {
+		tcfg, acfg = tpch.Small(), acmdl.Small()
+	}
+	switch dataset {
+	case "university":
+		return university.New(), nil
+	case "fig2":
+		return university.NewDenormalizedLecturer(), nil
+	case "enrolment":
+		return university.NewEnrolment(), nil
+	case "tpch":
+		return tpch.New(tcfg), nil
+	case "tpch-denorm":
+		return tpch.Denormalize(tpch.New(tcfg)), nil
+	case "acmdl":
+		return acmdl.New(acfg), nil
+	case "acmdl-denorm":
+		return acmdl.Denormalize(acmdl.New(acfg)), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}

@@ -1,0 +1,129 @@
+// Command kwsearch is an interactive keyword-search shell over the bundled
+// datasets:
+//
+//	kwsearch -dataset tpch
+//	> COUNT order "royal olive"
+//
+// Each query prints the top-k ranked interpretations with their annotated
+// query patterns, generated SQL and executed answers. Meta commands:
+//
+//	\schema        print the ORM schema graph (Figure 3 / Figure 9 style)
+//	\dot           print the ORM schema graph as Graphviz DOT
+//	\explain QUERY explain the top interpretation of a query
+//	\pattern QUERY print the top interpretation's pattern as Graphviz DOT
+//	\sqak QUERY    run a query through the SQAK baseline instead
+//	\sql SELECT... execute raw SQL of the supported subset
+//	\plan SELECT...show the engine's evaluation plan for a statement
+//	\k N           change how many interpretations are shown
+//	\quit          exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"kwagg"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "university",
+			"university | fig2 | enrolment | tpch | tpch-denorm | acmdl | acmdl-denorm")
+		load  = flag.String("load", "", "load a saved database directory (schema.json + CSVs) instead of -dataset")
+		k     = flag.Int("k", 3, "number of interpretations to show")
+		small = flag.Bool("small", false, "use the small dataset scale")
+	)
+	flag.Parse()
+
+	var eng *kwagg.Engine
+	var err error
+	if *load != "" {
+		var db *kwagg.DB
+		db, err = kwagg.Load(*load)
+		if err == nil {
+			*dataset = *load
+			eng, err = kwagg.Open(db, nil)
+		}
+	} else {
+		eng, err = open(*dataset, *small)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kwsearch over %q (unnormalized: %v). Type a keyword query, or \\schema, \\quit.\n",
+		*dataset, eng.Unnormalized())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\schema`:
+			fmt.Println(eng.SchemaGraph())
+		case line == `\dot`:
+			fmt.Println(eng.SchemaDot())
+		case strings.HasPrefix(line, `\explain `):
+			out, err := eng.Explain(strings.TrimSpace(line[9:]), 0)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println(out)
+		case strings.HasPrefix(line, `\pattern `):
+			out, err := eng.PatternDot(strings.TrimSpace(line[9:]), 0)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println(out)
+		case strings.HasPrefix(line, `\k `):
+			if n, err := strconv.Atoi(strings.TrimSpace(line[3:])); err == nil && n > 0 {
+				*k = n
+			}
+		case strings.HasPrefix(line, `\sqak `):
+			res, sql, err := eng.SQAKAnswer(strings.TrimSpace(line[6:]))
+			if err != nil {
+				fmt.Println("SQAK:", err)
+				break
+			}
+			fmt.Printf("%s\n%s", sql, res)
+		case strings.HasPrefix(line, `\sql `):
+			res, err := eng.ExecuteSQL(strings.TrimSpace(line[5:]))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Print(res)
+		case strings.HasPrefix(line, `\plan `):
+			out, err := eng.ExplainSQLPlan(strings.TrimSpace(line[6:]))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Print(out)
+		default:
+			answers, err := eng.Answer(line, *k)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			for i, a := range answers {
+				fmt.Printf("-- #%d %s\n   pattern: %s\n%s\n%s",
+					i+1, a.Description, a.Pattern, a.PrettySQL, a.Result)
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func open(dataset string, small bool) (*kwagg.Engine, error) {
+	return kwagg.OpenDataset(dataset, small)
+}

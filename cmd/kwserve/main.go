@@ -1,0 +1,44 @@
+// Command kwserve serves a keyword-search engine over HTTP as a small JSON
+// API (see internal/server for the endpoints):
+//
+//	kwserve -dataset tpch -addr :8080
+//	curl -s localhost:8080/api/query -d '{"q":"COUNT order \"royal olive\"","k":1}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"kwagg"
+	"kwagg/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataset = flag.String("dataset", "university",
+			"university | fig2 | enrolment | tpch | tpch-denorm | acmdl | acmdl-denorm")
+		load  = flag.String("load", "", "load a saved database directory instead of -dataset")
+		small = flag.Bool("small", false, "use the small dataset scale")
+	)
+	flag.Parse()
+
+	eng, err := openEngine(*dataset, *load, *small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("kwserve: dataset %q on %s (unnormalized: %v)", *dataset, *addr, eng.Unnormalized())
+	log.Fatal(http.ListenAndServe(*addr, server.New(eng)))
+}
+
+func openEngine(dataset, load string, small bool) (*kwagg.Engine, error) {
+	if load != "" {
+		db, err := kwagg.Load(load)
+		if err != nil {
+			return nil, err
+		}
+		return kwagg.Open(db, nil)
+	}
+	return kwagg.OpenDataset(dataset, small)
+}

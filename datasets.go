@@ -1,0 +1,118 @@
+package kwagg
+
+import (
+	"fmt"
+
+	"kwagg/internal/dataset/acmdl"
+	"kwagg/internal/dataset/tpch"
+	"kwagg/internal/dataset/university"
+)
+
+// UniversityDB returns the running-example university database of the
+// paper's Figure 1 (students, courses, lecturers, textbooks, departments).
+func UniversityDB() *DB { return wrapDB(university.New()) }
+
+// UniversityFig2DB returns the Figure 2 variant whose Lecturer relation
+// redundantly references Faculty (violating 3NF).
+func UniversityFig2DB() *DB { return wrapDB(university.NewDenormalizedLecturer()) }
+
+// UniversityFig2ViewNames names the normalized-view relations of
+// UniversityFig2DB for Options.ViewNames.
+func UniversityFig2ViewNames() map[string]string { return university.DenormalizedLecturerHints() }
+
+// UniversityEnrolmentDB returns the Figure 8 database: one unnormalized
+// Enrolment relation holding students, courses and grades.
+func UniversityEnrolmentDB() *DB { return wrapDB(university.NewEnrolment()) }
+
+// UniversityEnrolmentViewNames names the normalized-view relations of
+// UniversityEnrolmentDB (the Student', Enrol', Course' of Example 8).
+func UniversityEnrolmentViewNames() map[string]string { return university.EnrolmentHints() }
+
+// TPCHScale selects the size of the generated TPC-H-like database.
+type TPCHScale int
+
+// TPC-H scales.
+const (
+	TPCHSmall   TPCHScale = iota // fast, for tests
+	TPCHDefault                  // the experiment harness scale
+)
+
+func tpchConfig(s TPCHScale) tpch.Config {
+	if s == TPCHSmall {
+		return tpch.Small()
+	}
+	return tpch.Default()
+}
+
+// TPCHDB generates the normalized TPC-H-like database of the paper's
+// evaluation (Table 2), with the planted name collisions its queries need.
+func TPCHDB(scale TPCHScale) *DB { return wrapDB(tpch.New(tpchConfig(scale))) }
+
+// TPCHUnnormalizedDB generates the denormalized TPCH' database of Table 7
+// (the wide Ordering relation) over the same data as TPCHDB.
+func TPCHUnnormalizedDB(scale TPCHScale) *DB {
+	return wrapDB(tpch.Denormalize(tpch.New(tpchConfig(scale))))
+}
+
+// TPCHViewNames names the normalized-view relations of TPCHUnnormalizedDB.
+func TPCHViewNames() map[string]string { return tpch.NameHints() }
+
+// ACMDLScale selects the size of the generated publication database.
+type ACMDLScale int
+
+// ACMDL scales.
+const (
+	ACMDLSmall ACMDLScale = iota
+	ACMDLDefault
+)
+
+func acmdlConfig(s ACMDLScale) acmdl.Config {
+	if s == ACMDLSmall {
+		return acmdl.Small()
+	}
+	return acmdl.Default()
+}
+
+// ACMDLDB generates the synthetic ACM Digital Library database of the
+// paper's evaluation (Table 2), with the name collisions queries A1-A8
+// exercise (Smith editors, Gill authors, SIGMOD proceedings, ...).
+func ACMDLDB(scale ACMDLScale) *DB { return wrapDB(acmdl.New(acmdlConfig(scale))) }
+
+// ACMDLUnnormalizedDB generates the denormalized ACMDL' database of Table 7
+// (PaperAuthor and EditorProceeding) over the same data as ACMDLDB.
+func ACMDLUnnormalizedDB(scale ACMDLScale) *DB {
+	return wrapDB(acmdl.Denormalize(acmdl.New(acmdlConfig(scale))))
+}
+
+// ACMDLViewNames names the normalized-view relations of ACMDLUnnormalizedDB.
+func ACMDLViewNames() map[string]string { return acmdl.NameHints() }
+
+// OpenDataset opens one of the bundled datasets by name: "university",
+// "fig2", "enrolment", "tpch", "tpch-denorm", "acmdl" or "acmdl-denorm".
+// The denormalized variants are opened with their view names so the
+// synthesized relations carry the natural names. small selects the fast
+// scale for the generated datasets.
+func OpenDataset(name string, small bool) (*Engine, error) {
+	tscale, ascale := TPCHDefault, ACMDLDefault
+	if small {
+		tscale, ascale = TPCHSmall, ACMDLSmall
+	}
+	switch name {
+	case "university":
+		return Open(UniversityDB(), nil)
+	case "fig2":
+		return Open(UniversityFig2DB(), &Options{ViewNames: UniversityFig2ViewNames()})
+	case "enrolment":
+		return Open(UniversityEnrolmentDB(), &Options{ViewNames: UniversityEnrolmentViewNames()})
+	case "tpch":
+		return Open(TPCHDB(tscale), nil)
+	case "tpch-denorm":
+		return Open(TPCHUnnormalizedDB(tscale), &Options{ViewNames: TPCHViewNames()})
+	case "acmdl":
+		return Open(ACMDLDB(ascale), nil)
+	case "acmdl-denorm":
+		return Open(ACMDLUnnormalizedDB(ascale), &Options{ViewNames: ACMDLViewNames()})
+	default:
+		return nil, fmt.Errorf("kwagg: unknown dataset %q", name)
+	}
+}

@@ -1,0 +1,68 @@
+// Command tpch runs the paper's TPCH workload (Table 3, queries T1-T8)
+// against the generated TPC-H-like database, comparing the semantic
+// approach with the SQAK baseline query by query — the content of the
+// paper's Table 5.
+//
+// Watch for three effects: T3/T4 return one aggregate per matching part
+// while SQAK merges all same-named parts; T5/T6 de-duplicate the
+// (part, supplier) pairs of the Lineitem relationship while SQAK counts a
+// supplier once per order; T7/T8 are answered by the semantic approach but
+// rejected by SQAK (two aggregates; self joins).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kwagg"
+)
+
+var queries = []struct{ id, q, want string }{
+	{"T1", "order AVG amount", "average amount of orders"},
+	{"T2", "MAX COUNT order GROUPBY nation", "maximum number of orders among nations"},
+	{"T3", `COUNT order "royal olive"`, "number of orders per royal olive part"},
+	{"T4", `supplier MAX acctbal "yellow tomato"`, "max supplier balance per yellow tomato part"},
+	{"T5", `COUNT supplier "Indian black chocolate"`, "suppliers of indian black chocolate"},
+	{"T6", "COUNT part GROUPBY supplier", "parts per supplier"},
+	{"T7", "COUNT order SUM amount GROUPBY mktsegment", "orders and total amount per market segment"},
+	{"T8", `COUNT supplier "pink rose" "white rose"`, "suppliers of both a pink and a white rose"},
+}
+
+func main() {
+	eng, err := kwagg.Open(kwagg.TPCHDB(kwagg.TPCHDefault), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range queries {
+		fmt.Printf("== %s  %-50s (%s)\n", q.id, q.q, q.want)
+
+		answers, err := eng.Answer(q.q, 1)
+		if err != nil {
+			log.Fatalf("%s: %v", q.id, err)
+		}
+		a := answers[0]
+		fmt.Printf("semantic: %s\n          %d answer row(s): %s\n",
+			a.SQL, len(a.Result.Rows), preview(a.Result, 5))
+
+		res, sql, err := eng.SQAKAnswer(q.q)
+		if err != nil {
+			fmt.Printf("SQAK:     N.A. (%v)\n\n", err)
+			continue
+		}
+		fmt.Printf("SQAK:     %s\n          %d answer row(s): %s\n\n",
+			sql, len(res.Rows), preview(res, 5))
+	}
+}
+
+func preview(r kwagg.Result, n int) string {
+	var parts []string
+	for i, row := range r.Rows {
+		if i >= n {
+			parts = append(parts, "...")
+			break
+		}
+		parts = append(parts, "("+strings.Join(row, ", ")+")")
+	}
+	return strings.Join(parts, " ")
+}

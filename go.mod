@@ -1,0 +1,3 @@
+module kwagg
+
+go 1.22

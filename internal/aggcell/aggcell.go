@@ -1,0 +1,237 @@
+// Package aggcell implements the aggregate keyword search of Zhou & Pei,
+// "Answering aggregate keyword queries on relational databases using minimal
+// group-bys" (EDBT 2009) — reference [17] of the paper and its closest
+// related work. Given a universal relation and a set of keywords, it finds
+// the minimal aggregate cells: group-by cells (an assignment of values to a
+// subset of the dimension attributes, the rest wildcarded) whose tuple
+// group covers every keyword, such that no strictly more specific cell also
+// covers them.
+//
+// The paper's Section 7 positions this as complementary but insufficient:
+// minimal group-bys summarise where keywords co-occur, but cannot express
+// aggregate functions over attributes of specific objects or GROUPBY an
+// object class, which is exactly what the semantic approach adds. The
+// implementation exists to make that contrast concrete and testable.
+package aggcell
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwagg/internal/relation"
+)
+
+// Cell is one aggregate cell: Values assigns a concrete value to a subset
+// of the dimension attributes (missing attributes are wildcards), Rows
+// lists the tuple ids of the cell's group.
+type Cell struct {
+	Values map[string]relation.Value
+	Rows   []int
+}
+
+// Specificity is the number of bound dimensions.
+func (c *Cell) Specificity() int { return len(c.Values) }
+
+// Covers reports whether every keyword's match set intersects the group.
+func (c *Cell) covers(matches [][]map[int]bool) bool {
+	for _, kw := range matches {
+		hit := false
+		for _, rows := range kw {
+			for _, r := range c.Rows {
+				if rows[r] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the cell as (dim=value, ..., *) with group size.
+func (c *Cell) String() string {
+	keys := make([]string, 0, len(c.Values))
+	for k := range c.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%s", k, relation.Format(c.Values[k]))
+	}
+	return fmt.Sprintf("(%s) [%d tuples]", strings.Join(parts, ", "), len(c.Rows))
+}
+
+// moreSpecificThan reports whether c binds a superset of o's bindings with
+// the same values (c's group is contained in o's).
+func (c *Cell) moreSpecificThan(o *Cell) bool {
+	if len(c.Values) <= len(o.Values) {
+		return false
+	}
+	for k, v := range o.Values {
+		cv, ok := c.Values[k]
+		if !ok || !relation.Equal(cv, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Searcher answers aggregate keyword queries over one universal relation.
+type Searcher struct {
+	table *relation.Table
+	dims  []string
+	// MaxSeeds bounds the per-keyword match tuples combined into candidate
+	// cells (the full algorithm enumerates all combinations).
+	MaxSeeds int
+}
+
+// New creates a searcher over the universal relation with the given
+// dimension attributes. Dimensions default to every string-typed attribute.
+func New(t *relation.Table, dims ...string) *Searcher {
+	if len(dims) == 0 {
+		for _, a := range t.Schema.Attributes {
+			if a.Type == relation.TypeString {
+				dims = append(dims, a.Name)
+			}
+		}
+	}
+	return &Searcher{table: t, dims: dims, MaxSeeds: 16}
+}
+
+// Search returns the minimal aggregate cells covering all keywords, most
+// specific first. It returns nil when some keyword matches no tuple.
+func (s *Searcher) Search(keywords ...string) []*Cell {
+	if len(keywords) == 0 {
+		return nil
+	}
+	// Match sets: per keyword, per dimension, the matching tuple ids.
+	matches := make([][]map[int]bool, len(keywords))
+	seeds := make([][]int, len(keywords))
+	for i, kw := range keywords {
+		matches[i] = make([]map[int]bool, len(s.dims))
+		seen := make(map[int]bool)
+		for d, dim := range s.dims {
+			matches[i][d] = make(map[int]bool)
+			ai := s.table.Schema.AttrIndex(dim)
+			if ai < 0 {
+				continue
+			}
+			for r, tu := range s.table.Tuples {
+				str, ok := tu[ai].(string)
+				if ok && relation.ContainsFold(str, kw) {
+					matches[i][d][r] = true
+					if !seen[r] && len(seeds[i]) < s.MaxSeeds {
+						seen[r] = true
+						seeds[i] = append(seeds[i], r)
+					}
+				}
+			}
+		}
+		if len(seeds[i]) == 0 {
+			return nil // keyword matches nothing
+		}
+	}
+
+	// Candidate cells: the agreement ("meet") of one matching tuple per
+	// keyword over the dimension attributes.
+	var candidates []*Cell
+	dedup := make(map[string]bool)
+	combos := [][]int{{}}
+	for i := range keywords {
+		var next [][]int
+		for _, prefix := range combos {
+			for _, r := range seeds[i] {
+				next = append(next, append(append([]int(nil), prefix...), r))
+			}
+		}
+		combos = next
+	}
+	for _, combo := range combos {
+		cell := s.meet(combo)
+		key := cell.String()
+		if dedup[key] {
+			continue
+		}
+		dedup[key] = true
+		s.fillGroup(cell)
+		if cell.covers(matches) {
+			candidates = append(candidates, cell)
+		}
+	}
+
+	// Keep only minimal cells: those with no strictly more specific
+	// covering candidate.
+	var minimal []*Cell
+	for _, c := range candidates {
+		dominated := false
+		for _, o := range candidates {
+			if o != c && o.moreSpecificThan(c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			minimal = append(minimal, c)
+		}
+	}
+	sort.Slice(minimal, func(i, j int) bool {
+		if minimal[i].Specificity() != minimal[j].Specificity() {
+			return minimal[i].Specificity() > minimal[j].Specificity()
+		}
+		return minimal[i].String() < minimal[j].String()
+	})
+	return minimal
+}
+
+// meet computes the cell binding the dimensions on which all tuples agree.
+func (s *Searcher) meet(rows []int) *Cell {
+	cell := &Cell{Values: make(map[string]relation.Value)}
+	for _, dim := range s.dims {
+		ai := s.table.Schema.AttrIndex(dim)
+		if ai < 0 {
+			continue
+		}
+		v := s.table.Tuples[rows[0]][ai]
+		agree := true
+		for _, r := range rows[1:] {
+			if !relation.Equal(s.table.Tuples[r][ai], v) {
+				agree = false
+				break
+			}
+		}
+		if agree && !relation.Null(v) {
+			cell.Values[strings.ToLower(dim)] = v
+		}
+	}
+	return cell
+}
+
+// fillGroup materializes the cell's tuple group.
+func (s *Searcher) fillGroup(c *Cell) {
+	for r := range s.table.Tuples {
+		ok := true
+		for dim, v := range c.Values {
+			ai := s.table.Schema.AttrIndex(dim)
+			if !relation.Equal(s.table.Tuples[r][ai], v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			c.Rows = append(c.Rows, r)
+		}
+	}
+}
+
+// Count returns the COUNT(*) aggregate of the cell's group — the only
+// statistic minimal group-bys provide out of the box, in contrast to the
+// semantic approach's per-object aggregate functions.
+func (c *Cell) Count() int { return len(c.Rows) }

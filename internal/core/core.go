@@ -1,0 +1,233 @@
+// Package core wires the whole semantic pipeline of the paper together
+// (Algorithm 2, Keyword Search): term matching, query-pattern generation and
+// annotation, disambiguation, ranking, SQL translation, and — when the
+// database is unnormalized — planning over the normalized view D' with
+// mapping back to D and the Section 4.1 rewriting rules.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"kwagg/internal/keyword"
+	"kwagg/internal/match"
+	"kwagg/internal/normalize"
+	"kwagg/internal/orm"
+	"kwagg/internal/pattern"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+	"kwagg/internal/sqldb"
+	"kwagg/internal/translate"
+)
+
+// System answers keyword queries over one database.
+type System struct {
+	Data       *relation.Database
+	Graph      *orm.Graph
+	View       *normalize.View // nil when the database is normalized
+	Matcher    *match.Matcher
+	Generator  *pattern.Generator
+	Translator *translate.Translator
+}
+
+// Options configures Open.
+type Options struct {
+	// NameHints names the synthesized relations of the normalized view (see
+	// normalize.BuildView); unused for normalized databases.
+	NameHints map[string]string
+	// ForceViewPipeline runs the normalized-view pipeline even when the
+	// database is already in 3NF (used in tests).
+	ForceViewPipeline bool
+}
+
+// Open prepares a database for keyword search. It checks every relation's
+// normal form (Algorithm 1/2): if all relations are in 3NF the ORM schema
+// graph is built directly on the schema; otherwise the normalized view D' is
+// derived, the graph is built on D', and translation maps back to the stored
+// relations and rewrites the SQL.
+func Open(db *relation.Database, opts *Options) (*System, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if errs := relation.ValidateDatabase(db); len(errs) > 0 {
+		return nil, fmt.Errorf("core: invalid schema: %w (and %d more)", errs[0], len(errs)-1)
+	}
+	s := &System{Data: db}
+	view, err := normalize.BuildView(db, opts.NameHints)
+	if err != nil {
+		return nil, err
+	}
+	if view.Changed || opts.ForceViewPipeline {
+		s.View = view
+		g, err := orm.Build(view.Schemas)
+		if err != nil {
+			return nil, fmt.Errorf("core: building ORM graph over normalized view: %w", err)
+		}
+		s.Graph = g
+		s.Matcher = match.New(db, view.Schemas, g, view.Sources)
+		s.Translator = &translate.Translator{Graph: g, Data: db, Sources: view.Sources, Rewrite: true}
+	} else {
+		g, err := orm.Build(db.Schemas())
+		if err != nil {
+			return nil, fmt.Errorf("core: building ORM graph: %w", err)
+		}
+		s.Graph = g
+		s.Matcher = match.New(db, db.Schemas(), g, nil)
+		s.Translator = translate.New(g, db)
+	}
+	s.Generator = pattern.NewGenerator(s.Matcher)
+	return s, nil
+}
+
+// Unnormalized reports whether the system plans over a normalized view.
+func (s *System) Unnormalized() bool { return s.View != nil }
+
+// Interpretation is one ranked reading of a keyword query: its annotated
+// query pattern, the generated SQL, and a description of the intent.
+type Interpretation struct {
+	Pattern     *pattern.Pattern
+	SQL         *sqlast.Query
+	Description string
+}
+
+// Interpret parses the query, generates and ranks the annotated query
+// patterns, and translates the top-k of them into SQL. k <= 0 means all.
+func (s *System) Interpret(query string, k int) ([]Interpretation, error) {
+	q, err := keyword.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	patterns, err := s.Generator.Generate(q)
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 && len(patterns) > k {
+		patterns = patterns[:k]
+	}
+	out := make([]Interpretation, 0, len(patterns))
+	for _, p := range patterns {
+		sql, err := s.Translator.Translate(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: translating pattern %s: %w", p, err)
+		}
+		out = append(out, Interpretation{Pattern: p, SQL: sql, Description: p.Describe()})
+	}
+	return out, nil
+}
+
+// Answer is one executed interpretation.
+type Answer struct {
+	Interpretation
+	Result *sqldb.Result
+}
+
+// Answer interprets the query and executes the top-k generated SQL
+// statements against the stored database.
+func (s *System) Answer(query string, k int) ([]Answer, error) {
+	ins, err := s.Interpret(query, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, 0, len(ins))
+	for _, in := range ins {
+		res, err := sqldb.Exec(s.Data, in.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing %q: %w", in.SQL, err)
+		}
+		res.SortRows()
+		out = append(out, Answer{Interpretation: in, Result: res})
+	}
+	return out, nil
+}
+
+// AnswerParallel is Answer with the top-k statements executed concurrently,
+// one goroutine per interpretation. The stored database is read-only during
+// execution, so the interpretations share it safely; answer order matches
+// interpretation rank regardless of completion order.
+func (s *System) AnswerParallel(query string, k int) ([]Answer, error) {
+	ins, err := s.Interpret(query, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, len(ins))
+	errs := make([]error, len(ins))
+	var wg sync.WaitGroup
+	for i := range ins {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := sqldb.Exec(s.Data, ins[i].SQL)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: executing %q: %w", ins[i].SQL, err)
+				return
+			}
+			res.SortRows()
+			out[i] = Answer{Interpretation: ins[i], Result: res}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BestAnswer returns the first interpretation whose description satisfies
+// pick (or the top-ranked one when pick is nil), executed. The experiment
+// harness uses pick to select the interpretation matching the paper's query
+// description, mirroring how the authors "use the generated SQL statements
+// that best match the query descriptions".
+func (s *System) BestAnswer(query string, k int, pick func(Interpretation) bool) (*Answer, error) {
+	ins, err := s.Interpret(query, k)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	if pick != nil {
+		found := false
+		for i, in := range ins {
+			if pick(in) {
+				idx, found = i, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: no interpretation of %q matches the selector", query)
+		}
+	}
+	res, err := sqldb.Exec(s.Data, ins[idx].SQL)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing %q: %w", ins[idx].SQL, err)
+	}
+	res.SortRows()
+	return &Answer{Interpretation: ins[idx], Result: res}, nil
+}
+
+// Execute runs an arbitrary SQL statement of the supported subset against
+// the stored database.
+func (s *System) Execute(sql string) (*sqldb.Result, error) {
+	return sqldb.ExecSQL(s.Data, sql)
+}
+
+// DescribeSchema summarises the planning schema: node names, types and
+// relations — the ORM schema graph contents (Figures 3 and 9).
+func (s *System) DescribeSchema() string {
+	var b strings.Builder
+	for _, n := range s.Graph.Nodes() {
+		fmt.Fprintf(&b, "%s [%s] %s", n.Name, n.Type, n.Relation)
+		if s.View != nil {
+			src := s.View.Sources[strings.ToLower(n.Relation.Name)]
+			if !strings.EqualFold(src, n.Relation.Name) {
+				fmt.Fprintf(&b, " <- %s", src)
+			}
+		}
+		for _, c := range n.Components {
+			fmt.Fprintf(&b, " +component %s", c)
+		}
+		fmt.Fprintf(&b, " adj=%v\n", s.Graph.Neighbors(n.Name))
+	}
+	return b.String()
+}

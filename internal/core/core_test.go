@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/relation"
+)
+
+func mustOpen(t *testing.T, db *relation.Database) *System {
+	t.Helper()
+	s, err := Open(db, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// findAnswer returns the first executed answer whose SQL contains all the
+// given fragments.
+func findAnswer(t *testing.T, s *System, query string, frags ...string) *Answer {
+	t.Helper()
+	as, err := s.Answer(query, 0)
+	if err != nil {
+		t.Fatalf("Answer(%q): %v", query, err)
+	}
+	for i := range as {
+		sql := as[i].SQL.String()
+		ok := true
+		for _, f := range frags {
+			if !strings.Contains(sql, f) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return &as[i]
+		}
+	}
+	var got []string
+	for _, a := range as {
+		got = append(got, a.SQL.String())
+	}
+	t.Fatalf("no interpretation of %q contains %v; got:\n%s", query, frags, strings.Join(got, "\n"))
+	return nil
+}
+
+// TestQ1_GreenSumCredit reproduces the introduction's Q1: the total credits
+// per student called Green must be computed per object (5 for s2, 8 for s3),
+// not merged (13) as SQAK does.
+func TestQ1_GreenSumCredit(t *testing.T) {
+	s := mustOpen(t, university.New())
+	a := findAnswer(t, s, "Green SUM Credit", "GROUP BY")
+	if len(a.Result.Rows) != 2 {
+		t.Fatalf("want one row per Green, got %d rows:\n%s", len(a.Result.Rows), a.Result)
+	}
+	var sums []float64
+	for _, row := range a.Result.Rows {
+		f, _ := relation.AsFloat(row[len(row)-1])
+		sums = append(sums, f)
+	}
+	if !(sums[0] == 5 && sums[1] == 8 || sums[0] == 8 && sums[1] == 5) {
+		t.Fatalf("want credits {5,8}, got %v\n%s", sums, a.Result)
+	}
+}
+
+// TestQ2_JavaSumPrice reproduces Q2: the total textbook price for the Java
+// course must project Teach on (Code,Bid) first, giving 25, not 35.
+func TestQ2_JavaSumPrice(t *testing.T) {
+	s := mustOpen(t, university.New())
+	a := findAnswer(t, s, "Java SUM Price", "DISTINCT")
+	if len(a.Result.Rows) != 1 {
+		t.Fatalf("want 1 row, got:\n%s", a.Result)
+	}
+	f, _ := relation.AsFloat(a.Result.Rows[0][len(a.Result.Rows[0])-1])
+	if f != 25 {
+		t.Fatalf("want total price 25 (b1+b2 counted once), got %v\nSQL: %s", f, a.SQL)
+	}
+}
+
+// TestQ4_Example5 reproduces Example 5: {Green George COUNT Code} with
+// disambiguation counts courses per distinct Green jointly taken with
+// George: s2 shares c1, s3 shares c1 and c3 with George.
+func TestQ4_Example5(t *testing.T) {
+	s := mustOpen(t, university.New())
+	a := findAnswer(t, s, "Green George COUNT Code", "GROUP BY")
+	if len(a.Result.Rows) != 2 {
+		t.Fatalf("want 2 rows (s2, s3), got:\n%s\nSQL: %s", a.Result, a.SQL.Pretty())
+	}
+	counts := map[string]int64{}
+	for _, row := range a.Result.Rows {
+		counts[relation.Format(row[0])] = row[len(row)-1].(int64)
+	}
+	if counts["s2"] != 1 || counts["s3"] != 2 {
+		t.Fatalf("want s2=1, s3=2, got %v", counts)
+	}
+}
+
+// TestQ5_Example6 reproduces Example 6: {COUNT Lecturer GROUPBY Course} must
+// project Teach on (Lid,Code) so a lecturer using two textbooks counts once:
+// c1 -> 2 lecturers, c2 -> 1, c3 -> 1.
+func TestQ5_Example6(t *testing.T) {
+	s := mustOpen(t, university.New())
+	a := findAnswer(t, s, "COUNT Lecturer GROUPBY Course", "DISTINCT")
+	want := map[string]int64{"c1": 2, "c2": 1, "c3": 1}
+	if len(a.Result.Rows) != len(want) {
+		t.Fatalf("want %d rows, got:\n%s\nSQL: %s", len(want), a.Result, a.SQL.Pretty())
+	}
+	for _, row := range a.Result.Rows {
+		code := relation.Format(row[0])
+		if row[len(row)-1].(int64) != want[code] {
+			t.Fatalf("course %s: want %d, got %v\nSQL: %s", code, want[code], row[len(row)-1], a.SQL.Pretty())
+		}
+	}
+}
+
+// TestExample7_NestedAggregate reproduces Example 7: {AVG COUNT Lecturer
+// GROUPBY Course} averages the per-course lecturer counts: (2+1+1)/3.
+func TestExample7_NestedAggregate(t *testing.T) {
+	s := mustOpen(t, university.New())
+	a := findAnswer(t, s, "AVG COUNT Lecturer GROUPBY Course", "AVG(")
+	if len(a.Result.Rows) != 1 {
+		t.Fatalf("want single row, got:\n%s", a.Result)
+	}
+	f, _ := relation.AsFloat(a.Result.Rows[0][len(a.Result.Rows[0])-1])
+	if f < 1.33 || f > 1.34 {
+		t.Fatalf("want avg 4/3, got %v\nSQL: %s", f, a.SQL.Pretty())
+	}
+}
+
+// TestQ3_UnnormalizedLecturer reproduces Q3 on the Figure 2 database: the
+// number of departments in the Engineering faculty is 1, not 2 (SQAK counts
+// the duplicated Did in Lecturer twice).
+func TestQ3_UnnormalizedLecturer(t *testing.T) {
+	s, err := Open(university.NewDenormalizedLecturer(), &Options{NameHints: university.DenormalizedLecturerHints()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !s.Unnormalized() {
+		t.Fatal("Figure 2 database should be detected as unnormalized")
+	}
+	a := findAnswer(t, s, "Engineering COUNT Department", "COUNT(")
+	if len(a.Result.Rows) != 1 {
+		t.Fatalf("want 1 row, got:\n%s\nSQL: %s", a.Result, a.SQL.Pretty())
+	}
+	if n := a.Result.Rows[0][len(a.Result.Rows[0])-1].(int64); n != 1 {
+		t.Fatalf("want 1 department, got %d\nSQL: %s", n, a.SQL.Pretty())
+	}
+}
+
+// TestExample9_UnnormalizedEnrolment reproduces Example 9/10: Q4 on the
+// single-relation Enrolment database returns the same per-student counts as
+// the normalized database.
+func TestExample9_UnnormalizedEnrolment(t *testing.T) {
+	s, err := Open(university.NewEnrolment(), &Options{NameHints: university.EnrolmentHints()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !s.Unnormalized() {
+		t.Fatal("Figure 8 database should be detected as unnormalized")
+	}
+	a := findAnswer(t, s, "Green George COUNT Code", "GROUP BY")
+	if len(a.Result.Rows) != 2 {
+		t.Fatalf("want 2 rows, got:\n%s\nSQL: %s", a.Result, a.SQL.Pretty())
+	}
+	counts := map[string]int64{}
+	for _, row := range a.Result.Rows {
+		counts[relation.Format(row[0])] = row[len(row)-1].(int64)
+	}
+	if counts["s2"] != 1 || counts["s3"] != 2 {
+		t.Fatalf("want s2=1, s3=2, got %v\nSQL: %s", counts, a.SQL.Pretty())
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"kwagg/internal/keyword"
+	"kwagg/internal/orm"
+	"kwagg/internal/pattern"
+)
+
+// Explanation is a structured account of how one interpretation was
+// produced: how each term was read, which nodes the pattern contains, why
+// objects were distinguished, and where relationship projections were
+// inserted. The CLI renders it for the \explain command; tests assert on
+// its fields.
+type Explanation struct {
+	Query           string
+	TermReadings    []TermReading
+	Nodes           []NodeExplain
+	Disambiguations []string
+	Projections     []string
+	Nested          []string
+	RankSignals     RankSignals
+}
+
+// TermReading explains one query term.
+type TermReading struct {
+	Term   string
+	Role   string // "aggregate", "groupby", or the match kind
+	Detail string
+}
+
+// NodeExplain describes one pattern node.
+type NodeExplain struct {
+	Class       string
+	Type        string
+	Condition   string
+	Annotations []string
+	Interior    bool
+}
+
+// RankSignals carries the ranking signals of Section 3.1.2.
+type RankSignals struct {
+	ObjectMixedNodes int
+	ValueTerms       int
+	AvgDistance      float64
+	Disambiguated    int
+}
+
+// Explain produces the explanation of one interpretation's pattern.
+func (s *System) Explain(in Interpretation) *Explanation {
+	p := in.Pattern
+	ex := &Explanation{Query: p.Query.String()}
+
+	for i, t := range p.Query.Terms {
+		tr := TermReading{Term: t.String()}
+		switch t.Kind {
+		case keyword.Aggregate:
+			tr.Role = "aggregate"
+			tr.Detail = fmt.Sprintf("apply %s to the operand that follows", t.Agg)
+		case keyword.GroupBy:
+			tr.Role = "groupby"
+			tr.Detail = "group results by the operand that follows"
+		default:
+			tr.Role = "basic"
+			tr.Detail = describeTermUse(p, t.Text)
+		}
+		_ = i
+		ex.TermReadings = append(ex.TermReadings, tr)
+	}
+
+	for _, n := range p.Nodes {
+		ne := NodeExplain{
+			Class:    n.Class,
+			Type:     p.Graph.Node(n.Class).Type.String(),
+			Interior: !n.FromTerm,
+		}
+		if n.HasCond() {
+			ne.Condition = fmt.Sprintf("%s.%s contains %q (%d matching objects)",
+				n.CondRel, n.CondAttr, n.CondTerm, n.CondCount)
+		}
+		for _, a := range n.Aggs {
+			ne.Annotations = append(ne.Annotations, a.String())
+		}
+		for _, g := range n.GroupBys {
+			ne.Annotations = append(ne.Annotations, "GROUPBY("+g.String()+")")
+		}
+		ex.Nodes = append(ex.Nodes, ne)
+
+		if n.Disamb {
+			ex.Disambiguations = append(ex.Disambiguations, fmt.Sprintf(
+				"%q matches %d distinct %s objects; grouping on the identifier computes one aggregate per object (Section 3.1.2)",
+				n.CondTerm, n.CondCount, n.Class))
+		}
+	}
+
+	for _, n := range p.Nodes {
+		node := p.Graph.Node(n.Class)
+		if node.Type != orm.Relationship {
+			continue
+		}
+		adjacent := p.Adjacent(n.ID)
+		participants := p.Graph.Participants(n.Class)
+		if len(adjacent) < len(participants) {
+			var joined, all []string
+			for _, a := range adjacent {
+				joined = append(joined, p.Nodes[a].Class)
+			}
+			for _, pt := range participants {
+				all = append(all, pt.Node)
+			}
+			ex.Projections = append(ex.Projections, fmt.Sprintf(
+				"%s is a relationship among {%s} but the pattern joins only {%s}; its foreign keys are projected with DISTINCT to avoid duplicate counting (Section 3.1.3)",
+				n.Class, strings.Join(all, ", "), strings.Join(joined, ", ")))
+		}
+	}
+
+	for _, f := range p.Nested {
+		ex.Nested = append(ex.Nested, fmt.Sprintf(
+			"%s is applied to the result of the inner aggregate via a nested query (Section 3.2)", f))
+	}
+
+	ex.RankSignals = RankSignals{
+		ObjectMixedNodes: p.ObjectMixedCount(),
+		ValueTerms:       p.ValueTerms,
+		AvgDistance:      p.AvgTargetConditionDistance(),
+		Disambiguated:    p.DisambCount(),
+	}
+	return ex
+}
+
+func describeTermUse(p *pattern.Pattern, term string) string {
+	for _, n := range p.Nodes {
+		if n.HasCond() && strings.EqualFold(n.CondTerm, term) {
+			return fmt.Sprintf("matches values of %s.%s", n.CondRel, n.CondAttr)
+		}
+	}
+	for _, n := range p.Nodes {
+		if strings.EqualFold(n.Class, term) || strings.EqualFold(n.Class+"s", term) ||
+			strings.EqualFold(n.Class, term+"s") {
+			return fmt.Sprintf("matches the %s relation name", n.Class)
+		}
+	}
+	for _, n := range p.Nodes {
+		rel := p.Graph.Node(n.Class).Relation
+		if rel.HasAttr(term) {
+			return fmt.Sprintf("matches attribute %s of %s", term, rel.Name)
+		}
+	}
+	return "context for adjacent terms"
+}
+
+// String renders the explanation as indented text.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", e.Query)
+	b.WriteString("terms:\n")
+	for _, t := range e.TermReadings {
+		fmt.Fprintf(&b, "  %-16s %-10s %s\n", t.Term, t.Role, t.Detail)
+	}
+	b.WriteString("pattern nodes:\n")
+	for _, n := range e.Nodes {
+		role := ""
+		if n.Interior {
+			role = " (interior, added to connect the pattern)"
+		}
+		fmt.Fprintf(&b, "  %s [%s]%s\n", n.Class, n.Type, role)
+		if n.Condition != "" {
+			fmt.Fprintf(&b, "    condition: %s\n", n.Condition)
+		}
+		for _, a := range n.Annotations {
+			fmt.Fprintf(&b, "    annotation: %s\n", a)
+		}
+	}
+	for _, d := range e.Disambiguations {
+		fmt.Fprintf(&b, "disambiguation: %s\n", d)
+	}
+	for _, p := range e.Projections {
+		fmt.Fprintf(&b, "projection: %s\n", p)
+	}
+	for _, n := range e.Nested {
+		fmt.Fprintf(&b, "nested: %s\n", n)
+	}
+	fmt.Fprintf(&b, "ranking: %d object/mixed nodes, %d value terms, avg distance %.2f, %d disambiguated\n",
+		e.RankSignals.ObjectMixedNodes, e.RankSignals.ValueTerms,
+		e.RankSignals.AvgDistance, e.RankSignals.Disambiguated)
+	return b.String()
+}

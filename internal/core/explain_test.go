@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"kwagg/internal/dataset/university"
+)
+
+func TestExplainQ1(t *testing.T) {
+	s := mustOpen(t, university.New())
+	ins, err := s.Interpret("Green SUM Credit", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := s.Explain(ins[0])
+	if len(ex.TermReadings) != 3 {
+		t.Fatalf("term readings: %v", ex.TermReadings)
+	}
+	if ex.TermReadings[1].Role != "aggregate" {
+		t.Errorf("SUM role: %v", ex.TermReadings[1])
+	}
+	if !strings.Contains(ex.TermReadings[0].Detail, "Student.Sname") {
+		t.Errorf("Green detail: %v", ex.TermReadings[0])
+	}
+	if len(ex.Disambiguations) != 1 {
+		t.Errorf("Green should be disambiguated: %v", ex.Disambiguations)
+	}
+	if ex.RankSignals.ObjectMixedNodes != 2 || ex.RankSignals.Disambiguated != 1 {
+		t.Errorf("rank signals: %+v", ex.RankSignals)
+	}
+	text := ex.String()
+	for _, frag := range []string{"query:", "terms:", "pattern nodes:", "disambiguation:", "ranking:"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("explanation text missing %q", frag)
+		}
+	}
+}
+
+func TestExplainProjection(t *testing.T) {
+	s := mustOpen(t, university.New())
+	ins, err := s.Interpret("COUNT Lecturer GROUPBY Course", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := s.Explain(ins[0])
+	if len(ex.Projections) != 1 || !strings.Contains(ex.Projections[0], "Teach") {
+		t.Errorf("Teach projection should be explained: %v", ex.Projections)
+	}
+	if !strings.Contains(ex.Projections[0], "Textbook") {
+		t.Errorf("the unused participant should be named: %v", ex.Projections)
+	}
+}
+
+func TestExplainNested(t *testing.T) {
+	s := mustOpen(t, university.New())
+	ins, err := s.Interpret("AVG COUNT Lecturer GROUPBY Course", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := s.Explain(ins[0])
+	if len(ex.Nested) != 1 || !strings.Contains(ex.Nested[0], "AVG") {
+		t.Errorf("nested aggregate should be explained: %v", ex.Nested)
+	}
+}
+
+func TestExplainInteriorNodes(t *testing.T) {
+	s := mustOpen(t, university.New())
+	ins, err := s.Interpret("Green George Code", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := s.Explain(ins[0])
+	interior := 0
+	for _, n := range ex.Nodes {
+		if n.Interior {
+			interior++
+		}
+	}
+	if interior == 0 {
+		t.Errorf("Figure 4 pattern has interior Enrol nodes: %+v", ex.Nodes)
+	}
+}

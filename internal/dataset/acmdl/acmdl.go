@@ -1,0 +1,427 @@
+// Package acmdl generates a synthetic stand-in for the ACM Digital Library
+// publication database of the paper's evaluation (Table 2): Paper, Author,
+// Editor, Proceeding, Publisher, Write, Edit. The real dump is proprietary;
+// the generator reproduces the collision structure the queries A1-A8
+// exercise instead: 61 editors named Smith, 36 authors named Gill, 36 SIGMOD
+// proceedings, six "database tuning" papers spanning four distinct titles,
+// four IEEE-ish publishers, John/Mary co-author pairs (names that appear
+// only among authors, so SQAK's self-join restriction fires exactly as
+// reported), and editors who edit both a SIGIR and a CIKM proceeding.
+//
+// The package also derives the denormalized ACMDL' variant of Table 7:
+// PaperAuthor (Paper x Write x Author) and EditorProceeding (Editor x Edit x
+// Proceeding) plus the untouched Publisher relation.
+package acmdl
+
+import (
+	"fmt"
+
+	"kwagg/internal/dataset/synth"
+	"kwagg/internal/normalize"
+	"kwagg/internal/relation"
+)
+
+// Config controls the scale of the generated database.
+type Config struct {
+	Seed        uint64
+	Authors     int
+	Editors     int
+	Proceedings int
+	Papers      int
+	// Collision sizes; defaults reproduce the paper's reported answer counts.
+	SmithEditors  int
+	GillAuthors   int
+	Sigmods       int
+	JohnAuthors   int
+	MaryAuthors   int
+	CoauthorPairs int
+}
+
+// Default returns the configuration used by the experiment harness.
+func Default() Config {
+	return Config{
+		Seed:          2016,
+		Authors:       1200,
+		Editors:       280,
+		Proceedings:   260,
+		Papers:        2200,
+		SmithEditors:  61,
+		GillAuthors:   36,
+		Sigmods:       36,
+		JohnAuthors:   10,
+		MaryAuthors:   10,
+		CoauthorPairs: 12,
+	}
+}
+
+// Small returns a fast configuration for unit tests.
+func Small() Config {
+	return Config{
+		Seed:          9,
+		Authors:       80,
+		Editors:       30,
+		Proceedings:   25,
+		Papers:        120,
+		SmithEditors:  5,
+		GillAuthors:   4,
+		Sigmods:       4,
+		JohnAuthors:   3,
+		MaryAuthors:   3,
+		CoauthorPairs: 3,
+	}
+}
+
+// Schema returns the normalized ACMDL schema of Table 2.
+func Schema() []*relation.Schema {
+	return []*relation.Schema{
+		relation.NewSchema("Publisher", "publisherid INT", "code", "name").Key("publisherid"),
+		relation.NewSchema("Proceeding",
+			"procid INT", "acronym", "title", "date DATE", "pages INT", "publisherid INT").
+			Key("procid").Ref([]string{"publisherid"}, "Publisher"),
+		relation.NewSchema("Paper", "paperid INT", "procid INT", "date DATE", "ptitle").
+			Key("paperid").Ref([]string{"procid"}, "Proceeding"),
+		relation.NewSchema("Author", "authorid INT", "fname", "lname").Key("authorid"),
+		relation.NewSchema("Editor", "editorid INT", "fname", "lname").Key("editorid"),
+		relation.NewSchema("Write", "paperid INT", "authorid INT").
+			Key("paperid", "authorid").
+			Ref([]string{"paperid"}, "Paper").
+			Ref([]string{"authorid"}, "Author"),
+		relation.NewSchema("Edit", "editorid INT", "procid INT").
+			Key("editorid", "procid").
+			Ref([]string{"editorid"}, "Editor").
+			Ref([]string{"procid"}, "Proceeding"),
+	}
+}
+
+// TuningTitles are the four distinct titles of the six "database tuning"
+// papers (query A5): the duplicated titles make SQAK merge distinct papers.
+var TuningTitles = []string{
+	"principles of database tuning",
+	"database tuning",
+	"adaptive database tuning methods",
+	"database tuning in practice",
+}
+
+// New generates the normalized ACMDL database.
+func New(cfg Config) *relation.Database {
+	rng := synth.NewRNG(cfg.Seed)
+	db := relation.NewDatabase("acmdl")
+	for _, s := range Schema() {
+		db.AddSchema(s)
+	}
+
+	publisher := db.Table("Publisher")
+	pubNames := []string{
+		"IEEE", "IEEE Computer Society", "IEEE Press", "IEEE Communications Society",
+		"ACM", "ACM Press", "Springer", "Springer-Verlag", "Elsevier", "Morgan Kaufmann",
+		"VLDB Endowment", "OpenProceedings", "IOS Press", "CEUR-WS", "Now Publishers",
+		"MIT Press", "Cambridge University Press", "Oxford University Press",
+		"World Scientific", "De Gruyter",
+	}
+	for i, n := range pubNames {
+		publisher.MustInsert(int64(i+1), fmt.Sprintf("PUB%02d", i+1), n)
+	}
+
+	// Proceedings: 36 SIGMOD years, a SIGIR and a CIKM series, then a mix of
+	// other venues. Every proceeding gets at least one editor below.
+	proceeding := db.Table("Proceeding")
+	type procInfo struct {
+		id      int64
+		acronym string
+		year    int
+		pages   int
+	}
+	var procs []procInfo
+	pid := int64(0)
+	topics := []string{
+		"Management of Data", "Information Retrieval", "Knowledge Management",
+		"Data Engineering", "Very Large Data Bases", "Database Theory",
+		"Web Search and Data Mining", "Extending Database Technology",
+	}
+	addProc := func(acr string, year, publisherID int) procInfo {
+		pid++
+		date := fmt.Sprintf("%04d-%02d-%02d", year, rng.Range(3, 9), rng.Range(1, 28))
+		// Titles deliberately omit the acronym so that venue terms match
+		// only the acronym attribute (the paper reports SQAK N.A. on A8).
+		pages := rng.Range(120, 900)
+		proceeding.MustInsert(pid, acr,
+			fmt.Sprintf("Proceedings of the %d International Conference on %s",
+				year, topics[rng.Intn(len(topics))]),
+			date, int64(pages), int64(publisherID))
+		p := procInfo{id: pid, acronym: acr, year: year, pages: pages}
+		procs = append(procs, p)
+		return p
+	}
+	for i := 0; i < cfg.Sigmods; i++ {
+		addProc("SIGMOD", 1975+i, 5+rng.Intn(2))
+	}
+	nSigir, nCikm := 8, 8
+	if cfg.Proceedings < 60 {
+		nSigir, nCikm = 2, 2
+	}
+	for i := 0; i < nSigir; i++ {
+		addProc("SIGIR", 2000+i, 5)
+	}
+	for i := 0; i < nCikm; i++ {
+		addProc("CIKM", 2000+i, 5)
+	}
+	for int(pid) < cfg.Proceedings {
+		acr := synth.Acronyms[rng.Intn(len(synth.Acronyms))]
+		addProc(acr, rng.Range(1990, 2011), rng.Range(1, len(pubNames)))
+	}
+
+	// Authors: Gills, Johns, Marys first, then the general population.
+	author := db.Table("Author")
+	aid := int64(0)
+	addAuthor := func(fname, lname string) int64 {
+		aid++
+		author.MustInsert(aid, fname, lname)
+		return aid
+	}
+	var gills, johns, marys []int64
+	for i := 0; i < cfg.GillAuthors; i++ {
+		gills = append(gills, addAuthor(synth.FirstNames[rng.Intn(len(synth.FirstNames))], "Gill"))
+	}
+	for i := 0; i < cfg.JohnAuthors; i++ {
+		johns = append(johns, addAuthor("John", synth.LastNames[rng.Intn(len(synth.LastNames))]))
+	}
+	for i := 0; i < cfg.MaryAuthors; i++ {
+		marys = append(marys, addAuthor("Mary", synth.LastNames[rng.Intn(len(synth.LastNames))]))
+	}
+	for int(aid) < cfg.Authors {
+		// General authors never use the reserved names John, Mary, Gill or
+		// Smith, keeping the collision structure exact.
+		addAuthor(synth.FirstNames[rng.Intn(len(synth.FirstNames))],
+			synth.LastNames[rng.Intn(len(synth.LastNames))])
+	}
+
+	// Editors: Smiths first; editors never reuse the reserved author names.
+	editor := db.Table("Editor")
+	eid := int64(0)
+	addEditor := func(fname, lname string) int64 {
+		eid++
+		editor.MustInsert(eid, fname, lname)
+		return eid
+	}
+	var smiths []int64
+	for i := 0; i < cfg.SmithEditors; i++ {
+		smiths = append(smiths, addEditor(synth.FirstNames[rng.Intn(len(synth.FirstNames))], "Smith"))
+	}
+	for int(eid) < cfg.Editors {
+		addEditor(synth.FirstNames[rng.Intn(len(synth.FirstNames))],
+			synth.LastNames[rng.Intn(len(synth.LastNames))])
+	}
+
+	// Edit: every proceeding gets 1-3 editors; every Smith edits at least
+	// one proceeding; two designated editors edit both a SIGIR and a CIKM.
+	edit := db.Table("Edit")
+	editSeen := make(map[[2]int64]bool)
+	addEdit := func(e, p int64) {
+		k := [2]int64{e, p}
+		if editSeen[k] {
+			return
+		}
+		editSeen[k] = true
+		edit.MustInsert(e, p)
+	}
+	var sigirID, cikmID int64
+	for _, p := range procs {
+		if p.acronym == "SIGIR" && sigirID == 0 {
+			sigirID = p.id
+		}
+		if p.acronym == "CIKM" && cikmID == 0 {
+			cikmID = p.id
+		}
+	}
+	for _, p := range procs {
+		// Bigger proceedings have more editors, so the duplicated proceeding
+		// rows in the denormalized EditorProceeding relation skew naive
+		// averages upward (Table 9, A1: 637 vs the true 297).
+		n := 1 + p.pages/250
+		for i := 0; i < n; i++ {
+			addEdit(int64(rng.Range(1, int(eid))), p.id)
+		}
+	}
+	for i, s := range smiths {
+		// Spread the Smiths so per-Smith proceeding counts vary (1, 1, 2, ...).
+		addEdit(s, procs[(i*3)%len(procs)].id)
+		if i%3 == 2 {
+			addEdit(s, procs[(i*5+1)%len(procs)].id)
+		}
+	}
+	crossEditors := []int64{addEditor("Pat", "Crossley"), addEditor("Sasha", "Crossley")}
+	for _, e := range crossEditors {
+		addEdit(e, sigirID)
+		addEdit(e, cikmID)
+	}
+
+	// Papers: the six tuning papers first (on non-SIGMOD proceedings so A5
+	// is isolated), then the general population spread over all proceedings.
+	paper := db.Table("Paper")
+	write := db.Table("Write")
+	writeSeen := make(map[[2]int64]bool)
+	addWrite := func(p, a int64) {
+		k := [2]int64{p, a}
+		if writeSeen[k] {
+			return
+		}
+		writeSeen[k] = true
+		write.MustInsert(p, a)
+	}
+	ppid := int64(0)
+	addPaper := func(proc procInfo, title string) int64 {
+		ppid++
+		date := fmt.Sprintf("%04d-%02d-%02d", proc.year, rng.Range(1, 12), rng.Range(1, 28))
+		paper.MustInsert(ppid, proc.id, date, title)
+		return ppid
+	}
+	generalAuthor := func() int64 {
+		// Avoid the reserved-name blocks at the front of the author table.
+		lo := cfg.GillAuthors + cfg.JohnAuthors + cfg.MaryAuthors + 1
+		if lo >= int(aid) {
+			lo = 1
+		}
+		return int64(rng.Range(lo, int(aid)))
+	}
+
+	// A5: six tuning papers with author counts 2,2,2,6,2,2 across the four
+	// distinct titles (SQAK's per-title grouping then reports 2,4,6,4).
+	tuningSpecs := []struct {
+		title   string
+		authors int
+	}{
+		{TuningTitles[0], 2},
+		{TuningTitles[1], 2}, {TuningTitles[1], 2},
+		{TuningTitles[2], 6},
+		{TuningTitles[3], 2}, {TuningTitles[3], 2},
+	}
+	for _, ts := range tuningSpecs {
+		proc := procs[rng.Intn(len(procs))]
+		for proc.acronym == "SIGMOD" {
+			proc = procs[rng.Intn(len(procs))]
+		}
+		p := addPaper(proc, ts.title)
+		for len(filterWrites(writeSeen, p)) < ts.authors {
+			addWrite(p, generalAuthor())
+		}
+	}
+
+	// A7: John-Mary co-authored papers.
+	for i := 0; i < cfg.CoauthorPairs; i++ {
+		proc := procs[rng.Intn(len(procs))]
+		p := addPaper(proc, randomTitle(rng))
+		addWrite(p, johns[rng.Intn(len(johns))])
+		addWrite(p, marys[rng.Intn(len(marys))])
+	}
+
+	// A4: every Gill writes at least one paper with its own date.
+	for _, g := range gills {
+		proc := procs[rng.Intn(len(procs))]
+		p := addPaper(proc, randomTitle(rng))
+		addWrite(p, g)
+		if rng.Intn(2) == 0 {
+			addWrite(p, generalAuthor())
+		}
+	}
+
+	for int(ppid) < cfg.Papers {
+		proc := procs[rng.Intn(len(procs))]
+		p := addPaper(proc, randomTitle(rng))
+		n := rng.Range(1, 4)
+		for i := 0; i < n; i++ {
+			addWrite(p, generalAuthor())
+		}
+	}
+	return db
+}
+
+func randomTitle(rng *synth.RNG) string {
+	return rng.Pick(synth.TitleWords) + " " + rng.Pick(synth.TitleWords) + " " +
+		rng.Pick(synth.TitleWords)
+}
+
+func filterWrites(seen map[[2]int64]bool, paper int64) [][2]int64 {
+	var out [][2]int64
+	for k := range seen {
+		if k[0] == paper {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// DenormalizedSchema returns the ACMDL' schemas of Table 7.
+func DenormalizedSchema() []*relation.Schema {
+	return []*relation.Schema{
+		relation.NewSchema("PaperAuthor",
+			"paperid INT", "authorid INT", "procid INT", "date DATE", "title", "fname", "lname").
+			Key("paperid", "authorid").
+			// The shared procid column is the de-facto join path between the
+			// two wide relations; SQAK's schema graph needs the reference.
+			Ref([]string{"procid"}, "EditorProceeding", "procid").
+			Dep([]string{"paperid"}, "procid", "date", "title").
+			Dep([]string{"authorid"}, "fname", "lname"),
+		relation.NewSchema("EditorProceeding",
+			"editorid INT", "procid INT", "fname", "lname", "acronym", "title",
+			"date DATE", "pages INT", "publisherid INT").
+			Key("editorid", "procid").
+			Ref([]string{"publisherid"}, "Publisher").
+			Dep([]string{"editorid"}, "fname", "lname").
+			Dep([]string{"procid"}, "acronym", "title", "date", "pages", "publisherid"),
+		relation.NewSchema("Publisher", "publisherid INT", "code", "name").Key("publisherid"),
+	}
+}
+
+// NameHints names the normalized-view relations synthesized from ACMDL'.
+func NameHints() map[string]string {
+	return map[string]string{
+		normalize.KeySig("paperid"):             "Paper",
+		normalize.KeySig("authorid"):            "Author",
+		normalize.KeySig("paperid", "authorid"): "Write",
+		normalize.KeySig("editorid"):            "Editor",
+		normalize.KeySig("procid"):              "Proceeding",
+		normalize.KeySig("editorid", "procid"):  "Edit",
+	}
+}
+
+// Denormalize derives the ACMDL' database of Table 7 from a normalized
+// ACMDL database. Papers without authors and proceedings without editors
+// disappear, exactly as the denormalized design implies.
+func Denormalize(db *relation.Database) *relation.Database {
+	out := relation.NewDatabase("acmdl-denorm")
+	for _, s := range DenormalizedSchema() {
+		out.AddSchema(s)
+	}
+	paperRow := make(map[int64]relation.Tuple)
+	for _, tu := range db.Table("Paper").Tuples {
+		paperRow[tu[0].(int64)] = tu
+	}
+	authorRow := make(map[int64]relation.Tuple)
+	for _, tu := range db.Table("Author").Tuples {
+		authorRow[tu[0].(int64)] = tu
+	}
+	editorRow := make(map[int64]relation.Tuple)
+	for _, tu := range db.Table("Editor").Tuples {
+		editorRow[tu[0].(int64)] = tu
+	}
+	procRow := make(map[int64]relation.Tuple)
+	for _, tu := range db.Table("Proceeding").Tuples {
+		procRow[tu[0].(int64)] = tu
+	}
+
+	pa := out.Table("PaperAuthor")
+	for _, w := range db.Table("Write").Tuples {
+		p, a := paperRow[w[0].(int64)], authorRow[w[1].(int64)]
+		pa.MustInsert(w[0], w[1], p[1], p[2], p[3], a[1], a[2])
+	}
+	ep := out.Table("EditorProceeding")
+	for _, e := range db.Table("Edit").Tuples {
+		ed, pr := editorRow[e[0].(int64)], procRow[e[1].(int64)]
+		ep.MustInsert(e[0], e[1], ed[1], ed[2], pr[1], pr[2], pr[3], pr[4], pr[5])
+	}
+	pub := out.Table("Publisher")
+	for _, p := range db.Table("Publisher").Tuples {
+		pub.MustInsert(p[0], p[1], p[2])
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package acmdl
+
+import (
+	"strings"
+	"testing"
+
+	"kwagg/internal/relation"
+)
+
+func countWhere(tb *relation.Table, attr, contains string) int {
+	n := 0
+	i := tb.Schema.AttrIndex(attr)
+	for _, tu := range tb.Tuples {
+		if s, ok := tu[i].(string); ok && relation.ContainsFold(s, contains) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPlantedCollisions checks the name collisions queries A3-A8 rely on.
+func TestPlantedCollisions(t *testing.T) {
+	db := New(Default())
+	if n := countWhere(db.Table("Editor"), "lname", "Smith"); n != 61 {
+		t.Errorf("Smith editors: %d, want 61 (paper A3 reports 61 answers)", n)
+	}
+	if n := countWhere(db.Table("Author"), "lname", "Gill"); n != 36 {
+		t.Errorf("Gill authors: %d, want 36 (paper A4 reports 36 answers)", n)
+	}
+	if n := countWhere(db.Table("Proceeding"), "acronym", "SIGMOD"); n != 36 {
+		t.Errorf("SIGMOD proceedings: %d, want 36 (paper A2 reports 36 answers)", n)
+	}
+	if n := countWhere(db.Table("Paper"), "ptitle", "database tuning"); n != 6 {
+		t.Errorf("database tuning papers: %d, want 6 (paper A5 reports 6 answers)", n)
+	}
+	if n := countWhere(db.Table("Publisher"), "name", "IEEE"); n != 4 {
+		t.Errorf("IEEE publishers: %d, want 4 (paper A6 reports 4 answers)", n)
+	}
+}
+
+// TestTuningTitleDistribution: six papers spanning exactly four distinct
+// titles with author counts that make SQAK report 2, 4, 6, 4.
+func TestTuningTitleDistribution(t *testing.T) {
+	db := New(Default())
+	paper := db.Table("Paper")
+	titles := make(map[string][]int64)
+	for _, tu := range paper.Tuples {
+		title := tu[3].(string)
+		if relation.ContainsFold(title, "database tuning") {
+			titles[title] = append(titles[title], tu[0].(int64))
+		}
+	}
+	if len(titles) != 4 {
+		t.Fatalf("distinct tuning titles: %d, want 4", len(titles))
+	}
+	authorsOf := make(map[int64]int)
+	for _, w := range db.Table("Write").Tuples {
+		authorsOf[w[0].(int64)]++
+	}
+	perTitle := make(map[string]int)
+	for title, ids := range titles {
+		for _, id := range ids {
+			perTitle[title] += authorsOf[id]
+		}
+	}
+	counts := map[int]int{}
+	for _, n := range perTitle {
+		counts[n]++
+	}
+	// SQAK's per-title sums: one title with 2, two with 4, one with 6.
+	if counts[2] != 1 || counts[4] != 2 || counts[6] != 1 {
+		t.Errorf("per-title author sums: %v, want {2:1, 4:2, 6:1}", perTitle)
+	}
+}
+
+// TestReservedNamesExclusive: John and Mary occur only among authors; Smith
+// only among editors; Gill only among authors. SQAK's A7/A3 behaviour
+// depends on this.
+func TestReservedNamesExclusive(t *testing.T) {
+	db := New(Default())
+	if n := countWhere(db.Table("Editor"), "fname", "John"); n != 0 {
+		t.Errorf("editors named John: %d", n)
+	}
+	if n := countWhere(db.Table("Editor"), "fname", "Mary"); n != 0 {
+		t.Errorf("editors named Mary: %d", n)
+	}
+	if n := countWhere(db.Table("Editor"), "lname", "Gill"); n != 0 {
+		t.Errorf("editors named Gill: %d", n)
+	}
+	if n := countWhere(db.Table("Author"), "lname", "Smith"); n != 0 {
+		t.Errorf("authors named Smith: %d", n)
+	}
+}
+
+// TestCoauthorPairs: some paper is co-authored by a John and a Mary (A7).
+func TestCoauthorPairs(t *testing.T) {
+	db := New(Default())
+	isJohn, isMary := map[int64]bool{}, map[int64]bool{}
+	for _, a := range db.Table("Author").Tuples {
+		switch a[1].(string) {
+		case "John":
+			isJohn[a[0].(int64)] = true
+		case "Mary":
+			isMary[a[0].(int64)] = true
+		}
+	}
+	johnsOf, marysOf := map[int64]bool{}, map[int64]bool{}
+	for _, w := range db.Table("Write").Tuples {
+		p, a := w[0].(int64), w[1].(int64)
+		if isJohn[a] {
+			johnsOf[p] = true
+		}
+		if isMary[a] {
+			marysOf[p] = true
+		}
+	}
+	pairs := 0
+	for p := range johnsOf {
+		if marysOf[p] {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Error("no John-Mary co-authored papers")
+	}
+}
+
+// TestCrossVenueEditors: at least two editors edit both a SIGIR and a CIKM
+// proceeding (A8 reports 2 answers).
+func TestCrossVenueEditors(t *testing.T) {
+	db := New(Default())
+	venue := map[int64]string{}
+	for _, p := range db.Table("Proceeding").Tuples {
+		venue[p[0].(int64)] = p[1].(string)
+	}
+	sigir, cikm := map[int64]bool{}, map[int64]bool{}
+	for _, e := range db.Table("Edit").Tuples {
+		ed, pr := e[0].(int64), e[1].(int64)
+		switch venue[pr] {
+		case "SIGIR":
+			sigir[ed] = true
+		case "CIKM":
+			cikm[ed] = true
+		}
+	}
+	n := 0
+	for ed := range sigir {
+		if cikm[ed] {
+			n++
+		}
+	}
+	if n < 2 {
+		t.Errorf("editors of both SIGIR and CIKM: %d, want >= 2", n)
+	}
+}
+
+// TestProceedingTitlesOmitAcronyms: venue terms must match only the acronym
+// attribute (A8 must be SQAK-N.A.).
+func TestProceedingTitlesOmitAcronyms(t *testing.T) {
+	db := New(Default())
+	tb := db.Table("Proceeding")
+	for _, tu := range tb.Tuples {
+		title := strings.ToLower(tu[2].(string))
+		for _, acr := range []string{"sigmod", "sigir", "cikm"} {
+			if strings.Contains(title, acr) {
+				t.Fatalf("title %q embeds venue term %q", title, acr)
+			}
+		}
+	}
+}
+
+// TestEveryProceedingHasEditorsAndGillsWrite: denormalization must not lose
+// proceedings, and every Gill must have a paper (A4 answers one per Gill).
+func TestEveryProceedingHasEditorsAndGillsWrite(t *testing.T) {
+	db := New(Default())
+	edited := map[int64]bool{}
+	for _, e := range db.Table("Edit").Tuples {
+		edited[e[1].(int64)] = true
+	}
+	for _, p := range db.Table("Proceeding").Tuples {
+		if !edited[p[0].(int64)] {
+			t.Fatalf("proceeding %v has no editors", p[0])
+		}
+	}
+	gill := map[int64]bool{}
+	for _, a := range db.Table("Author").Tuples {
+		if a[2].(string) == "Gill" {
+			gill[a[0].(int64)] = true
+		}
+	}
+	writes := map[int64]bool{}
+	for _, w := range db.Table("Write").Tuples {
+		writes[w[1].(int64)] = true
+	}
+	for id := range gill {
+		if !writes[id] {
+			t.Fatalf("Gill author %d writes nothing", id)
+		}
+	}
+}
+
+// TestDenormalize: sizes and FDs of the ACMDL' relations.
+func TestDenormalize(t *testing.T) {
+	db := New(Small())
+	den := Denormalize(db)
+	if den.Table("PaperAuthor").Len() != db.Table("Write").Len() {
+		t.Error("PaperAuthor should have one row per Write")
+	}
+	if den.Table("EditorProceeding").Len() != db.Table("Edit").Len() {
+		t.Error("EditorProceeding should have one row per Edit")
+	}
+	if den.Table("Publisher").Len() != db.Table("Publisher").Len() {
+		t.Error("Publisher copied unchanged")
+	}
+	for _, name := range []string{"PaperAuthor", "EditorProceeding"} {
+		tb := den.Table(name)
+		for _, fd := range tb.Schema.FDs {
+			seen := map[string]string{}
+			for i := range tb.Tuples {
+				l, r := "", ""
+				for _, a := range fd.LHS {
+					l += relation.Format(tb.Value(i, a)) + "\x1f"
+				}
+				for _, a := range fd.RHS {
+					r += relation.Format(tb.Value(i, a)) + "\x1f"
+				}
+				if prev, ok := seen[l]; ok && prev != r {
+					t.Fatalf("%s: FD %v violated", name, fd)
+				}
+				seen[l] = r
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(Default()), New(Default())
+	if a.Table("Paper").Len() != b.Table("Paper").Len() {
+		t.Fatal("generator must be deterministic")
+	}
+	for i := range a.Table("Paper").Tuples {
+		if !relation.Equal(a.Table("Paper").Tuples[i][3], b.Table("Paper").Tuples[i][3]) {
+			t.Fatal("paper titles differ between runs")
+		}
+	}
+}

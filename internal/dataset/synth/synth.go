@@ -1,0 +1,116 @@
+// Package synth provides the deterministic pseudo-random generator and name
+// pools shared by the synthetic dataset builders. Determinism matters: the
+// experiment harness reports absolute numbers, and reruns must reproduce
+// them exactly.
+package synth
+
+// RNG is a SplitMix64 pseudo-random generator: tiny, fast, and stable across
+// platforms.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Range returns a value in [lo, hi] inclusive.
+func (r *RNG) Range(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float returns a value in [0, 1).
+func (r *RNG) Float() float64 { return float64(r.Next()>>11) / float64(1<<53) }
+
+// Pick returns a random element of the slice.
+func (r *RNG) Pick(xs []string) string { return xs[r.Intn(len(xs))] }
+
+// Sample returns k distinct indexes from [0, n) in random order (k <= n).
+func (r *RNG) Sample(n, k int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// Name pools in the spirit of TPC-H's dbgen grammar.
+var (
+	// Colors and nouns compose part names such as "royal olive".
+	Colors = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+		"deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+		"gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+		"indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+		"lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+		"mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+		"pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+		"purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy",
+		"seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel",
+		"tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+	}
+	PartTypes = []string{
+		"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED STEEL",
+		"LARGE BRUSHED BRASS", "ECONOMY BURNISHED NICKEL", "PROMO PLATED STEEL",
+		"STANDARD POLISHED BRASS", "SMALL BURNISHED TIN", "ECONOMY ANODIZED COPPER",
+		"LARGE PLATED NICKEL",
+	}
+	Segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	Priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	Nations    = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+		"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+		"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+	}
+	Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+	// People names for the publication dataset.
+	FirstNames = []string{
+		"Alice", "Bob", "Carol", "David", "Eve", "Frank", "Grace", "Henry",
+		"Irene", "Jack", "Karen", "Leo", "Nina", "Oscar", "Paula", "Quentin",
+		"Rita", "Sam", "Tina", "Victor", "Wendy", "Xavier", "Yvonne", "Zack",
+		"Michael", "Sarah", "James", "Linda", "Robert", "Patricia",
+	}
+	LastNames = []string{
+		"Anderson", "Baker", "Chen", "Davis", "Evans", "Fischer", "Garcia",
+		"Hoffman", "Ivanov", "Johnson", "Kumar", "Lopez", "Miller", "Nguyen",
+		"Olsen", "Peterson", "Quinn", "Rodriguez", "Schmidt", "Taylor", "Ueda",
+		"Vogel", "Wang", "Xu", "Young", "Zhang", "Brown", "Clark", "Lewis", "Walker",
+	}
+	TitleWords = []string{
+		"efficient", "scalable", "adaptive", "distributed", "parallel",
+		"incremental", "approximate", "robust", "secure", "streaming",
+		"indexing", "query", "optimization", "processing", "mining",
+		"learning", "graph", "keyword", "search", "aggregation", "join",
+		"transaction", "storage", "cache", "schema", "semantic", "ranking",
+		"clustering", "sampling", "compression",
+	}
+	Acronyms = []string{
+		"VLDB", "ICDE", "EDBT", "PODS", "KDD", "WWW", "WSDM", "ICDM", "DASFAA",
+		"SSDBM", "MDM", "ER", "DEXA", "ADBIS", "IDEAS",
+	}
+)

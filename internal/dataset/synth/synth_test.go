@@ -1,0 +1,106 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-1) != 0 {
+		t.Error("degenerate Intn should be 0")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		v := r.Range(3, 9)
+		return v >= 3 && v <= 9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	r := NewRNG(5)
+	if r.Range(4, 4) != 4 || r.Range(9, 3) != 9 {
+		t.Error("degenerate Range behaviour")
+	}
+}
+
+func TestFloatBounds(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float(); f < 0 || f >= 1 {
+			t.Fatalf("Float out of range: %v", f)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := NewRNG(3)
+	s := r.Sample(10, 4)
+	if len(s) != 4 {
+		t.Fatalf("Sample size: %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Sample invalid: %v", s)
+		}
+		seen[v] = true
+	}
+	// Full sample is a permutation.
+	s = r.Sample(5, 5)
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 10 {
+		t.Errorf("full sample should be a permutation: %v", s)
+	}
+}
+
+func TestPoolsNonEmpty(t *testing.T) {
+	pools := map[string][]string{
+		"Colors": Colors, "PartTypes": PartTypes, "Segments": Segments,
+		"Priorities": Priorities, "Nations": Nations, "Regions": Regions,
+		"FirstNames": FirstNames, "LastNames": LastNames,
+		"TitleWords": TitleWords, "Acronyms": Acronyms,
+	}
+	for name, pool := range pools {
+		if len(pool) == 0 {
+			t.Errorf("pool %s is empty", name)
+		}
+	}
+	// The acronym pool must not contain the specially planted venues.
+	for _, a := range Acronyms {
+		if a == "SIGMOD" || a == "SIGIR" || a == "CIKM" {
+			t.Errorf("pool must not duplicate planted venue %s", a)
+		}
+	}
+}

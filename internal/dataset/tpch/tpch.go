@@ -1,0 +1,316 @@
+// Package tpch generates the scaled-down TPC-H-like database of the paper's
+// evaluation (Table 2): Part, Supplier, Lineitem, Order, Customer, Nation,
+// Region. The generator is deterministic and plants the value collisions the
+// paper's queries exercise: several parts sharing the exact names "royal
+// olive", "yellow tomato", "pink rose" and "white rose"; one "indian black
+// chocolate" part supplied by a handful of suppliers that recur across many
+// orders; and supplier-part pairs duplicated across orders so that
+// ORA-unaware counting inflates.
+//
+// The package also derives the denormalized variant of Table 7 (TPCH'): the
+// wide Ordering relation joining Part, Supplier, Lineitem and Order, plus a
+// Customer relation that additionally carries its nation's region.
+package tpch
+
+import (
+	"fmt"
+
+	"kwagg/internal/dataset/synth"
+	"kwagg/internal/normalize"
+	"kwagg/internal/relation"
+)
+
+// Config controls the scale of the generated database.
+type Config struct {
+	Seed      uint64
+	Parts     int
+	Suppliers int
+	Customers int
+	Orders    int
+	// SuppliersPerPart and OrdersPerPair bound how many suppliers supply a
+	// part and how many orders repeat one (part, supplier) pair; the latter
+	// drives the duplicate counting SQAK suffers from (queries T5, T6).
+	SuppliersPerPart [2]int
+	OrdersPerPair    [2]int
+}
+
+// Default returns the configuration used by the experiment harness.
+func Default() Config {
+	return Config{
+		Seed:             42,
+		Parts:            220,
+		Suppliers:        60,
+		Customers:        150,
+		Orders:           1200,
+		SuppliersPerPart: [2]int{2, 5},
+		OrdersPerPair:    [2]int{1, 4},
+	}
+}
+
+// Large returns a stress-test configuration (~50k line items), used by the
+// scale benchmarks; generation stays deterministic.
+func Large() Config {
+	return Config{
+		Seed:             42,
+		Parts:            2000,
+		Suppliers:        400,
+		Customers:        1000,
+		Orders:           10000,
+		SuppliersPerPart: [2]int{3, 6},
+		OrdersPerPair:    [2]int{2, 5},
+	}
+}
+
+// Small returns a fast configuration for unit tests.
+func Small() Config {
+	return Config{
+		Seed:             7,
+		Parts:            40,
+		Suppliers:        12,
+		Customers:        20,
+		Orders:           80,
+		SuppliersPerPart: [2]int{1, 3},
+		OrdersPerPair:    [2]int{1, 3},
+	}
+}
+
+// Special part names planted with exact duplicates (the paper's T3-T5, T8).
+const (
+	RoyalOlive      = "royal olive"
+	YellowTomato    = "yellow tomato"
+	IndianBlackChoc = "indian black chocolate"
+	PinkRose        = "pink rose"
+	WhiteRose       = "white rose"
+)
+
+// Schema returns the normalized TPCH schema of Table 2.
+func Schema() []*relation.Schema {
+	return []*relation.Schema{
+		relation.NewSchema("Region", "regionkey INT", "rname").Key("regionkey"),
+		relation.NewSchema("Nation", "nationkey INT", "nname", "regionkey INT").
+			Key("nationkey").Ref([]string{"regionkey"}, "Region"),
+		relation.NewSchema("Part", "partkey INT", "pname", "type", "size INT", "retailprice FLOAT").
+			Key("partkey"),
+		relation.NewSchema("Supplier", "suppkey INT", "sname", "nationkey INT", "acctbal FLOAT").
+			Key("suppkey").Ref([]string{"nationkey"}, "Nation"),
+		relation.NewSchema("Customer", "custkey INT", "cname", "nationkey INT", "mktsegment").
+			Key("custkey").Ref([]string{"nationkey"}, "Nation"),
+		relation.NewSchema("Order", "orderkey INT", "custkey INT", "amount FLOAT", "date DATE", "priority").
+			Key("orderkey").Ref([]string{"custkey"}, "Customer"),
+		relation.NewSchema("Lineitem", "partkey INT", "suppkey INT", "orderkey INT", "quantity INT").
+			Key("partkey", "suppkey", "orderkey").
+			Ref([]string{"partkey"}, "Part").
+			Ref([]string{"suppkey"}, "Supplier").
+			Ref([]string{"orderkey"}, "Order"),
+	}
+}
+
+// New generates the normalized TPCH database.
+func New(cfg Config) *relation.Database {
+	rng := synth.NewRNG(cfg.Seed)
+	db := relation.NewDatabase("tpch")
+	for _, s := range Schema() {
+		db.AddSchema(s)
+	}
+
+	region := db.Table("Region")
+	for i, r := range synth.Regions {
+		region.MustInsert(int64(i+1), r)
+	}
+	nation := db.Table("Nation")
+	for i, n := range synth.Nations {
+		nation.MustInsert(int64(i+1), n, int64(i%len(synth.Regions)+1))
+	}
+
+	part := db.Table("Part")
+	specials := []struct {
+		name string
+		n    int
+	}{
+		{RoyalOlive, 8},
+		{YellowTomato, 13},
+		{IndianBlackChoc, 1},
+		{PinkRose, 3},
+		{WhiteRose, 3},
+	}
+	pk := 0
+	addPart := func(name string) int64 {
+		pk++
+		part.MustInsert(int64(pk), name, synth.PartTypes[rng.Intn(len(synth.PartTypes))],
+			int64(rng.Range(1, 50)), float64(rng.Range(900, 2000))/10)
+		return int64(pk)
+	}
+	for _, sp := range specials {
+		for i := 0; i < sp.n; i++ {
+			addPart(sp.name)
+		}
+	}
+	for pk < cfg.Parts {
+		addPart(rng.Pick(synth.Colors) + " " + rng.Pick(synth.Colors))
+	}
+
+	supplier := db.Table("Supplier")
+	for i := 1; i <= cfg.Suppliers; i++ {
+		supplier.MustInsert(int64(i), fmt.Sprintf("Supplier#%03d", i),
+			int64(rng.Range(1, len(synth.Nations))), float64(rng.Range(-9999, 99999))/10)
+	}
+
+	customer := db.Table("Customer")
+	for i := 1; i <= cfg.Customers; i++ {
+		customer.MustInsert(int64(i), fmt.Sprintf("Customer#%03d", i),
+			int64(rng.Range(1, len(synth.Nations))), rng.Pick(synth.Segments))
+	}
+
+	order := db.Table("Order")
+	for i := 1; i <= cfg.Orders; i++ {
+		order.MustInsert(int64(i), int64(rng.Range(1, cfg.Customers)),
+			0.0, // amount is filled in from the order's line items below
+			fmt.Sprintf("199%d-%02d-%02d", rng.Range(2, 8), rng.Range(1, 12), rng.Range(1, 28)),
+			rng.Pick(synth.Priorities))
+	}
+
+	// Lineitem: each part gets a supplier set; each (part, supplier) pair
+	// recurs in several orders, duplicating the pair exactly as a real order
+	// stream would.
+	lineitem := db.Table("Lineitem")
+	seen := make(map[[3]int64]bool)
+	covered := make(map[int64]bool)
+	addItem := func(p, s, o int64) {
+		key := [3]int64{p, s, o}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		covered[o] = true
+		lineitem.MustInsert(p, s, o, int64(rng.Range(1, 50)))
+	}
+	for p := 1; p <= cfg.Parts; p++ {
+		ns := rng.Range(cfg.SuppliersPerPart[0], cfg.SuppliersPerPart[1])
+		if ns > cfg.Suppliers {
+			ns = cfg.Suppliers
+		}
+		for _, si := range rng.Sample(cfg.Suppliers, ns) {
+			s := int64(si + 1)
+			no := rng.Range(cfg.OrdersPerPair[0], cfg.OrdersPerPair[1])
+			for k := 0; k < no; k++ {
+				addItem(int64(p), s, int64(rng.Range(1, cfg.Orders)))
+			}
+		}
+	}
+	// Every order appears in Lineitem, so the denormalized Ordering relation
+	// (the join of Part, Lineitem, Supplier and Order) loses no orders and
+	// the semantic approach answers identically on both variants.
+	for o := 1; o <= cfg.Orders; o++ {
+		if !covered[int64(o)] {
+			addItem(int64(rng.Range(1, cfg.Parts)), int64(rng.Range(1, cfg.Suppliers)), int64(o))
+		}
+	}
+
+	// Order amounts are the sum of their items' quantity x retail price, so
+	// big orders carry many line items: averaging the denormalized Ordering
+	// rows naively then skews high, as Table 8 (T1) reports.
+	amount := make(map[int64]float64)
+	for _, li := range lineitem.Tuples {
+		price := part.Tuples[li[0].(int64)-1][4].(float64)
+		amount[li[2].(int64)] += float64(li[3].(int64)) * price
+	}
+	for i, tu := range order.Tuples {
+		tu[2] = amount[tu[0].(int64)]
+		order.Tuples[i] = tu
+	}
+	return db
+}
+
+// DenormalizedSchema returns the TPCH' schemas of Table 7.
+func DenormalizedSchema() []*relation.Schema {
+	return []*relation.Schema{
+		relation.NewSchema("Ordering",
+			"partkey INT", "suppkey INT", "orderkey INT", "pname", "type", "size INT",
+			"retailprice FLOAT", "sname", "nationkey INT", "regionkey INT", "acctbal FLOAT",
+			"custkey INT", "amount FLOAT", "date DATE", "priority", "quantity INT").
+			Key("partkey", "suppkey", "orderkey").
+			Ref([]string{"custkey"}, "Customer").
+			Ref([]string{"nationkey"}, "Nation").
+			Ref([]string{"regionkey"}, "Region").
+			Dep([]string{"partkey"}, "pname", "type", "size", "retailprice").
+			Dep([]string{"suppkey"}, "sname", "nationkey", "acctbal").
+			Dep([]string{"nationkey"}, "regionkey").
+			Dep([]string{"orderkey"}, "custkey", "amount", "date", "priority").
+			Dep([]string{"partkey", "suppkey", "orderkey"}, "quantity"),
+		relation.NewSchema("Customer",
+			"custkey INT", "cname", "nationkey INT", "regionkey INT", "mktsegment").
+			Key("custkey").
+			Ref([]string{"nationkey"}, "Nation").
+			Ref([]string{"regionkey"}, "Region").
+			Dep([]string{"custkey"}, "cname", "nationkey", "mktsegment").
+			Dep([]string{"nationkey"}, "regionkey"),
+		relation.NewSchema("Nation", "nationkey INT", "nname").Key("nationkey"),
+		relation.NewSchema("Region", "regionkey INT", "rname").Key("regionkey"),
+	}
+}
+
+// NameHints names the normalized-view relations synthesized from TPCH'.
+func NameHints() map[string]string {
+	return map[string]string{
+		normalize.KeySig("partkey"):                        "Part",
+		normalize.KeySig("suppkey"):                        "Supplier",
+		normalize.KeySig("orderkey"):                       "Order",
+		normalize.KeySig("custkey"):                        "Customer",
+		normalize.KeySig("nationkey"):                      "NationRegion",
+		normalize.KeySig("partkey", "suppkey", "orderkey"): "Lineitem",
+	}
+}
+
+// Denormalize derives the TPCH' database of Table 7 from a normalized TPCH
+// database: Ordering is the join of Part, Lineitem, Supplier and Order
+// (carrying the supplier's nation and region), and Customer additionally
+// carries its nation's region.
+func Denormalize(db *relation.Database) *relation.Database {
+	out := relation.NewDatabase("tpch-denorm")
+	for _, s := range DenormalizedSchema() {
+		out.AddSchema(s)
+	}
+
+	nationRegion := make(map[int64]int64)
+	for _, tu := range db.Table("Nation").Tuples {
+		nationRegion[tu[0].(int64)] = tu[2].(int64)
+	}
+	partRow := make(map[int64]relation.Tuple)
+	for _, tu := range db.Table("Part").Tuples {
+		partRow[tu[0].(int64)] = tu
+	}
+	suppRow := make(map[int64]relation.Tuple)
+	for _, tu := range db.Table("Supplier").Tuples {
+		suppRow[tu[0].(int64)] = tu
+	}
+	orderRow := make(map[int64]relation.Tuple)
+	for _, tu := range db.Table("Order").Tuples {
+		orderRow[tu[0].(int64)] = tu
+	}
+
+	ordering := out.Table("Ordering")
+	for _, li := range db.Table("Lineitem").Tuples {
+		p, s, o := partRow[li[0].(int64)], suppRow[li[1].(int64)], orderRow[li[2].(int64)]
+		ordering.MustInsert(
+			li[0], li[1], li[2],
+			p[1], p[2], p[3], p[4],
+			s[1], s[2], nationRegion[s[2].(int64)], s[3],
+			o[1], o[2], o[3], o[4],
+			li[3],
+		)
+	}
+
+	customer := out.Table("Customer")
+	for _, c := range db.Table("Customer").Tuples {
+		customer.MustInsert(c[0], c[1], c[2], nationRegion[c[2].(int64)], c[3])
+	}
+	nation := out.Table("Nation")
+	for _, n := range db.Table("Nation").Tuples {
+		nation.MustInsert(n[0], n[1])
+	}
+	region := out.Table("Region")
+	for _, r := range db.Table("Region").Tuples {
+		region.MustInsert(r[0], r[1])
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package tpch
+
+import (
+	"testing"
+
+	"kwagg/internal/relation"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(Default()), New(Default())
+	for _, name := range []string{"Part", "Supplier", "Lineitem", "Order", "Customer"} {
+		ta, tb := a.Table(name), b.Table(name)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("%s row counts differ: %d vs %d", name, ta.Len(), tb.Len())
+		}
+		for i := range ta.Tuples {
+			for j := range ta.Tuples[i] {
+				if !relation.Equal(ta.Tuples[i][j], tb.Tuples[i][j]) {
+					t.Fatalf("%s row %d differs", name, i)
+				}
+			}
+		}
+	}
+}
+
+func countByName(db *relation.Database, name string) int {
+	n := 0
+	part := db.Table("Part")
+	for _, tu := range part.Tuples {
+		if tu[1].(string) == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPlantedCollisions checks the exact-duplicate part names the paper's
+// queries T3, T4, T5 and T8 rely on.
+func TestPlantedCollisions(t *testing.T) {
+	db := New(Default())
+	if n := countByName(db, RoyalOlive); n != 8 {
+		t.Errorf("royal olive parts: %d, want 8 (paper T3 reports 8 answers)", n)
+	}
+	if n := countByName(db, YellowTomato); n != 13 {
+		t.Errorf("yellow tomato parts: %d, want 13 (paper T4 reports 13 answers)", n)
+	}
+	if n := countByName(db, IndianBlackChoc); n != 1 {
+		t.Errorf("indian black chocolate parts: %d, want 1 (paper T5 reports 1 answer)", n)
+	}
+	if countByName(db, PinkRose) < 2 || countByName(db, WhiteRose) < 2 {
+		t.Error("several pink/white rose parts are needed for T8")
+	}
+}
+
+// TestReferentialIntegrity: every foreign key value resolves.
+func TestReferentialIntegrity(t *testing.T) {
+	db := New(Default())
+	for _, tb := range db.Tables() {
+		for _, fk := range tb.Schema.ForeignKeys {
+			ref := db.Table(fk.RefRelation)
+			for i := range tb.Tuples {
+				for k, a := range fk.Attrs {
+					v := tb.Value(i, a)
+					if relation.Null(v) {
+						continue
+					}
+					if len(ref.Lookup(fk.RefAttrs[k], v)) == 0 {
+						t.Fatalf("%s row %d: dangling %s = %v", tb.Schema.Name, i, fk, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEveryOrderHasLineitems: needed so the denormalized Ordering relation
+// loses no orders (Tables 8's "our approach unchanged" claim).
+func TestEveryOrderHasLineitems(t *testing.T) {
+	db := New(Default())
+	covered := make(map[int64]bool)
+	for _, li := range db.Table("Lineitem").Tuples {
+		covered[li[2].(int64)] = true
+	}
+	for _, o := range db.Table("Order").Tuples {
+		if !covered[o[0].(int64)] {
+			t.Fatalf("order %v has no line items", o[0])
+		}
+	}
+}
+
+// TestDuplicatePairsAcrossOrders: some (part, supplier) pair must recur in
+// several orders, the duplication SQAK miscounts in T5/T6.
+func TestDuplicatePairsAcrossOrders(t *testing.T) {
+	db := New(Default())
+	pairs := make(map[[2]int64]int)
+	for _, li := range db.Table("Lineitem").Tuples {
+		pairs[[2]int64{li[0].(int64), li[1].(int64)}]++
+	}
+	max := 0
+	for _, n := range pairs {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 2 {
+		t.Error("no (part, supplier) pair recurs across orders")
+	}
+}
+
+// TestDenormalizeConsistency: the Ordering relation is exactly the join, and
+// its declared FDs actually hold on the data.
+func TestDenormalizeConsistency(t *testing.T) {
+	db := New(Small())
+	den := Denormalize(db)
+	ordering := den.Table("Ordering")
+	if ordering.Len() != db.Table("Lineitem").Len() {
+		t.Fatalf("Ordering should have one row per lineitem: %d vs %d",
+			ordering.Len(), db.Table("Lineitem").Len())
+	}
+	checkFDsHold(t, ordering)
+	checkFDsHold(t, den.Table("Customer"))
+}
+
+// checkFDsHold verifies every declared FD against the stored tuples.
+func checkFDsHold(t *testing.T, tb *relation.Table) {
+	t.Helper()
+	for _, fd := range tb.Schema.FDs {
+		seen := make(map[string]string)
+		for i := range tb.Tuples {
+			lhs := ""
+			for _, a := range fd.LHS {
+				lhs += relation.Format(tb.Value(i, a)) + "\x1f"
+			}
+			rhs := ""
+			for _, a := range fd.RHS {
+				rhs += relation.Format(tb.Value(i, a)) + "\x1f"
+			}
+			if prev, ok := seen[lhs]; ok && prev != rhs {
+				t.Fatalf("%s: FD %v violated at row %d", tb.Schema.Name, fd, i)
+			}
+			seen[lhs] = rhs
+		}
+	}
+}
+
+func TestScales(t *testing.T) {
+	small, def := New(Small()), New(Default())
+	if small.Table("Lineitem").Len() >= def.Table("Lineitem").Len() {
+		t.Error("small scale should be smaller than default")
+	}
+}

@@ -1,0 +1,135 @@
+// Package university builds the running-example databases of the paper: the
+// normalized university database of Figure 1, the denormalized variant of
+// Figure 2 (Lecturer carrying a redundant Faculty reference), and the
+// single-relation unnormalized Enrolment database of Figure 8.
+package university
+
+import (
+	"kwagg/internal/normalize"
+	"kwagg/internal/relation"
+)
+
+// New returns the normalized university database of Figure 1.
+func New() *relation.Database {
+	db := relation.NewDatabase("university")
+
+	student := db.AddSchema(relation.NewSchema("Student", "Sid", "Sname", "Age INT").Key("Sid"))
+	student.MustInsert("s1", "George", int64(22))
+	student.MustInsert("s2", "Green", int64(24))
+	student.MustInsert("s3", "Green", int64(21))
+
+	course := db.AddSchema(relation.NewSchema("Course", "Code", "Title", "Credit FLOAT").Key("Code"))
+	course.MustInsert("c1", "Java", 5.0)
+	course.MustInsert("c2", "Database", 4.0)
+	course.MustInsert("c3", "Multimedia", 3.0)
+
+	enrol := db.AddSchema(relation.NewSchema("Enrol", "Sid", "Code", "Grade").
+		Key("Sid", "Code").
+		Ref([]string{"Sid"}, "Student").
+		Ref([]string{"Code"}, "Course"))
+	enrol.MustInsert("s1", "c1", "A")
+	enrol.MustInsert("s1", "c2", "B")
+	enrol.MustInsert("s1", "c3", "B")
+	enrol.MustInsert("s2", "c1", "A")
+	enrol.MustInsert("s3", "c1", "A")
+	enrol.MustInsert("s3", "c3", "B")
+
+	faculty := db.AddSchema(relation.NewSchema("Faculty", "Fid", "Fname").Key("Fid"))
+	faculty.MustInsert("f1", "Engineering")
+
+	department := db.AddSchema(relation.NewSchema("Department", "Did", "Dname", "Fid").
+		Key("Did").
+		Ref([]string{"Fid"}, "Faculty"))
+	department.MustInsert("d1", "CS", "f1")
+
+	lecturer := db.AddSchema(relation.NewSchema("Lecturer", "Lid", "Lname", "Did").
+		Key("Lid").
+		Ref([]string{"Did"}, "Department"))
+	lecturer.MustInsert("l1", "Steven", "d1")
+	lecturer.MustInsert("l2", "George", "d1")
+
+	textbook := db.AddSchema(relation.NewSchema("Textbook", "Bid", "Tname", "Price FLOAT").Key("Bid"))
+	textbook.MustInsert("b1", "Programming Language", 10.0)
+	textbook.MustInsert("b2", "Discrete Mathematics", 15.0)
+	textbook.MustInsert("b3", "Database Management", 12.0)
+	textbook.MustInsert("b4", "Multimedia Technologies", 20.0)
+
+	teach := db.AddSchema(relation.NewSchema("Teach", "Code", "Lid", "Bid").
+		Key("Code", "Lid", "Bid").
+		Ref([]string{"Code"}, "Course").
+		Ref([]string{"Lid"}, "Lecturer").
+		Ref([]string{"Bid"}, "Textbook"))
+	teach.MustInsert("c1", "l1", "b1")
+	teach.MustInsert("c1", "l1", "b2")
+	teach.MustInsert("c1", "l2", "b1")
+	teach.MustInsert("c2", "l1", "b2")
+	teach.MustInsert("c2", "l1", "b3")
+	teach.MustInsert("c3", "l2", "b4")
+
+	return db
+}
+
+// NewDenormalizedLecturer returns the Figure 2 variant: Lecturer has a
+// redundant Fid foreign key to Faculty, duplicating the Department->Faculty
+// association, which makes Lecturer violate 3NF (Did -> Fid).
+func NewDenormalizedLecturer() *relation.Database {
+	db := relation.NewDatabase("university-fig2")
+
+	faculty := db.AddSchema(relation.NewSchema("Faculty", "Fid", "Fname").Key("Fid"))
+	faculty.MustInsert("f1", "Engineering")
+
+	department := db.AddSchema(relation.NewSchema("Department", "Did", "Dname").Key("Did"))
+	department.MustInsert("d1", "CS")
+
+	lecturer := db.AddSchema(relation.NewSchema("Lecturer", "Lid", "Lname", "Did", "Fid").
+		Key("Lid").
+		Ref([]string{"Did"}, "Department").
+		Ref([]string{"Fid"}, "Faculty").
+		Dep([]string{"Lid"}, "Lname", "Did", "Fid").
+		Dep([]string{"Did"}, "Fid"))
+	lecturer.MustInsert("l1", "Steven", "d1", "f1")
+	lecturer.MustInsert("l2", "George", "d1", "f1")
+
+	return db
+}
+
+// DenormalizedLecturerHints names the relations synthesized from the
+// Figure 2 Lecturer relation when building its normalized view.
+func DenormalizedLecturerHints() map[string]string {
+	return map[string]string{
+		normalize.KeySig("Lid"): "Lecturer",
+		normalize.KeySig("Did"): "DeptFaculty",
+	}
+}
+
+// EnrolmentHints names the relations synthesized from the Figure 8
+// Enrolment relation: the Student', Course' and Enrol' of Example 8.
+func EnrolmentHints() map[string]string {
+	return map[string]string{
+		normalize.KeySig("Sid"):         "Student",
+		normalize.KeySig("Code"):        "Course",
+		normalize.KeySig("Sid", "Code"): "Enrol",
+	}
+}
+
+// NewEnrolment returns the Figure 8 database: a single unnormalized
+// Enrolment relation, the join of Student, Enrol and Course, with the
+// functional dependencies given in Section 4.
+func NewEnrolment() *relation.Database {
+	db := relation.NewDatabase("university-fig8")
+
+	enrolment := db.AddSchema(relation.NewSchema("Enrolment",
+		"Sid", "Code", "Sname", "Age INT", "Title", "Credit FLOAT", "Grade").
+		Key("Sid", "Code").
+		Dep([]string{"Sid"}, "Sname", "Age").
+		Dep([]string{"Code"}, "Title", "Credit").
+		Dep([]string{"Sid", "Code"}, "Grade"))
+	enrolment.MustInsert("s1", "c1", "George", int64(22), "Java", 5.0, "A")
+	enrolment.MustInsert("s1", "c2", "George", int64(22), "Database", 4.0, "B")
+	enrolment.MustInsert("s1", "c3", "George", int64(22), "Multimedia", 3.0, "B")
+	enrolment.MustInsert("s2", "c1", "Green", int64(24), "Java", 5.0, "A")
+	enrolment.MustInsert("s3", "c1", "Green", int64(21), "Java", 5.0, "A")
+	enrolment.MustInsert("s3", "c3", "Green", int64(21), "Multimedia", 3.0, "B")
+
+	return db
+}

@@ -1,0 +1,103 @@
+package university
+
+import (
+	"testing"
+
+	"kwagg/internal/relation"
+)
+
+// TestFigure1Contents spot-checks the exact tuples of the paper's Figure 1.
+func TestFigure1Contents(t *testing.T) {
+	db := New()
+	if got := db.Table("Student").Len(); got != 3 {
+		t.Errorf("students: %d", got)
+	}
+	if got := db.Table("Teach").Len(); got != 6 {
+		t.Errorf("teach rows: %d", got)
+	}
+	// Two students named Green with different ids.
+	greens := 0
+	for _, tu := range db.Table("Student").Tuples {
+		if tu[1] == "Green" {
+			greens++
+		}
+	}
+	if greens != 2 {
+		t.Errorf("Green students: %d", greens)
+	}
+	// b1 is used twice for Java (c1) — the duplication behind query Q2.
+	b1c1 := 0
+	for _, tu := range db.Table("Teach").Tuples {
+		if tu[0] == "c1" && tu[2] == "b1" {
+			b1c1++
+		}
+	}
+	if b1c1 != 2 {
+		t.Errorf("textbook b1 for c1: %d rows, want 2", b1c1)
+	}
+}
+
+func TestFigure1Integrity(t *testing.T) {
+	db := New()
+	if errs := relation.ValidateDatabase(db); len(errs) != 0 {
+		t.Fatalf("schema: %v", errs)
+	}
+	if errs := relation.ValidateData(db); len(errs) != 0 {
+		t.Fatalf("data: %v", errs)
+	}
+}
+
+func TestFigure2Integrity(t *testing.T) {
+	db := NewDenormalizedLecturer()
+	if errs := relation.ValidateDatabase(db); len(errs) != 0 {
+		t.Fatalf("schema: %v", errs)
+	}
+	// The declared FD Did -> Fid must hold on the data.
+	seen := map[relation.Value]relation.Value{}
+	for _, tu := range db.Table("Lecturer").Tuples {
+		if prev, ok := seen[tu[2]]; ok && prev != tu[3] {
+			t.Fatalf("FD Did -> Fid violated")
+		}
+		seen[tu[2]] = tu[3]
+	}
+}
+
+// TestFigure8MatchesFigure1 checks the Enrolment relation is exactly the
+// join of Figure 1's Student, Enrol and Course.
+func TestFigure8MatchesFigure1(t *testing.T) {
+	norm, den := New(), NewEnrolment()
+	enrol := norm.Table("Enrol")
+	enrolment := den.Table("Enrolment")
+	if enrolment.Len() != enrol.Len() {
+		t.Fatalf("Enrolment rows: %d, want %d", enrolment.Len(), enrol.Len())
+	}
+	for i := range enrol.Tuples {
+		sid, code := enrol.Tuples[i][0], enrol.Tuples[i][1]
+		found := false
+		for j := range enrolment.Tuples {
+			if relation.Equal(enrolment.Value(j, "Sid"), sid) &&
+				relation.Equal(enrolment.Value(j, "Code"), code) {
+				found = true
+				// Student attributes must agree with the Student table.
+				srow := norm.Table("Student").Lookup("Sid", sid)[0]
+				if !relation.Equal(enrolment.Value(j, "Sname"), norm.Table("Student").Value(srow, "Sname")) {
+					t.Fatalf("Sname mismatch for %v", sid)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("enrolment (%v, %v) missing", sid, code)
+		}
+	}
+}
+
+func TestHintsCoverSynthesizedRelations(t *testing.T) {
+	h := EnrolmentHints()
+	if len(h) != 3 {
+		t.Errorf("EnrolmentHints: %v", h)
+	}
+	h2 := DenormalizedLecturerHints()
+	if len(h2) != 2 {
+		t.Errorf("DenormalizedLecturerHints: %v", h2)
+	}
+}

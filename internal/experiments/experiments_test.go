@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"testing"
+
+	"kwagg/internal/dataset/acmdl"
+	"kwagg/internal/dataset/tpch"
+)
+
+func runAll(t *testing.T, s *Setup, queries []Query) {
+	t.Helper()
+	for _, q := range queries {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			row, err := s.Run(q)
+			if err != nil {
+				t.Fatalf("%s %s: %v", s.Label, q.ID, err)
+			}
+			if !row.ShapeOK {
+				t.Fatalf("%s %s shape %v failed: %s\nours: %s (%d rows %v)\nsqak: %s (%d rows %v, err %v)",
+					s.Label, q.ID, row.ShapeWanted, row.ShapeNote,
+					row.OursSQL, row.OursRows, row.OursSample,
+					row.SQAKSQL, row.SQAKRows, row.SQAKSample, row.SQAKErr)
+			}
+		})
+	}
+}
+
+// TestTable5 runs T1-T8 on the normalized TPCH database and checks the
+// answer shapes of Table 5.
+func TestTable5(t *testing.T) {
+	s, err := NewTPCH(tpch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, s, QueriesTPCH())
+}
+
+// TestTable6 runs A1-A8 on the normalized ACMDL database and checks the
+// answer shapes of Table 6.
+func TestTable6(t *testing.T) {
+	s, err := NewACMDL(acmdl.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, s, QueriesACMDL())
+}
+
+// TestTable8 runs T1-T8 on the unnormalized TPCH' database (Table 7) and
+// checks the shapes of Table 8.
+func TestTable8(t *testing.T) {
+	s, err := NewTPCHUnnormalized(tpch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, s, QueriesTPCH())
+}
+
+// TestTable9 runs A1-A8 on the unnormalized ACMDL' database and checks the
+// shapes of Table 9.
+func TestTable9(t *testing.T) {
+	s, err := NewACMDLUnnormalized(acmdl.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, s, QueriesACMDL())
+}
+
+// TestFigure11Timings: generation timing must succeed for every query and
+// record SQAK's N.A. notes where applicable.
+func TestFigure11Timings(t *testing.T) {
+	s, err := NewTPCH(tpch.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := s.TimeGeneration(QueriesTPCH(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 8 {
+		t.Fatalf("timings: %d", len(ts))
+	}
+	for _, tm := range ts {
+		if tm.Ours <= 0 {
+			t.Errorf("%s: non-positive semantic timing", tm.Query.ID)
+		}
+		switch tm.Query.ID {
+		case "T7", "T8":
+			if tm.SQAKNote == "" {
+				t.Errorf("%s: SQAK N.A. note missing", tm.Query.ID)
+			}
+		}
+	}
+}
+
+// TestWorkloadsComplete: both workloads have 8 queries with unique ids and
+// non-empty descriptions, and every query declares both shapes.
+func TestWorkloadsComplete(t *testing.T) {
+	for _, qs := range [][]Query{QueriesTPCH(), QueriesACMDL()} {
+		if len(qs) != 8 {
+			t.Fatalf("workload size: %d", len(qs))
+		}
+		seen := map[string]bool{}
+		for _, q := range qs {
+			if seen[q.ID] {
+				t.Errorf("duplicate id %s", q.ID)
+			}
+			seen[q.ID] = true
+			if q.Keywords == "" || q.Description == "" {
+				t.Errorf("%s: incomplete query spec", q.ID)
+			}
+		}
+	}
+}
+
+// TestShapeStrings: every shape renders a distinct label.
+func TestShapeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range []Shape{Agree, OursPerObject, SQAKOvercounts, SQAKNA} {
+		if seen[s.String()] {
+			t.Errorf("duplicate shape label %q", s)
+		}
+		seen[s.String()] = true
+	}
+}
+
+// TestUniversitySetup: the running-example setup answers Q1 end to end.
+func TestUniversitySetup(t *testing.T) {
+	s, err := NewUniversity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Ours.BestAnswer("Green SUM Credit", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Result.Rows) != 2 {
+		t.Errorf("Q1 per-object answers: %v", a.Result.Rows)
+	}
+}
+
+// TestShapesRobustToSeed: the reported shapes do not depend on the default
+// RNG seed — the collision structure is planted, not sampled.
+func TestShapesRobustToSeed(t *testing.T) {
+	tcfg := tpch.Default()
+	tcfg.Seed = 20160315
+	s, err := NewTPCH(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, s, QueriesTPCH())
+
+	acfg := acmdl.Default()
+	acfg.Seed = 20160318
+	sa, err := NewACMDL(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, sa, QueriesACMDL())
+}
+
+// TestTimeExecution: execution timing is measured for the selected
+// interpretation of every query.
+func TestTimeExecution(t *testing.T) {
+	s, err := NewTPCH(tpch.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := s.TimeExecution(QueriesTPCH()[:3], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range ts {
+		if tm.OursExec <= 0 {
+			t.Errorf("%s: missing execution timing", tm.Query.ID)
+		}
+	}
+}
+
+// TestShapeValidatorDetectsMismatches: the harness itself must flag rows
+// whose measured behaviour contradicts the declared shape (guarding the
+// guard).
+func TestShapeValidatorDetectsMismatches(t *testing.T) {
+	s, err := NewTPCH(tpch.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 declared as SQAK-N.A.: SQAK actually answers it, so the shape
+	// check must fail.
+	wrong := Query{ID: "X1", Keywords: "order AVG amount", Shape: SQAKNA, ShapeUnnorm: SQAKNA}
+	row, err := s.Run(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ShapeOK {
+		t.Error("declared-N.A. query answered by SQAK must be flagged")
+	}
+	// T7 declared as Agree: SQAK cannot answer it, so Agree must fail.
+	wrong = Query{ID: "X2", Keywords: "COUNT order SUM amount GROUPBY mktsegment",
+		PickFrags: []string{"COUNT(", "SUM("}, Shape: Agree, ShapeUnnorm: Agree}
+	row, err = s.Run(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ShapeOK {
+		t.Error("declared-Agree query SQAK fails on must be flagged")
+	}
+	// A per-object claim where both systems agree must fail.
+	wrong = Query{ID: "X3", Keywords: "order AVG amount", Shape: OursPerObject, ShapeUnnorm: OursPerObject}
+	row, err = s.Run(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ShapeOK {
+		t.Error("per-object claim with equal row counts must be flagged")
+	}
+}

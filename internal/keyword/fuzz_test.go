@@ -1,0 +1,27 @@
+package keyword
+
+import "testing"
+
+// FuzzParse ensures the keyword tokenizer never panics and that every
+// accepted query round-trips through String.
+func FuzzParse(f *testing.F) {
+	f.Add("Green SUM Credit")
+	f.Add(`COUNT order "royal olive"`)
+	f.Add("MAX COUNT order GROUPBY nation")
+	f.Add(`"unterminated`)
+	f.Add("GROUPBY")
+	f.Add("   ")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("rendered query does not parse: %v (%q -> %q)", err, src, q.String())
+		}
+		if back.String() != q.String() {
+			t.Fatalf("render not a fixpoint: %q vs %q", q.String(), back.String())
+		}
+	})
+}

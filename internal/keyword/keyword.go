@@ -1,0 +1,195 @@
+// Package keyword implements the extended keyword query language of
+// Definition 1: a query is a sequence of terms, each matching a relation
+// name, an attribute name, a tuple value, GROUPBY, or one of the aggregate
+// functions MIN, MAX, AVG, SUM, COUNT. The package tokenizes query text
+// (including quoted phrases such as "royal olive"), classifies terms into
+// basic terms and operators, and enforces the structural constraints on
+// operator placement, including the Section 3.2 relaxation that lets an
+// aggregate be followed by another aggregate (nested aggregates).
+package keyword
+
+import (
+	"fmt"
+	"strings"
+
+	"kwagg/internal/sqlast"
+)
+
+// TermKind distinguishes basic terms from the two operator kinds.
+type TermKind int
+
+// Kinds of query terms.
+const (
+	// Basic terms match relation names, attribute names or tuple values.
+	Basic TermKind = iota
+	// Aggregate terms are MIN, MAX, AVG, SUM or COUNT.
+	Aggregate
+	// GroupBy is the GROUPBY operator term.
+	GroupBy
+)
+
+// String names the kind.
+func (k TermKind) String() string {
+	switch k {
+	case Basic:
+		return "basic"
+	case Aggregate:
+		return "aggregate"
+	case GroupBy:
+		return "groupby"
+	default:
+		return fmt.Sprintf("TermKind(%d)", int(k))
+	}
+}
+
+// Term is one term of a keyword query.
+type Term struct {
+	Text   string         // the term text, without surrounding quotes
+	Kind   TermKind       //
+	Agg    sqlast.AggFunc // set when Kind == Aggregate
+	Quoted bool           // quoted terms are always basic, even "count"
+}
+
+// IsOperator reports whether the term is an aggregate or GROUPBY operator.
+func (t Term) IsOperator() bool { return t.Kind != Basic }
+
+// String renders the term, re-quoting phrases.
+func (t Term) String() string {
+	if t.Quoted || strings.ContainsRune(t.Text, ' ') {
+		return `"` + t.Text + `"`
+	}
+	return t.Text
+}
+
+// Query is a parsed keyword query.
+type Query struct {
+	Raw   string
+	Terms []Term
+}
+
+// String reassembles the query from its terms.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Terms))
+	for i, t := range q.Terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// BasicTerms returns the positions of the basic terms, in order.
+func (q *Query) BasicTerms() []int {
+	var out []int
+	for i, t := range q.Terms {
+		if t.Kind == Basic {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Operators returns the positions of the operator terms, in order.
+func (q *Query) Operators() []int {
+	var out []int
+	for i, t := range q.Terms {
+		if t.IsOperator() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Parse tokenizes and classifies a keyword query. Double-quoted phrases
+// become single basic terms. It returns an error for empty queries,
+// unterminated quotes, or operator placements that violate the constraints
+// of Definition 1 (as relaxed by Section 3.2 for nested aggregates).
+func Parse(s string) (*Query, error) {
+	toks, err := splitTerms(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("keyword: empty query")
+	}
+	q := &Query{Raw: s}
+	for _, tok := range toks {
+		t := Term{Text: tok.text, Quoted: tok.quoted, Kind: Basic}
+		if !tok.quoted {
+			if fn, ok := sqlast.IsAggFunc(tok.text); ok {
+				t.Kind, t.Agg = Aggregate, fn
+			} else if strings.EqualFold(tok.text, "GROUPBY") {
+				t.Kind = GroupBy
+			}
+		}
+		q.Terms = append(q.Terms, t)
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// validate enforces the constraints on operator terms:
+//
+//  1. the last term cannot be an operator;
+//  2. MIN/MAX/AVG/SUM must be followed by a basic term (to be resolved to an
+//     attribute) or, per Section 3.2, by another aggregate;
+//  3. COUNT and GROUPBY must be followed by a basic term (relation or
+//     attribute name) or, for COUNT, by another aggregate.
+//
+// Whether the following basic term actually resolves to an attribute or
+// relation name is checked later, during pattern annotation, because it
+// depends on the database being queried.
+func (q *Query) validate() error {
+	last := q.Terms[len(q.Terms)-1]
+	if last.IsOperator() {
+		return fmt.Errorf("keyword: query cannot end with operator %s", last.Text)
+	}
+	for i, t := range q.Terms {
+		if !t.IsOperator() {
+			continue
+		}
+		next := q.Terms[i+1]
+		switch t.Kind {
+		case Aggregate:
+			if next.Kind == GroupBy {
+				return fmt.Errorf("keyword: aggregate %s cannot be followed by GROUPBY", t.Text)
+			}
+		case GroupBy:
+			if next.IsOperator() {
+				return fmt.Errorf("keyword: GROUPBY must be followed by a relation or attribute name")
+			}
+		}
+	}
+	return nil
+}
+
+type rawTok struct {
+	text   string
+	quoted bool
+}
+
+func splitTerms(s string) ([]rawTok, error) {
+	var out []rawTok
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r':
+			i++
+		case s[i] == '"':
+			j := strings.IndexByte(s[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("keyword: unterminated quote in %q", s)
+			}
+			out = append(out, rawTok{text: s[i+1 : i+1+j], quoted: true})
+			i += j + 2
+		default:
+			j := i
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != '\n' && s[j] != '\r' && s[j] != '"' {
+				j++
+			}
+			out = append(out, rawTok{text: s[i:j]})
+			i = j
+		}
+	}
+	return out, nil
+}

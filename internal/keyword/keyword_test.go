@@ -1,0 +1,153 @@
+package keyword
+
+import (
+	"reflect"
+	"testing"
+
+	"kwagg/internal/sqlast"
+)
+
+func TestParseBasicTerms(t *testing.T) {
+	q, err := Parse("Green George Code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Terms) != 3 {
+		t.Fatalf("terms: %v", q.Terms)
+	}
+	for _, tm := range q.Terms {
+		if tm.Kind != Basic {
+			t.Errorf("term %q should be basic", tm.Text)
+		}
+	}
+	if !reflect.DeepEqual(q.BasicTerms(), []int{0, 1, 2}) {
+		t.Errorf("BasicTerms: %v", q.BasicTerms())
+	}
+	if q.Operators() != nil {
+		t.Errorf("Operators: %v", q.Operators())
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	q, err := Parse("MAX COUNT order GROUPBY nation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []TermKind{Aggregate, Aggregate, Basic, GroupBy, Basic}
+	for i, k := range wantKinds {
+		if q.Terms[i].Kind != k {
+			t.Errorf("term %d kind = %v, want %v", i, q.Terms[i].Kind, k)
+		}
+	}
+	if q.Terms[0].Agg != sqlast.AggMax || q.Terms[1].Agg != sqlast.AggCount {
+		t.Errorf("aggregate functions: %v %v", q.Terms[0].Agg, q.Terms[1].Agg)
+	}
+	if !reflect.DeepEqual(q.Operators(), []int{0, 1, 3}) {
+		t.Errorf("Operators: %v", q.Operators())
+	}
+}
+
+func TestParseCaseInsensitiveOperators(t *testing.T) {
+	q, err := Parse("count Student groupby Course")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Terms[0].Kind != Aggregate || q.Terms[2].Kind != GroupBy {
+		t.Errorf("lower-case operators not recognized: %v", q.Terms)
+	}
+}
+
+func TestQuotedPhrases(t *testing.T) {
+	q, err := Parse(`COUNT order "royal olive"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Terms) != 3 {
+		t.Fatalf("terms: %v", q.Terms)
+	}
+	last := q.Terms[2]
+	if !last.Quoted || last.Text != "royal olive" || last.Kind != Basic {
+		t.Errorf("quoted phrase: %+v", last)
+	}
+}
+
+func TestQuotedOperatorIsBasic(t *testing.T) {
+	q, err := Parse(`"count" Student`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Terms[0].Kind != Basic {
+		t.Error("a quoted aggregate name is a value term")
+	}
+}
+
+func TestValidateLastTermNotOperator(t *testing.T) {
+	for _, s := range []string{"Student COUNT", "Student GROUPBY", "COUNT"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail: trailing operator", s)
+		}
+	}
+}
+
+func TestValidateAggregateBeforeGroupBy(t *testing.T) {
+	if _, err := Parse("SUM GROUPBY Course"); err == nil {
+		t.Error("aggregate directly before GROUPBY should fail")
+	}
+}
+
+func TestValidateGroupByBeforeOperator(t *testing.T) {
+	if _, err := Parse("GROUPBY COUNT Student"); err == nil {
+		t.Error("GROUPBY before an operator should fail")
+	}
+}
+
+func TestNestedAggregatesAllowed(t *testing.T) {
+	if _, err := Parse("AVG COUNT Lecturer GROUPBY Course"); err != nil {
+		t.Errorf("nested aggregates are allowed by Section 3.2: %v", err)
+	}
+}
+
+func TestEmptyAndMalformed(t *testing.T) {
+	if _, err := Parse(""); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := Parse("   \t "); err == nil {
+		t.Error("blank query should fail")
+	}
+	if _, err := Parse(`Green "unterminated`); err == nil {
+		t.Error("unterminated quote should fail")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		`COUNT order "royal olive"`,
+		"MAX COUNT order GROUPBY nation",
+		"Green SUM Credit",
+	} {
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.String() != s {
+			t.Errorf("String round trip: %q -> %q", s, q.String())
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if got := (Term{Text: "royal olive", Quoted: true}).String(); got != `"royal olive"` {
+		t.Errorf("quoted term: %s", got)
+	}
+	if got := (Term{Text: "simple"}).String(); got != "simple" {
+		t.Errorf("plain term: %s", got)
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	for k, want := range map[TermKind]string{Basic: "basic", Aggregate: "aggregate", GroupBy: "groupby"} {
+		if k.String() != want {
+			t.Errorf("TermKind(%d) = %q", k, k.String())
+		}
+	}
+}

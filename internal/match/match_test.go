@@ -1,0 +1,234 @@
+package match
+
+import (
+	"testing"
+
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/keyword"
+	"kwagg/internal/normalize"
+	"kwagg/internal/orm"
+	"kwagg/internal/relation"
+)
+
+func uniMatcher(t *testing.T) *Matcher {
+	t.Helper()
+	db := university.New()
+	g, err := orm.Build(db.Schemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db, db.Schemas(), g, nil)
+}
+
+func basic(text string) keyword.Term { return keyword.Term{Text: text, Kind: keyword.Basic} }
+func quoted(text string) keyword.Term {
+	return keyword.Term{Text: text, Kind: keyword.Basic, Quoted: true}
+}
+
+func kinds(tags []Tag) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, tg := range tags {
+		out[tg.Kind]++
+	}
+	return out
+}
+
+func TestMatchRelationName(t *testing.T) {
+	m := uniMatcher(t)
+	tags := m.Match(basic("Student"))
+	found := false
+	for _, tg := range tags {
+		if tg.Kind == RelationName && tg.Relation == "Student" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Student should match the relation name: %v", tags)
+	}
+}
+
+func TestMatchPlural(t *testing.T) {
+	m := uniMatcher(t)
+	tags := m.Match(basic("students"))
+	if len(tags) == 0 || tags[0].Kind != RelationName {
+		t.Errorf("plural should match relation name: %v", tags)
+	}
+}
+
+func TestMatchAttributeName(t *testing.T) {
+	m := uniMatcher(t)
+	tags := m.Match(basic("Credit"))
+	if len(tags) != 1 || tags[0].Kind != AttrName || tags[0].Relation != "Course" || tags[0].Attr != "Credit" {
+		t.Errorf("Credit tags: %v", tags)
+	}
+}
+
+func TestMatchValueCountsObjects(t *testing.T) {
+	m := uniMatcher(t)
+	tags := m.Match(basic("Green"))
+	if len(tags) != 1 {
+		t.Fatalf("Green tags: %v", tags)
+	}
+	tg := tags[0]
+	if tg.Kind != Value || tg.Relation != "Student" || tg.Attr != "Sname" {
+		t.Errorf("Green tag: %+v", tg)
+	}
+	if tg.NumObjects != 2 {
+		t.Errorf("two students are called Green, got %d", tg.NumObjects)
+	}
+}
+
+func TestMatchAmbiguousTerm(t *testing.T) {
+	m := uniMatcher(t)
+	// George is a student name and a lecturer name.
+	tags := m.Match(basic("George"))
+	if len(tags) != 2 {
+		t.Fatalf("George should have two value tags: %v", tags)
+	}
+	rels := map[string]bool{}
+	for _, tg := range tags {
+		rels[tg.Relation] = true
+		if tg.NumObjects != 1 {
+			t.Errorf("one object per relation for George, got %+v", tg)
+		}
+	}
+	if !rels["Student"] || !rels["Lecturer"] {
+		t.Errorf("George relations: %v", rels)
+	}
+}
+
+func TestMatchQuotedSkipsMetadata(t *testing.T) {
+	m := uniMatcher(t)
+	// Quoted "Student" must not match the relation name, only values (none).
+	tags := m.Match(quoted("Student"))
+	if k := kinds(tags); k[RelationName] != 0 || k[AttrName] != 0 {
+		t.Errorf("quoted term matched metadata: %v", tags)
+	}
+}
+
+func TestMatchPhrase(t *testing.T) {
+	m := uniMatcher(t)
+	tags := m.Match(quoted("Programming Language"))
+	if len(tags) != 1 || tags[0].Relation != "Textbook" || tags[0].Attr != "Tname" {
+		t.Errorf("phrase tags: %v", tags)
+	}
+}
+
+func TestMatchOperatorsExcluded(t *testing.T) {
+	m := uniMatcher(t)
+	if tags := m.Match(keyword.Term{Text: "COUNT", Kind: keyword.Aggregate}); tags != nil {
+		t.Errorf("operator terms should not match: %v", tags)
+	}
+}
+
+func TestMatchNothing(t *testing.T) {
+	m := uniMatcher(t)
+	if tags := m.Match(basic("zzzznothing")); len(tags) != 0 {
+		t.Errorf("expected no tags: %v", tags)
+	}
+}
+
+func TestCountObjectsSubstring(t *testing.T) {
+	m := uniMatcher(t)
+	// "Data" matches both the course "Database" title and the textbook
+	// "Database Management": per-relation counts must be separate.
+	tags := m.Match(basic("Database"))
+	byRel := map[string]int{}
+	for _, tg := range tags {
+		byRel[tg.Relation] = tg.NumObjects
+	}
+	if byRel["Course"] != 1 || byRel["Textbook"] != 1 {
+		t.Errorf("per-relation object counts: %v", byRel)
+	}
+}
+
+// TestMatchUnnormalizedView: matching against the Figure 8 database resolves
+// terms to the normalized view's relations while counting objects in the
+// stored Enrolment relation.
+func TestMatchUnnormalizedView(t *testing.T) {
+	db := university.NewEnrolment()
+	view, err := normalize.BuildView(db, university.EnrolmentHints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := orm.Build(view.Schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(db, view.Schemas, g, view.Sources)
+
+	// Metadata terms match the view relation names (Student, Course, Enrol).
+	tags := m.Match(basic("Student"))
+	if len(tags) == 0 || tags[0].Kind != RelationName || tags[0].Relation != "Student" {
+		t.Errorf("Student should match the view relation: %v", tags)
+	}
+
+	// Value terms are found in the stored relation but reported against the
+	// view relation holding the attribute, with per-object counts.
+	tags = m.Match(basic("Green"))
+	var studentTag *Tag
+	for i := range tags {
+		if tags[i].Relation == "Student" {
+			studentTag = &tags[i]
+		}
+	}
+	if studentTag == nil {
+		t.Fatalf("Green should map to the Student view relation: %v", tags)
+	}
+	if studentTag.NumObjects != 2 {
+		t.Errorf("two distinct Sid match Green, got %d", studentTag.NumObjects)
+	}
+	if m.SourceOf("Student") != "Enrolment" {
+		t.Errorf("SourceOf(Student) = %q", m.SourceOf("Student"))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{RelationName: "relation", AttrName: "attribute", Value: "value"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q", k, k.String())
+		}
+	}
+}
+
+// TestComponentRelationMatching: terms matching a component relation's name
+// or attributes resolve to the owner node.
+func TestComponentRelationMatching(t *testing.T) {
+	db := university.New()
+	tags := db.AddSchema(relation.NewSchema("CourseTag", "Code", "Tag").
+		Key("Code", "Tag").Ref([]string{"Code"}, "Course"))
+	tags.MustInsert("c1", "programming")
+	g, err := orm.Build(db.Schemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(db, db.Schemas(), g, nil)
+
+	// The component relation name maps to the owner node.
+	got := m.Match(basic("CourseTag"))
+	if len(got) == 0 || got[0].Node != "Course" || got[0].Relation != "CourseTag" {
+		t.Errorf("component name tags: %v", got)
+	}
+	// A component attribute maps to the owner node too.
+	got = m.Match(basic("Tag"))
+	found := false
+	for _, tg := range got {
+		if tg.Kind == AttrName && tg.Node == "Course" && tg.Relation == "CourseTag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("component attribute tags: %v", got)
+	}
+	// Values stored in the component match with the owner node.
+	got = m.Match(basic("programming"))
+	found = false
+	for _, tg := range got {
+		if tg.Kind == Value && tg.Node == "Course" && tg.Relation == "CourseTag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("component value tags: %v", got)
+	}
+}

@@ -1,0 +1,52 @@
+package normalize_test
+
+import (
+	"testing"
+
+	"kwagg/internal/dataset/acmdl"
+	"kwagg/internal/dataset/tpch"
+	"kwagg/internal/normalize"
+)
+
+// BenchmarkBuildView measures Algorithm 1 end to end on the Table 7
+// schemas: 3NF checks, minimal covers, synthesis, merging, FK inference.
+func BenchmarkBuildView(b *testing.B) {
+	tdb := tpch.Denormalize(tpch.New(tpch.Small()))
+	adb := acmdl.Denormalize(acmdl.New(acmdl.Small()))
+	b.Run("tpch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := normalize.BuildView(tdb, tpch.NameHints()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("acmdl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := normalize.BuildView(adb, acmdl.NameHints()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCandidateKeys measures key discovery on the widest schema.
+func BenchmarkCandidateKeys(b *testing.B) {
+	ordering := tpch.DenormalizedSchema()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if keys := normalize.CandidateKeys(ordering); len(keys) == 0 {
+			b.Fatal("no keys")
+		}
+	}
+}
+
+// BenchmarkSynthesize measures 3NF synthesis of the Ordering relation.
+func BenchmarkSynthesize(b *testing.B) {
+	ordering := tpch.DenormalizedSchema()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := normalize.Synthesize(ordering); len(out) == 0 {
+			b.Fatal("no decomposition")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package normalize
+
+import (
+	"testing"
+
+	"kwagg/internal/relation"
+)
+
+func TestMinimalCoverRemovesRedundancy(t *testing.T) {
+	fds := []relation.FD{
+		{LHS: []string{"A"}, RHS: []string{"B"}},
+		{LHS: []string{"B"}, RHS: []string{"C"}},
+		{LHS: []string{"A"}, RHS: []string{"C"}},      // redundant (transitivity)
+		{LHS: []string{"A", "B"}, RHS: []string{"C"}}, // extraneous B
+	}
+	cover := minimalCover(fds)
+	for _, fd := range cover {
+		if len(fd.LHS) > 1 {
+			t.Errorf("extraneous attributes not removed: %v", fd)
+		}
+	}
+	// The cover must still derive everything the original did.
+	if !relation.Determines([]string{"A"}, []string{"B", "C"}, cover) {
+		t.Errorf("cover lost dependencies: %v", cover)
+	}
+	if len(cover) != 2 {
+		t.Errorf("cover should have 2 FDs, got %v", cover)
+	}
+}
+
+func TestViewNameFallback(t *testing.T) {
+	s := relation.NewSchema("Wide", "userid", "uname", "groupkey").Key("userid", "groupkey").
+		Dep([]string{"userid"}, "uname")
+	out := Synthesize(s)
+	for _, ns := range out {
+		name := viewName(ns, s, nil)
+		if name == "" {
+			t.Errorf("fallback name empty for key %v", ns.PrimaryKey)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package normalize_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kwagg/internal/normalize"
+	"kwagg/internal/relation"
+)
+
+// randomSchema builds a relation with random FDs over a small attribute
+// pool, keyed by one of its candidate keys.
+func randomSchema(r *rand.Rand) *relation.Schema {
+	nAttrs := 3 + r.Intn(5)
+	var cols []string
+	for i := 0; i < nAttrs; i++ {
+		cols = append(cols, fmt.Sprintf("A%d", i))
+	}
+	s := relation.NewSchema("R", cols...)
+	nFDs := r.Intn(5)
+	for i := 0; i < nFDs; i++ {
+		lhs := []string{cols[r.Intn(nAttrs)]}
+		if r.Intn(3) == 0 {
+			lhs = append(lhs, cols[r.Intn(nAttrs)])
+		}
+		rhs := []string{cols[r.Intn(nAttrs)]}
+		s.Dep(lhs, rhs...)
+	}
+	// Pick a real candidate key as the primary key so the schema is
+	// well-formed.
+	s.Key(cols...) // provisional superkey so CandidateKeys terminates
+	keys := normalize.CandidateKeys(s)
+	if len(keys) > 0 {
+		s.PrimaryKey = keys[0]
+	}
+	return s
+}
+
+// TestSynthesizeFuzz checks the three contracts of 3NF synthesis on
+// hundreds of random schemas: every output relation is in 3NF, the
+// decomposition preserves all attributes, and some output contains a
+// candidate key of the input (so the decomposition is join-recoverable).
+func TestSynthesizeFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		s := randomSchema(r)
+		out := normalize.Synthesize(s)
+		if len(out) == 0 {
+			t.Fatalf("trial %d: empty decomposition of %s (FDs %v)", trial, s, s.FDs)
+		}
+		var union []string
+		for _, ns := range out {
+			union = append(union, ns.AttrNames()...)
+			if !normalize.Is3NF(ns) {
+				t.Fatalf("trial %d: %v not in 3NF (source %s, FDs %v)",
+					trial, ns.AttrNames(), s, s.FDs)
+			}
+			if len(ns.PrimaryKey) == 0 {
+				t.Fatalf("trial %d: keyless output relation", trial)
+			}
+			if !relation.SubsetAttrSet(ns.PrimaryKey, ns.AttrNames()) {
+				t.Fatalf("trial %d: key outside relation", trial)
+			}
+		}
+		if !relation.SameAttrSet(union, s.AttrNames()) {
+			t.Fatalf("trial %d: attributes lost: %v vs %v (FDs %v)",
+				trial, union, s.AttrNames(), s.FDs)
+		}
+		keys := normalize.CandidateKeys(s)
+		hasKey := false
+		for _, ns := range out {
+			for _, k := range keys {
+				if relation.SubsetAttrSet(k, ns.AttrNames()) {
+					hasKey = true
+				}
+			}
+		}
+		if !hasKey {
+			t.Fatalf("trial %d: no output holds a candidate key of %s (FDs %v)", trial, s, s.FDs)
+		}
+	}
+}
+
+// TestCandidateKeysFuzz: every reported key is a minimal superkey.
+func TestCandidateKeysFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 300; trial++ {
+		s := randomSchema(r)
+		keys := normalize.CandidateKeys(s)
+		if len(keys) == 0 {
+			t.Fatalf("trial %d: no candidate keys for %s", trial, s)
+		}
+		fds := s.EffectiveFDs()
+		for _, k := range keys {
+			if !relation.Determines(k, s.AttrNames(), fds) {
+				t.Fatalf("trial %d: %v is not a superkey of %s (FDs %v)", trial, k, s, s.FDs)
+			}
+			for drop := range k {
+				reduced := append(append([]string(nil), k[:drop]...), k[drop+1:]...)
+				if len(reduced) > 0 && relation.Determines(reduced, s.AttrNames(), fds) {
+					t.Fatalf("trial %d: key %v not minimal (drop %s) for FDs %v", trial, k, k[drop], s.FDs)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,505 @@
+// Package normalize implements the unnormalized-database machinery of
+// Section 4: functional-dependency reasoning (closures, candidate keys,
+// normal-form tests), Bernstein-style 3NF synthesis, and Algorithm 1, which
+// derives a normalized view D' of an unnormalized schema D together with the
+// bidirectional mappings between them (Table 1). The ORM schema graph of an
+// unnormalized database is built over D', while the generated SQL executes
+// over D.
+package normalize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwagg/internal/relation"
+)
+
+// CandidateKeys returns all candidate keys of the schema under its effective
+// FDs, each sorted, in deterministic order. The search is exponential in
+// principle and capped for safety; schemas in this domain have few
+// attributes.
+func CandidateKeys(s *relation.Schema) [][]string {
+	attrs := s.AttrNames()
+	fds := s.EffectiveFDs()
+
+	// Attributes appearing in no RHS must be part of every key.
+	inRHS := make(map[string]bool)
+	for _, fd := range fds {
+		for _, a := range fd.RHS {
+			inRHS[strings.ToLower(a)] = true
+		}
+	}
+	var core, rest []string
+	for _, a := range attrs {
+		if inRHS[strings.ToLower(a)] {
+			rest = append(rest, a)
+		} else {
+			core = append(core, a)
+		}
+	}
+	if relation.Determines(core, attrs, fds) {
+		return [][]string{relation.NormalizeAttrSet(core)}
+	}
+
+	// Breadth-first over supersets of the core, smallest first, keeping only
+	// minimal superkeys.
+	var keys [][]string
+	isMinimal := func(cand []string) bool {
+		for _, k := range keys {
+			if relation.SubsetAttrSet(k, cand) {
+				return false
+			}
+		}
+		return true
+	}
+	const cap = 1 << 16
+	steps := 0
+	var frontier [][]string
+	frontier = append(frontier, core)
+	seen := map[string]bool{sig(core): true}
+	for len(frontier) > 0 && steps < cap {
+		var next [][]string
+		for _, cand := range frontier {
+			steps++
+			if relation.Determines(cand, attrs, fds) {
+				if isMinimal(cand) {
+					keys = append(keys, relation.NormalizeAttrSet(cand))
+				}
+				continue
+			}
+			for _, a := range rest {
+				if containsFold(cand, a) {
+					continue
+				}
+				grown := append(append([]string(nil), cand...), a)
+				grown = relation.NormalizeAttrSet(grown)
+				if seen[sig(grown)] {
+					continue
+				}
+				seen[sig(grown)] = true
+				next = append(next, grown)
+			}
+		}
+		frontier = next
+		if len(keys) > 0 && len(frontier) > 0 && len(frontier[0]) > len(keys[0]) {
+			break // all remaining candidates are larger than a found key
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return sig(keys[i]) < sig(keys[j]) })
+	return keys
+}
+
+func sig(attrs []string) string {
+	return strings.ToLower(strings.Join(relation.NormalizeAttrSet(attrs), ","))
+}
+
+// KeySig returns the key signature used by BuildView's name hints: the
+// attribute names lower-cased, sorted, and joined with commas.
+func KeySig(attrs ...string) string { return sig(attrs) }
+
+func containsFold(set []string, a string) bool {
+	for _, x := range set {
+		if strings.EqualFold(x, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// primeAttrs returns the set of attributes appearing in some candidate key.
+func primeAttrs(keys [][]string) map[string]bool {
+	out := make(map[string]bool)
+	for _, k := range keys {
+		for _, a := range k {
+			out[strings.ToLower(a)] = true
+		}
+	}
+	return out
+}
+
+// Is2NF reports whether the schema is in second normal form: no non-prime
+// attribute depends on a proper subset of a candidate key.
+func Is2NF(s *relation.Schema) bool {
+	keys := CandidateKeys(s)
+	prime := primeAttrs(keys)
+	fds := s.EffectiveFDs()
+	for _, fd := range minimalCover(fds) {
+		for _, a := range fd.RHS {
+			if prime[strings.ToLower(a)] {
+				continue
+			}
+			for _, k := range keys {
+				if relation.SubsetAttrSet(fd.LHS, k) && len(fd.LHS) < len(k) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Is3NF reports whether the schema is in third normal form: for every
+// nontrivial FD X -> A, X is a superkey or A is prime.
+func Is3NF(s *relation.Schema) bool {
+	keys := CandidateKeys(s)
+	prime := primeAttrs(keys)
+	fds := s.EffectiveFDs()
+	for _, fd := range fds {
+		for _, a := range fd.RHS {
+			if containsFold(fd.LHS, a) {
+				continue // trivial
+			}
+			if prime[strings.ToLower(a)] {
+				continue
+			}
+			if !relation.Determines(fd.LHS, s.AttrNames(), fds) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// minimalCover computes a minimal cover of the FDs: singleton right-hand
+// sides, no extraneous left-hand attributes, no redundant dependencies.
+func minimalCover(fds []relation.FD) []relation.FD {
+	var work []relation.FD
+	for _, fd := range fds {
+		for _, r := range fd.RHS {
+			if containsFold(fd.LHS, r) {
+				continue
+			}
+			work = append(work, relation.FD{LHS: relation.NormalizeAttrSet(fd.LHS), RHS: []string{r}})
+		}
+	}
+	// Remove extraneous LHS attributes.
+	for i := range work {
+		for changed := true; changed; {
+			changed = false
+			for _, b := range work[i].LHS {
+				if len(work[i].LHS) == 1 {
+					break
+				}
+				var reduced []string
+				for _, x := range work[i].LHS {
+					if !strings.EqualFold(x, b) {
+						reduced = append(reduced, x)
+					}
+				}
+				if relation.Determines(reduced, work[i].RHS, work) {
+					work[i].LHS = reduced
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Remove redundant FDs.
+	var out []relation.FD
+	for i := range work {
+		rest := make([]relation.FD, 0, len(work)-1)
+		rest = append(rest, out...)
+		rest = append(rest, work[i+1:]...)
+		if relation.Determines(work[i].LHS, work[i].RHS, rest) {
+			continue
+		}
+		out = append(out, work[i])
+	}
+	// Merge FDs with the same LHS.
+	merged := make(map[string]*relation.FD)
+	var order []string
+	for _, fd := range out {
+		k := sig(fd.LHS)
+		if m, ok := merged[k]; ok {
+			m.RHS = relation.NormalizeAttrSet(append(m.RHS, fd.RHS...))
+			continue
+		}
+		cp := relation.FD{LHS: fd.LHS, RHS: fd.RHS}
+		merged[k] = &cp
+		order = append(order, k)
+	}
+	final := make([]relation.FD, 0, len(order))
+	for _, k := range order {
+		final = append(final, *merged[k])
+	}
+	return final
+}
+
+// Synthesize decomposes a non-3NF relation into a set of 3NF relations
+// (Bernstein synthesis): one relation per minimal-cover LHS group, plus a
+// candidate-key relation when no group contains one, with subsumed groups
+// dropped. Each result's primary key is its group's LHS; attribute types are
+// inherited from the source schema.
+func Synthesize(s *relation.Schema) []*relation.Schema {
+	cover := minimalCover(s.EffectiveFDs())
+	type group struct {
+		key   []string
+		attrs []string
+	}
+	var groups []group
+	for _, fd := range cover {
+		found := false
+		for i := range groups {
+			if sig(groups[i].key) == sig(fd.LHS) {
+				groups[i].attrs = relation.NormalizeAttrSet(append(groups[i].attrs, fd.RHS...))
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, group{key: fd.LHS, attrs: relation.NormalizeAttrSet(append(append([]string(nil), fd.LHS...), fd.RHS...))})
+		}
+	}
+	keys := CandidateKeys(s)
+	hasKey := false
+	for _, g := range groups {
+		for _, k := range keys {
+			if relation.SubsetAttrSet(k, g.attrs) {
+				hasKey = true
+				break
+			}
+		}
+	}
+	if !hasKey && len(keys) > 0 {
+		groups = append(groups, group{key: keys[0], attrs: keys[0]})
+	}
+	// Drop groups subsumed by another group.
+	var kept []group
+	for i, g := range groups {
+		subsumed := false
+		for j, h := range groups {
+			if i == j {
+				continue
+			}
+			if relation.SubsetAttrSet(g.attrs, h.attrs) && (len(g.attrs) < len(h.attrs) || j < i) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			kept = append(kept, g)
+		}
+	}
+	var out []*relation.Schema
+	for _, g := range kept {
+		ns := &relation.Schema{Name: "", PrimaryKey: orderLike(s, g.key)}
+		for _, a := range orderLike(s, g.attrs) {
+			ns.Attributes = append(ns.Attributes, relation.Attribute{Name: canonicalName(s, a), Type: s.AttrType(a)})
+		}
+		ns.PrimaryKey = canonicalNames(s, ns.PrimaryKey)
+		out = append(out, ns)
+	}
+	return out
+}
+
+// orderLike orders the attribute subset in the source schema's declaration
+// order, keeping decompositions readable and deterministic.
+func orderLike(s *relation.Schema, attrs []string) []string {
+	var out []string
+	for _, a := range s.Attributes {
+		if containsFold(attrs, a.Name) {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+func canonicalName(s *relation.Schema, a string) string {
+	if i := s.AttrIndex(a); i >= 0 {
+		return s.Attributes[i].Name
+	}
+	return a
+}
+
+func canonicalNames(s *relation.Schema, attrs []string) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = canonicalName(s, a)
+	}
+	return out
+}
+
+// View is the normalized view D' of an unnormalized database D: the 3NF
+// schemas, the relation each one's tuples are projected from, and the
+// mapping descriptions of Table 1.
+type View struct {
+	Schemas []*relation.Schema
+	// Sources maps lower-cased view relation names to the D relation the
+	// view relation is a projection of.
+	Sources map[string]string
+	// Changed reports whether any relation was actually decomposed; when
+	// false, D was already normalized and the view is the identity.
+	Changed bool
+}
+
+// Schema returns the named view schema, or nil.
+func (v *View) Schema(name string) *relation.Schema {
+	for _, s := range v.Schemas {
+		if strings.EqualFold(s.Name, name) {
+			return s
+		}
+	}
+	return nil
+}
+
+// MappingToView renders the D -> D' mapping rows of Table 1(a).
+func (v *View) MappingToView() []string {
+	var out []string
+	for _, s := range v.Schemas {
+		src := v.Sources[strings.ToLower(s.Name)]
+		if strings.EqualFold(src, s.Name) {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s = Project[%s](%s)", s.Name, strings.Join(s.AttrNames(), ","), src))
+	}
+	return out
+}
+
+// MappingToBase renders the D' -> D mapping rows of Table 1(b): each
+// unnormalized relation is the join of its projections.
+func (v *View) MappingToBase() []string {
+	bySrc := make(map[string][]string)
+	var order []string
+	for _, s := range v.Schemas {
+		src := v.Sources[strings.ToLower(s.Name)]
+		if strings.EqualFold(src, s.Name) {
+			continue
+		}
+		if _, ok := bySrc[src]; !ok {
+			order = append(order, src)
+		}
+		bySrc[src] = append(bySrc[src], s.Name)
+	}
+	var out []string
+	for _, src := range order {
+		out = append(out, fmt.Sprintf("%s = %s", src, strings.Join(bySrc[src], " JOIN ")))
+	}
+	return out
+}
+
+// BuildView implements Algorithm 1 (NormalizeDB): every 3NF relation of db
+// joins the view unchanged; every other relation is synthesized into 3NF
+// relations; same-key relations are merged when one subsumes the other.
+// nameHints maps a key signature (lower-cased sorted attributes joined with
+// commas, e.g. "paperid" or "paperid,authorid") to the name the synthesized
+// relation should carry; unnamed relations get a deterministic fallback
+// name. Foreign keys in the view are re-inferred by key containment.
+func BuildView(db *relation.Database, nameHints map[string]string) (*View, error) {
+	v := &View{Sources: make(map[string]string)}
+	for _, t := range db.Tables() {
+		s := t.Schema
+		if Is3NF(s) {
+			cp := s.Clone()
+			v.Schemas = append(v.Schemas, cp)
+			v.Sources[strings.ToLower(cp.Name)] = s.Name
+			continue
+		}
+		v.Changed = true
+		for _, ns := range Synthesize(s) {
+			ns.Name = viewName(ns, s, nameHints)
+			v.Schemas = append(v.Schemas, ns)
+			v.Sources[strings.ToLower(ns.Name)] = s.Name
+		}
+	}
+	v.merge()
+	v.inferForeignKeys()
+	return v, nil
+}
+
+// viewName picks a name for a synthesized relation.
+func viewName(ns *relation.Schema, src *relation.Schema, hints map[string]string) string {
+	if hints != nil {
+		if n, ok := hints[sig(ns.PrimaryKey)]; ok {
+			return n
+		}
+	}
+	parts := make([]string, len(ns.PrimaryKey))
+	for i, k := range ns.PrimaryKey {
+		parts[i] = strings.Title(strings.TrimSuffix(strings.TrimSuffix(strings.ToLower(k), "key"), "id")) //nolint:staticcheck
+	}
+	name := strings.Join(parts, "")
+	if name == "" {
+		name = src.Name + "Part"
+	}
+	return name
+}
+
+// merge implements lines 9-11 of Algorithm 1 with a pragmatic restriction:
+// two same-key relations merge when one's attributes subsume the other's or
+// both project the same stored relation; same-key relations spanning
+// different stored relations with disjoint extra attributes are kept apart
+// (each remains a pure projection, which the translator requires).
+func (v *View) merge() {
+	for changed := true; changed; {
+		changed = false
+	outer:
+		for i := 0; i < len(v.Schemas); i++ {
+			for j := i + 1; j < len(v.Schemas); j++ {
+				a, b := v.Schemas[i], v.Schemas[j]
+				if sig(a.PrimaryKey) != sig(b.PrimaryKey) {
+					continue
+				}
+				srcA := v.Sources[strings.ToLower(a.Name)]
+				srcB := v.Sources[strings.ToLower(b.Name)]
+				switch {
+				case relation.SubsetAttrSet(b.AttrNames(), a.AttrNames()):
+					v.drop(j)
+				case relation.SubsetAttrSet(a.AttrNames(), b.AttrNames()):
+					v.drop(i)
+				case strings.EqualFold(srcA, srcB):
+					for _, attr := range b.Attributes {
+						if !a.HasAttr(attr.Name) {
+							a.Attributes = append(a.Attributes, attr)
+						}
+					}
+					v.drop(j)
+				default:
+					continue
+				}
+				changed = true
+				break outer
+			}
+		}
+	}
+}
+
+func (v *View) drop(i int) {
+	name := strings.ToLower(v.Schemas[i].Name)
+	delete(v.Sources, name)
+	v.Schemas = append(v.Schemas[:i], v.Schemas[i+1:]...)
+}
+
+// inferForeignKeys rebuilds every view relation's foreign keys by key
+// containment: A references B when B's key is a proper part of A's
+// attributes (or both share a key, in which case the later-declared relation
+// references the earlier). All datasets follow the same-name convention for
+// join attributes.
+func (v *View) inferForeignKeys() {
+	for _, s := range v.Schemas {
+		s.ForeignKeys = nil
+	}
+	for i, a := range v.Schemas {
+		for j, b := range v.Schemas {
+			if i == j {
+				continue
+			}
+			if !relation.SubsetAttrSet(b.PrimaryKey, a.AttrNames()) {
+				continue
+			}
+			if sig(a.PrimaryKey) == sig(b.PrimaryKey) {
+				if i < j {
+					continue // the later relation references the earlier
+				}
+			} else if relation.SubsetAttrSet(a.AttrNames(), b.AttrNames()) {
+				continue // subsumed relations were merged already
+			}
+			key := canonicalNames(a, b.PrimaryKey)
+			a.ForeignKeys = append(a.ForeignKeys, relation.ForeignKey{
+				Attrs:       key,
+				RefRelation: b.Name,
+				RefAttrs:    append([]string(nil), b.PrimaryKey...),
+			})
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package normalize_test
+
+import (
+	"strings"
+	"testing"
+
+	"kwagg/internal/dataset/acmdl"
+	"kwagg/internal/dataset/tpch"
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/normalize"
+	"kwagg/internal/relation"
+)
+
+func enrolmentSchema() *relation.Schema {
+	return university.NewEnrolment().Schemas()[0]
+}
+
+func TestCandidateKeysSimple(t *testing.T) {
+	s := relation.NewSchema("Student", "Sid", "Sname", "Age INT").Key("Sid")
+	keys := normalize.CandidateKeys(s)
+	if len(keys) != 1 || !relation.SameAttrSet(keys[0], []string{"Sid"}) {
+		t.Errorf("keys: %v", keys)
+	}
+}
+
+func TestCandidateKeysComposite(t *testing.T) {
+	keys := normalize.CandidateKeys(enrolmentSchema())
+	if len(keys) != 1 || !relation.SameAttrSet(keys[0], []string{"Sid", "Code"}) {
+		t.Errorf("Enrolment keys: %v", keys)
+	}
+}
+
+func TestCandidateKeysMultiple(t *testing.T) {
+	// A <-> B are mutually determining: both {A} and {B} are keys.
+	s := relation.NewSchema("R", "A", "B", "C").Key("A").
+		Dep([]string{"A"}, "B").
+		Dep([]string{"B"}, "A", "C")
+	keys := normalize.CandidateKeys(s)
+	if len(keys) != 2 {
+		t.Fatalf("want two candidate keys, got %v", keys)
+	}
+}
+
+func TestIs3NF(t *testing.T) {
+	for _, s := range university.New().Schemas() {
+		if !normalize.Is3NF(s) {
+			t.Errorf("%s should be in 3NF", s.Name)
+		}
+	}
+	if normalize.Is3NF(enrolmentSchema()) {
+		t.Error("Enrolment violates 3NF (Sid -> Sname)")
+	}
+	for _, s := range tpch.DenormalizedSchema() {
+		switch s.Name {
+		case "Ordering", "Customer":
+			if normalize.Is3NF(s) {
+				t.Errorf("%s should violate 3NF", s.Name)
+			}
+		default:
+			if !normalize.Is3NF(s) {
+				t.Errorf("%s should be in 3NF", s.Name)
+			}
+		}
+	}
+}
+
+func TestIs2NF(t *testing.T) {
+	// Enrolment violates 2NF: Sname depends on Sid, part of the key.
+	if normalize.Is2NF(enrolmentSchema()) {
+		t.Error("Enrolment violates 2NF")
+	}
+	// A 2NF-but-not-3NF relation: transitive dependency via a non-key attr.
+	s := relation.NewSchema("Lect", "Lid", "Did", "Fid").Key("Lid").
+		Dep([]string{"Did"}, "Fid")
+	if !normalize.Is2NF(s) {
+		t.Error("Lect is in 2NF (no partial dependency)")
+	}
+	if normalize.Is3NF(s) {
+		t.Error("Lect violates 3NF (Did -> Fid transitive)")
+	}
+}
+
+// TestSynthesizeEnrolment reproduces Example 8: the Enrolment relation
+// decomposes into Student'(Sid, Sname, Age), Course'(Code, Title, Credit)
+// and Enrol'(Sid, Code, Grade).
+func TestSynthesizeEnrolment(t *testing.T) {
+	out := normalize.Synthesize(enrolmentSchema())
+	if len(out) != 3 {
+		t.Fatalf("want 3 relations, got %v", out)
+	}
+	bySig := map[string][]string{}
+	for _, s := range out {
+		bySig[normalize.KeySig(s.PrimaryKey...)] = s.AttrNames()
+	}
+	if !relation.SameAttrSet(bySig[normalize.KeySig("Sid")], []string{"Sid", "Sname", "Age"}) {
+		t.Errorf("Student': %v", bySig[normalize.KeySig("Sid")])
+	}
+	if !relation.SameAttrSet(bySig[normalize.KeySig("Code")], []string{"Code", "Title", "Credit"}) {
+		t.Errorf("Course': %v", bySig[normalize.KeySig("Code")])
+	}
+	if !relation.SameAttrSet(bySig[normalize.KeySig("Sid", "Code")], []string{"Sid", "Code", "Grade"}) {
+		t.Errorf("Enrol': %v", bySig[normalize.KeySig("Sid", "Code")])
+	}
+}
+
+// TestSynthesizeProperties: every synthesized relation is in 3NF, inherits
+// attribute types, and the union of the decomposition covers the source.
+func TestSynthesizeProperties(t *testing.T) {
+	sources := []*relation.Schema{
+		enrolmentSchema(),
+		tpch.DenormalizedSchema()[0],  // Ordering
+		tpch.DenormalizedSchema()[1],  // Customer
+		acmdl.DenormalizedSchema()[0], // PaperAuthor
+		acmdl.DenormalizedSchema()[1], // EditorProceeding
+	}
+	for _, src := range sources {
+		out := normalize.Synthesize(src)
+		var union []string
+		for _, s := range out {
+			union = append(union, s.AttrNames()...)
+			if !normalize.Is3NF(s) {
+				t.Errorf("%s: synthesized %v not in 3NF", src.Name, s.AttrNames())
+			}
+			for _, a := range s.Attributes {
+				if a.Type != src.AttrType(a.Name) {
+					t.Errorf("%s: attribute %s lost its type", src.Name, a.Name)
+				}
+			}
+			if len(s.PrimaryKey) == 0 {
+				t.Errorf("%s: synthesized relation without key", src.Name)
+			}
+		}
+		if !relation.SameAttrSet(union, src.AttrNames()) {
+			t.Errorf("%s: decomposition loses attributes: %v vs %v", src.Name, union, src.AttrNames())
+		}
+		// Dependency-preservation smoke check: one relation contains a
+		// candidate key of the source.
+		keys := normalize.CandidateKeys(src)
+		hasKey := false
+		for _, s := range out {
+			for _, k := range keys {
+				if relation.SubsetAttrSet(k, s.AttrNames()) {
+					hasKey = true
+				}
+			}
+		}
+		if !hasKey {
+			t.Errorf("%s: no synthesized relation contains a candidate key", src.Name)
+		}
+	}
+}
+
+// TestBuildViewEnrolment checks Algorithm 1 end to end on Figure 8,
+// including the Table 1 mappings.
+func TestBuildViewEnrolment(t *testing.T) {
+	db := university.NewEnrolment()
+	v, err := normalize.BuildView(db, university.EnrolmentHints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Changed {
+		t.Fatal("Figure 8 must be detected as unnormalized")
+	}
+	if len(v.Schemas) != 3 {
+		t.Fatalf("view: %v", v.Schemas)
+	}
+	if v.Schema("Student") == nil || v.Schema("Course") == nil || v.Schema("Enrol") == nil {
+		t.Fatalf("hinted names missing: %v", v.Schemas)
+	}
+	if v.Sources["student"] != "Enrolment" {
+		t.Errorf("Sources: %v", v.Sources)
+	}
+	// Foreign keys are re-inferred: Enrol references Student and Course.
+	enrol := v.Schema("Enrol")
+	if len(enrol.ForeignKeys) != 2 {
+		t.Errorf("Enrol FKs: %v", enrol.ForeignKeys)
+	}
+	toView := v.MappingToView()
+	if len(toView) != 3 || !strings.Contains(toView[0], "Enrolment") {
+		t.Errorf("MappingToView: %v", toView)
+	}
+	toBase := v.MappingToBase()
+	if len(toBase) != 1 || !strings.Contains(toBase[0], "JOIN") {
+		t.Errorf("MappingToBase: %v", toBase)
+	}
+}
+
+func TestBuildViewIdentityForNormalized(t *testing.T) {
+	db := university.New()
+	v, err := normalize.BuildView(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Changed {
+		t.Error("Figure 1 is normalized; the view must be the identity")
+	}
+	if len(v.Schemas) != len(db.Schemas()) {
+		t.Errorf("identity view should keep all relations: %d vs %d", len(v.Schemas), len(db.Schemas()))
+	}
+	if len(v.MappingToView()) != 0 {
+		t.Errorf("identity view has no mappings: %v", v.MappingToView())
+	}
+}
+
+// TestBuildViewTPCH checks the TPCH' view: Part, Supplier, Order, Lineitem
+// and Customer are synthesized; the two NationRegion fragments (from
+// Ordering and Customer) merge; Nation and Region stay identity.
+func TestBuildViewTPCH(t *testing.T) {
+	db := tpch.Denormalize(tpch.New(tpch.Small()))
+	v, err := normalize.BuildView(db, tpch.NameHints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Part", "Supplier", "Order", "Lineitem", "Customer", "NationRegion", "Nation", "Region"} {
+		if v.Schema(name) == nil {
+			t.Errorf("view missing %s: %v", name, names(v))
+		}
+	}
+	// Exactly one NationRegion despite two sources.
+	n := 0
+	for _, s := range v.Schemas {
+		if strings.EqualFold(s.Name, "NationRegion") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("NationRegion fragments not merged: %d", n)
+	}
+	// Lineitem is the ternary relationship: three FKs covering its key.
+	li := v.Schema("Lineitem")
+	if len(li.ForeignKeys) < 3 {
+		t.Errorf("Lineitem FKs: %v", li.ForeignKeys)
+	}
+	if v.Sources["lineitem"] != "Ordering" {
+		t.Errorf("Lineitem source: %v", v.Sources["lineitem"])
+	}
+	if v.Sources["nation"] != "Nation" {
+		t.Errorf("Nation should be identity: %v", v.Sources["nation"])
+	}
+}
+
+// TestBuildViewACMDL checks the ACMDL' view of Example-8 style synthesis on
+// the two wide relations.
+func TestBuildViewACMDL(t *testing.T) {
+	db := acmdl.Denormalize(acmdl.New(acmdl.Small()))
+	v, err := normalize.BuildView(db, acmdl.NameHints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Paper", "Author", "Write", "Editor", "Proceeding", "Edit", "Publisher"} {
+		if v.Schema(name) == nil {
+			t.Errorf("view missing %s: %v", name, names(v))
+		}
+	}
+	paper := v.Schema("Paper")
+	fkTo := map[string]bool{}
+	for _, fk := range paper.ForeignKeys {
+		fkTo[fk.RefRelation] = true
+	}
+	if !fkTo["Proceeding"] {
+		t.Errorf("Paper should reference Proceeding: %v", paper.ForeignKeys)
+	}
+	proc := v.Schema("Proceeding")
+	fkTo = map[string]bool{}
+	for _, fk := range proc.ForeignKeys {
+		fkTo[fk.RefRelation] = true
+	}
+	if !fkTo["Publisher"] {
+		t.Errorf("Proceeding should reference Publisher: %v", proc.ForeignKeys)
+	}
+}
+
+func names(v *normalize.View) []string {
+	out := make([]string, len(v.Schemas))
+	for i, s := range v.Schemas {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestKeySig(t *testing.T) {
+	if normalize.KeySig("Sid", "Code") != "code,sid" {
+		t.Errorf("KeySig: %q", normalize.KeySig("Sid", "Code"))
+	}
+	if normalize.KeySig("CODE", "sid") != normalize.KeySig("Sid", "Code") {
+		t.Error("KeySig must be case-insensitive and order-free")
+	}
+}

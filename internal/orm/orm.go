@@ -1,0 +1,382 @@
+// Package orm builds the Object-Relationship-Mixed (ORM) schema graph of
+// Section 2.1. The graph captures the Object-Relationship-Attribute (ORA)
+// semantics of a relational schema: each node bundles one object,
+// relationship or mixed relation together with its component relations, and
+// two nodes are connected when a foreign key - key reference exists between
+// their relations. The graph is the backbone of query-pattern generation,
+// the duplicate-detection rule of Section 3.1.3, and the normalized-view
+// pipeline of Section 4.
+package orm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwagg/internal/relation"
+)
+
+// NodeType classifies a relation per the taxonomy of [16] (see Section 2.1).
+type NodeType int
+
+// Relation classifications.
+const (
+	// Object relations hold the single-valued attributes of an object class.
+	Object NodeType = iota
+	// Relationship relations hold the single-valued attributes of a
+	// relationship type; their key is composed of the participants' keys.
+	Relationship
+	// Mixed relations hold an object class together with the many-to-one
+	// relationships it participates in (foreign keys outside the key).
+	Mixed
+	// Component relations hold a multivalued attribute of an object class or
+	// relationship type; they attach to their owner's node.
+	Component
+)
+
+// String names the node type as in the paper's legends.
+func (t NodeType) String() string {
+	switch t {
+	case Object:
+		return "object"
+	case Relationship:
+		return "relationship"
+	case Mixed:
+		return "mixed"
+	case Component:
+		return "component"
+	default:
+		return fmt.Sprintf("NodeType(%d)", int(t))
+	}
+}
+
+// Classify determines the ORM type of schema s.
+//
+// The rules follow [16]: a relation whose key is wholly composed of two or
+// more foreign keys is a relationship relation; a relation with exactly one
+// foreign key that is a proper subset of its key is a component relation
+// (the remainder of the key is the multivalued attribute); a relation with
+// its own key and at least one foreign key is a mixed relation; anything
+// else is an object relation.
+func Classify(s *relation.Schema) NodeType {
+	if len(s.ForeignKeys) >= 2 {
+		inKey := 0
+		var covered []string
+		for _, fk := range s.ForeignKeys {
+			if relation.SubsetAttrSet(fk.Attrs, s.PrimaryKey) {
+				inKey++
+				covered = append(covered, fk.Attrs...)
+			}
+		}
+		if inKey >= 2 && relation.SubsetAttrSet(s.PrimaryKey, covered) {
+			return Relationship
+		}
+	}
+	if len(s.ForeignKeys) == 1 {
+		fk := s.ForeignKeys[0]
+		if relation.SubsetAttrSet(fk.Attrs, s.PrimaryKey) && !relation.SameAttrSet(fk.Attrs, s.PrimaryKey) &&
+			len(fk.Attrs) < len(s.PrimaryKey) {
+			return Component
+		}
+	}
+	if len(s.ForeignKeys) >= 1 {
+		return Mixed
+	}
+	return Object
+}
+
+// Node is one vertex of the ORM schema graph: an object, relationship or
+// mixed relation plus the component relations attached to it.
+type Node struct {
+	Name       string
+	Type       NodeType
+	Relation   *relation.Schema
+	Components []*relation.Schema
+}
+
+// HasAttr reports whether name is an attribute of the node's relation or of
+// one of its component relations.
+func (n *Node) HasAttr(name string) bool {
+	if n.Relation.HasAttr(name) {
+		return true
+	}
+	for _, c := range n.Components {
+		if c.HasAttr(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// ComponentWithAttr returns the component relation holding the attribute, or
+// nil when the attribute belongs to the node's own relation (or is unknown).
+func (n *Node) ComponentWithAttr(name string) *relation.Schema {
+	if n.Relation.HasAttr(name) {
+		return nil
+	}
+	for _, c := range n.Components {
+		if c.HasAttr(name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Participant is one object/mixed node referenced by a relationship or mixed
+// relation, together with the foreign-key attributes realising the
+// reference.
+type Participant struct {
+	Node     string   // name of the referenced node
+	FKAttrs  []string // attributes in the referencing relation
+	RefAttrs []string // key attributes in the referenced relation
+}
+
+// Graph is the ORM schema graph.
+type Graph struct {
+	nodes   map[string]*Node // lower(node name) -> node
+	order   []string
+	ofRel   map[string]string           // lower(relation name) -> node name
+	adj     map[string][]string         // node name -> sorted neighbor names
+	parts   map[string][]Participant    // node name -> referenced participants
+	schemas map[string]*relation.Schema // lower(relation name) -> schema
+}
+
+// Build constructs the ORM schema graph for the given schemas.
+func Build(schemas []*relation.Schema) (*Graph, error) {
+	g := &Graph{
+		nodes:   make(map[string]*Node),
+		ofRel:   make(map[string]string),
+		adj:     make(map[string][]string),
+		parts:   make(map[string][]Participant),
+		schemas: make(map[string]*relation.Schema),
+	}
+	for _, s := range schemas {
+		g.schemas[strings.ToLower(s.Name)] = s
+	}
+	// First pass: create nodes for non-component relations.
+	for _, s := range schemas {
+		t := Classify(s)
+		if t == Component {
+			continue
+		}
+		n := &Node{Name: s.Name, Type: t, Relation: s}
+		key := strings.ToLower(s.Name)
+		g.nodes[key] = n
+		g.order = append(g.order, key)
+		g.ofRel[key] = s.Name
+	}
+	// Second pass: attach component relations to their owners.
+	for _, s := range schemas {
+		if Classify(s) != Component {
+			continue
+		}
+		owner := s.ForeignKeys[0].RefRelation
+		n := g.nodes[strings.ToLower(owner)]
+		if n == nil {
+			return nil, fmt.Errorf("orm: component relation %s references unknown owner %s", s.Name, owner)
+		}
+		n.Components = append(n.Components, s)
+		g.ofRel[strings.ToLower(s.Name)] = n.Name
+	}
+	// Third pass: edges and participants from foreign keys.
+	edge := make(map[string]map[string]bool)
+	addEdge := func(a, b string) {
+		if a == b {
+			return
+		}
+		if edge[a] == nil {
+			edge[a] = make(map[string]bool)
+		}
+		if edge[b] == nil {
+			edge[b] = make(map[string]bool)
+		}
+		edge[a][b] = true
+		edge[b][a] = true
+	}
+	for _, s := range schemas {
+		fromNode := g.ofRel[strings.ToLower(s.Name)]
+		if fromNode == "" {
+			continue
+		}
+		if Classify(s) == Component {
+			continue // component-owner edges are internal to the node
+		}
+		for _, fk := range s.ForeignKeys {
+			toNode := g.ofRel[strings.ToLower(fk.RefRelation)]
+			if toNode == "" {
+				return nil, fmt.Errorf("orm: %s references unknown relation %s", s.Name, fk.RefRelation)
+			}
+			addEdge(fromNode, toNode)
+			g.parts[fromNode] = append(g.parts[fromNode], Participant{
+				Node:     toNode,
+				FKAttrs:  append([]string(nil), fk.Attrs...),
+				RefAttrs: append([]string(nil), fk.RefAttrs...),
+			})
+		}
+	}
+	for a, m := range edge {
+		var ns []string
+		for b := range m {
+			ns = append(ns, b)
+		}
+		sort.Strings(ns)
+		g.adj[a] = ns
+	}
+	return g, nil
+}
+
+// Node returns the node with the given name (case-insensitive), or nil.
+func (g *Graph) Node(name string) *Node { return g.nodes[strings.ToLower(name)] }
+
+// NodeOfRelation returns the node owning the named relation (either as its
+// primary relation or as an attached component), or nil.
+func (g *Graph) NodeOfRelation(relName string) *Node {
+	n, ok := g.ofRel[strings.ToLower(relName)]
+	if !ok {
+		return nil
+	}
+	return g.nodes[strings.ToLower(n)]
+}
+
+// Nodes returns all nodes in deterministic (schema declaration) order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, len(g.order))
+	for i, k := range g.order {
+		out[i] = g.nodes[k]
+	}
+	return out
+}
+
+// Neighbors returns the names of the nodes adjacent to name, sorted.
+func (g *Graph) Neighbors(name string) []string {
+	n := g.Node(name)
+	if n == nil {
+		return nil
+	}
+	return g.adj[n.Name]
+}
+
+// Participants returns the object/mixed nodes referenced by the named
+// relationship or mixed node, in foreign-key declaration order.
+func (g *Graph) Participants(name string) []Participant {
+	n := g.Node(name)
+	if n == nil {
+		return nil
+	}
+	return g.parts[n.Name]
+}
+
+// ParticipantOf returns the foreign key inside relationship/mixed node 'from'
+// that references node 'to', or false when none exists.
+func (g *Graph) ParticipantOf(from, to string) (Participant, bool) {
+	for _, p := range g.Participants(from) {
+		if strings.EqualFold(p.Node, to) {
+			return p, true
+		}
+	}
+	return Participant{}, false
+}
+
+// Path returns the node names of a shortest path between two nodes,
+// including both endpoints, or nil when disconnected. Ties break towards
+// lexicographically smaller neighbor names, making patterns deterministic.
+func (g *Graph) Path(from, to string) []string {
+	src, dst := g.Node(from), g.Node(to)
+	if src == nil || dst == nil {
+		return nil
+	}
+	if src.Name == dst.Name {
+		return []string{src.Name}
+	}
+	prev := map[string]string{src.Name: src.Name}
+	queue := []string{src.Name}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[cur] {
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			if nb == dst.Name {
+				var path []string
+				for at := nb; at != src.Name; at = prev[at] {
+					path = append(path, at)
+				}
+				path = append(path, src.Name)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// Distance returns the number of edges on a shortest path between the nodes,
+// or -1 when disconnected.
+func (g *Graph) Distance(from, to string) int {
+	p := g.Path(from, to)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// JoinOn returns the attribute pairs that equate when joining the relations
+// of two adjacent nodes: pairs[i] = [attrInA, attrInB]. It scans foreign
+// keys in both directions.
+func (g *Graph) JoinOn(a, b string) ([][2]string, error) {
+	na, nb := g.Node(a), g.Node(b)
+	if na == nil || nb == nil {
+		return nil, fmt.Errorf("orm: unknown node in join %s-%s", a, b)
+	}
+	if p, ok := g.ParticipantOf(na.Name, nb.Name); ok {
+		out := make([][2]string, len(p.FKAttrs))
+		for i := range p.FKAttrs {
+			out[i] = [2]string{p.FKAttrs[i], p.RefAttrs[i]}
+		}
+		return out, nil
+	}
+	if p, ok := g.ParticipantOf(nb.Name, na.Name); ok {
+		out := make([][2]string, len(p.FKAttrs))
+		for i := range p.FKAttrs {
+			out[i] = [2]string{p.RefAttrs[i], p.FKAttrs[i]}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("orm: nodes %s and %s are not adjacent", a, b)
+}
+
+// Dot renders the graph in Graphviz DOT form, used by the CLI to visualise
+// Figure 3 / Figure 9 style graphs.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("graph ORM {\n")
+	for _, n := range g.Nodes() {
+		shape := "box"
+		switch n.Type {
+		case Relationship:
+			shape = "diamond"
+		case Mixed:
+			shape = "hexagon"
+		}
+		fmt.Fprintf(&b, "  %s [shape=%s,label=\"%s (%s)\"];\n", n.Name, shape, n.Name, n.Type)
+	}
+	seen := make(map[string]bool)
+	for _, n := range g.Nodes() {
+		for _, nb := range g.adj[n.Name] {
+			key := n.Name + "--" + nb
+			rev := nb + "--" + n.Name
+			if seen[key] || seen[rev] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintf(&b, "  %s -- %s;\n", n.Name, nb)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package orm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/relation"
+)
+
+func uniGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Build(university.New().Schemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestClassifyUniversity checks the classification reported for Figure 1:
+// Student, Course, Faculty, Textbook are object relations; Enrol and Teach
+// are relationship relations; Lecturer and Department are mixed.
+func TestClassifyUniversity(t *testing.T) {
+	want := map[string]NodeType{
+		"Student": Object, "Course": Object, "Faculty": Object, "Textbook": Object,
+		"Enrol": Relationship, "Teach": Relationship,
+		"Lecturer": Mixed, "Department": Mixed,
+	}
+	for _, s := range university.New().Schemas() {
+		if got := Classify(s); got != want[s.Name] {
+			t.Errorf("Classify(%s) = %v, want %v", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+func TestClassifyComponent(t *testing.T) {
+	// A multivalued attribute relation: key = owner key + attribute.
+	s := relation.NewSchema("CourseTag", "Code", "Tag").
+		Key("Code", "Tag").
+		Ref([]string{"Code"}, "Course")
+	if got := Classify(s); got != Component {
+		t.Errorf("Classify(CourseTag) = %v, want component", got)
+	}
+}
+
+func TestClassifyRelationshipNeedsKeyCoverage(t *testing.T) {
+	// Two FKs that do not cover the key: not a relationship relation.
+	s := relation.NewSchema("R", "id", "a", "b").
+		Key("id").
+		Ref([]string{"a"}, "A").
+		Ref([]string{"b"}, "B")
+	if got := Classify(s); got != Mixed {
+		t.Errorf("Classify = %v, want mixed", got)
+	}
+}
+
+func TestGraphStructureFigure3(t *testing.T) {
+	g := uniGraph(t)
+	wantAdj := map[string][]string{
+		"Student":    {"Enrol"},
+		"Enrol":      {"Course", "Student"},
+		"Course":     {"Enrol", "Teach"},
+		"Teach":      {"Course", "Lecturer", "Textbook"},
+		"Textbook":   {"Teach"},
+		"Lecturer":   {"Department", "Teach"},
+		"Department": {"Faculty", "Lecturer"},
+		"Faculty":    {"Department"},
+	}
+	for node, want := range wantAdj {
+		if got := g.Neighbors(node); !reflect.DeepEqual(got, want) {
+			t.Errorf("Neighbors(%s) = %v, want %v", node, got, want)
+		}
+	}
+}
+
+func TestComponentAttachment(t *testing.T) {
+	schemas := university.New().Schemas()
+	schemas = append(schemas, relation.NewSchema("CourseTag", "Code", "Tag").
+		Key("Code", "Tag").Ref([]string{"Code"}, "Course"))
+	g, err := Build(schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node("CourseTag") != nil {
+		t.Error("component relations must not become their own node")
+	}
+	n := g.NodeOfRelation("CourseTag")
+	if n == nil || n.Name != "Course" {
+		t.Fatalf("component should attach to Course, got %v", n)
+	}
+	if !n.HasAttr("Tag") {
+		t.Error("owner node should expose the component attribute")
+	}
+	if c := n.ComponentWithAttr("Tag"); c == nil || c.Name != "CourseTag" {
+		t.Error("ComponentWithAttr should find the component relation")
+	}
+	if c := n.ComponentWithAttr("Title"); c != nil {
+		t.Error("own attributes are not component attributes")
+	}
+}
+
+func TestComponentUnknownOwner(t *testing.T) {
+	_, err := Build([]*relation.Schema{
+		relation.NewSchema("Orphan", "X", "Y").Key("X", "Y").Ref([]string{"X"}, "Missing"),
+	})
+	if err == nil {
+		t.Error("component with unknown owner should fail")
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	g := uniGraph(t)
+	ps := g.Participants("Teach")
+	if len(ps) != 3 {
+		t.Fatalf("Teach has 3 participants, got %v", ps)
+	}
+	names := []string{ps[0].Node, ps[1].Node, ps[2].Node}
+	if !reflect.DeepEqual(names, []string{"Course", "Lecturer", "Textbook"}) {
+		t.Errorf("participants: %v", names)
+	}
+	if p, ok := g.ParticipantOf("Enrol", "Student"); !ok || p.FKAttrs[0] != "Sid" {
+		t.Errorf("ParticipantOf(Enrol, Student): %v %v", p, ok)
+	}
+	if _, ok := g.ParticipantOf("Student", "Enrol"); ok {
+		t.Error("objects do not reference relationships")
+	}
+}
+
+func TestReferences(t *testing.T) {
+	g := uniGraph(t)
+	if g.References("Enrol", "Student") != 1 {
+		t.Error("Enrol references Student once")
+	}
+	if g.References("Student", "Enrol") != 0 {
+		t.Error("Student does not reference Enrol")
+	}
+}
+
+func TestPathAndDistance(t *testing.T) {
+	g := uniGraph(t)
+	if got := g.Path("Student", "Course"); !reflect.DeepEqual(got, []string{"Student", "Enrol", "Course"}) {
+		t.Errorf("Path(Student, Course) = %v", got)
+	}
+	if d := g.Distance("Student", "Textbook"); d != 4 {
+		t.Errorf("Distance(Student, Textbook) = %d, want 4", d)
+	}
+	if d := g.Distance("Student", "Student"); d != 0 {
+		t.Errorf("Distance(Student, Student) = %d, want 0", d)
+	}
+	if g.Path("Student", "NoSuch") != nil {
+		t.Error("unknown node should have no path")
+	}
+}
+
+// TestWalkPathSameClass checks Figure 4's shape: connecting two Student
+// instances requires Student-Enrol-Course-Enrol-Student (two distinct Enrol
+// instances), never Student-Enrol-Student, which would reuse Enrol's single
+// Sid foreign key.
+func TestWalkPathSameClass(t *testing.T) {
+	g := uniGraph(t)
+	got := g.WalkPath("Student", "Student")
+	want := []string{"Student", "Enrol", "Course", "Enrol", "Student"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WalkPath(Student, Student) = %v, want %v", got, want)
+	}
+}
+
+// TestWalkPathMixedSharing: two Lecturer instances can share one Department
+// instance (the department is referenced, not referencing), so the minimal
+// walk is Lecturer-Department-Lecturer.
+func TestWalkPathMixedSharing(t *testing.T) {
+	g := uniGraph(t)
+	got := g.WalkPath("Lecturer", "Lecturer")
+	want := []string{"Lecturer", "Department", "Lecturer"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WalkPath(Lecturer, Lecturer) = %v, want %v", got, want)
+	}
+}
+
+func TestWalkPathDifferentClasses(t *testing.T) {
+	g := uniGraph(t)
+	got := g.WalkPath("Textbook", "Student")
+	want := []string{"Textbook", "Teach", "Course", "Enrol", "Student"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WalkPath(Textbook, Student) = %v, want %v", got, want)
+	}
+	if d := g.WalkDistance("Textbook", "Student"); d != 4 {
+		t.Errorf("WalkDistance = %d", d)
+	}
+}
+
+func TestWalkPathDisconnected(t *testing.T) {
+	g, err := Build([]*relation.Schema{
+		relation.NewSchema("A", "a").Key("a"),
+		relation.NewSchema("B", "b").Key("b"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.WalkPath("A", "B") != nil {
+		t.Error("disconnected classes have no walk")
+	}
+	if g.WalkPath("A", "A") != nil {
+		t.Error("an isolated class has no cycle walk")
+	}
+	if g.WalkDistance("A", "B") != -1 {
+		t.Error("WalkDistance of disconnected should be -1")
+	}
+}
+
+func TestJoinOn(t *testing.T) {
+	g := uniGraph(t)
+	pairs, err := g.JoinOn("Enrol", "Student")
+	if err != nil || len(pairs) != 1 || pairs[0] != [2]string{"Sid", "Sid"} {
+		t.Errorf("JoinOn(Enrol, Student) = %v, %v", pairs, err)
+	}
+	// Reverse direction flips the pair orientation.
+	pairs, err = g.JoinOn("Student", "Enrol")
+	if err != nil || pairs[0] != [2]string{"Sid", "Sid"} {
+		t.Errorf("JoinOn(Student, Enrol) = %v, %v", pairs, err)
+	}
+	if _, err := g.JoinOn("Student", "Textbook"); err == nil {
+		t.Error("non-adjacent nodes should fail")
+	}
+}
+
+func TestNodeLookupCaseInsensitive(t *testing.T) {
+	g := uniGraph(t)
+	if g.Node("student") == nil || g.Node("STUDENT") == nil {
+		t.Error("node lookup should be case-insensitive")
+	}
+	if g.NodeOfRelation("enrol") == nil {
+		t.Error("relation lookup should be case-insensitive")
+	}
+}
+
+func TestDot(t *testing.T) {
+	dot := uniGraph(t).Dot()
+	for _, frag := range []string{"graph ORM {", "Student", "-- Enrol;", "diamond", "hexagon"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("Dot output missing %q", frag)
+		}
+	}
+}
+
+func TestNodeTypeString(t *testing.T) {
+	for ty, want := range map[NodeType]string{
+		Object: "object", Relationship: "relationship", Mixed: "mixed", Component: "component",
+	} {
+		if ty.String() != want {
+			t.Errorf("NodeType(%d) = %q", ty, ty.String())
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := uniGraph(t)
+	comps := g.Components()
+	if len(comps) != 1 || len(comps[0]) != 8 {
+		t.Errorf("Figure 3 is connected: %v", comps)
+	}
+	g2, err := Build([]*relation.Schema{
+		relation.NewSchema("A", "a").Key("a"),
+		relation.NewSchema("B", "b").Key("b"),
+		relation.NewSchema("C", "c", "b").Key("c").Ref([]string{"b"}, "B"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps = g2.Components()
+	if len(comps) != 2 {
+		t.Fatalf("two components expected: %v", comps)
+	}
+	if len(comps[0]) != 2 || comps[0][0] != "B" {
+		t.Errorf("largest component first: %v", comps)
+	}
+}

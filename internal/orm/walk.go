@@ -1,0 +1,151 @@
+package orm
+
+// References returns the number of distinct foreign keys of node 'from' that
+// reference node 'to'. Zero means 'from' does not reference 'to' (though
+// 'to' may reference 'from').
+func (g *Graph) References(from, to string) int {
+	n := 0
+	for _, p := range g.Participants(from) {
+		if eqFold(p.Node, to) {
+			n++
+		}
+	}
+	return n
+}
+
+func eqFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// WalkPath returns the shortest valid walk from node 'from' to node 'to' in
+// the ORM schema graph, including both endpoints. Unlike Path, a walk may
+// revisit a node class: every interior occurrence denotes a fresh instance
+// in the query pattern (e.g. Student-Enrol-Course-Enrol-Student in Figure 4
+// uses two Enrol instances).
+//
+// A walk is valid when no interior instance spends the same foreign key
+// twice: for consecutive classes a-v-b, the step is invalid iff a == b and v
+// has exactly one foreign key referencing a (the single FK cannot join two
+// distinct instances of a). Classes referenced *by* their neighbours (keys)
+// may be shared freely.
+//
+// For from == to the result is the shortest valid cycle through the class
+// (length >= 2 edges); nil is returned when no valid walk exists.
+func (g *Graph) WalkPath(from, to string) []string {
+	src, dst := g.Node(from), g.Node(to)
+	if src == nil || dst == nil {
+		return nil
+	}
+	type state struct{ cur, prev string }
+	start := state{cur: src.Name}
+	parent := map[state]state{start: start}
+	queue := []state{start}
+	var goal *state
+	for len(queue) > 0 && goal == nil {
+		st := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[st.cur] {
+			if st.prev != "" && nb == st.prev && g.References(st.cur, st.prev) == 1 {
+				continue // interior instance would reuse its only FK to prev
+			}
+			ns := state{cur: nb, prev: st.cur}
+			if _, seen := parent[ns]; seen {
+				continue
+			}
+			parent[ns] = st
+			if nb == dst.Name {
+				goal = &ns
+				break
+			}
+			queue = append(queue, ns)
+		}
+	}
+	if goal == nil {
+		return nil
+	}
+	var rev []string
+	for st := *goal; ; st = parent[st] {
+		rev = append(rev, st.cur)
+		if st == start {
+			break
+		}
+	}
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+// WalkDistance returns the number of edges of the shortest valid walk, or -1
+// when none exists.
+func (g *Graph) WalkDistance(from, to string) int {
+	if w := g.WalkPath(from, to); w != nil {
+		return len(w) - 1
+	}
+	return -1
+}
+
+// Components returns the connected components of the schema graph, each a
+// sorted list of node names, largest first. A schema with more than one
+// component cannot answer queries spanning components; surfacing this early
+// gives better diagnostics than a failed pattern connection.
+func (g *Graph) Components() [][]string {
+	seen := make(map[string]bool)
+	var comps [][]string
+	for _, k := range g.order {
+		start := g.nodes[k].Name
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		queue := []string{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			comp = append(comp, cur)
+			for _, nb := range g.adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		sortStrings(comp)
+		comps = append(comps, comp)
+	}
+	// Largest component first; ties by first member.
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			if len(comps[j]) > len(comps[i]) ||
+				(len(comps[j]) == len(comps[i]) && comps[j][0] < comps[i][0]) {
+				comps[i], comps[j] = comps[j], comps[i]
+			}
+		}
+	}
+	return comps
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

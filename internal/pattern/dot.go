@@ -1,0 +1,46 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"kwagg/internal/orm"
+)
+
+// Dot renders the annotated query pattern in Graphviz DOT form, in the
+// style of the paper's Figures 4-7: object nodes as boxes, relationship
+// nodes as diamonds, mixed nodes as hexagons, with conditions and operator
+// annotations in the labels and nested aggregates as a floating note.
+func (p *Pattern) Dot() string {
+	var b strings.Builder
+	b.WriteString("graph pattern {\n")
+	for _, n := range p.Nodes {
+		shape := "box"
+		switch p.Graph.Node(n.Class).Type {
+		case orm.Relationship:
+			shape = "diamond"
+		case orm.Mixed:
+			shape = "hexagon"
+		}
+		var lines []string
+		lines = append(lines, n.Class)
+		if n.HasCond() {
+			lines = append(lines, fmt.Sprintf("%s=%s", n.CondAttr, n.CondTerm))
+		}
+		for _, a := range n.Aggs {
+			lines = append(lines, fmt.Sprintf("%s(%s)", a.Func, a.Ref.Attr))
+		}
+		for _, g := range n.GroupBys {
+			lines = append(lines, fmt.Sprintf("GROUPBY(%s)", g.Attr))
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s,label=\"%s\"];\n", n.ID, shape, strings.Join(lines, "\\n"))
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, "  n%d -- n%d;\n", e.A, e.B)
+	}
+	for i, f := range p.Nested {
+		fmt.Fprintf(&b, "  nested%d [shape=note,label=\"%s(...)\"];\n", i, f)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,548 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwagg/internal/keyword"
+	"kwagg/internal/match"
+	"kwagg/internal/orm"
+	"kwagg/internal/relation"
+)
+
+// Generator turns keyword queries into ranked annotated query patterns.
+type Generator struct {
+	M *match.Matcher
+	// MaxCombos caps the number of tag combinations explored per query
+	// (keyword queries are short, so ambiguity is bounded in practice).
+	MaxCombos int
+	// MaxPatterns caps the number of ranked patterns returned.
+	MaxPatterns int
+	// DisableDisambiguation turns off the Section 3.1.2 forking that
+	// distinguishes objects sharing an attribute value. Only for ablation
+	// studies: with it set, every aggregate merges same-value objects the
+	// way SQAK does.
+	DisableDisambiguation bool
+}
+
+// NewGenerator creates a generator with default limits.
+func NewGenerator(m *match.Matcher) *Generator {
+	return &Generator{M: m, MaxCombos: 256, MaxPatterns: 64}
+}
+
+// Generate produces the ranked annotated query patterns of q: pattern
+// generation and annotation, disambiguation, then ranking (Section 3.1).
+func (g *Generator) Generate(q *keyword.Query) ([]*Pattern, error) {
+	basics := q.BasicTerms()
+	if len(basics) == 0 {
+		return nil, fmt.Errorf("pattern: query %q has no basic terms", q)
+	}
+	tagSets := make([][]match.Tag, len(basics))
+	for i, ti := range basics {
+		tags := g.M.Match(q.Terms[ti])
+		if len(tags) == 0 {
+			return nil, fmt.Errorf("pattern: term %q matches nothing in the database", q.Terms[ti].Text)
+		}
+		tagSets[i] = tags
+	}
+
+	combos := enumerate(tagSets, g.MaxCombos)
+	var patterns []*Pattern
+	seen := make(map[string]bool)
+	for _, combo := range combos {
+		// The default topology first, then — where attachment points tied —
+		// the alternative topologies, varied one decision at a time.
+		pickVecs := [][]int{nil}
+		p0, termNode0, ties, ok := g.build(q, basics, combo, nil)
+		if !ok {
+			continue
+		}
+		for step, n := range ties {
+			for alt := 1; alt < n && len(pickVecs) < 8; alt++ {
+				vec := make([]int, step+1)
+				vec[step] = alt
+				pickVecs = append(pickVecs, vec)
+			}
+		}
+		for vi, vec := range pickVecs {
+			p, termNode := p0, termNode0
+			if vi > 0 {
+				var ok bool
+				p, termNode, _, ok = g.build(q, basics, combo, vec)
+				if !ok {
+					continue
+				}
+			}
+			if !g.annotate(p, q, basics, combo, termNode) {
+				continue
+			}
+			for _, dp := range g.disambiguate(p) {
+				key := dp.Canonical()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				patterns = append(patterns, dp)
+			}
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("pattern: no valid interpretation for query %q", q)
+	}
+	rank(patterns)
+	if len(patterns) > g.MaxPatterns {
+		patterns = patterns[:g.MaxPatterns]
+	}
+	return patterns, nil
+}
+
+// enumerate returns up to max combinations, one tag per term.
+func enumerate(tagSets [][]match.Tag, max int) [][]match.Tag {
+	out := [][]match.Tag{{}}
+	for _, set := range tagSets {
+		var next [][]match.Tag
+		for _, prefix := range out {
+			for _, t := range set {
+				combo := make([]match.Tag, len(prefix)+1)
+				copy(combo, prefix)
+				combo[len(prefix)] = t
+				next = append(next, combo)
+				if len(next) >= max {
+					break
+				}
+			}
+			if len(next) >= max {
+				break
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// build creates the query nodes for one tag combination and connects them
+// into a minimal pattern over the ORM graph. It returns the pattern, the
+// mapping from term position to the node representing it, and the number of
+// equally-minimal attachment choices at each connection step (ties denote
+// alternative topologies; Generate re-runs build with a different pick
+// vector to materialize them).
+//
+// picks selects, per connection step, which of the tied minimal attachments
+// to take (missing entries default to the first).
+func (g *Generator) build(q *keyword.Query, basics []int, combo []match.Tag, picks []int) (*Pattern, map[int]*Node, []int, bool) {
+	graph := g.M.Graph()
+	p := &Pattern{Graph: graph, Query: q}
+	termNode := make(map[int]*Node)
+
+	newNode := func(class string, fromTerm bool) *Node {
+		n := &Node{ID: len(p.Nodes), Class: graph.Node(class).Name, FromTerm: fromTerm, usedFK: make(map[string]int)}
+		p.Nodes = append(p.Nodes, n)
+		return n
+	}
+
+	// addEdge connects two instances, consuming one FK of the referencing
+	// side; it fails when that instance has no FK left for the target class.
+	addEdge := func(a, b *Node) bool {
+		refsAB := graph.References(a.Class, b.Class)
+		refsBA := graph.References(b.Class, a.Class)
+		switch {
+		case refsAB > 0:
+			if a.usedFK[strings.ToLower(b.Class)] >= refsAB {
+				return false
+			}
+			a.usedFK[strings.ToLower(b.Class)]++
+		case refsBA > 0:
+			if b.usedFK[strings.ToLower(a.Class)] >= refsBA {
+				return false
+			}
+			b.usedFK[strings.ToLower(a.Class)]++
+		default:
+			return false
+		}
+		p.Edges = append(p.Edges, Edge{A: a.ID, B: b.ID})
+		return true
+	}
+
+	// canAttach reports whether node w can accept one more edge to class c.
+	canAttach := func(w *Node, c string) bool {
+		if graph.References(w.Class, c) > 0 {
+			return w.usedFK[strings.ToLower(c)] < graph.References(w.Class, c)
+		}
+		return graph.References(c, w.Class) > 0
+	}
+
+	// Node creation: one node per object mention (Section 2.1). A value term
+	// merges into the immediately preceding metadata node of the same class
+	// (the context idiom of [15]: {Lecturer George}); an attribute-name term
+	// reuses the most recent node of its class.
+	var prevBasic *Node
+	for k, ti := range basics {
+		tag := combo[k]
+		switch tag.Kind {
+		case match.Value:
+			p.ValueTerms++
+			if prevBasic != nil && strings.EqualFold(prevBasic.Class, tag.Node) &&
+				!prevBasic.HasCond() && prevBasic.FromTerm {
+				prevBasic.CondRel, prevBasic.CondAttr = tag.Relation, tag.Attr
+				prevBasic.CondTerm, prevBasic.CondCount = tag.Term, tag.NumObjects
+				termNode[ti] = prevBasic
+			} else {
+				n := newNode(tag.Node, true)
+				n.CondRel, n.CondAttr = tag.Relation, tag.Attr
+				n.CondTerm, n.CondCount = tag.Term, tag.NumObjects
+				termNode[ti] = n
+			}
+		case match.AttrName:
+			var reuse *Node
+			for i := len(p.Nodes) - 1; i >= 0; i-- {
+				if strings.EqualFold(p.Nodes[i].Class, tag.Node) {
+					reuse = p.Nodes[i]
+					break
+				}
+			}
+			if reuse == nil {
+				reuse = newNode(tag.Node, true)
+			}
+			termNode[ti] = reuse
+		case match.RelationName:
+			termNode[ti] = newNode(tag.Node, true)
+		}
+		prevBasic = termNode[ti]
+	}
+
+	// Connection: greedily attach each node to the closest already-connected
+	// node via a valid walk in the ORM graph, instantiating fresh interior
+	// instances. A term node with no condition merges into an existing node
+	// of its class instead of duplicating it.
+	connected := map[int]bool{p.Nodes[0].ID: true}
+	merged := make(map[int]bool)
+	var ties []int
+	step := 0
+	for idx := 1; idx < len(p.Nodes); idx++ {
+		u := p.Nodes[idx]
+		if connected[u.ID] || merged[u.ID] {
+			continue
+		}
+		// Merge an unconditioned duplicate class instance.
+		if !u.HasCond() {
+			var into *Node
+			for _, w := range p.Nodes {
+				if connected[w.ID] && !merged[w.ID] && strings.EqualFold(w.Class, u.Class) {
+					into = w
+					break
+				}
+			}
+			if into != nil {
+				for tPos, n := range termNode {
+					if n == u {
+						termNode[tPos] = into
+						into.FromTerm = true
+					}
+				}
+				merged[u.ID] = true
+				continue
+			}
+		}
+		// Gather the attachment points minimising the walk length; ties are
+		// alternative topologies selected through the picks vector.
+		type cand struct {
+			w    *Node
+			walk []string
+		}
+		var cands []cand
+		bestLen := -1
+		for _, w := range p.Nodes {
+			if !connected[w.ID] || merged[w.ID] || w == u {
+				continue
+			}
+			walk := graph.WalkPath(u.Class, w.Class)
+			if walk == nil {
+				continue
+			}
+			// The final hop lands on the existing node w.
+			if len(walk) >= 2 && !canAttach(w, walk[len(walk)-2]) {
+				continue
+			}
+			switch {
+			case bestLen < 0 || len(walk) < bestLen:
+				bestLen = len(walk)
+				cands = []cand{{w, walk}}
+			case len(walk) == bestLen:
+				cands = append(cands, cand{w, walk})
+			}
+		}
+		if len(cands) == 0 {
+			return nil, nil, nil, false // disconnected interpretation
+		}
+		pick := 0
+		if step < len(picks) && picks[step] < len(cands) {
+			pick = picks[step]
+		}
+		ties = append(ties, len(cands))
+		step++
+		bestW, bestWalk := cands[pick].w, cands[pick].walk
+		cur := u
+		okWalk := true
+		for i := 1; i < len(bestWalk); i++ {
+			var nxt *Node
+			if i == len(bestWalk)-1 {
+				nxt = bestW
+			} else {
+				nxt = newNode(bestWalk[i], false)
+			}
+			if !addEdge(cur, nxt) {
+				okWalk = false
+				break
+			}
+			cur = nxt
+		}
+		if !okWalk {
+			return nil, nil, nil, false
+		}
+		connected[u.ID] = true
+		for _, n := range p.Nodes {
+			if !n.FromTerm {
+				connected[n.ID] = true
+			}
+		}
+	}
+	// Compact merged-away nodes and renumber ids (merged nodes never have
+	// edges: they were dropped before being connected).
+	if len(merged) > 0 {
+		remap := make(map[int]int, len(p.Nodes))
+		var kept []*Node
+		for _, n := range p.Nodes {
+			if merged[n.ID] {
+				continue
+			}
+			remap[n.ID] = len(kept)
+			kept = append(kept, n)
+		}
+		for i, n := range kept {
+			n.ID = i
+		}
+		for i, e := range p.Edges {
+			p.Edges[i] = Edge{A: remap[e.A], B: remap[e.B]}
+		}
+		p.Nodes = kept
+	}
+	return p, termNode, ties, true
+}
+
+// annotate applies the operator terms to the pattern (Algorithm 3, lines
+// 2-12). It returns false when an operator cannot be applied, which rejects
+// the interpretation.
+func (g *Generator) annotate(p *Pattern, q *keyword.Query, basics []int, combo []match.Tag, termNode map[int]*Node) bool {
+	tagOf := make(map[int]match.Tag)
+	for k, ti := range basics {
+		tagOf[ti] = combo[k]
+	}
+	for i, t := range q.Terms {
+		if !t.IsOperator() {
+			continue
+		}
+		next := q.Terms[i+1]
+		if next.IsOperator() {
+			// Nested aggregate: t applies to the result of the next operator.
+			if t.Kind != keyword.Aggregate {
+				return false
+			}
+			p.Nested = append(p.Nested, t.Agg)
+			continue
+		}
+		node := termNode[i+1]
+		if node == nil {
+			return false
+		}
+		tag := tagOf[i+1]
+		ref, ok := operandRef(g.M.Graph(), node, tag)
+		if !ok {
+			return false
+		}
+		switch t.Kind {
+		case keyword.Aggregate:
+			// MIN/MAX/AVG/SUM require an attribute operand; COUNT also
+			// accepts a relation name (counting object identifiers).
+			if tag.Kind == match.RelationName && t.Agg != "COUNT" {
+				return false
+			}
+			// SUM and AVG are only defined over numeric attributes; an
+			// interpretation summing a VARCHAR (e.g. {SUM Grade}) is invalid.
+			if t.Agg == "SUM" || t.Agg == "AVG" {
+				if ty, ok := attrType(g.M.Graph(), node.Class, ref); !ok || !numericType(ty) {
+					return false
+				}
+			}
+			node.Aggs = append(node.Aggs, AggAnnot{Func: t.Agg, Ref: ref})
+		case keyword.GroupBy:
+			if tag.Kind == match.RelationName {
+				// Group by the full object/relationship identifier.
+				rel := relationOf(g.M.Graph(), node.Class)
+				for _, k := range rel.PrimaryKey {
+					node.GroupBys = append(node.GroupBys, AttrRef{Relation: rel.Name, Attr: k})
+				}
+			} else {
+				node.GroupBys = append(node.GroupBys, ref)
+			}
+		}
+	}
+	return true
+}
+
+// operandRef resolves the attribute an operator applies to, following the
+// two cases of Section 3.1.1: a relation-name match maps to the relation's
+// identifier; an attribute-name (or component-relation) match maps to that
+// attribute.
+func operandRef(g *orm.Graph, node *Node, tag match.Tag) (AttrRef, bool) {
+	nrel := relationOf(g, node.Class)
+	switch tag.Kind {
+	case match.RelationName:
+		if strings.EqualFold(tag.Relation, nrel.Name) {
+			if len(nrel.PrimaryKey) == 0 {
+				return AttrRef{}, false
+			}
+			return AttrRef{Relation: nrel.Name, Attr: nrel.PrimaryKey[0]}, true
+		}
+		// Component relation: the operand is its multivalued attribute (the
+		// key attributes that are not the owner's foreign key).
+		n := g.Node(node.Class)
+		for _, c := range n.Components {
+			if strings.EqualFold(c.Name, tag.Relation) {
+				fk := c.ForeignKeys[0]
+				for _, k := range c.PrimaryKey {
+					inFK := false
+					for _, f := range fk.Attrs {
+						if strings.EqualFold(f, k) {
+							inFK = true
+							break
+						}
+					}
+					if !inFK {
+						return AttrRef{Relation: c.Name, Attr: k}, true
+					}
+				}
+			}
+		}
+		return AttrRef{}, false
+	case match.AttrName:
+		return AttrRef{Relation: tag.Relation, Attr: tag.Attr}, true
+	default:
+		// A value match cannot be an operator operand (Definition 1).
+		return AttrRef{}, false
+	}
+}
+
+func relationOf(g *orm.Graph, class string) *relation.Schema {
+	return g.Node(class).Relation
+}
+
+// attrType resolves the declared type of an attribute reference on a node
+// (its own relation or a component).
+func attrType(g *orm.Graph, class string, ref AttrRef) (relation.Type, bool) {
+	n := g.Node(class)
+	if strings.EqualFold(ref.Relation, n.Relation.Name) && n.Relation.HasAttr(ref.Attr) {
+		return n.Relation.AttrType(ref.Attr), true
+	}
+	for _, c := range n.Components {
+		if strings.EqualFold(c.Name, ref.Relation) && c.HasAttr(ref.Attr) {
+			return c.AttrType(ref.Attr), true
+		}
+	}
+	return relation.TypeString, false
+}
+
+func numericType(t relation.Type) bool {
+	return t == relation.TypeInt || t == relation.TypeFloat
+}
+
+// disambiguate forks pattern copies that distinguish objects sharing an
+// attribute value (Section 3.1.2, Algorithm 3 lines 13-23). For every
+// object/mixed node whose condition matches more than one object, each
+// pattern in the working set is copied and the copy groups on the object
+// identifier.
+func (g *Generator) disambiguate(p *Pattern) []*Pattern {
+	if g.DisableDisambiguation || len(p.Query.Operators()) == 0 {
+		return []*Pattern{p}
+	}
+	set := []*Pattern{p}
+	for id, n := range p.Nodes {
+		t := p.Graph.Node(n.Class).Type
+		if t != orm.Object && t != orm.Mixed {
+			continue
+		}
+		if !n.HasCond() || n.CondCount <= 1 {
+			continue
+		}
+		rel := relationOf(p.Graph, n.Class)
+		if len(rel.PrimaryKey) == 0 {
+			continue
+		}
+		already := true
+		for _, k := range rel.PrimaryKey {
+			found := false
+			for _, gb := range n.GroupBys {
+				if strings.EqualFold(gb.Attr, k) && strings.EqualFold(gb.Relation, rel.Name) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				already = false
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		var forked []*Pattern
+		for _, q := range set {
+			c := q.Clone()
+			cn := c.Nodes[id]
+			for _, k := range rel.PrimaryKey {
+				cn.GroupBys = append(cn.GroupBys, AttrRef{Relation: rel.Name, Attr: k})
+			}
+			cn.Disamb = true
+			forked = append(forked, c)
+		}
+		set = append(set, forked...)
+	}
+	return set
+}
+
+// rank orders patterns: fewer object/mixed nodes first, then shorter average
+// target-condition distance, then more disambiguated (the paper reports the
+// distinguishing interpretation as the best match), then canonical order.
+func rank(ps []*Pattern) {
+	type scored struct {
+		p      *Pattern
+		nodes  int
+		values int
+		dist   float64
+		dis    int
+		canon  string
+	}
+	ss := make([]scored, len(ps))
+	for i, p := range ps {
+		ss[i] = scored{p, p.ObjectMixedCount(), p.ValueTerms,
+			p.AvgTargetConditionDistance(), p.DisambCount(), p.Canonical()}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].nodes != ss[j].nodes {
+			return ss[i].nodes < ss[j].nodes
+		}
+		if ss[i].values != ss[j].values {
+			return ss[i].values < ss[j].values
+		}
+		if ss[i].dist != ss[j].dist {
+			return ss[i].dist < ss[j].dist
+		}
+		if ss[i].dis != ss[j].dis {
+			return ss[i].dis > ss[j].dis
+		}
+		return ss[i].canon < ss[j].canon
+	})
+	for i := range ss {
+		ps[i] = ss[i].p
+	}
+}

@@ -1,0 +1,329 @@
+// Package pattern implements annotated query patterns (Section 3): minimal
+// connected graphs over the ORM schema graph that depict the interpretations
+// of a keyword query, annotated with aggregate and GROUPBY operators
+// (Algorithm 3), disambiguated to distinguish objects sharing an attribute
+// value (Section 3.1.2), and ranked by the number of object/mixed nodes and
+// the average target-condition distance.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwagg/internal/keyword"
+	"kwagg/internal/orm"
+	"kwagg/internal/sqlast"
+)
+
+// AttrRef names an attribute of a (view) relation.
+type AttrRef struct {
+	Relation string
+	Attr     string
+}
+
+// String renders Relation.Attr.
+func (r AttrRef) String() string { return r.Relation + "." + r.Attr }
+
+// AggAnnot is an aggregate annotation t(a) on a node: apply Func to Ref.
+type AggAnnot struct {
+	Func sqlast.AggFunc
+	Ref  AttrRef
+}
+
+// Alias returns the result-column alias in the style of the paper: numLid
+// for COUNT(Lid), avgAmount for AVG(amount), and so on.
+func (a AggAnnot) Alias() string {
+	prefix := map[sqlast.AggFunc]string{
+		sqlast.AggCount: "num",
+		sqlast.AggSum:   "sum",
+		sqlast.AggAvg:   "avg",
+		sqlast.AggMin:   "min",
+		sqlast.AggMax:   "max",
+	}[a.Func]
+	return prefix + a.Ref.Attr
+}
+
+// String renders the annotation as FUNC(Rel.Attr).
+func (a AggAnnot) String() string { return fmt.Sprintf("%s(%s)", a.Func, a.Ref) }
+
+// Node is one vertex of a query pattern: an instance of an ORM graph node,
+// optionally carrying a selection condition (a = t), aggregate annotations,
+// and GROUPBY annotations.
+type Node struct {
+	ID    int
+	Class string // ORM node name this instance belongs to
+
+	// Condition "CondAttr contains CondTerm" on relation CondRel (the node's
+	// primary relation, or one of its components). CondCount is the number
+	// of distinct objects satisfying the condition, recorded at match time.
+	CondRel   string
+	CondAttr  string
+	CondTerm  string
+	CondCount int
+
+	Aggs     []AggAnnot
+	GroupBys []AttrRef
+	// Disamb marks that GroupBys includes the object identifier added by
+	// pattern disambiguation (GROUPBY(id), Section 3.1.2).
+	Disamb bool
+	// FromTerm marks nodes created for a query term; the rest are interior
+	// nodes added to connect the pattern.
+	FromTerm bool
+
+	usedFK map[string]int // target class -> FKs of this instance consumed
+}
+
+// HasCond reports whether the node carries a selection condition.
+func (n *Node) HasCond() bool { return n.CondTerm != "" }
+
+// IsTarget reports whether the node is a target node (annotated with an
+// aggregate function).
+func (n *Node) IsTarget() bool { return len(n.Aggs) > 0 }
+
+// IsCondition reports whether the node is a condition node (annotated with a
+// condition or GROUPBY).
+func (n *Node) IsCondition() bool { return n.HasCond() || len(n.GroupBys) > 0 }
+
+// label renders the node's annotations for Describe and canonical forms.
+func (n *Node) label() string {
+	var parts []string
+	if n.HasCond() {
+		parts = append(parts, fmt.Sprintf("%s.%s~%q", n.CondRel, n.CondAttr, n.CondTerm))
+	}
+	for _, a := range n.Aggs {
+		parts = append(parts, a.String())
+	}
+	for _, g := range n.GroupBys {
+		parts = append(parts, "GROUPBY("+g.String()+")")
+	}
+	if len(parts) == 0 {
+		return n.Class
+	}
+	return n.Class + "[" + strings.Join(parts, " ") + "]"
+}
+
+// Edge connects two pattern nodes (adjacent classes in the ORM graph).
+type Edge struct{ A, B int }
+
+// Pattern is an annotated query pattern.
+type Pattern struct {
+	Graph *orm.Graph
+	Query *keyword.Query
+	Nodes []*Node
+	Edges []Edge
+	// Nested lists the aggregate functions applied to the result of the
+	// pattern's own aggregates, outermost first (Section 3.2): the query
+	// {AVG COUNT Lecturer GROUPBY Course} yields Nested = [AVG].
+	Nested []sqlast.AggFunc
+	// ValueTerms counts the query terms this interpretation reads as tuple
+	// values. Interpretations that read a term as metadata (a relation or
+	// attribute name) rank above those that read the same term as a value:
+	// in {supplier MAX acctbal ...} the term "supplier" means the Supplier
+	// relation, not the suppliers whose name contains "supplier".
+	ValueTerms int
+}
+
+// Node returns the node with the given id.
+func (p *Pattern) Node(id int) *Node { return p.Nodes[id] }
+
+// Adjacent returns the ids of nodes adjacent to id.
+func (p *Pattern) Adjacent(id int) []int {
+	var out []int
+	for _, e := range p.Edges {
+		switch id {
+		case e.A:
+			out = append(out, e.B)
+		case e.B:
+			out = append(out, e.A)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ObjectMixedCount counts the object and mixed nodes, the primary ranking
+// signal.
+func (p *Pattern) ObjectMixedCount() int {
+	n := 0
+	for _, nd := range p.Nodes {
+		t := p.Graph.Node(nd.Class).Type
+		if t == orm.Object || t == orm.Mixed {
+			n++
+		}
+	}
+	return n
+}
+
+// distance is the number of edges on the shortest path between two pattern
+// nodes, or 0 when unreachable.
+func (p *Pattern) distance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	dist := map[int]int{a: 0}
+	queue := []int{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range p.Adjacent(cur) {
+			if _, ok := dist[nb]; ok {
+				continue
+			}
+			dist[nb] = dist[cur] + 1
+			if nb == b {
+				return dist[nb]
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return 0
+}
+
+// AvgTargetConditionDistance averages the pairwise distances between target
+// nodes and condition nodes (the secondary ranking signal).
+func (p *Pattern) AvgTargetConditionDistance() float64 {
+	var targets, conds []int
+	for _, n := range p.Nodes {
+		if n.IsTarget() {
+			targets = append(targets, n.ID)
+		}
+		if n.IsCondition() {
+			conds = append(conds, n.ID)
+		}
+	}
+	if len(targets) == 0 || len(conds) == 0 {
+		return 0
+	}
+	sum, cnt := 0, 0
+	for _, t := range targets {
+		for _, c := range conds {
+			if t == c {
+				continue
+			}
+			sum += p.distance(t, c)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// DisambCount counts nodes carrying a disambiguation GROUPBY.
+func (p *Pattern) DisambCount() int {
+	n := 0
+	for _, nd := range p.Nodes {
+		if nd.Disamb {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the pattern.
+func (p *Pattern) Clone() *Pattern {
+	c := &Pattern{Graph: p.Graph, Query: p.Query, ValueTerms: p.ValueTerms}
+	c.Nested = append([]sqlast.AggFunc(nil), p.Nested...)
+	c.Edges = append([]Edge(nil), p.Edges...)
+	for _, n := range p.Nodes {
+		nn := *n
+		nn.Aggs = append([]AggAnnot(nil), n.Aggs...)
+		nn.GroupBys = append([]AttrRef(nil), n.GroupBys...)
+		nn.usedFK = nil
+		c.Nodes = append(c.Nodes, &nn)
+	}
+	return c
+}
+
+// Canonical returns a deterministic structural signature used to de-duplicate
+// patterns generated from different tag combinations.
+func (p *Pattern) Canonical() string {
+	labels := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		labels[i] = n.label()
+	}
+	edges := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		a, b := labels[e.A]+"#"+fmt.Sprint(e.A), labels[e.B]+"#"+fmt.Sprint(e.B)
+		if a > b {
+			a, b = b, a
+		}
+		edges[i] = a + "--" + b
+	}
+	sort.Strings(edges)
+	sorted := append([]string(nil), labels...)
+	sort.Strings(sorted)
+	var nested []string
+	for _, f := range p.Nested {
+		nested = append(nested, string(f))
+	}
+	return strings.Join(sorted, ";") + "|" + strings.Join(edges, ";") + "|" + strings.Join(nested, ",")
+}
+
+// Describe renders a human-readable account of the interpretation, used by
+// the CLI and the experiment reports.
+func (p *Pattern) Describe() string {
+	var parts []string
+	for _, f := range p.Nested {
+		parts = append(parts, string(f)+" of")
+	}
+	for _, n := range p.Nodes {
+		for _, a := range n.Aggs {
+			parts = append(parts, a.String())
+		}
+	}
+	var conds []string
+	for _, n := range p.Nodes {
+		if n.HasCond() {
+			conds = append(conds, fmt.Sprintf("%s.%s contains %q", n.CondRel, n.CondAttr, n.CondTerm))
+		}
+	}
+	var groups []string
+	for _, n := range p.Nodes {
+		for _, g := range n.GroupBys {
+			if n.Disamb && g.Attr != "" {
+				groups = append(groups, fmt.Sprintf("each distinct %s (%s)", n.Class, g.String()))
+			} else {
+				groups = append(groups, "each "+g.String())
+			}
+		}
+	}
+	s := strings.Join(parts, " ")
+	if s == "" {
+		s = "retrieve " + p.shape()
+	}
+	if len(conds) > 0 {
+		s += " where " + strings.Join(conds, " and ")
+	}
+	if len(groups) > 0 {
+		s += " for " + strings.Join(groups, ", ")
+	}
+	return s
+}
+
+func (p *Pattern) shape() string {
+	var names []string
+	for _, n := range p.Nodes {
+		if n.FromTerm {
+			names = append(names, n.Class)
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// String renders the pattern structure: nodes with labels, then edges.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d:%s", n.ID, n.label())
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, " (%d-%d)", e.A, e.B)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the table with a header row of attribute names.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.AttrNames()); err != nil {
+		return err
+	}
+	row := make([]string, len(t.Schema.Attributes))
+	for _, tu := range t.Tuples {
+		for i, v := range tu {
+			if Null(v) {
+				row[i] = ""
+			} else {
+				row[i] = Format(v)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads tuples from r into the table. The first record must be a
+// header whose columns match the schema's attributes by name (any order).
+func (t *Table) ReadCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("relation: reading CSV header for %s: %w", t.Schema.Name, err)
+	}
+	pos := make([]int, len(header))
+	for i, h := range header {
+		j := t.Schema.AttrIndex(h)
+		if j < 0 {
+			return fmt.Errorf("relation: %s has no attribute %q (CSV header)", t.Schema.Name, h)
+		}
+		pos[i] = j
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("relation: reading CSV for %s: %w", t.Schema.Name, err)
+		}
+		tu := make(Tuple, len(t.Schema.Attributes))
+		for i, f := range rec {
+			v, cerr := Coerce(f, t.Schema.Attributes[pos[i]].Type)
+			if cerr != nil {
+				return cerr
+			}
+			tu[pos[i]] = v
+		}
+		if err := t.Insert(tu); err != nil {
+			return err
+		}
+	}
+}

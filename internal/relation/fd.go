@@ -1,0 +1,59 @@
+package relation
+
+import "strings"
+
+// Closure computes the attribute closure of attrs under the functional
+// dependencies fds (the standard fixpoint algorithm). Attribute names are
+// matched case-insensitively; the result preserves the spellings used in
+// attrs and the FDs.
+func Closure(attrs []string, fds []FD) []string {
+	in := make(map[string]string)
+	add := func(a string) bool {
+		k := strings.ToLower(a)
+		if _, ok := in[k]; ok {
+			return false
+		}
+		in[k] = a
+		return true
+	}
+	for _, a := range attrs {
+		add(a)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fds {
+			applies := true
+			for _, l := range fd.LHS {
+				if _, ok := in[strings.ToLower(l)]; !ok {
+					applies = false
+					break
+				}
+			}
+			if !applies {
+				continue
+			}
+			for _, r := range fd.RHS {
+				if add(r) {
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(in))
+	for _, v := range in {
+		out = append(out, v)
+	}
+	return NormalizeAttrSet(out)
+}
+
+// Determines reports whether attrs functionally determine all of targets
+// under fds.
+func Determines(attrs, targets []string, fds []FD) bool {
+	return SubsetAttrSet(targets, Closure(attrs, fds))
+}
+
+// IsSuperkey reports whether attrs is a superkey of the schema under its
+// effective FDs (declared FDs plus the primary key dependency).
+func IsSuperkey(attrs []string, s *Schema) bool {
+	return Determines(attrs, s.AttrNames(), s.EffectiveFDs())
+}

@@ -1,0 +1,89 @@
+package relation
+
+import (
+	"strings"
+	"unicode"
+)
+
+// InvertedIndex maps lower-cased tokens to their occurrences in string-typed
+// attribute values across a database. It answers the question "which
+// relations / attributes / tuples does keyword t match?" (term matching,
+// Section 2 of the paper).
+type InvertedIndex struct {
+	postings map[string][]Posting
+}
+
+// Posting is one occurrence of a token: the value of attribute Attr in row
+// Row of relation Relation contains the token.
+type Posting struct {
+	Relation string
+	Attr     string
+	Row      int
+}
+
+// Tokenize splits s into lower-cased alphanumeric tokens.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// BuildIndex scans every string-typed attribute of every table in db and
+// builds the inverted index over their tokens.
+func BuildIndex(db *Database) *InvertedIndex {
+	idx := &InvertedIndex{postings: make(map[string][]Posting)}
+	for _, t := range db.Tables() {
+		for j, a := range t.Schema.Attributes {
+			if a.Type != TypeString && a.Type != TypeDate {
+				continue
+			}
+			for i, tu := range t.Tuples {
+				s, ok := tu[j].(string)
+				if !ok {
+					continue
+				}
+				seen := make(map[string]bool)
+				for _, tok := range Tokenize(s) {
+					if seen[tok] {
+						continue
+					}
+					seen[tok] = true
+					idx.postings[tok] = append(idx.postings[tok], Posting{
+						Relation: t.Schema.Name, Attr: a.Name, Row: i,
+					})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// LookupToken returns the postings of a single token.
+func (idx *InvertedIndex) LookupToken(tok string) []Posting {
+	return idx.postings[strings.ToLower(tok)]
+}
+
+// LookupPhrase returns the postings of values that contain the whole phrase:
+// the postings of the phrase's first token filtered by a substring check of
+// the complete phrase against the stored value. db supplies the values.
+func (idx *InvertedIndex) LookupPhrase(db *Database, phrase string) []Posting {
+	toks := Tokenize(phrase)
+	if len(toks) == 0 {
+		return nil
+	}
+	var out []Posting
+	for _, p := range idx.postings[toks[0]] {
+		t := db.Table(p.Relation)
+		if t == nil {
+			continue
+		}
+		s, ok := t.Value(p.Row, p.Attr).(string)
+		if ok && ContainsFold(s, phrase) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Vocabulary returns the number of distinct tokens indexed.
+func (idx *InvertedIndex) Vocabulary() int { return len(idx.postings) }

@@ -1,0 +1,132 @@
+package relation
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The on-disk layout of a saved database is a directory containing
+// schema.json (the catalog: relations, types, keys, foreign keys, FDs) and
+// one <relation>.csv per relation with a header row. The format is plain
+// enough to be produced or consumed by other tools.
+
+type schemaJSON struct {
+	Name      string         `json:"name"`
+	Relations []relationJSON `json:"relations"`
+}
+
+type relationJSON struct {
+	Name        string   `json:"name"`
+	Columns     []string `json:"columns"` // "name TYPE"
+	PrimaryKey  []string `json:"primary_key,omitempty"`
+	ForeignKeys []fkJSON `json:"foreign_keys,omitempty"`
+	FDs         []fdJSON `json:"functional_dependencies,omitempty"`
+}
+
+type fkJSON struct {
+	Attrs    []string `json:"attrs"`
+	Ref      string   `json:"ref"`
+	RefAttrs []string `json:"ref_attrs,omitempty"`
+}
+
+type fdJSON struct {
+	From []string `json:"from"`
+	To   []string `json:"to"`
+}
+
+// SaveDir writes the database to dir: schema.json plus one CSV per relation.
+// The directory is created if needed; existing files are overwritten.
+func SaveDir(db *Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("relation: creating %s: %w", dir, err)
+	}
+	cat := schemaJSON{Name: db.Name}
+	for _, t := range db.Tables() {
+		s := t.Schema
+		rj := relationJSON{Name: s.Name, PrimaryKey: s.PrimaryKey}
+		for _, a := range s.Attributes {
+			col := a.Name
+			switch a.Type {
+			case TypeInt:
+				col += " INT"
+			case TypeFloat:
+				col += " FLOAT"
+			case TypeDate:
+				col += " DATE"
+			}
+			rj.Columns = append(rj.Columns, col)
+		}
+		for _, fk := range s.ForeignKeys {
+			rj.ForeignKeys = append(rj.ForeignKeys, fkJSON{Attrs: fk.Attrs, Ref: fk.RefRelation, RefAttrs: fk.RefAttrs})
+		}
+		for _, fd := range s.FDs {
+			rj.FDs = append(rj.FDs, fdJSON{From: fd.LHS, To: fd.RHS})
+		}
+		cat.Relations = append(cat.Relations, rj)
+
+		f, err := os.Create(filepath.Join(dir, strings.ToLower(s.Name)+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "schema.json"), append(data, '\n'), 0o644)
+}
+
+// LoadDir reads a database previously written by SaveDir (or assembled by
+// hand in the same layout). A relation with no CSV file loads empty.
+func LoadDir(dir string) (*Database, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "schema.json"))
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading catalog: %w", err)
+	}
+	var cat schemaJSON
+	if err := json.Unmarshal(raw, &cat); err != nil {
+		return nil, fmt.Errorf("relation: parsing schema.json: %w", err)
+	}
+	db := NewDatabase(cat.Name)
+	for _, rj := range cat.Relations {
+		s := NewSchema(rj.Name, rj.Columns...)
+		s.Key(rj.PrimaryKey...)
+		for _, fk := range rj.ForeignKeys {
+			s.Ref(fk.Attrs, fk.Ref, fk.RefAttrs...)
+		}
+		for _, fd := range rj.FDs {
+			s.Dep(fd.From, fd.To...)
+		}
+		t := db.AddSchema(s)
+
+		path := filepath.Join(dir, strings.ToLower(rj.Name)+".csv")
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := t.ReadCSV(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if errs := ValidateDatabase(db); len(errs) > 0 {
+		return nil, fmt.Errorf("relation: loaded catalog invalid: %w", errs[0])
+	}
+	return db, nil
+}

@@ -1,0 +1,116 @@
+package relation
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func persistSample() *Database {
+	db := NewDatabase("uni")
+	st := db.AddSchema(NewSchema("Student", "Sid", "Sname", "Age INT").Key("Sid"))
+	st.MustInsert("s1", "George", int64(22))
+	st.MustInsert("s2", "Green", int64(24))
+	co := db.AddSchema(NewSchema("Course", "Code", "Credit FLOAT").Key("Code"))
+	co.MustInsert("c1", 5.0)
+	en := db.AddSchema(NewSchema("Enrol", "Sid", "Code").Key("Sid", "Code").
+		Ref([]string{"Sid"}, "Student").
+		Ref([]string{"Code"}, "Course").
+		Dep([]string{"Sid"}, "Code"))
+	en.MustInsert("s1", "c1")
+	return db
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := persistSample()
+	if err := SaveDir(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "uni" {
+		t.Errorf("name: %q", back.Name)
+	}
+	if len(back.Tables()) != 3 {
+		t.Fatalf("tables: %d", len(back.Tables()))
+	}
+	for _, orig := range db.Tables() {
+		got := back.Table(orig.Schema.Name)
+		if got == nil {
+			t.Fatalf("missing relation %s", orig.Schema.Name)
+		}
+		if got.Schema.String() != orig.Schema.String() {
+			t.Errorf("schema differs: %s vs %s", got.Schema, orig.Schema)
+		}
+		if len(got.Schema.ForeignKeys) != len(orig.Schema.ForeignKeys) {
+			t.Errorf("%s: FK count differs", orig.Schema.Name)
+		}
+		if len(got.Schema.FDs) != len(orig.Schema.FDs) {
+			t.Errorf("%s: FD count differs", orig.Schema.Name)
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("%s: row count %d vs %d", orig.Schema.Name, got.Len(), orig.Len())
+		}
+		for i := range orig.Tuples {
+			for j := range orig.Tuples[i] {
+				if !Equal(got.Tuples[i][j], orig.Tuples[i][j]) {
+					t.Errorf("%s row %d col %d: %v vs %v",
+						orig.Schema.Name, i, j, got.Tuples[i][j], orig.Tuples[i][j])
+				}
+			}
+		}
+	}
+	// Types survive: Age is int64 again, Credit float64.
+	if _, ok := back.Table("Student").Tuples[0][2].(int64); !ok {
+		t.Error("INT type lost in round trip")
+	}
+	if _, ok := back.Table("Course").Tuples[0][1].(float64); !ok {
+		t.Error("FLOAT type lost in round trip")
+	}
+}
+
+func TestLoadDirMissingCatalog(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("missing schema.json should fail")
+	}
+}
+
+func TestLoadDirBadCatalog(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "schema.json"), []byte("{not json"), 0o644)
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("malformed schema.json should fail")
+	}
+}
+
+func TestLoadDirEmptyRelation(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDatabase("x")
+	db.AddSchema(NewSchema("T", "a").Key("a"))
+	if err := SaveDir(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the CSV: the relation should load empty.
+	os.Remove(filepath.Join(dir, "t.csv"))
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Table("T").Len() != 0 {
+		t.Error("relation without CSV should be empty")
+	}
+}
+
+func TestLoadDirValidates(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "schema.json"), []byte(`{
+		"name": "bad",
+		"relations": [{"name": "T", "columns": ["a"], "primary_key": ["missing"]}]
+	}`), 0o644)
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("invalid loaded schema should fail validation")
+	}
+}

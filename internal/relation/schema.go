@@ -1,0 +1,249 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute is a named, typed column of a relation schema.
+type Attribute struct {
+	Name string
+	Type Type
+}
+
+// ForeignKey declares that Attrs in the owning relation reference RefAttrs,
+// the key of relation RefRelation.
+type ForeignKey struct {
+	Attrs       []string
+	RefRelation string
+	RefAttrs    []string
+}
+
+// String renders the foreign key in a compact diagnostic form.
+func (fk ForeignKey) String() string {
+	return fmt.Sprintf("(%s) -> %s(%s)",
+		strings.Join(fk.Attrs, ","), fk.RefRelation, strings.Join(fk.RefAttrs, ","))
+}
+
+// FD is a functional dependency LHS -> RHS over the attributes of one
+// relation. FDs drive normal-form checking and 3NF synthesis (Section 4 of
+// the paper).
+type FD struct {
+	LHS []string
+	RHS []string
+}
+
+// String renders the FD as "A,B -> C".
+func (fd FD) String() string {
+	return strings.Join(fd.LHS, ",") + " -> " + strings.Join(fd.RHS, ",")
+}
+
+// Schema describes one relation: its attributes, primary key, foreign keys
+// and (optionally) the functional dependencies that hold on it. When FDs is
+// empty, the only dependency assumed is PrimaryKey -> all attributes.
+type Schema struct {
+	Name        string
+	Attributes  []Attribute
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+	FDs         []FD
+}
+
+// NewSchema builds a schema from "name TYPE" column declarations, e.g.
+// NewSchema("Student", "Sid INT", "Sname", "Age INT").Key("Sid").
+// A missing type defaults to VARCHAR; recognised types are INT, FLOAT
+// (DECIMAL) and DATE.
+func NewSchema(name string, cols ...string) *Schema {
+	s := &Schema{Name: name}
+	for _, c := range cols {
+		fields := strings.Fields(c)
+		if len(fields) == 0 {
+			continue
+		}
+		attr := Attribute{Name: fields[0], Type: TypeString}
+		if len(fields) > 1 {
+			switch strings.ToUpper(fields[1]) {
+			case "INT", "INTEGER":
+				attr.Type = TypeInt
+			case "FLOAT", "DECIMAL", "REAL":
+				attr.Type = TypeFloat
+			case "DATE":
+				attr.Type = TypeDate
+			}
+		}
+		s.Attributes = append(s.Attributes, attr)
+	}
+	return s
+}
+
+// Key sets the primary key and returns the schema for chaining.
+func (s *Schema) Key(attrs ...string) *Schema {
+	s.PrimaryKey = attrs
+	return s
+}
+
+// Ref appends a foreign key and returns the schema for chaining. The
+// referenced attributes default to the referencing ones when refAttrs is
+// empty (the common same-name convention used by all datasets in the paper).
+func (s *Schema) Ref(attrs []string, refRelation string, refAttrs ...string) *Schema {
+	if len(refAttrs) == 0 {
+		refAttrs = attrs
+	}
+	s.ForeignKeys = append(s.ForeignKeys, ForeignKey{Attrs: attrs, RefRelation: refRelation, RefAttrs: refAttrs})
+	return s
+}
+
+// Dep appends a functional dependency and returns the schema for chaining.
+func (s *Schema) Dep(lhs []string, rhs ...string) *Schema {
+	s.FDs = append(s.FDs, FD{LHS: lhs, RHS: rhs})
+	return s
+}
+
+// AttrIndex returns the position of the named attribute, matching
+// case-insensitively, or -1 when absent.
+func (s *Schema) AttrIndex(name string) int {
+	for i, a := range s.Attributes {
+		if strings.EqualFold(a.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttr reports whether the schema has an attribute with the given name.
+func (s *Schema) HasAttr(name string) bool { return s.AttrIndex(name) >= 0 }
+
+// AttrNames returns the attribute names in declaration order.
+func (s *Schema) AttrNames() []string {
+	names := make([]string, len(s.Attributes))
+	for i, a := range s.Attributes {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// AttrType returns the type of the named attribute, defaulting to VARCHAR
+// for unknown names.
+func (s *Schema) AttrType(name string) Type {
+	if i := s.AttrIndex(name); i >= 0 {
+		return s.Attributes[i].Type
+	}
+	return TypeString
+}
+
+// IsKeyAttr reports whether name is part of the primary key.
+func (s *Schema) IsKeyAttr(name string) bool {
+	for _, k := range s.PrimaryKey {
+		if strings.EqualFold(k, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveFDs returns the declared FDs plus the implicit dependency of the
+// primary key on every non-key attribute.
+func (s *Schema) EffectiveFDs() []FD {
+	fds := make([]FD, 0, len(s.FDs)+1)
+	fds = append(fds, s.FDs...)
+	if len(s.PrimaryKey) > 0 {
+		var rhs []string
+		for _, a := range s.Attributes {
+			if !s.IsKeyAttr(a.Name) {
+				rhs = append(rhs, a.Name)
+			}
+		}
+		if len(rhs) > 0 {
+			fds = append(fds, FD{LHS: append([]string(nil), s.PrimaryKey...), RHS: rhs})
+		}
+	}
+	return fds
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Name: s.Name}
+	c.Attributes = append([]Attribute(nil), s.Attributes...)
+	c.PrimaryKey = append([]string(nil), s.PrimaryKey...)
+	for _, fk := range s.ForeignKeys {
+		c.ForeignKeys = append(c.ForeignKeys, ForeignKey{
+			Attrs:       append([]string(nil), fk.Attrs...),
+			RefRelation: fk.RefRelation,
+			RefAttrs:    append([]string(nil), fk.RefAttrs...),
+		})
+	}
+	for _, fd := range s.FDs {
+		c.FDs = append(c.FDs, FD{LHS: append([]string(nil), fd.LHS...), RHS: append([]string(nil), fd.RHS...)})
+	}
+	return c
+}
+
+// String renders the schema in the compact form used by the paper's Table 2,
+// with key attributes underlined replaced by a leading '*'.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Attributes))
+	for i, a := range s.Attributes {
+		n := a.Name
+		if s.IsKeyAttr(n) {
+			n = "*" + n
+		}
+		parts[i] = n
+	}
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(parts, ", "))
+}
+
+// NormalizeAttrSet sorts and de-duplicates a set of attribute names,
+// case-insensitively, preserving the first-seen spelling.
+func NormalizeAttrSet(attrs []string) []string {
+	seen := make(map[string]string)
+	for _, a := range attrs {
+		k := strings.ToLower(a)
+		if _, ok := seen[k]; !ok {
+			seen[k] = a
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// SameAttrSet reports whether two attribute sets are equal ignoring order
+// and case.
+func SameAttrSet(a, b []string) bool {
+	na, nb := NormalizeAttrSet(a), NormalizeAttrSet(b)
+	if len(na) != len(nb) {
+		return false
+	}
+	for i := range na {
+		if !strings.EqualFold(na[i], nb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetAttrSet reports whether every attribute in sub occurs in super,
+// ignoring case.
+func SubsetAttrSet(sub, super []string) bool {
+	for _, a := range sub {
+		found := false
+		for _, b := range super {
+			if strings.EqualFold(a, b) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

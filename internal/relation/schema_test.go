@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func studentSchema() *Schema {
+	return NewSchema("Student", "Sid", "Sname", "Age INT").Key("Sid")
+}
+
+func TestNewSchemaTypes(t *testing.T) {
+	s := NewSchema("T", "a", "b INT", "c FLOAT", "d DATE", "e DECIMAL", "f INTEGER")
+	want := []Type{TypeString, TypeInt, TypeFloat, TypeDate, TypeFloat, TypeInt}
+	for i, w := range want {
+		if s.Attributes[i].Type != w {
+			t.Errorf("attribute %d: got %v, want %v", i, s.Attributes[i].Type, w)
+		}
+	}
+}
+
+func TestAttrIndexCaseInsensitive(t *testing.T) {
+	s := studentSchema()
+	if s.AttrIndex("sname") != 1 || s.AttrIndex("SNAME") != 1 {
+		t.Error("attribute lookup should be case-insensitive")
+	}
+	if s.AttrIndex("nosuch") != -1 {
+		t.Error("unknown attribute should return -1")
+	}
+	if !s.HasAttr("AGE") || s.HasAttr("ages") {
+		t.Error("HasAttr mismatch")
+	}
+}
+
+func TestIsKeyAttr(t *testing.T) {
+	s := NewSchema("Enrol", "Sid", "Code", "Grade").Key("Sid", "Code")
+	if !s.IsKeyAttr("sid") || !s.IsKeyAttr("Code") || s.IsKeyAttr("Grade") {
+		t.Error("IsKeyAttr mismatch")
+	}
+}
+
+func TestRefDefaultsRefAttrs(t *testing.T) {
+	s := NewSchema("Enrol", "Sid", "Code").Key("Sid", "Code").
+		Ref([]string{"Sid"}, "Student").
+		Ref([]string{"Code"}, "Course", "Code")
+	if got := s.ForeignKeys[0].RefAttrs[0]; got != "Sid" {
+		t.Errorf("RefAttrs should default to Attrs, got %q", got)
+	}
+	if got := s.ForeignKeys[1].String(); got != "(Code) -> Course(Code)" {
+		t.Errorf("FK String: %q", got)
+	}
+}
+
+func TestEffectiveFDs(t *testing.T) {
+	s := NewSchema("R", "A", "B", "C").Key("A").Dep([]string{"B"}, "C")
+	fds := s.EffectiveFDs()
+	if len(fds) != 2 {
+		t.Fatalf("want declared FD plus key FD, got %d", len(fds))
+	}
+	// The implicit key dependency A -> B, C must be present.
+	found := false
+	for _, fd := range fds {
+		if len(fd.LHS) == 1 && strings.EqualFold(fd.LHS[0], "A") && len(fd.RHS) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing implicit key FD in %v", fds)
+	}
+}
+
+func TestEffectiveFDsNoKey(t *testing.T) {
+	s := NewSchema("R", "A", "B")
+	if n := len(s.EffectiveFDs()); n != 0 {
+		t.Errorf("keyless relation should have no implicit FDs, got %d", n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := studentSchema().Ref([]string{"Sid"}, "X").Dep([]string{"Sid"}, "Sname")
+	c := s.Clone()
+	c.Attributes[0].Name = "Changed"
+	c.PrimaryKey[0] = "Changed"
+	c.ForeignKeys[0].Attrs[0] = "Changed"
+	c.FDs[0].LHS[0] = "Changed"
+	if s.Attributes[0].Name != "Sid" || s.PrimaryKey[0] != "Sid" ||
+		s.ForeignKeys[0].Attrs[0] != "Sid" || s.FDs[0].LHS[0] != "Sid" {
+		t.Error("Clone must deep-copy every slice")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema("Enrol", "Sid", "Code", "Grade").Key("Sid", "Code")
+	if got := s.String(); got != "Enrol(*Sid, *Code, Grade)" {
+		t.Errorf("String: %q", got)
+	}
+}
+
+func TestNormalizeAttrSet(t *testing.T) {
+	got := NormalizeAttrSet([]string{"b", "A", "B", "a", "c"})
+	if len(got) != 3 || got[0] != "A" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("NormalizeAttrSet: %v", got)
+	}
+}
+
+func TestSameAttrSet(t *testing.T) {
+	if !SameAttrSet([]string{"A", "b"}, []string{"B", "a"}) {
+		t.Error("sets equal up to case and order should match")
+	}
+	if SameAttrSet([]string{"A"}, []string{"A", "B"}) {
+		t.Error("different cardinality should not match")
+	}
+}
+
+func TestSubsetAttrSet(t *testing.T) {
+	if !SubsetAttrSet([]string{"a"}, []string{"A", "B"}) {
+		t.Error("subset check should be case-insensitive")
+	}
+	if SubsetAttrSet([]string{"c"}, []string{"A", "B"}) {
+		t.Error("non-subset should fail")
+	}
+	if !SubsetAttrSet(nil, []string{"A"}) {
+		t.Error("empty set is a subset of anything")
+	}
+}

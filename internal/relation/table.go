@@ -1,0 +1,207 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one row of a table; Tuple[i] is the value of Schema.Attributes[i].
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Table is an in-memory relation instance: a schema plus its tuples.
+type Table struct {
+	Schema *Schema
+	Tuples []Tuple
+
+	hashIdx map[string]map[string][]int // attr (lower) -> formatted value -> row ids
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(s *Schema) *Table { return &Table{Schema: s} }
+
+// Insert appends a tuple after checking its arity. Values must already have
+// the declared types; use InsertRow for string coercion.
+func (t *Table) Insert(tu Tuple) error {
+	if len(tu) != len(t.Schema.Attributes) {
+		return fmt.Errorf("relation: %s expects %d values, got %d",
+			t.Schema.Name, len(t.Schema.Attributes), len(tu))
+	}
+	t.Tuples = append(t.Tuples, tu)
+	t.hashIdx = nil
+	return nil
+}
+
+// MustInsert is Insert but panics on arity mismatch; intended for dataset
+// builders whose shapes are fixed at compile time.
+func (t *Table) MustInsert(vals ...Value) {
+	if err := t.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// InsertRow coerces the string fields to the declared attribute types and
+// appends the resulting tuple.
+func (t *Table) InsertRow(fields ...string) error {
+	if len(fields) != len(t.Schema.Attributes) {
+		return fmt.Errorf("relation: %s expects %d fields, got %d",
+			t.Schema.Name, len(t.Schema.Attributes), len(fields))
+	}
+	tu := make(Tuple, len(fields))
+	for i, f := range fields {
+		v, err := Coerce(f, t.Schema.Attributes[i].Type)
+		if err != nil {
+			return fmt.Errorf("relation: %s.%s: %w", t.Schema.Name, t.Schema.Attributes[i].Name, err)
+		}
+		tu[i] = v
+	}
+	return t.Insert(tu)
+}
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.Tuples) }
+
+// Value returns the value of the named attribute in row i.
+func (t *Table) Value(i int, attr string) Value {
+	j := t.Schema.AttrIndex(attr)
+	if j < 0 {
+		return nil
+	}
+	return t.Tuples[i][j]
+}
+
+// Lookup returns the row ids whose attribute equals v exactly, using a lazily
+// built hash index.
+func (t *Table) Lookup(attr string, v Value) []int {
+	key := strings.ToLower(attr)
+	if t.hashIdx == nil {
+		t.hashIdx = make(map[string]map[string][]int)
+	}
+	idx, ok := t.hashIdx[key]
+	if !ok {
+		j := t.Schema.AttrIndex(attr)
+		if j < 0 {
+			return nil
+		}
+		idx = make(map[string][]int)
+		for i, tu := range t.Tuples {
+			idx[Format(tu[j])] = append(idx[Format(tu[j])], i)
+		}
+		t.hashIdx[key] = idx
+	}
+	return idx[Format(v)]
+}
+
+// KeyOf returns the primary-key values of row i, formatted and joined, used
+// to identify distinct objects during pattern disambiguation.
+func (t *Table) KeyOf(i int) string {
+	parts := make([]string, len(t.Schema.PrimaryKey))
+	for j, k := range t.Schema.PrimaryKey {
+		parts[j] = Format(t.Value(i, k))
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Project returns a new table with the named attributes; when distinct is
+// true, duplicate projected tuples are removed. The projected table's key is
+// the full attribute list (it is only used as an intermediate result).
+func (t *Table) Project(attrs []string, distinct bool) (*Table, error) {
+	idxs := make([]int, len(attrs))
+	out := NewSchema(t.Schema.Name)
+	for i, a := range attrs {
+		j := t.Schema.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: %s has no attribute %q", t.Schema.Name, a)
+		}
+		idxs[i] = j
+		out.Attributes = append(out.Attributes, t.Schema.Attributes[j])
+	}
+	out.PrimaryKey = append([]string(nil), attrs...)
+	res := NewTable(out)
+	seen := make(map[string]bool)
+	for _, tu := range t.Tuples {
+		row := make(Tuple, len(idxs))
+		for i, j := range idxs {
+			row[i] = tu[j]
+		}
+		if distinct {
+			k := formatRow(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		res.Tuples = append(res.Tuples, row)
+	}
+	return res, nil
+}
+
+func formatRow(tu Tuple) string {
+	parts := make([]string, len(tu))
+	for i, v := range tu {
+		parts[i] = Format(v)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Database is a named collection of tables with stable iteration order.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: make(map[string]*Table)}
+}
+
+// Add registers a table, replacing any table with the same name.
+func (db *Database) Add(t *Table) {
+	key := strings.ToLower(t.Schema.Name)
+	if _, ok := db.tables[key]; !ok {
+		db.order = append(db.order, key)
+	}
+	db.tables[key] = t
+}
+
+// AddSchema registers an empty table for the schema and returns it.
+func (db *Database) AddSchema(s *Schema) *Table {
+	t := NewTable(s)
+	db.Add(t)
+	return t
+}
+
+// Table returns the named table (case-insensitive) or nil.
+func (db *Database) Table(name string) *Table {
+	return db.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables in registration order.
+func (db *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(db.order))
+	for _, k := range db.order {
+		out = append(out, db.tables[k])
+	}
+	return out
+}
+
+// Schemas returns all table schemas in registration order.
+func (db *Database) Schemas() []*Schema {
+	out := make([]*Schema, 0, len(db.order))
+	for _, k := range db.order {
+		out = append(out, db.tables[k].Schema)
+	}
+	return out
+}
+
+// Stats returns a one-line tuple-count summary, useful in CLIs and examples.
+func (db *Database) Stats() string {
+	parts := make([]string, 0, len(db.order))
+	for _, t := range db.Tables() {
+		parts = append(parts, fmt.Sprintf("%s=%d", t.Schema.Name, t.Len()))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,180 @@
+// Package relation implements the relational substrate used throughout the
+// library: typed schemas, primary and foreign keys, functional dependencies,
+// in-memory tables, and the secondary indexes (hash and inverted keyword
+// indexes) that keyword matching and SQL execution are built on.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type identifies the declared type of an attribute.
+type Type int
+
+// Attribute types. Dates are stored as ISO-8601 strings so that their
+// lexicographic order coincides with chronological order.
+const (
+	TypeString Type = iota
+	TypeInt
+	TypeFloat
+	TypeDate
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeString:
+		return "VARCHAR"
+	case TypeInt:
+		return "INTEGER"
+	case TypeFloat:
+		return "DECIMAL"
+	case TypeDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is a single attribute value in a tuple. The dynamic type is one of
+// int64, float64, string, or nil (SQL NULL). Dates are strings.
+type Value interface{}
+
+// Null reports whether v is the SQL NULL value.
+func Null(v Value) bool { return v == nil }
+
+// Int constructs an integer Value.
+func Int(i int64) Value { return i }
+
+// Float constructs a floating-point Value.
+func Float(f float64) Value { return f }
+
+// Str constructs a string Value.
+func Str(s string) Value { return s }
+
+// AsFloat converts a numeric Value to float64. The second result is false if
+// the value is NULL or non-numeric.
+func AsFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case string:
+		f, err := strconv.ParseFloat(x, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value. Numeric
+// values compare numerically even across int64/float64; everything else
+// compares by its string form. The result is -1, 0, or +1.
+func Compare(a, b Value) int {
+	switch {
+	case Null(a) && Null(b):
+		return 0
+	case Null(a):
+		return -1
+	case Null(b):
+		return 1
+	}
+	af, aok := numeric(a)
+	bf, bok := numeric(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(Format(a), Format(b))
+}
+
+func numeric(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Format renders a value the way the engine prints result rows: integers
+// without a decimal point, floats with minimal digits, NULL as "NULL".
+func Format(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'f', -1, 64)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// Literal renders a value as a SQL literal: strings are single-quoted with
+// embedded quotes doubled.
+func Literal(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'"
+	default:
+		return Format(v)
+	}
+}
+
+// Coerce parses the string s into a Value of type t. An empty string becomes
+// NULL for every type except TypeString.
+func Coerce(s string, t Type) (Value, error) {
+	switch t {
+	case TypeString, TypeDate:
+		return s, nil
+	case TypeInt:
+		if s == "" {
+			return nil, nil
+		}
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation: %q is not an integer: %w", s, err)
+		}
+		return i, nil
+	case TypeFloat:
+		if s == "" {
+			return nil, nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation: %q is not a number: %w", s, err)
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("relation: unknown type %v", t)
+	}
+}
+
+// ContainsFold reports whether haystack contains needle, ignoring ASCII case.
+// It implements the paper's "a contains t" predicate used for value matches.
+func ContainsFold(haystack, needle string) bool {
+	return strings.Contains(strings.ToLower(haystack), strings.ToLower(needle))
+}

@@ -1,0 +1,208 @@
+// Package server exposes a keyword-search engine over HTTP as a small JSON
+// API, so the system can back a demo UI or be driven from other languages:
+//
+//	GET  /healthz               liveness probe
+//	GET  /api/schema            ORM schema graph (text and DOT)
+//	POST /api/query             {"q": "...", "k": 3} -> ranked answers
+//	POST /api/sql               {"sql": "SELECT ..."} -> result grid
+//	POST /api/sqak              {"q": "..."} -> the SQAK baseline's answer
+//	GET  /api/explain?q=...&i=0 explanation of the i-th interpretation
+//
+// All state is read-only after construction, so one Server handles
+// concurrent requests without locking.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"kwagg"
+)
+
+// Server is an http.Handler answering keyword queries over one engine.
+type Server struct {
+	eng *kwagg.Engine
+	mux *http.ServeMux
+	// MaxK caps the number of interpretations executed per request.
+	MaxK int
+}
+
+// New creates a server for the engine.
+func New(eng *kwagg.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), MaxK: 10}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/api/schema", s.handleSchema)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/sql", s.handleSQL)
+	s.mux.HandleFunc("/api/sqak", s.handleSQAK)
+	s.mux.HandleFunc("/api/explain", s.handleExplain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type schemaResponse struct {
+	Unnormalized bool   `json:"unnormalized"`
+	Text         string `json:"text"`
+	Dot          string `json:"dot"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, schemaResponse{
+		Unnormalized: s.eng.Unnormalized(),
+		Text:         s.eng.SchemaGraph(),
+		Dot:          s.eng.SchemaDot(),
+	})
+}
+
+type queryRequest struct {
+	Q string `json:"q"`
+	K int    `json:"k"`
+}
+
+type answerJSON struct {
+	Description string     `json:"description"`
+	Pattern     string     `json:"pattern"`
+	SQL         string     `json:"sql"`
+	Columns     []string   `json:"columns"`
+	Rows        [][]string `json:"rows"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.readPost(w, r, &req) {
+		return
+	}
+	if req.Q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing q"))
+		return
+	}
+	k := req.K
+	if k <= 0 || k > s.MaxK {
+		k = s.MaxK
+	}
+	answers, err := s.eng.Answer(req.Q, k)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]answerJSON, len(answers))
+	for i, a := range answers {
+		out[i] = answerJSON{
+			Description: a.Description,
+			Pattern:     a.Pattern,
+			SQL:         a.SQL,
+			Columns:     a.Result.Columns,
+			Rows:        a.Result.Rows,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type sqlRequest struct {
+	SQL string `json:"sql"`
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	var req sqlRequest
+	if !s.readPost(w, r, &req) {
+		return
+	}
+	res, err := s.eng.ExecuteSQL(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type sqakResponse struct {
+	SQL     string     `json:"sql,omitempty"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	NA      string     `json:"na,omitempty"` // set when SQAK cannot express the query
+}
+
+func (s *Server) handleSQAK(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.readPost(w, r, &req) {
+		return
+	}
+	res, sql, err := s.eng.SQAKAnswer(req.Q)
+	if err != nil {
+		// SQAK's documented restrictions are data, not server errors.
+		writeJSON(w, http.StatusOK, sqakResponse{NA: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, sqakResponse{SQL: sql, Columns: res.Columns, Rows: res.Rows})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing q"))
+		return
+	}
+	idx := 0
+	if is := r.URL.Query().Get("i"); is != "" {
+		var err error
+		idx, err = strconv.Atoi(is)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad i: %w", err))
+			return
+		}
+	}
+	out, err := s.eng.Explain(q, idx)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"explanation": out})
+}
+
+// readPost decodes a JSON POST body into v, writing the error response
+// itself when the request is malformed.
+func (s *Server) readPost(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}

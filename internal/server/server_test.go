@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kwagg"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng, err := kwagg.Open(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decode(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Unnormalized bool
+		Text, Dot    string
+	}
+	decode(t, resp, &body)
+	if body.Unnormalized || !strings.Contains(body.Text, "Student") || !strings.Contains(body.Dot, "graph ORM") {
+		t.Errorf("schema response: %+v", body)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "Green SUM Credit", "k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var answers []struct {
+		Description string
+		SQL         string
+		Rows        [][]string
+	}
+	decode(t, resp, &answers)
+	if len(answers) != 1 || len(answers[0].Rows) != 2 {
+		t.Fatalf("answers: %+v", answers)
+	}
+	if !strings.Contains(answers[0].SQL, "SUM(") {
+		t.Errorf("SQL: %s", answers[0].SQL)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	ts := testServer(t)
+	resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": ""})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty q: status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "Student COUNT"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad query: status %d", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/api/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST endpoint: status %d", getResp.StatusCode)
+	}
+}
+
+func TestSQLEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp := postJSON(t, ts.URL+"/api/sql", map[string]string{"sql": "SELECT COUNT(S.Sid) AS n FROM Student S"})
+	var body struct {
+		Columns []string
+		Rows    [][]string
+	}
+	decode(t, resp, &body)
+	if len(body.Rows) != 1 || body.Rows[0][0] != "3" {
+		t.Errorf("sql result: %+v", body)
+	}
+	resp = postJSON(t, ts.URL+"/api/sql", map[string]string{"sql": "SELECT nope"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad SQL: status %d", resp.StatusCode)
+	}
+}
+
+func TestSQAKEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp := postJSON(t, ts.URL+"/api/sqak", map[string]string{"q": "Green SUM Credit"})
+	var body struct {
+		SQL  string
+		Rows [][]string
+		NA   string
+	}
+	decode(t, resp, &body)
+	if body.NA != "" || len(body.Rows) != 1 {
+		t.Fatalf("SQAK response: %+v", body)
+	}
+	// A query SQAK cannot express reports NA, not an HTTP error.
+	resp = postJSON(t, ts.URL+"/api/sqak", map[string]string{"q": "COUNT Course SUM Credit"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("NA should be 200: %d", resp.StatusCode)
+	}
+	body.NA = ""
+	decode(t, resp, &body)
+	if !strings.Contains(body.NA, "aggregate") {
+		t.Errorf("NA note: %+v", body)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/explain?q=" + strings.ReplaceAll("Green SUM Credit", " ", "%20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct{ Explanation string }
+	decode(t, resp, &body)
+	if !strings.Contains(body.Explanation, "disambiguation") {
+		t.Errorf("explanation: %q", body.Explanation)
+	}
+	bad, err := http.Get(ts.URL + "/api/explain?q=Green%20SUM%20Credit&i=notanum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad i: status %d", bad.StatusCode)
+	}
+}

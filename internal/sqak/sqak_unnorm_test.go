@@ -1,0 +1,95 @@
+package sqak
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kwagg/internal/dataset/acmdl"
+	"kwagg/internal/dataset/tpch"
+)
+
+func tpchDenorm(t *testing.T) *System {
+	t.Helper()
+	return New(tpch.Denormalize(tpch.New(tpch.Small())))
+}
+
+func acmdlDenorm(t *testing.T) *System {
+	t.Helper()
+	return New(acmdl.Denormalize(acmdl.New(acmdl.Small())))
+}
+
+// TestPrefixMatchingSupplier: on TPCH' the term "supplier" resolves to the
+// suppkey attribute of Ordering by shared prefix, so T5-style queries count
+// rows (the inflated behaviour of Table 8) instead of failing.
+func TestPrefixMatchingSupplier(t *testing.T) {
+	s := tpchDenorm(t)
+	sql, err := s.Translate(`COUNT supplier "Indian black chocolate"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sql.String()
+	if !strings.Contains(text, "COUNT(") || !strings.Contains(text, "suppkey") {
+		t.Errorf("supplier should resolve to suppkey:\n%s", text)
+	}
+	if strings.Contains(text, "DISTINCT") {
+		t.Errorf("SQAK never de-duplicates:\n%s", text)
+	}
+	if !strings.Contains(text, "Ordering") {
+		t.Errorf("the wide relation should be queried directly:\n%s", text)
+	}
+}
+
+// TestOrderMatchesOrdering: "order" matches the Ordering relation by
+// substring, so T1' averages the duplicated amounts.
+func TestOrderMatchesOrdering(t *testing.T) {
+	s := tpchDenorm(t)
+	sql, err := s.Translate("order AVG amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql.String(), "FROM Ordering") {
+		t.Errorf("T1' should run on Ordering:\n%s", sql)
+	}
+}
+
+// TestProceedingResolvesToProcid: on ACMDL' the GROUPBY operand
+// "proceeding" groups by procid (36 inflated answers in Table 9), not by
+// the EditorProceeding key.
+func TestProceedingResolvesToProcid(t *testing.T) {
+	s := acmdlDenorm(t)
+	sql, err := s.Translate("COUNT paper GROUPBY proceeding SIGMOD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sql.String()
+	if !strings.Contains(text, "GROUP BY") || !strings.Contains(text, "procid") {
+		t.Errorf("grouping should be per procid:\n%s", text)
+	}
+	if !strings.Contains(text, "PaperAuthor") || !strings.Contains(text, "EditorProceeding") {
+		t.Errorf("both wide relations join on procid:\n%s", text)
+	}
+}
+
+// TestSelfJoinStillRejectedOnUnnormalized: A7/A8 stay N.A. on ACMDL'.
+func TestSelfJoinStillRejectedOnUnnormalized(t *testing.T) {
+	s := acmdlDenorm(t)
+	for _, q := range []string{
+		"COUNT paper author John Mary",
+		"COUNT editor SIGIR CIKM",
+	} {
+		if _, err := s.Translate(q); !errors.Is(err, ErrSelfJoin) {
+			t.Errorf("Translate(%q) = %v, want ErrSelfJoin", q, err)
+		}
+	}
+}
+
+// TestMultipleAggregatesStillRejectedOnUnnormalized: T7/A6 stay N.A.
+func TestMultipleAggregatesStillRejectedOnUnnormalized(t *testing.T) {
+	if _, err := tpchDenorm(t).Translate("COUNT order SUM amount GROUPBY mktsegment"); !errors.Is(err, ErrMultipleAggregates) {
+		t.Errorf("T7': %v", err)
+	}
+	if _, err := acmdlDenorm(t).Translate("COUNT paper MAX date IEEE"); !errors.Is(err, ErrMultipleAggregates) {
+		t.Errorf("A6': %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+
+	"kwagg/internal/relation"
+)
+
+func example5Query() *Query {
+	// The SQL of the paper's Example 5.
+	return &Query{
+		Select: []SelectItem{
+			{Expr: ColExpr{Col: Col{Table: "S1", Column: "Sid"}}},
+			{Expr: AggExpr{Func: AggCount, Arg: Col{Table: "C", Column: "Code"}}, Alias: "numCode"},
+		},
+		From: []TableRef{
+			{Name: "Course", Alias: "C"},
+			{Name: "Enrol", Alias: "E1"},
+			{Name: "Student", Alias: "S1"},
+			{Name: "Enrol", Alias: "E2"},
+			{Name: "Student", Alias: "S2"},
+		},
+		Where: []Pred{
+			JoinPred{Left: Col{Table: "C", Column: "Code"}, Right: Col{Table: "E1", Column: "Code"}},
+			JoinPred{Left: Col{Table: "C", Column: "Code"}, Right: Col{Table: "E2", Column: "Code"}},
+			JoinPred{Left: Col{Table: "S1", Column: "Sid"}, Right: Col{Table: "E1", Column: "Sid"}},
+			ContainsPred{Col: Col{Table: "S1", Column: "Sname"}, Needle: "Green"},
+			JoinPred{Left: Col{Table: "S2", Column: "Sid"}, Right: Col{Table: "E2", Column: "Sid"}},
+			ContainsPred{Col: Col{Table: "S2", Column: "Sname"}, Needle: "George"},
+		},
+		GroupBy: []Col{{Table: "S1", Column: "Sid"}},
+	}
+}
+
+func TestIsAggFunc(t *testing.T) {
+	for in, want := range map[string]AggFunc{
+		"count": AggCount, "COUNT": AggCount, "Sum": AggSum,
+		"avg": AggAvg, "min": AggMin, "MAX": AggMax,
+	} {
+		fn, ok := IsAggFunc(in)
+		if !ok || fn != want {
+			t.Errorf("IsAggFunc(%q) = %v, %v", in, fn, ok)
+		}
+	}
+	if _, ok := IsAggFunc("median"); ok {
+		t.Error("median is not supported")
+	}
+	if _, ok := IsAggFunc("groupby"); ok {
+		t.Error("GROUPBY is not an aggregate function")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	got := example5Query().String()
+	want := "SELECT S1.Sid, COUNT(C.Code) AS numCode " +
+		"FROM Course C, Enrol E1, Student S1, Enrol E2, Student S2 " +
+		"WHERE C.Code=E1.Code AND C.Code=E2.Code AND S1.Sid=E1.Sid " +
+		"AND S1.Sname CONTAINS 'Green' AND S2.Sid=E2.Sid AND S2.Sname CONTAINS 'George' " +
+		"GROUP BY S1.Sid"
+	if got != want {
+		t.Errorf("String:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestPrettyHasClausesOnLines(t *testing.T) {
+	p := example5Query().Pretty()
+	for _, frag := range []string{"SELECT ", "\nFROM ", "\nWHERE ", "\nGROUP BY "} {
+		if !strings.Contains(p, frag) {
+			t.Errorf("Pretty missing %q:\n%s", frag, p)
+		}
+	}
+}
+
+func TestSubqueryRendering(t *testing.T) {
+	q := &Query{
+		Select: []SelectItem{{Expr: AggExpr{Func: AggCount, Arg: Col{Table: "L", Column: "Lid"}}, Alias: "numLid"}},
+		From: []TableRef{
+			{Name: "Lecturer", Alias: "L"},
+			{Subquery: &Query{
+				Distinct: true,
+				Select: []SelectItem{
+					{Expr: ColExpr{Col: Col{Column: "Lid"}}},
+					{Expr: ColExpr{Col: Col{Column: "Code"}}},
+				},
+				From: []TableRef{{Name: "Teach", Alias: "Teach"}},
+			}, Alias: "T"},
+		},
+		Where: []Pred{JoinPred{Left: Col{Table: "T", Column: "Lid"}, Right: Col{Table: "L", Column: "Lid"}}},
+	}
+	got := q.String()
+	want := "SELECT COUNT(L.Lid) AS numLid FROM Lecturer L, " +
+		"(SELECT DISTINCT Lid, Code FROM Teach) T WHERE T.Lid=L.Lid"
+	if got != want {
+		t.Errorf("subquery rendering:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestTableRefSelfAlias(t *testing.T) {
+	tr := TableRef{Name: "Teach", Alias: "Teach"}
+	if tr.String() != "Teach" {
+		t.Errorf("alias equal to name should be elided: %q", tr.String())
+	}
+	tr = TableRef{Name: "Teach", Alias: "T"}
+	if tr.String() != "Teach T" {
+		t.Errorf("distinct alias rendered: %q", tr.String())
+	}
+}
+
+func TestPredStrings(t *testing.T) {
+	if got := (ComparePred{Col: Col{Table: "S", Column: "Age"}, Op: OpGe, Value: relation.Int(21)}).String(); got != "S.Age >= 21" {
+		t.Errorf("ComparePred: %q", got)
+	}
+	if got := (ContainsPred{Col: Col{Column: "Sname"}, Needle: "O'Brien"}).String(); got != "Sname CONTAINS 'O''Brien'" {
+		t.Errorf("ContainsPred escaping: %q", got)
+	}
+	if got := (AggExpr{Func: AggCount, Arg: Col{Table: "T", Column: "x"}, Distinct: true}).String(); got != "COUNT(DISTINCT T.x)" {
+		t.Errorf("distinct aggregate: %q", got)
+	}
+}
+
+func TestOrderByRendering(t *testing.T) {
+	q := &Query{
+		Select:  []SelectItem{{Expr: ColExpr{Col: Col{Column: "a"}}}},
+		From:    []TableRef{{Name: "T", Alias: "T"}},
+		OrderBy: []OrderItem{{Col: Col{Column: "a"}, Desc: true}, {Col: Col{Column: "b"}}},
+	}
+	if got := q.String(); got != "SELECT a FROM T ORDER BY a DESC, b" {
+		t.Errorf("order by: %q", got)
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	q := example5Query()
+	q.From = append(q.From, TableRef{Subquery: &Query{
+		Select: []SelectItem{{Expr: ColExpr{Col: Col{Column: "x"}}}},
+		From:   []TableRef{{Name: "T", Alias: "T"}},
+	}, Alias: "Sub"})
+	c := q.Clone()
+	c.Select[0] = SelectItem{Expr: ColExpr{Col: Col{Column: "changed"}}}
+	c.From[0].Alias = "changed"
+	c.From[len(c.From)-1].Subquery.Select[0] = SelectItem{Expr: ColExpr{Col: Col{Column: "changed"}}}
+	c.GroupBy[0] = Col{Column: "changed"}
+	if q.Select[0].Expr.String() == "changed" || q.From[0].Alias == "changed" ||
+		q.From[len(q.From)-1].Subquery.Select[0].Expr.String() == "changed" ||
+		q.GroupBy[0].Column == "changed" {
+		t.Error("Clone must not share mutable state")
+	}
+}
+
+func TestWalkVisitsSubqueries(t *testing.T) {
+	inner := &Query{Select: []SelectItem{{Expr: ColExpr{Col: Col{Column: "x"}}}}, From: []TableRef{{Name: "T", Alias: "T"}}}
+	outer := &Query{
+		Select: []SelectItem{{Expr: ColExpr{Col: Col{Column: "x"}}}},
+		From:   []TableRef{{Subquery: inner, Alias: "R"}},
+	}
+	n := 0
+	outer.Walk(func(*Query) { n++ })
+	if n != 2 {
+		t.Errorf("Walk should visit both levels, visited %d", n)
+	}
+}

@@ -1,0 +1,77 @@
+package sqldb
+
+import (
+	"testing"
+
+	"kwagg/internal/dataset/tpch"
+	"kwagg/internal/relation"
+)
+
+func benchDB(b *testing.B) *relation.Database {
+	b.Helper()
+	return tpch.New(tpch.Default())
+}
+
+// BenchmarkParse measures parsing the Example 7 nested statement.
+func BenchmarkParse(b *testing.B) {
+	sql := "SELECT AVG(R.numLid) AS avgnumLid FROM (SELECT C.Code, COUNT(L.Lid) AS numLid " +
+		"FROM Lecturer L, Course C, (SELECT DISTINCT Lid, Code FROM Teach) T " +
+		"WHERE T.Lid=L.Lid AND T.Code=C.Code GROUP BY C.Code) R"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashJoin3Way measures the T5-style join over the TPCH data.
+func BenchmarkHashJoin3Way(b *testing.B) {
+	db := benchDB(b)
+	sql := "SELECT COUNT(S.suppkey) AS n FROM Supplier S, Part P, " +
+		"(SELECT DISTINCT suppkey, partkey FROM Lineitem) L " +
+		"WHERE P.partkey=L.partkey AND L.suppkey=S.suppkey AND P.pname CONTAINS 'royal olive'"
+	q, err := Parse(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(db, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupByAggregate measures grouping all lineitems by supplier.
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b)
+	q, err := Parse("SELECT L.suppkey, COUNT(L.partkey) AS n FROM Lineitem L GROUP BY L.suppkey")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(db, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistinctProjection measures the Section 3.1.3 projection cost.
+func BenchmarkDistinctProjection(b *testing.B) {
+	db := benchDB(b)
+	q, err := Parse("SELECT DISTINCT L.partkey, L.suppkey FROM Lineitem L")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(db, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

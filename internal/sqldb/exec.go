@@ -1,0 +1,682 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// Result is the table produced by executing a query.
+type Result struct {
+	Columns []string
+	Rows    []relation.Tuple
+}
+
+// String renders the result as an aligned text table (for CLIs and examples).
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = relation.Format(v)
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for j, v := range vals {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			for k := len(v); k < widths[j]; k++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRows orders the rows canonically (by formatted values); useful for
+// deterministic comparison in tests and experiment reports.
+func (r *Result) SortRows() {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		for k := range r.Rows[i] {
+			if c := relation.Compare(r.Rows[i][k], r.Rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// ExecSQL parses and executes a SQL statement against db.
+func ExecSQL(db *relation.Database, sql string) (*Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(db, q)
+}
+
+// Exec evaluates the query against db.
+func Exec(db *relation.Database, q *sqlast.Query) (*Result, error) {
+	e := &executor{db: db}
+	return e.query(q)
+}
+
+type boundCol struct {
+	table string // alias the column is reachable under
+	name  string
+}
+
+type rowset struct {
+	cols []boundCol
+	rows []relation.Tuple
+}
+
+// resolve returns the position of c in the rowset, or -1. Unqualified names
+// must be unambiguous.
+func (rs *rowset) resolve(c sqlast.Col) (int, error) {
+	found := -1
+	for i, bc := range rs.cols {
+		if !strings.EqualFold(bc.name, c.Column) {
+			continue
+		}
+		if c.Table != "" && !strings.EqualFold(bc.table, c.Table) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("sqldb: ambiguous column reference %s", c)
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("sqldb: unknown column %s", c)
+	}
+	return found, nil
+}
+
+func (rs *rowset) has(c sqlast.Col) bool {
+	n := 0
+	for _, bc := range rs.cols {
+		if strings.EqualFold(bc.name, c.Column) &&
+			(c.Table == "" || strings.EqualFold(bc.table, c.Table)) {
+			n++
+		}
+	}
+	return n == 1
+}
+
+type executor struct {
+	db *relation.Database
+}
+
+func (e *executor) query(q *sqlast.Query) (*Result, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("sqldb: query has no FROM clause")
+	}
+	sources := make([]*rowset, len(q.From))
+	for i, tr := range q.From {
+		rs, err := e.source(tr)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = rs
+	}
+
+	consumed := make([]bool, len(q.Where))
+
+	// Push single-source filters down before joining.
+	for si, rs := range sources {
+		for pi, p := range q.Where {
+			if consumed[pi] {
+				continue
+			}
+			if localPred(rs, p) {
+				filtered, err := filterRows(rs, p)
+				if err != nil {
+					return nil, err
+				}
+				sources[si] = filtered
+				rs = filtered
+				consumed[pi] = true
+			}
+		}
+	}
+
+	// Greedy join ordering: start from the smallest source, then repeatedly
+	// join the smallest source connected to the accumulated result by a join
+	// predicate (falling back to the smallest remaining source when nothing
+	// connects — a cross join). This keeps intermediate results small
+	// without a full optimizer and is deterministic (ties break on FROM
+	// position).
+	remaining := make([]int, 0, len(sources)-1)
+	start := 0
+	for i := 1; i < len(sources); i++ {
+		if len(sources[i].rows) < len(sources[start].rows) {
+			start = i
+		}
+	}
+	for i := range sources {
+		if i != start {
+			remaining = append(remaining, i)
+		}
+	}
+	connects := func(acc *rowset, src *rowset) bool {
+		for pi, p := range q.Where {
+			if consumed[pi] {
+				continue
+			}
+			jp, ok := p.(sqlast.JoinPred)
+			if !ok {
+				continue
+			}
+			if (acc.has(jp.Left) && src.has(jp.Right)) || (acc.has(jp.Right) && src.has(jp.Left)) {
+				return true
+			}
+		}
+		return false
+	}
+	acc := sources[start]
+	for len(remaining) > 0 {
+		pick, pickPos := -1, -1
+		for pos, idx := range remaining {
+			src := sources[idx]
+			if !connects(acc, src) {
+				continue
+			}
+			if pick < 0 || len(src.rows) < len(sources[pick].rows) {
+				pick, pickPos = idx, pos
+			}
+		}
+		if pick < 0 {
+			for pos, idx := range remaining {
+				if pick < 0 || len(sources[idx].rows) < len(sources[pick].rows) {
+					pick, pickPos = idx, pos
+				}
+			}
+		}
+		src := sources[pick]
+		remaining = append(remaining[:pickPos], remaining[pickPos+1:]...)
+
+		var eqs []sqlast.JoinPred
+		for pi, p := range q.Where {
+			if consumed[pi] {
+				continue
+			}
+			jp, ok := p.(sqlast.JoinPred)
+			if !ok {
+				continue
+			}
+			l, r := jp.Left, jp.Right
+			switch {
+			case acc.has(l) && src.has(r):
+				eqs = append(eqs, jp)
+				consumed[pi] = true
+			case acc.has(r) && src.has(l):
+				eqs = append(eqs, sqlast.JoinPred{Left: r, Right: l})
+				consumed[pi] = true
+			}
+		}
+		joined, err := join(acc, src, eqs)
+		if err != nil {
+			return nil, err
+		}
+		acc = joined
+	}
+
+	// Remaining predicates (including join predicates that closed a cycle).
+	for pi, p := range q.Where {
+		if consumed[pi] {
+			continue
+		}
+		filtered, err := filterRows(acc, p)
+		if err != nil {
+			return nil, err
+		}
+		acc = filtered
+	}
+
+	res, err := project(acc, q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		res = distinct(res)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := orderBy(res, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func (e *executor) source(tr sqlast.TableRef) (*rowset, error) {
+	alias := tr.Alias
+	if tr.Subquery != nil {
+		sub, err := e.query(tr.Subquery)
+		if err != nil {
+			return nil, err
+		}
+		rs := &rowset{rows: sub.Rows}
+		for _, c := range sub.Columns {
+			rs.cols = append(rs.cols, boundCol{table: alias, name: c})
+		}
+		return rs, nil
+	}
+	t := e.db.Table(tr.Name)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: unknown relation %q", tr.Name)
+	}
+	rs := &rowset{rows: t.Tuples}
+	for _, a := range t.Schema.Attributes {
+		rs.cols = append(rs.cols, boundCol{table: alias, name: a.Name})
+	}
+	return rs, nil
+}
+
+// localPred reports whether every column in p is resolvable in rs alone.
+func localPred(rs *rowset, p sqlast.Pred) bool {
+	switch pp := p.(type) {
+	case sqlast.ComparePred:
+		return rs.has(pp.Col)
+	case sqlast.ContainsPred:
+		return rs.has(pp.Col)
+	case sqlast.ColComparePred:
+		return rs.has(pp.Left) && rs.has(pp.Right)
+	case sqlast.JoinPred:
+		return false // joins are handled during join planning
+	default:
+		return false
+	}
+}
+
+func filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
+	out := &rowset{cols: rs.cols}
+	switch pp := p.(type) {
+	case sqlast.ComparePred:
+		i, err := rs.resolve(pp.Col)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rs.rows {
+			if relation.Null(row[i]) {
+				continue
+			}
+			c := relation.Compare(row[i], pp.Value)
+			keep := false
+			switch pp.Op {
+			case sqlast.OpEq:
+				keep = c == 0
+			case sqlast.OpNe:
+				keep = c != 0
+			case sqlast.OpLt:
+				keep = c < 0
+			case sqlast.OpLe:
+				keep = c <= 0
+			case sqlast.OpGt:
+				keep = c > 0
+			case sqlast.OpGe:
+				keep = c >= 0
+			}
+			if keep {
+				out.rows = append(out.rows, row)
+			}
+		}
+	case sqlast.ContainsPred:
+		i, err := rs.resolve(pp.Col)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rs.rows {
+			s, ok := row[i].(string)
+			if ok && relation.ContainsFold(s, pp.Needle) {
+				out.rows = append(out.rows, row)
+			}
+		}
+	case sqlast.JoinPred:
+		li, err := rs.resolve(pp.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := rs.resolve(pp.Right)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rs.rows {
+			if !relation.Null(row[li]) && relation.Equal(row[li], row[ri]) {
+				out.rows = append(out.rows, row)
+			}
+		}
+	case sqlast.ColComparePred:
+		li, err := rs.resolve(pp.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := rs.resolve(pp.Right)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rs.rows {
+			if relation.Null(row[li]) || relation.Null(row[ri]) {
+				continue
+			}
+			c := relation.Compare(row[li], row[ri])
+			keep := false
+			switch pp.Op {
+			case sqlast.OpNe:
+				keep = c != 0
+			case sqlast.OpLt:
+				keep = c < 0
+			case sqlast.OpLe:
+				keep = c <= 0
+			case sqlast.OpGt:
+				keep = c > 0
+			case sqlast.OpGe:
+				keep = c >= 0
+			}
+			if keep {
+				out.rows = append(out.rows, row)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported predicate %T", p)
+	}
+	return out, nil
+}
+
+// join combines two rowsets. With equality predicates it hash-joins;
+// otherwise it produces the cross product.
+func join(left, right *rowset, eqs []sqlast.JoinPred) (*rowset, error) {
+	out := &rowset{cols: append(append([]boundCol(nil), left.cols...), right.cols...)}
+	if len(eqs) == 0 {
+		for _, lr := range left.rows {
+			for _, rr := range right.rows {
+				out.rows = append(out.rows, concatRows(lr, rr))
+			}
+		}
+		return out, nil
+	}
+	lidx := make([]int, len(eqs))
+	ridx := make([]int, len(eqs))
+	for k, jp := range eqs {
+		li, err := left.resolve(jp.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := right.resolve(jp.Right)
+		if err != nil {
+			return nil, err
+		}
+		lidx[k], ridx[k] = li, ri
+	}
+	build := make(map[string][]int, len(right.rows))
+	for i, rr := range right.rows {
+		key, ok := joinKey(rr, ridx)
+		if !ok {
+			continue
+		}
+		build[key] = append(build[key], i)
+	}
+	for _, lr := range left.rows {
+		key, ok := joinKey(lr, lidx)
+		if !ok {
+			continue
+		}
+		for _, ri := range build[key] {
+			out.rows = append(out.rows, concatRows(lr, right.rows[ri]))
+		}
+	}
+	return out, nil
+}
+
+func joinKey(row relation.Tuple, idx []int) (string, bool) {
+	parts := make([]string, len(idx))
+	for k, i := range idx {
+		if relation.Null(row[i]) {
+			return "", false
+		}
+		parts[k] = relation.Format(row[i])
+	}
+	return strings.Join(parts, "\x1f"), true
+}
+
+func concatRows(a, b relation.Tuple) relation.Tuple {
+	out := make(relation.Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// project evaluates the SELECT list, applying GROUP BY and aggregates.
+func project(rs *rowset, q *sqlast.Query) (*Result, error) {
+	res := &Result{}
+	hasAgg := false
+	for _, it := range q.Select {
+		res.Columns = append(res.Columns, outputName(it))
+		if _, ok := it.Expr.(sqlast.AggExpr); ok {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && len(q.GroupBy) == 0 {
+		idxs := make([]int, len(q.Select))
+		for k, it := range q.Select {
+			ce := it.Expr.(sqlast.ColExpr)
+			i, err := rs.resolve(ce.Col)
+			if err != nil {
+				return nil, err
+			}
+			idxs[k] = i
+		}
+		for _, row := range rs.rows {
+			out := make(relation.Tuple, len(idxs))
+			for k, i := range idxs {
+				out[k] = row[i]
+			}
+			res.Rows = append(res.Rows, out)
+		}
+		return res, nil
+	}
+
+	gidx := make([]int, len(q.GroupBy))
+	for k, c := range q.GroupBy {
+		i, err := rs.resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		gidx[k] = i
+	}
+	type group struct {
+		rows []relation.Tuple
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range rs.rows {
+		parts := make([]string, len(gidx))
+		for k, i := range gidx {
+			parts[k] = relation.Format(row[i])
+		}
+		key := strings.Join(parts, "\x1f")
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, row)
+	}
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		// Aggregates over an empty input still yield one row.
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+	for _, key := range order {
+		g := groups[key]
+		out := make(relation.Tuple, len(q.Select))
+		for k, it := range q.Select {
+			switch ex := it.Expr.(type) {
+			case sqlast.ColExpr:
+				i, err := rs.resolve(ex.Col)
+				if err != nil {
+					return nil, err
+				}
+				if len(g.rows) > 0 {
+					out[k] = g.rows[0][i]
+				}
+			case sqlast.AggExpr:
+				i, err := rs.resolve(ex.Arg)
+				if err != nil {
+					return nil, err
+				}
+				v, err := aggregate(ex, g.rows, i)
+				if err != nil {
+					return nil, err
+				}
+				out[k] = v
+			default:
+				return nil, fmt.Errorf("sqldb: unsupported select expression %T", it.Expr)
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func aggregate(ex sqlast.AggExpr, rows []relation.Tuple, i int) (relation.Value, error) {
+	var vals []relation.Value
+	seen := make(map[string]bool)
+	for _, row := range rows {
+		v := row[i]
+		if relation.Null(v) {
+			continue
+		}
+		if ex.Distinct {
+			k := relation.Format(v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch ex.Func {
+	case sqlast.AggCount:
+		return relation.Int(int64(len(vals))), nil
+	case sqlast.AggMin, sqlast.AggMax:
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := relation.Compare(v, best)
+			if (ex.Func == sqlast.AggMin && c < 0) || (ex.Func == sqlast.AggMax && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case sqlast.AggSum, sqlast.AggAvg:
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		sum := 0.0
+		allInt := true
+		for _, v := range vals {
+			f, ok := relation.AsFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("sqldb: %s over non-numeric value %v", ex.Func, v)
+			}
+			if _, isInt := v.(int64); !isInt {
+				allInt = false
+			}
+			sum += f
+		}
+		if ex.Func == sqlast.AggAvg {
+			return relation.Float(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return relation.Int(int64(sum)), nil
+		}
+		return relation.Float(sum), nil
+	default:
+		return nil, fmt.Errorf("sqldb: unknown aggregate %q", ex.Func)
+	}
+}
+
+func outputName(it sqlast.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch ex := it.Expr.(type) {
+	case sqlast.ColExpr:
+		return ex.Col.Column
+	default:
+		return it.Expr.String()
+	}
+}
+
+func distinct(res *Result) *Result {
+	out := &Result{Columns: res.Columns}
+	seen := make(map[string]bool)
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = relation.Format(v)
+		}
+		key := strings.Join(parts, "\x1f")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func orderBy(res *Result, items []sqlast.OrderItem) error {
+	idxs := make([]int, len(items))
+	for k, o := range items {
+		found := -1
+		for i, c := range res.Columns {
+			if strings.EqualFold(c, o.Col.Column) || strings.EqualFold(c, o.Col.String()) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("sqldb: ORDER BY column %s not in result", o.Col)
+		}
+		idxs[k] = found
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for k, i := range idxs {
+			c := relation.Compare(res.Rows[a][i], res.Rows[b][i])
+			if c != 0 {
+				if items[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}

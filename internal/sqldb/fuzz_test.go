@@ -1,0 +1,51 @@
+package sqldb
+
+import (
+	"testing"
+
+	"kwagg/internal/dataset/university"
+)
+
+// FuzzParse ensures the lexer and parser never panic and that every
+// successfully parsed statement re-renders to text that parses again to the
+// same rendering (the round-trip invariant), whatever the input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range corpus {
+		f.Add(seed)
+	}
+	f.Add("SELECT")
+	f.Add("SELECT x FROM")
+	f.Add("'unterminated")
+	f.Add("SELECT x FROM T WHERE x CONTAINS 'a' GROUPBY x LIMIT 3")
+	f.Add("SELECT COUNT(DISTINCT x) FROM (SELECT y FROM T) Z ORDER BY y DESC")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := q.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("rendered SQL does not parse: %v\nin:  %q\nout: %q", err, src, text)
+		}
+		if back.String() != text {
+			t.Fatalf("render not a fixpoint:\n%q\n%q", text, back.String())
+		}
+	})
+}
+
+// FuzzExec ensures executing arbitrary parsed statements never panics (it
+// may error) against a real database.
+func FuzzExec(f *testing.F) {
+	for _, seed := range corpus {
+		f.Add(seed)
+	}
+	db := university.New()
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_, _ = Exec(db, q) // must not panic
+	})
+}

@@ -1,0 +1,140 @@
+// Package sqldb is an in-memory SQL engine for the subset of SQL generated
+// by the semantic translator and the SQAK baseline. It substitutes for the
+// commercial RDBMS the paper ran its generated statements on: parsing the
+// statement text into the shared AST (internal/sqlast) and evaluating it
+// against internal/relation tables with hash joins, derived tables,
+// DISTINCT, grouping and aggregates.
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , . = <> < <= > >= *
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the SQL text. Identifiers and keywords are case-preserved
+// (keyword checks are case-insensitive later); strings use single quotes
+// with ” as the escape.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqldb: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexPunct() error {
+	start := l.pos
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "<=", ">=", "!=":
+		if two == "!=" {
+			two = "<>"
+		}
+		l.pos += 2
+		l.toks = append(l.toks, token{kind: tokPunct, text: two, pos: start})
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', '.', '=', '<', '>', '*':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
+		return nil
+	default:
+		return fmt.Errorf("sqldb: unexpected character %q at offset %d", string(c), start)
+	}
+}

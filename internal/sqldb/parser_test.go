@@ -1,0 +1,231 @@
+package sqldb
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// corpus holds statements in canonical rendering: parsing and re-rendering
+// each must be the identity.
+var corpus = []string{
+	"SELECT S.Sid FROM Student S",
+	"SELECT S.Sid, S.Sname FROM Student S WHERE S.Age > 21",
+	"SELECT DISTINCT Lid, Code FROM Teach",
+	"SELECT S.Sname, SUM(C.Credit) AS sumCredit FROM Student S, Enrol E, Course C " +
+		"WHERE E.Sid=S.Sid AND E.Code=C.Code AND S.Sname CONTAINS 'Green' GROUP BY S.Sname",
+	"SELECT COUNT(L.Lid) AS numLid FROM Lecturer L, (SELECT DISTINCT Lid, Code FROM Teach) T " +
+		"WHERE T.Lid=L.Lid",
+	"SELECT AVG(R.numLid) AS avgnumLid FROM (SELECT C.Code, COUNT(L.Lid) AS numLid " +
+		"FROM Lecturer L, Course C, (SELECT DISTINCT Lid, Code FROM Teach) T " +
+		"WHERE T.Lid=L.Lid AND T.Code=C.Code GROUP BY C.Code) R",
+	"SELECT S.Sid FROM Student S WHERE S.Age >= 21 AND S.Age <= 24 AND S.Age <> 22",
+	"SELECT S.Sid FROM Student S ORDER BY S.Sid DESC",
+	"SELECT COUNT(DISTINCT E.Sid) AS n FROM Enrol E",
+	"SELECT S.Sname FROM Student S WHERE S.Sname CONTAINS 'O''Brien'",
+	"SELECT R1.Sid, COUNT(R1.Code) AS numCode FROM Enrolment R1, Enrolment R2 " +
+		"WHERE R1.Code=R2.Code AND R1.Sname CONTAINS 'Green' AND R2.Sname CONTAINS 'George' " +
+		"GROUP BY R1.Sid",
+}
+
+func TestParseRenderRoundTrip(t *testing.T) {
+	for _, sql := range corpus {
+		q, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", sql, err)
+		}
+		if got := q.String(); got != sql {
+			t.Errorf("round trip changed:\n in  %s\n out %s", sql, got)
+		}
+	}
+}
+
+// TestParseRenderFixpoint: rendering a parsed random query and parsing it
+// again yields an identical tree (render-parse is a fixpoint).
+func TestParseRenderFixpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		q := randomQuery(r, 2)
+		text := q.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if back.String() != text {
+			t.Fatalf("fixpoint violated:\n first  %s\n second %s", text, back.String())
+		}
+		if !reflect.DeepEqual(normalize(back), normalize(q)) {
+			t.Fatalf("trees differ for %s", text)
+		}
+	}
+}
+
+// normalize clears fields the parser fills with defaults (e.g. an alias
+// equal to the table name).
+func normalize(q *sqlast.Query) *sqlast.Query {
+	c := q.Clone()
+	for i, tr := range c.From {
+		if tr.Subquery != nil {
+			c.From[i].Subquery = normalize(tr.Subquery)
+		}
+		if strings.EqualFold(tr.Alias, tr.Name) {
+			c.From[i].Alias = strings.ToLower(tr.Alias)
+			c.From[i].Name = strings.ToLower(tr.Name)
+		}
+	}
+	return c
+}
+
+var identPool = []string{"Student", "Course", "Enrol", "Sid", "Code", "Sname", "Credit", "T1", "T2"}
+
+func randomCol(r *rand.Rand) sqlast.Col {
+	c := sqlast.Col{Column: identPool[r.Intn(len(identPool))]}
+	if r.Intn(2) == 0 {
+		c.Table = identPool[r.Intn(len(identPool))]
+	}
+	return c
+}
+
+func randomQuery(r *rand.Rand, depth int) *sqlast.Query {
+	q := &sqlast.Query{Distinct: r.Intn(3) == 0}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			q.Select = append(q.Select, sqlast.SelectItem{Expr: sqlast.ColExpr{Col: randomCol(r)}})
+		} else {
+			funcs := []sqlast.AggFunc{sqlast.AggCount, sqlast.AggSum, sqlast.AggAvg, sqlast.AggMin, sqlast.AggMax}
+			it := sqlast.SelectItem{Expr: sqlast.AggExpr{
+				Func:     funcs[r.Intn(len(funcs))],
+				Arg:      randomCol(r),
+				Distinct: r.Intn(4) == 0,
+			}}
+			if r.Intn(2) == 0 {
+				it.Alias = "x" + identPool[r.Intn(len(identPool))]
+			}
+			q.Select = append(q.Select, it)
+		}
+	}
+	m := 1 + r.Intn(2)
+	for i := 0; i < m; i++ {
+		if depth > 0 && r.Intn(4) == 0 {
+			q.From = append(q.From, sqlast.TableRef{Subquery: randomQuery(r, depth-1), Alias: "Q" + identPool[r.Intn(len(identPool))]})
+		} else {
+			name := identPool[r.Intn(len(identPool))]
+			alias := name
+			if r.Intn(2) == 0 {
+				alias = "A" + identPool[r.Intn(len(identPool))]
+			}
+			q.From = append(q.From, sqlast.TableRef{Name: name, Alias: alias})
+		}
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		switch r.Intn(3) {
+		case 0:
+			q.Where = append(q.Where, sqlast.JoinPred{Left: randomCol(r), Right: randomCol(r)})
+		case 1:
+			ops := []sqlast.CmpOp{sqlast.OpEq, sqlast.OpNe, sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe}
+			var v relation.Value
+			if r.Intn(2) == 0 {
+				v = relation.Int(int64(r.Intn(100)))
+			} else {
+				v = relation.Str("v" + identPool[r.Intn(len(identPool))])
+			}
+			q.Where = append(q.Where, sqlast.ComparePred{Col: randomCol(r), Op: ops[r.Intn(len(ops))], Value: v})
+		default:
+			q.Where = append(q.Where, sqlast.ContainsPred{Col: randomCol(r), Needle: "needle's"})
+		}
+	}
+	for i := 0; i < r.Intn(2); i++ {
+		q.GroupBy = append(q.GroupBy, randomCol(r))
+	}
+	for i := 0; i < r.Intn(2); i++ {
+		q.OrderBy = append(q.OrderBy, sqlast.OrderItem{Col: randomCol(r), Desc: r.Intn(2) == 0})
+	}
+	return q
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM T",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT x FROM T WHERE",
+		"SELECT x FROM T WHERE x =",
+		"SELECT x FROM T GROUP",
+		"SELECT x FROM T ORDER x",
+		"SELECT x FROM (SELECT y FROM T",
+		"SELECT x FROM T trailing nonsense !",
+		"SELECT COUNT(x FROM T",
+		"SELECT x FROM T WHERE x CONTAINS y",
+		"SELECT x FROM T WHERE x = 'unterminated",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseLIKEAsContains(t *testing.T) {
+	q, err := Parse("SELECT x FROM T WHERE x LIKE '%olive%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := q.Where[0].(sqlast.ContainsPred)
+	if !ok || cp.Needle != "olive" {
+		t.Errorf("LIKE should normalize to CONTAINS: %#v", q.Where[0])
+	}
+}
+
+func TestParseGroupByVariants(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT x FROM T GROUP BY x",
+		"SELECT x FROM T GROUPBY x",
+		"SELECT x FROM T group by x",
+	} {
+		q, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", sql, err)
+		}
+		if len(q.GroupBy) != 1 {
+			t.Errorf("Parse(%q): GroupBy = %v", sql, q.GroupBy)
+		}
+	}
+}
+
+func TestParseAliasKeywordBoundary(t *testing.T) {
+	q, err := Parse("SELECT T.x FROM Transactions T WHERE T.x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From[0].Alias != "T" {
+		t.Errorf("alias: %q", q.From[0].Alias)
+	}
+	// A reserved word after a table ref must not be eaten as an alias.
+	q, err = Parse("SELECT x FROM T ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From[0].Alias != "T" || len(q.OrderBy) != 1 {
+		t.Errorf("ORDER consumed as alias: %+v", q)
+	}
+}
+
+func TestParseNumberLiterals(t *testing.T) {
+	q, err := Parse("SELECT x FROM T WHERE a = -5 AND b = 2.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := q.Where[0].(sqlast.ComparePred).Value; v.(int64) != -5 {
+		t.Errorf("negative int: %v", v)
+	}
+	if v := q.Where[1].(sqlast.ComparePred).Value; v.(float64) != 2.75 {
+		t.Errorf("float: %v", v)
+	}
+}

@@ -1,0 +1,339 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// refExec is an independent reference evaluator used for differential
+// testing: it materializes the full cross product of the FROM sources, then
+// filters, groups, aggregates and projects — no predicate pushdown, no hash
+// joins, no join ordering. Any divergence from Exec is a bug in one of them.
+func refExec(db *relation.Database, q *sqlast.Query) (*Result, error) {
+	type col struct{ table, name string }
+	var cols []col
+	rows := []relation.Tuple{{}}
+	for _, tr := range q.From {
+		var names []string
+		var data []relation.Tuple
+		if tr.Subquery != nil {
+			sub, err := refExec(db, tr.Subquery)
+			if err != nil {
+				return nil, err
+			}
+			names, data = sub.Columns, sub.Rows
+		} else {
+			t := db.Table(tr.Name)
+			if t == nil {
+				return nil, fmt.Errorf("ref: unknown relation %q", tr.Name)
+			}
+			names, data = t.Schema.AttrNames(), t.Tuples
+		}
+		for _, n := range names {
+			cols = append(cols, col{table: tr.Alias, name: n})
+		}
+		var next []relation.Tuple
+		for _, acc := range rows {
+			for _, r := range data {
+				row := make(relation.Tuple, 0, len(acc)+len(r))
+				row = append(row, acc...)
+				row = append(row, r...)
+				next = append(next, row)
+			}
+		}
+		rows = next
+	}
+
+	resolve := func(c sqlast.Col) (int, error) {
+		found := -1
+		for i, bc := range cols {
+			if !strings.EqualFold(bc.name, c.Column) {
+				continue
+			}
+			if c.Table != "" && !strings.EqualFold(bc.table, c.Table) {
+				continue
+			}
+			if found >= 0 {
+				return -1, fmt.Errorf("ref: ambiguous %s", c)
+			}
+			found = i
+		}
+		if found < 0 {
+			return -1, fmt.Errorf("ref: unknown %s", c)
+		}
+		return found, nil
+	}
+
+	// Filter by the full conjunction.
+	var kept []relation.Tuple
+	for _, row := range rows {
+		ok := true
+		for _, p := range q.Where {
+			match, err := refPred(row, p, resolve)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, row)
+		}
+	}
+
+	// Group and project.
+	res := &Result{}
+	hasAgg := false
+	for _, it := range q.Select {
+		res.Columns = append(res.Columns, outputName(it))
+		if _, ok := it.Expr.(sqlast.AggExpr); ok {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && len(q.GroupBy) == 0 {
+		for _, row := range kept {
+			out := make(relation.Tuple, len(q.Select))
+			for k, it := range q.Select {
+				i, err := resolve(it.Expr.(sqlast.ColExpr).Col)
+				if err != nil {
+					return nil, err
+				}
+				out[k] = row[i]
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	} else {
+		groups := map[string][]relation.Tuple{}
+		var order []string
+		for _, row := range kept {
+			var parts []string
+			for _, c := range q.GroupBy {
+				i, err := resolve(c)
+				if err != nil {
+					return nil, err
+				}
+				parts = append(parts, relation.Format(row[i]))
+			}
+			key := strings.Join(parts, "\x1f")
+			if _, ok := groups[key]; !ok {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], row)
+		}
+		if len(q.GroupBy) == 0 && len(order) == 0 {
+			order = append(order, "")
+			groups[""] = nil
+		}
+		for _, key := range order {
+			g := groups[key]
+			out := make(relation.Tuple, len(q.Select))
+			for k, it := range q.Select {
+				switch ex := it.Expr.(type) {
+				case sqlast.ColExpr:
+					i, err := resolve(ex.Col)
+					if err != nil {
+						return nil, err
+					}
+					if len(g) > 0 {
+						out[k] = g[0][i]
+					}
+				case sqlast.AggExpr:
+					i, err := resolve(ex.Arg)
+					if err != nil {
+						return nil, err
+					}
+					v, err := aggregate(ex, g, i)
+					if err != nil {
+						return nil, err
+					}
+					out[k] = v
+				}
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+	if q.Distinct {
+		res = distinct(res)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := orderBy(res, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func refPred(row relation.Tuple, p sqlast.Pred, resolve func(sqlast.Col) (int, error)) (bool, error) {
+	switch pp := p.(type) {
+	case sqlast.JoinPred:
+		li, err := resolve(pp.Left)
+		if err != nil {
+			return false, err
+		}
+		ri, err := resolve(pp.Right)
+		if err != nil {
+			return false, err
+		}
+		return !relation.Null(row[li]) && relation.Equal(row[li], row[ri]), nil
+	case sqlast.ColComparePred:
+		li, err := resolve(pp.Left)
+		if err != nil {
+			return false, err
+		}
+		ri, err := resolve(pp.Right)
+		if err != nil {
+			return false, err
+		}
+		if relation.Null(row[li]) || relation.Null(row[ri]) {
+			return false, nil
+		}
+		return cmpMatches(pp.Op, relation.Compare(row[li], row[ri])), nil
+	case sqlast.ComparePred:
+		i, err := resolve(pp.Col)
+		if err != nil {
+			return false, err
+		}
+		if relation.Null(row[i]) {
+			return false, nil
+		}
+		return cmpMatches(pp.Op, relation.Compare(row[i], pp.Value)), nil
+	case sqlast.ContainsPred:
+		i, err := resolve(pp.Col)
+		if err != nil {
+			return false, err
+		}
+		s, ok := row[i].(string)
+		return ok && relation.ContainsFold(s, pp.Needle), nil
+	default:
+		return false, fmt.Errorf("ref: unsupported predicate %T", p)
+	}
+}
+
+func cmpMatches(op sqlast.CmpOp, c int) bool {
+	switch op {
+	case sqlast.OpEq:
+		return c == 0
+	case sqlast.OpNe:
+		return c != 0
+	case sqlast.OpLt:
+		return c < 0
+	case sqlast.OpLe:
+		return c <= 0
+	case sqlast.OpGt:
+		return c > 0
+	case sqlast.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func canonicalRows(res *Result) []string {
+	out := rowsAsStrings(res)
+	sort.Strings(out)
+	return out
+}
+
+// TestDifferentialAgainstReference compares the optimized executor against
+// the brute-force reference on hundreds of random queries over the
+// university database.
+func TestDifferentialAgainstReference(t *testing.T) {
+	db := uniDB(t)
+	r := rand.New(rand.NewSource(99))
+
+	type tinfo struct {
+		name  string
+		attrs []string
+	}
+	var tables []tinfo
+	for _, tb := range db.Tables() {
+		tables = append(tables, tinfo{tb.Schema.Name, tb.Schema.AttrNames()})
+	}
+	intAttrs := map[string]bool{"Age": true, "Credit": true, "Price": true}
+
+	for trial := 0; trial < 500; trial++ {
+		q := &sqlast.Query{Distinct: r.Intn(4) == 0}
+		n := 1 + r.Intn(3)
+		type src struct {
+			alias string
+			info  tinfo
+		}
+		var srcs []src
+		for i := 0; i < n; i++ {
+			ti := tables[r.Intn(len(tables))]
+			srcs = append(srcs, src{fmt.Sprintf("X%d", i), ti})
+			q.From = append(q.From, sqlast.TableRef{Name: ti.name, Alias: fmt.Sprintf("X%d", i)})
+		}
+		randCol := func() sqlast.Col {
+			s := srcs[r.Intn(len(srcs))]
+			return sqlast.Col{Table: s.alias, Column: s.info.attrs[r.Intn(len(s.info.attrs))]}
+		}
+		// Predicates: a few joins and filters.
+		for i := 0; i < r.Intn(3); i++ {
+			switch r.Intn(3) {
+			case 0:
+				q.Where = append(q.Where, sqlast.JoinPred{Left: randCol(), Right: randCol()})
+			case 1:
+				c := randCol()
+				var v relation.Value = relation.Str("a")
+				if intAttrs[c.Column] {
+					v = relation.Int(int64(r.Intn(30)))
+				}
+				ops := []sqlast.CmpOp{sqlast.OpEq, sqlast.OpNe, sqlast.OpLt, sqlast.OpGe}
+				q.Where = append(q.Where, sqlast.ComparePred{Col: c, Op: ops[r.Intn(len(ops))], Value: v})
+			default:
+				q.Where = append(q.Where, sqlast.ContainsPred{Col: randCol(), Needle: []string{"e", "Green", "a", "c1"}[r.Intn(4)]})
+			}
+		}
+		// Select: either plain columns, or aggregates with group-by.
+		if r.Intn(2) == 0 {
+			for i := 0; i < 1+r.Intn(2); i++ {
+				q.Select = append(q.Select, sqlast.SelectItem{Expr: sqlast.ColExpr{Col: randCol()}})
+			}
+		} else {
+			gb := randCol()
+			q.GroupBy = []sqlast.Col{gb}
+			q.Select = []sqlast.SelectItem{{Expr: sqlast.ColExpr{Col: gb}}}
+			aggCol := randCol()
+			fn := sqlast.AggCount
+			if intAttrs[aggCol.Column] {
+				fns := []sqlast.AggFunc{sqlast.AggCount, sqlast.AggSum, sqlast.AggAvg, sqlast.AggMin, sqlast.AggMax}
+				fn = fns[r.Intn(len(fns))]
+			}
+			q.Select = append(q.Select, sqlast.SelectItem{
+				Expr:  sqlast.AggExpr{Func: fn, Arg: aggCol, Distinct: r.Intn(4) == 0},
+				Alias: "agg",
+			})
+		}
+
+		got, errGot := Exec(db, q)
+		want, errWant := refExec(db, q)
+		if (errGot == nil) != (errWant == nil) {
+			// Both evaluators must agree on whether the query is valid
+			// (e.g. ambiguous unqualified columns).
+			t.Fatalf("trial %d: error divergence: exec=%v ref=%v\n%s", trial, errGot, errWant, q)
+		}
+		if errGot != nil {
+			continue
+		}
+		g, w := canonicalRows(got), canonicalRows(want)
+		if len(g) != len(w) {
+			t.Fatalf("trial %d: row counts differ (%d vs %d)\n%s", trial, len(g), len(w), q)
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("trial %d: rows differ\nexec: %v\nref:  %v\n%s", trial, g[i], w[i], q)
+			}
+		}
+	}
+}

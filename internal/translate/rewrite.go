@@ -1,0 +1,341 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// RewriteAll applies the three rewriting heuristics of Section 4.1 to a
+// statement generated against an unnormalized database: Rule 3 first
+// (replace joins of projection subqueries that reconstruct a superkey
+// projection of the stored relation with the relation itself), then Rule 1
+// (prune projected attributes nothing references), then Rule 2 (push
+// contains-conditions into the remaining subqueries). Nested aggregate
+// levels are rewritten bottom-up.
+//
+// protected maps a FROM alias to attributes Rule 1 must keep even when
+// nothing references them: the identity of a DISTINCT projection (the view
+// relation's key), without which de-duplication would collapse distinct
+// objects that agree on the remaining attributes.
+func RewriteAll(q *sqlast.Query, data *relation.Database, protected map[string][]string) *sqlast.Query {
+	for i, tr := range q.From {
+		if tr.Subquery != nil && !isProjection(tr) {
+			q.From[i].Subquery = RewriteAll(tr.Subquery, data, protected)
+		}
+	}
+	q = rewriteRule3(q, data)
+	rewriteRule1(q, protected)
+	rewriteRule2(q)
+	return q
+}
+
+// isProjection reports whether the FROM entry is a plain projection
+// subquery: SELECT [DISTINCT] cols FROM onebasetable, with no predicates,
+// grouping or aggregates. These are the subqueries introduced by the
+// normalized-view mapping and the relationship duplicate-elimination rule.
+func isProjection(tr sqlast.TableRef) bool {
+	s := tr.Subquery
+	if s == nil || len(s.From) != 1 || s.From[0].Name == "" ||
+		len(s.Where) != 0 || len(s.GroupBy) != 0 || len(s.OrderBy) != 0 {
+		return false
+	}
+	for _, it := range s.Select {
+		if _, ok := it.Expr.(sqlast.ColExpr); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func projectedAttrs(tr sqlast.TableRef) []string {
+	var out []string
+	for _, it := range tr.Subquery.Select {
+		out = append(out, it.Expr.(sqlast.ColExpr).Col.Column)
+	}
+	return out
+}
+
+// rewriteRule3 replaces each join of projection subqueries over the same
+// stored relation R that reconstructs Pi_L(R) for a superkey L with R
+// itself (Rule 3, Example 10). Joins are merged only along lossless edges:
+// the join attributes must functionally determine one side's projection.
+func rewriteRule3(q *sqlast.Query, data *relation.Database) *sqlast.Query {
+	type entry struct {
+		idx   int
+		alias string
+		src   string
+		attrs []string
+	}
+	var entries []entry
+	byAlias := make(map[string]int) // alias -> entries index
+	for i, tr := range q.From {
+		if !isProjection(tr) {
+			continue
+		}
+		e := entry{idx: i, alias: tr.Alias, src: tr.Subquery.From[0].Name, attrs: projectedAttrs(tr)}
+		byAlias[strings.ToLower(e.alias)] = len(entries)
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return q
+	}
+
+	// Join columns between pairs of projection entries.
+	joinCols := make(map[[2]int][]string)
+	for _, p := range q.Where {
+		jp, ok := p.(sqlast.JoinPred)
+		if !ok {
+			continue
+		}
+		ia, aok := byAlias[strings.ToLower(jp.Left.Table)]
+		ib, bok := byAlias[strings.ToLower(jp.Right.Table)]
+		if !aok || !bok || ia == ib {
+			continue
+		}
+		if !strings.EqualFold(jp.Left.Column, jp.Right.Column) {
+			continue // projections rename nothing, so only same-name joins merge
+		}
+		key := [2]int{min(ia, ib), max(ia, ib)}
+		joinCols[key] = append(joinCols[key], jp.Left.Column)
+	}
+
+	// A group of projections can collapse into one row variable over the
+	// stored relation R only when it has a row anchor — a member whose
+	// projected attributes contain a key of R, so each of its rows denotes
+	// one row of R — and every other member is functionally determined by
+	// the columns joining it to the group (its projection attributes lie in
+	// the closure of the join columns). Example 10: {C',E1',S1'} anchors on
+	// E1' and collapses to Enrolment R1; {E2',S2'} anchors on E2' and
+	// collapses to R2; the Code join between the groups survives as
+	// R1.Code = R2.Code.
+	assigned := make([]int, len(entries)) // entries index -> group id (0 = none)
+	groups := make(map[int][]int)
+	nextGroup := 0
+	for i, e := range entries {
+		if assigned[i] != 0 {
+			continue
+		}
+		t := data.Table(e.src)
+		if t == nil {
+			continue
+		}
+		if !relation.IsSuperkey(e.attrs, t.Schema) {
+			continue // not a row anchor
+		}
+		nextGroup++
+		assigned[i] = nextGroup
+		groups[nextGroup] = []int{i}
+		fds := t.Schema.EffectiveFDs()
+		for changed := true; changed; {
+			changed = false
+			for j, x := range entries {
+				if assigned[j] != 0 || !strings.EqualFold(x.src, e.src) {
+					continue
+				}
+				// Columns joining x to current group members.
+				var joinAttrs []string
+				for _, m := range groups[nextGroup] {
+					key := [2]int{min(j, m), max(j, m)}
+					joinAttrs = append(joinAttrs, joinCols[key]...)
+				}
+				if len(joinAttrs) == 0 {
+					continue
+				}
+				if relation.Determines(joinAttrs, x.attrs, fds) {
+					assigned[j] = nextGroup
+					groups[nextGroup] = append(groups[nextGroup], j)
+					changed = true
+				}
+			}
+		}
+	}
+
+	replaceAlias := make(map[string]string) // old alias (lower) -> new alias
+	removeFrom := make(map[int]bool)        // q.From index -> drop
+	for gid := 1; gid <= nextGroup; gid++ {
+		members := groups[gid]
+		src := entries[members[0]].src
+		t := data.Table(src)
+		newAlias := fmt.Sprintf("R%d", gid)
+		first := true
+		for _, m := range members {
+			e := entries[m]
+			replaceAlias[strings.ToLower(e.alias)] = newAlias
+			if first {
+				q.From[e.idx] = sqlast.TableRef{Name: t.Schema.Name, Alias: newAlias}
+				first = false
+			} else {
+				removeFrom[e.idx] = true
+			}
+		}
+	}
+	if len(replaceAlias) == 0 {
+		return q
+	}
+
+	out := &sqlast.Query{Distinct: q.Distinct}
+	for i, tr := range q.From {
+		if !removeFrom[i] {
+			out.From = append(out.From, tr)
+		}
+	}
+	ren := func(c sqlast.Col) sqlast.Col {
+		if na, ok := replaceAlias[strings.ToLower(c.Table)]; ok {
+			c.Table = na
+		}
+		return c
+	}
+	for _, it := range q.Select {
+		switch ex := it.Expr.(type) {
+		case sqlast.ColExpr:
+			it.Expr = sqlast.ColExpr{Col: ren(ex.Col)}
+		case sqlast.AggExpr:
+			ex.Arg = ren(ex.Arg)
+			it.Expr = ex
+		}
+		out.Select = append(out.Select, it)
+	}
+	for _, p := range q.Where {
+		switch pp := p.(type) {
+		case sqlast.JoinPred:
+			pp.Left, pp.Right = ren(pp.Left), ren(pp.Right)
+			if strings.EqualFold(pp.Left.Table, pp.Right.Table) &&
+				strings.EqualFold(pp.Left.Column, pp.Right.Column) {
+				continue // internal join collapsed into the base relation
+			}
+			out.Where = append(out.Where, pp)
+		case sqlast.ComparePred:
+			pp.Col = ren(pp.Col)
+			out.Where = append(out.Where, pp)
+		case sqlast.ContainsPred:
+			pp.Col = ren(pp.Col)
+			out.Where = append(out.Where, pp)
+		default:
+			out.Where = append(out.Where, p)
+		}
+	}
+	for _, c := range q.GroupBy {
+		out.GroupBy = append(out.GroupBy, ren(c))
+	}
+	for _, o := range q.OrderBy {
+		o.Col = ren(o.Col)
+		out.OrderBy = append(out.OrderBy, o)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rewriteRule1 removes projected attributes that nothing in the outer query
+// references (Rule 1), always keeping the protected identity attributes of
+// DISTINCT projections.
+func rewriteRule1(q *sqlast.Query, protected map[string][]string) {
+	for i, tr := range q.From {
+		if !isProjection(tr) {
+			continue
+		}
+		used := usedColumns(q, tr.Alias)
+		for _, p := range protected[strings.ToLower(tr.Alias)] {
+			used[strings.ToLower(p)] = true
+		}
+		var kept []sqlast.SelectItem
+		for _, it := range tr.Subquery.Select {
+			col := it.Expr.(sqlast.ColExpr).Col.Column
+			if used[strings.ToLower(col)] {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) == 0 {
+			kept = tr.Subquery.Select[:1] // keep one column for a valid query
+		}
+		q.From[i].Subquery.Select = kept
+	}
+}
+
+// usedColumns collects the column names referenced under the given alias
+// anywhere in q (SELECT, WHERE, GROUP BY, ORDER BY).
+func usedColumns(q *sqlast.Query, alias string) map[string]bool {
+	used := make(map[string]bool)
+	note := func(c sqlast.Col) {
+		if strings.EqualFold(c.Table, alias) {
+			used[strings.ToLower(c.Column)] = true
+		}
+	}
+	for _, it := range q.Select {
+		switch ex := it.Expr.(type) {
+		case sqlast.ColExpr:
+			note(ex.Col)
+		case sqlast.AggExpr:
+			note(ex.Arg)
+		}
+	}
+	for _, p := range q.Where {
+		switch pp := p.(type) {
+		case sqlast.JoinPred:
+			note(pp.Left)
+			note(pp.Right)
+		case sqlast.ColComparePred:
+			note(pp.Left)
+			note(pp.Right)
+		case sqlast.ComparePred:
+			note(pp.Col)
+		case sqlast.ContainsPred:
+			note(pp.Col)
+		}
+	}
+	for _, c := range q.GroupBy {
+		note(c)
+	}
+	for _, o := range q.OrderBy {
+		note(o.Col)
+	}
+	return used
+}
+
+// rewriteRule2 pushes contains-conditions on a projection subquery's
+// attributes into the subquery's own WHERE clause, filtering tuples before
+// the join (Rule 2).
+func rewriteRule2(q *sqlast.Query) {
+	subByAlias := make(map[string]*sqlast.Query)
+	for _, tr := range q.From {
+		if isProjection(tr) {
+			subByAlias[strings.ToLower(tr.Alias)] = tr.Subquery
+		}
+	}
+	if len(subByAlias) == 0 {
+		return
+	}
+	var remaining []sqlast.Pred
+	for _, p := range q.Where {
+		cp, ok := p.(sqlast.ContainsPred)
+		if !ok {
+			remaining = append(remaining, p)
+			continue
+		}
+		sub, ok := subByAlias[strings.ToLower(cp.Col.Table)]
+		if !ok {
+			remaining = append(remaining, p)
+			continue
+		}
+		sub.Where = append(sub.Where, sqlast.ContainsPred{
+			Col:    sqlast.Col{Column: cp.Col.Column},
+			Needle: cp.Needle,
+		})
+	}
+	q.Where = remaining
+}

@@ -1,0 +1,367 @@
+// Package translate turns annotated query patterns into SQL (Section 3.1.3):
+// SELECT lists carrying the aggregate functions and GROUPBY attributes, FROM
+// lists with duplicate-eliminating projections of partially-used relationship
+// relations, WHERE clauses joining the pattern edges along foreign key - key
+// references, and nested queries for nested aggregates (Section 3.2).
+//
+// For unnormalized databases the translator substitutes every relation of
+// the normalized view D' with its defining projection over the stored
+// relations of D (Section 4) and then rewrites the statement with the three
+// heuristic rules of Section 4.1.
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"kwagg/internal/orm"
+	"kwagg/internal/pattern"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// Translator translates patterns against one database configuration.
+type Translator struct {
+	Graph *orm.Graph
+	// Data is the stored database D the generated SQL executes on.
+	Data *relation.Database
+	// Sources maps lower-cased view relation names to the data relation their
+	// tuples are projected from. Nil or missing entries mean the view
+	// relation is stored as-is (normalized databases).
+	Sources map[string]string
+	// Rewrite enables the Section 4.1 rewriting rules; it should be set
+	// exactly when Sources introduces projection subqueries.
+	Rewrite bool
+	// DisableDedup turns off the Section 3.1.3 duplicate-elimination rule
+	// (projecting partially-joined relationship relations with DISTINCT).
+	// Only for ablation studies: with it set, the translator reproduces
+	// SQAK's duplicate counting (e.g. Q2 returns 35 instead of 25).
+	DisableDedup bool
+}
+
+// New creates a translator for a normalized database.
+func New(g *orm.Graph, data *relation.Database) *Translator {
+	return &Translator{Graph: g, Data: data}
+}
+
+// sourceOf returns the data relation holding the tuples of a view relation.
+func (t *Translator) sourceOf(rel string) string {
+	if t.Sources != nil {
+		if s, ok := t.Sources[strings.ToLower(rel)]; ok {
+			return s
+		}
+	}
+	return rel
+}
+
+// Translate generates the SQL statement of an annotated query pattern.
+func (t *Translator) Translate(p *pattern.Pattern) (*sqlast.Query, error) {
+	q, protected, err := t.base(p)
+	if err != nil {
+		return nil, err
+	}
+	// Wrap nested aggregates, innermost listed last (Section 3.2).
+	for i := len(p.Nested) - 1; i >= 0; i-- {
+		q, err = wrapNested(q, p.Nested[i], len(p.Nested)-i)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if t.Rewrite {
+		q = RewriteAll(q, t.Data, protected)
+	}
+	return q, nil
+}
+
+// builder state for one pattern translation.
+type builder struct {
+	t         *Translator
+	p         *pattern.Pattern
+	q         *sqlast.Query
+	aliases   []string            // node id -> alias
+	compAls   map[string]string   // nodeID.component -> alias
+	protected map[string][]string // alias -> identity attrs Rule 1 must keep
+	// exposed lists, for nodes whose FROM entry projects a subset of the
+	// relation, which attributes that entry exposes; nil means all.
+	exposed map[int]map[string]bool
+}
+
+func (t *Translator) base(p *pattern.Pattern) (*sqlast.Query, map[string][]string, error) {
+	b := &builder{t: t, p: p, q: &sqlast.Query{}, compAls: make(map[string]string),
+		protected: make(map[string][]string), exposed: make(map[int]map[string]bool)}
+	b.aliases = make([]string, len(p.Nodes))
+	for _, n := range p.Nodes {
+		rel := p.Graph.Node(n.Class).Relation
+		b.aliases[n.ID] = fmt.Sprintf("%s%d", strings.ToUpper(rel.Name[:1]), n.ID+1)
+	}
+
+	// FROM: one entry per node, projecting relationship relations that are
+	// joined with a subset of their participants, and substituting view
+	// relations with their defining projections over D.
+	for _, n := range p.Nodes {
+		tr, err := b.fromEntry(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.q.From = append(b.q.From, tr)
+	}
+
+	// WHERE: joins along the pattern edges, then the node conditions.
+	for _, e := range p.Edges {
+		a, bn := p.Nodes[e.A], p.Nodes[e.B]
+		pairs, err := p.Graph.JoinOn(a.Class, bn.Class)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, pr := range pairs {
+			b.q.Where = append(b.q.Where, sqlast.JoinPred{
+				Left:  sqlast.Col{Table: b.aliases[a.ID], Column: pr[0]},
+				Right: sqlast.Col{Table: b.aliases[bn.ID], Column: pr[1]},
+			})
+		}
+	}
+	for _, n := range p.Nodes {
+		if !n.HasCond() {
+			continue
+		}
+		col, err := b.resolve(n, pattern.AttrRef{Relation: n.CondRel, Attr: n.CondAttr})
+		if err != nil {
+			return nil, nil, err
+		}
+		b.q.Where = append(b.q.Where, sqlast.ContainsPred{Col: col, Needle: n.CondTerm})
+	}
+
+	// SELECT and GROUP BY: grouped attributes first (to facilitate user
+	// understanding of the aggregates), then the aggregate functions.
+	hasAgg := false
+	for _, n := range p.Nodes {
+		for _, g := range n.GroupBys {
+			col, err := b.resolve(n, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.q.Select = append(b.q.Select, sqlast.SelectItem{Expr: sqlast.ColExpr{Col: col}})
+			b.q.GroupBy = append(b.q.GroupBy, col)
+		}
+		if len(n.Aggs) > 0 {
+			hasAgg = true
+		}
+	}
+	for _, n := range p.Nodes {
+		for _, a := range n.Aggs {
+			col, err := b.resolve(n, a.Ref)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.q.Select = append(b.q.Select, sqlast.SelectItem{
+				Expr:  sqlast.AggExpr{Func: a.Func, Arg: col},
+				Alias: a.Alias(),
+			})
+		}
+	}
+	if !hasAgg && len(b.q.GroupBy) == 0 {
+		// Pure keyword query: return the identifiers and matched attributes
+		// of the term nodes.
+		b.q.Distinct = true
+		for _, n := range p.Nodes {
+			if !n.FromTerm {
+				continue
+			}
+			rel := p.Graph.Node(n.Class).Relation
+			for _, k := range rel.PrimaryKey {
+				if ex := b.exposed[n.ID]; ex != nil && !ex[strings.ToLower(k)] {
+					continue // projected-away key parts are not displayable
+				}
+				col, err := b.resolve(n, pattern.AttrRef{Relation: rel.Name, Attr: k})
+				if err != nil {
+					return nil, nil, err
+				}
+				b.q.Select = append(b.q.Select, sqlast.SelectItem{Expr: sqlast.ColExpr{Col: col}})
+			}
+			if n.HasCond() {
+				col, err := b.resolve(n, pattern.AttrRef{Relation: n.CondRel, Attr: n.CondAttr})
+				if err != nil {
+					return nil, nil, err
+				}
+				b.q.Select = append(b.q.Select, sqlast.SelectItem{Expr: sqlast.ColExpr{Col: col}})
+			}
+		}
+	}
+	if len(b.q.Select) == 0 {
+		return nil, nil, fmt.Errorf("translate: pattern selects nothing: %s", p)
+	}
+	return b.q, b.protected, nil
+}
+
+// usedAttrs returns the attributes of node n's own relation that its
+// annotations and condition reference.
+func usedAttrs(n *pattern.Node, rel *relation.Schema) []string {
+	var out []string
+	if n.HasCond() && strings.EqualFold(n.CondRel, rel.Name) {
+		out = append(out, n.CondAttr)
+	}
+	for _, a := range n.Aggs {
+		if strings.EqualFold(a.Ref.Relation, rel.Name) {
+			out = append(out, a.Ref.Attr)
+		}
+	}
+	for _, g := range n.GroupBys {
+		if strings.EqualFold(g.Relation, rel.Name) {
+			out = append(out, g.Attr)
+		}
+	}
+	return out
+}
+
+// fromEntry builds the FROM entry of one pattern node.
+func (b *builder) fromEntry(n *pattern.Node) (sqlast.TableRef, error) {
+	g := b.p.Graph
+	node := g.Node(n.Class)
+	rel := node.Relation
+	alias := b.aliases[n.ID]
+	src := b.t.sourceOf(rel.Name)
+
+	// Duplicate elimination for partially-joined relationships: if the
+	// pattern joins fewer participants than the relationship has in the ORM
+	// schema graph, project the foreign keys of the joined participants
+	// (plus any attributes the node's annotations use) with DISTINCT.
+	var attrs []string
+	if node.Type == orm.Relationship && !b.t.DisableDedup {
+		adjacent := b.p.Adjacent(n.ID)
+		participants := g.Participants(n.Class)
+		if len(adjacent) < len(participants) {
+			used := make(map[string]bool)
+			for _, adj := range adjacent {
+				part, ok := g.ParticipantOf(n.Class, b.p.Nodes[adj].Class)
+				if !ok {
+					return sqlast.TableRef{}, fmt.Errorf("translate: %s does not reference %s", n.Class, b.p.Nodes[adj].Class)
+				}
+				for _, a := range part.FKAttrs {
+					if !used[strings.ToLower(a)] {
+						used[strings.ToLower(a)] = true
+						attrs = append(attrs, a)
+					}
+				}
+			}
+			for _, a := range usedAttrs(n, rel) {
+				if !used[strings.ToLower(a)] {
+					used[strings.ToLower(a)] = true
+					attrs = append(attrs, a)
+				}
+			}
+		}
+	}
+	// identity is what makes the projected rows denote distinct objects; it
+	// is protected from Rule 1 pruning so DISTINCT never collapses distinct
+	// objects that agree on the remaining attributes.
+	identity := attrs
+	if attrs == nil {
+		// Use the stored relation directly when the view relation coincides
+		// with it (same name and attribute set); otherwise project the view
+		// relation's defining attribute set from its source (Section 4,
+		// Example 9).
+		stored := b.t.Data.Table(src)
+		if strings.EqualFold(src, rel.Name) && stored != nil &&
+			relation.SameAttrSet(stored.Schema.AttrNames(), rel.AttrNames()) {
+			return sqlast.TableRef{Name: rel.Name, Alias: alias}, nil
+		}
+		attrs = rel.AttrNames()
+		identity = rel.PrimaryKey
+	}
+
+	srcSchema := b.t.Data.Table(src)
+	distinct := true
+	if srcSchema != nil && relation.SubsetAttrSet(srcSchema.Schema.PrimaryKey, attrs) {
+		// The projection keeps the source key, so it cannot duplicate rows.
+		distinct = false
+	}
+	if distinct {
+		b.protected[strings.ToLower(alias)] = append([]string(nil), identity...)
+	}
+	ex := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		ex[strings.ToLower(a)] = true
+	}
+	b.exposed[n.ID] = ex
+	sub := &sqlast.Query{Distinct: distinct}
+	for _, a := range attrs {
+		sub.Select = append(sub.Select, sqlast.SelectItem{Expr: sqlast.ColExpr{Col: sqlast.Col{Column: a}}})
+	}
+	sub.From = []sqlast.TableRef{{Name: src, Alias: src}}
+	return sqlast.TableRef{Subquery: sub, Alias: alias}, nil
+}
+
+// resolve maps an attribute reference on node n to the SQL column it is
+// available under, joining the owning component relation on demand.
+func (b *builder) resolve(n *pattern.Node, ref pattern.AttrRef) (sqlast.Col, error) {
+	node := b.p.Graph.Node(n.Class)
+	if strings.EqualFold(ref.Relation, node.Relation.Name) {
+		return sqlast.Col{Table: b.aliases[n.ID], Column: ref.Attr}, nil
+	}
+	for _, c := range node.Components {
+		if !strings.EqualFold(c.Name, ref.Relation) {
+			continue
+		}
+		key := fmt.Sprintf("%d.%s", n.ID, strings.ToLower(c.Name))
+		alias, ok := b.compAls[key]
+		if !ok {
+			alias = fmt.Sprintf("%s%dX%d", strings.ToUpper(c.Name[:1]), n.ID+1, len(b.compAls))
+			b.compAls[key] = alias
+			src := b.t.sourceOf(c.Name)
+			if strings.EqualFold(src, c.Name) {
+				b.q.From = append(b.q.From, sqlast.TableRef{Name: c.Name, Alias: alias})
+			} else {
+				sub := &sqlast.Query{Distinct: true}
+				for _, a := range c.AttrNames() {
+					sub.Select = append(sub.Select, sqlast.SelectItem{Expr: sqlast.ColExpr{Col: sqlast.Col{Column: a}}})
+				}
+				sub.From = []sqlast.TableRef{{Name: src, Alias: src}}
+				b.q.From = append(b.q.From, sqlast.TableRef{Subquery: sub, Alias: alias})
+				b.protected[strings.ToLower(alias)] = append([]string(nil), c.PrimaryKey...)
+			}
+			fk := c.ForeignKeys[0]
+			for i := range fk.Attrs {
+				b.q.Where = append(b.q.Where, sqlast.JoinPred{
+					Left:  sqlast.Col{Table: alias, Column: fk.Attrs[i]},
+					Right: sqlast.Col{Table: b.aliases[n.ID], Column: fk.RefAttrs[i]},
+				})
+			}
+		}
+		return sqlast.Col{Table: alias, Column: ref.Attr}, nil
+	}
+	return sqlast.Col{}, fmt.Errorf("translate: node %s has no attribute %s", n.Class, ref)
+}
+
+// wrapNested wraps q in an outer query applying fn to q's first aggregate
+// column (Section 3.2, Example 7).
+func wrapNested(q *sqlast.Query, fn sqlast.AggFunc, level int) (*sqlast.Query, error) {
+	innerAlias := ""
+	for _, it := range q.Select {
+		if _, ok := it.Expr.(sqlast.AggExpr); ok {
+			innerAlias = it.Alias
+			break
+		}
+	}
+	if innerAlias == "" {
+		return nil, fmt.Errorf("translate: nested %s has no inner aggregate to apply to", fn)
+	}
+	prefix := map[sqlast.AggFunc]string{
+		sqlast.AggCount: "num",
+		sqlast.AggSum:   "sum",
+		sqlast.AggAvg:   "avg",
+		sqlast.AggMin:   "min",
+		sqlast.AggMax:   "max",
+	}[fn]
+	relAlias := "R"
+	if level > 1 {
+		relAlias = fmt.Sprintf("R%d", level)
+	}
+	outer := &sqlast.Query{
+		Select: []sqlast.SelectItem{{
+			Expr:  sqlast.AggExpr{Func: fn, Arg: sqlast.Col{Table: relAlias, Column: innerAlias}},
+			Alias: prefix + innerAlias,
+		}},
+		From: []sqlast.TableRef{{Subquery: q, Alias: relAlias}},
+	}
+	return outer, nil
+}

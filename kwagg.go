@@ -1,0 +1,329 @@
+// Package kwagg answers keyword queries involving aggregate functions and
+// GROUPBY over relational databases, implementing the semantic approach of
+// Zeng, Lee and Ling, "Answering Keyword Queries involving Aggregates and
+// GROUPBY on Relational Databases" (EDBT 2016).
+//
+// A keyword query is a sequence of terms; each term matches a relation name,
+// an attribute name, a tuple value, GROUPBY, or one of the aggregate
+// functions MIN, MAX, AVG, SUM and COUNT:
+//
+//	eng, _ := kwagg.Open(db, nil)
+//	answers, _ := eng.Answer(`COUNT Lecturer GROUPBY Course`, 1)
+//
+// The engine captures the database's Object-Relationship-Attribute (ORA)
+// semantics in an ORM schema graph, interprets the query as ranked annotated
+// query patterns, and translates the top-k patterns to SQL. The semantics
+// let it distinguish objects sharing an attribute value (one aggregate per
+// object), project away unused participants of n-ary relationships before
+// joining (no duplicate counting), and — when relations violate 3NF — plan
+// over a derived normalized view and rewrite the SQL back onto the stored
+// relations.
+//
+// The package also exposes the SQAK baseline (Tata & Lohman, SIGMOD 2008)
+// for side-by-side comparison, an in-memory SQL engine that executes the
+// generated statements, and generators for the evaluation datasets.
+package kwagg
+
+import (
+	"fmt"
+
+	"kwagg/internal/core"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqak"
+	"kwagg/internal/sqldb"
+)
+
+// Column declares one attribute of a table as "name TYPE"; TYPE is one of
+// INT, FLOAT, DATE, or omitted for VARCHAR.
+type Column = string
+
+// FK declares a foreign key: Attrs in this table reference RefAttrs (the
+// key) of RefTable. RefAttrs defaults to Attrs when empty.
+type FK struct {
+	Attrs    []string
+	RefTable string
+	RefAttrs []string
+}
+
+// Dep declares a functional dependency From -> To. Dependencies beyond the
+// primary key drive unnormalized-schema detection and 3NF view synthesis.
+type Dep struct {
+	From []string
+	To   []string
+}
+
+// TableSpec declares one table of a database.
+type TableSpec struct {
+	Name         string
+	Columns      []Column
+	PrimaryKey   []string
+	ForeignKeys  []FK
+	Dependencies []Dep
+}
+
+// DB is a mutable in-memory relational database.
+type DB struct {
+	db *relation.Database
+}
+
+// NewDB creates an empty database.
+func NewDB(name string) *DB { return &DB{db: relation.NewDatabase(name)} }
+
+// wrapDB adopts an internal database (used by the dataset constructors).
+func wrapDB(db *relation.Database) *DB { return &DB{db: db} }
+
+// CreateTable adds a table to the database.
+func (d *DB) CreateTable(spec TableSpec) error {
+	if spec.Name == "" || len(spec.Columns) == 0 {
+		return fmt.Errorf("kwagg: table needs a name and columns")
+	}
+	s := relation.NewSchema(spec.Name, spec.Columns...)
+	s.Key(spec.PrimaryKey...)
+	for _, fk := range spec.ForeignKeys {
+		s.Ref(fk.Attrs, fk.RefTable, fk.RefAttrs...)
+	}
+	for _, dep := range spec.Dependencies {
+		s.Dep(dep.From, dep.To...)
+	}
+	d.db.AddSchema(s)
+	return nil
+}
+
+// MustCreateTable is CreateTable but panics on error.
+func (d *DB) MustCreateTable(spec TableSpec) {
+	if err := d.CreateTable(spec); err != nil {
+		panic(err)
+	}
+}
+
+// Insert appends a row of string fields, coerced to the declared column
+// types (empty string becomes NULL for non-VARCHAR columns).
+func (d *DB) Insert(table string, fields ...string) error {
+	t := d.db.Table(table)
+	if t == nil {
+		return fmt.Errorf("kwagg: unknown table %q", table)
+	}
+	return t.InsertRow(fields...)
+}
+
+// MustInsert is Insert but panics on error.
+func (d *DB) MustInsert(table string, fields ...string) {
+	if err := d.Insert(table, fields...); err != nil {
+		panic(err)
+	}
+}
+
+// Stats returns a one-line row-count summary.
+func (d *DB) Stats() string { return d.db.Stats() }
+
+// Save writes the database to a directory: schema.json (relations, types,
+// keys, foreign keys, functional dependencies) plus one CSV per relation.
+func (d *DB) Save(dir string) error { return relation.SaveDir(d.db, dir) }
+
+// Load reads a database previously written by Save (or assembled by hand in
+// the same layout) and validates its catalog.
+func Load(dir string) (*DB, error) {
+	db, err := relation.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{db: db}, nil
+}
+
+// Options configures Open.
+type Options struct {
+	// ViewNames names the relations of the normalized view synthesized for
+	// an unnormalized database. Keys are key signatures: the key attributes
+	// lower-cased, sorted and comma-joined (e.g. "paperid" or
+	// "authorid,paperid"). Unnamed relations get generated names.
+	ViewNames map[string]string
+}
+
+// Engine answers keyword queries over one database.
+type Engine struct {
+	sys  *core.System
+	sqak *sqak.System
+}
+
+// Open prepares the database for keyword search: it checks every relation's
+// normal form, builds the ORM schema graph (over the normalized view for
+// unnormalized databases), and indexes the stored values.
+func Open(d *DB, opts *Options) (*Engine, error) {
+	var copts *core.Options
+	if opts != nil {
+		copts = &core.Options{NameHints: opts.ViewNames}
+	}
+	sys, err := core.Open(d.db, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{sys: sys, sqak: sqak.New(d.db)}, nil
+}
+
+// Unnormalized reports whether the engine plans over a derived normalized
+// view because the stored schema violates 3NF.
+func (e *Engine) Unnormalized() bool { return e.sys.Unnormalized() }
+
+// SchemaGraph describes the ORM schema graph nodes, their types, and their
+// adjacency (Figures 3 and 9 of the paper).
+func (e *Engine) SchemaGraph() string { return e.sys.DescribeSchema() }
+
+// Interpretation is one ranked reading of a keyword query.
+type Interpretation struct {
+	// Description paraphrases the interpretation.
+	Description string
+	// SQL is the generated statement (single-line; PrettySQL is formatted).
+	SQL       string
+	PrettySQL string
+	// Pattern is the annotated query pattern in compact text form.
+	Pattern string
+}
+
+// Result is an executed query result.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Answer is one executed interpretation.
+type Answer struct {
+	Interpretation
+	Result Result
+}
+
+// Interpret returns the top-k ranked interpretations of the query with their
+// generated SQL (k <= 0 returns all).
+func (e *Engine) Interpret(query string, k int) ([]Interpretation, error) {
+	ins, err := e.sys.Interpret(query, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Interpretation, len(ins))
+	for i, in := range ins {
+		out[i] = Interpretation{
+			Description: in.Description,
+			SQL:         in.SQL.String(),
+			PrettySQL:   in.SQL.Pretty(),
+			Pattern:     in.Pattern.String(),
+		}
+	}
+	return out, nil
+}
+
+// Explain returns a structured, human-readable account of how the i-th
+// ranked interpretation of the query was produced: term readings, pattern
+// nodes, disambiguation and duplicate-elimination decisions, and the
+// ranking signals.
+func (e *Engine) Explain(query string, i int) (string, error) {
+	ins, err := e.sys.Interpret(query, 0)
+	if err != nil {
+		return "", err
+	}
+	if i < 0 || i >= len(ins) {
+		return "", fmt.Errorf("kwagg: interpretation %d out of range (have %d)", i, len(ins))
+	}
+	return e.sys.Explain(ins[i]).String(), nil
+}
+
+// PatternDot renders the i-th ranked interpretation's annotated query
+// pattern in Graphviz DOT form (the paper's Figures 4-7 style).
+func (e *Engine) PatternDot(query string, i int) (string, error) {
+	ins, err := e.sys.Interpret(query, 0)
+	if err != nil {
+		return "", err
+	}
+	if i < 0 || i >= len(ins) {
+		return "", fmt.Errorf("kwagg: interpretation %d out of range (have %d)", i, len(ins))
+	}
+	return ins[i].Pattern.Dot(), nil
+}
+
+// SchemaDot renders the ORM schema graph in Graphviz DOT form (Figures 3
+// and 9).
+func (e *Engine) SchemaDot() string { return e.sys.Graph.Dot() }
+
+// Answer interprets the query and executes the top-k generated statements.
+func (e *Engine) Answer(query string, k int) ([]Answer, error) {
+	as, err := e.sys.Answer(query, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, len(as))
+	for i, a := range as {
+		out[i] = Answer{
+			Interpretation: Interpretation{
+				Description: a.Description,
+				SQL:         a.SQL.String(),
+				PrettySQL:   a.SQL.Pretty(),
+				Pattern:     a.Pattern.String(),
+			},
+			Result: convertResult(a.Result),
+		}
+	}
+	return out, nil
+}
+
+// ExecuteSQL runs a SQL statement of the supported subset directly against
+// the stored database.
+func (e *Engine) ExecuteSQL(sql string) (Result, error) {
+	res, err := sqldb.ExecSQL(e.sys.Data, sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return convertResult(res), nil
+}
+
+// ExplainSQLPlan returns the engine's evaluation plan for a SQL statement:
+// scan cardinalities, pushed-down filters, and the chosen join order.
+func (e *Engine) ExplainSQLPlan(sql string) (string, error) {
+	plan, err := sqldb.ExplainSQL(e.sys.Data, sql)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// SQAKTranslate generates the SQAK baseline's SQL for the query. The error
+// reproduces SQAK's documented restrictions (no self joins, at most one
+// aggregate expression).
+func (e *Engine) SQAKTranslate(query string) (string, error) {
+	sql, err := e.sqak.Translate(query)
+	if err != nil {
+		return "", err
+	}
+	return sql.String(), nil
+}
+
+// SQAKAnswer generates and executes the SQAK baseline's SQL.
+func (e *Engine) SQAKAnswer(query string) (Result, string, error) {
+	res, sql, err := e.sqak.Answer(query)
+	if err != nil {
+		return Result{}, "", err
+	}
+	return convertResult(res), sql.String(), nil
+}
+
+func convertResult(res *sqldb.Result) Result {
+	out := Result{Columns: res.Columns}
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = relation.Format(v)
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out
+}
+
+// String renders the result as an aligned table.
+func (r Result) String() string {
+	res := &sqldb.Result{Columns: r.Columns}
+	for _, row := range r.Rows {
+		tu := make(relation.Tuple, len(row))
+		for j, c := range row {
+			tu[j] = c
+		}
+		res.Rows = append(res.Rows, tu)
+	}
+	return res.String()
+}
