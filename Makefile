@@ -1,6 +1,6 @@
 # Standard entry points; everything is pure Go with no external dependencies.
 
-.PHONY: all build test race cover bench experiments verify fmt vet examples
+.PHONY: all build test test-race race cover bench experiments verify fmt vet examples
 
 all: build test
 
@@ -10,8 +10,12 @@ build:
 test:
 	go test ./...
 
-race:
+# Tier-1 gate for the concurrency work: the whole suite under the race
+# detector, including the 100+-goroutine stress tests.
+test-race:
 	go test -race ./...
+
+race: test-race
 
 cover:
 	go test -cover ./...

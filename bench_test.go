@@ -17,8 +17,12 @@
 package kwagg_test
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
+
+	"kwagg"
 
 	"kwagg/internal/core"
 	"kwagg/internal/dataset/acmdl"
@@ -315,4 +319,63 @@ func mustParse(b *testing.B, q string) *keyword.Query {
 		b.Fatal(err)
 	}
 	return kq
+}
+
+// BenchmarkAnswerCached quantifies the interpretation cache: answering the
+// same ACMDL query repeatedly through a caching engine against an engine
+// with the cache disabled (Options.CacheSize < 0). The cached path should
+// win by well over an order of magnitude since only execution remains.
+func BenchmarkAnswerCached(b *testing.B) {
+	const q = "COUNT paper GROUPBY proceeding SIGMOD"
+	for _, cfg := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"cached", 0},
+		{"uncached", -1},
+	} {
+		eng, err := kwagg.Open(kwagg.ACMDLDB(kwagg.ACMDLDefault), &kwagg.Options{CacheSize: cfg.cacheSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm once so the cached variant measures steady-state hits.
+		if _, err := eng.Answer(q, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Answer(q, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnswerParallel8 measures executing every interpretation of an
+// ACMDL query (k=0) with a single-worker pool against an 8-worker pool,
+// driving core.ExecuteAll directly on pre-computed interpretations so the
+// benchmark isolates the execution stage the pool parallelizes (through the
+// Engine the answer cache would absorb the repeats).
+func BenchmarkAnswerParallel8(b *testing.B) {
+	_, _, an, _ := setups(b)
+	sys := an.Ours
+	ins, err := sys.Interpret("COUNT paper GROUPBY proceeding SIGMOD", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 8} {
+		sys.Workers = workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.ExecuteAll(ctx, ins); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	sys.Workers = 0
 }

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"time"
 
 	"kwagg"
 	"kwagg/internal/server"
@@ -19,8 +20,13 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		dataset = flag.String("dataset", "university",
 			"university | fig2 | enrolment | tpch | tpch-denorm | acmdl | acmdl-denorm")
-		load  = flag.String("load", "", "load a saved database directory instead of -dataset")
-		small = flag.Bool("small", false, "use the small dataset scale")
+		load    = flag.String("load", "", "load a saved database directory instead of -dataset")
+		small   = flag.Bool("small", false, "use the small dataset scale")
+		timeout = flag.Duration("timeout", 30*time.Second,
+			"per-request timeout (negative disables)")
+		maxConc = flag.Int("max-concurrent", 64,
+			"max simultaneously served requests; excess get 503 (negative disables)")
+		maxK = flag.Int("max-k", 10, "cap on interpretations executed per request")
 	)
 	flag.Parse()
 
@@ -28,8 +34,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("kwserve: dataset %q on %s (unnormalized: %v)", *dataset, *addr, eng.Unnormalized())
-	log.Fatal(http.ListenAndServe(*addr, server.New(eng)))
+	log.Printf("kwserve: dataset %q on %s (unnormalized: %v, workers: %d)",
+		*dataset, *addr, eng.Unnormalized(), eng.Workers())
+	srv := server.NewWith(eng, server.Config{
+		MaxK:          *maxK,
+		Timeout:       *timeout,
+		MaxConcurrent: *maxConc,
+	})
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
 func openEngine(dataset, load string, small bool) (*kwagg.Engine, error) {

@@ -6,7 +6,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -22,6 +24,12 @@ import (
 )
 
 // System answers keyword queries over one database.
+//
+// A System is safe for concurrent use after Open: the schema graph, matcher,
+// inverted index and per-table value indexes are all built during Open and
+// never mutated afterwards (Open freezes the database, so inserts are
+// rejected from then on). The exported fields are shared state — treat them
+// as read-only.
 type System struct {
 	Data       *relation.Database
 	Graph      *orm.Graph
@@ -29,6 +37,10 @@ type System struct {
 	Matcher    *match.Matcher
 	Generator  *pattern.Generator
 	Translator *translate.Translator
+
+	// Workers bounds the worker pool executing the top-k statements in
+	// Answer; 0 means min(GOMAXPROCS, 8). Set before sharing the System.
+	Workers int
 }
 
 // Options configures Open.
@@ -39,6 +51,8 @@ type Options struct {
 	// ForceViewPipeline runs the normalized-view pipeline even when the
 	// database is already in 3NF (used in tests).
 	ForceViewPipeline bool
+	// Workers bounds the Answer execution pool; 0 means min(GOMAXPROCS, 8).
+	Workers int
 }
 
 // Open prepares a database for keyword search. It checks every relation's
@@ -77,6 +91,11 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 		s.Translator = translate.New(g, db)
 	}
 	s.Generator = pattern.NewGenerator(s.Matcher)
+	s.Workers = opts.Workers
+	// Freeze the stored data: later inserts are rejected, and every
+	// per-table value index is built now so query execution never mutates
+	// shared state (the thread-safety contract of System).
+	db.Freeze()
 	return s, nil
 }
 
@@ -123,49 +142,84 @@ type Answer struct {
 }
 
 // Answer interprets the query and executes the top-k generated SQL
-// statements against the stored database.
+// statements against the stored database. Execution runs on a bounded
+// worker pool (see Workers); the returned slice preserves rank order.
 func (s *System) Answer(query string, k int) ([]Answer, error) {
-	ins, err := s.Interpret(query, k)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Answer, 0, len(ins))
-	for _, in := range ins {
-		res, err := sqldb.Exec(s.Data, in.SQL)
-		if err != nil {
-			return nil, fmt.Errorf("core: executing %q: %w", in.SQL, err)
-		}
-		res.SortRows()
-		out = append(out, Answer{Interpretation: in, Result: res})
-	}
-	return out, nil
+	return s.AnswerContext(context.Background(), query, k)
 }
 
-// AnswerParallel is Answer with the top-k statements executed concurrently,
-// one goroutine per interpretation. The stored database is read-only during
-// execution, so the interpretations share it safely; answer order matches
-// interpretation rank regardless of completion order.
-func (s *System) AnswerParallel(query string, k int) ([]Answer, error) {
+// AnswerContext is Answer honoring a context: cancellation is checked before
+// each statement starts executing (a statement already running is not
+// interrupted).
+func (s *System) AnswerContext(ctx context.Context, query string, k int) ([]Answer, error) {
 	ins, err := s.Interpret(query, k)
 	if err != nil {
 		return nil, err
+	}
+	return s.ExecuteAll(ctx, ins)
+}
+
+// AnswerParallel is kept as an alias of Answer for older callers; Answer
+// itself now executes on the bounded pool.
+func (s *System) AnswerParallel(query string, k int) ([]Answer, error) {
+	return s.Answer(query, k)
+}
+
+// ExecWorkers resolves the execution pool size Answer uses.
+func (s *System) ExecWorkers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ExecuteAll executes every interpretation's SQL against the stored database
+// on a pool of at most workerCount goroutines, returning the answers in the
+// same rank order as ins. The database is frozen (read-only), so the workers
+// share it without locking. The first error wins; ctx cancellation stops
+// statements that have not started yet.
+func (s *System) ExecuteAll(ctx context.Context, ins []Interpretation) ([]Answer, error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	workers := s.ExecWorkers()
+	if workers > len(ins) {
+		workers = len(ins)
 	}
 	out := make([]Answer, len(ins))
 	errs := make([]error, len(ins))
+	next := make(chan int)
 	var wg sync.WaitGroup
-	for i := range ins {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			res, err := sqldb.Exec(s.Data, ins[i].SQL)
-			if err != nil {
-				errs[i] = fmt.Errorf("core: executing %q: %w", ins[i].SQL, err)
-				return
+			for i := range next {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				res, err := sqldb.Exec(s.Data, ins[i].SQL)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: executing %q: %w", ins[i].SQL, err)
+					continue
+				}
+				res.SortRows()
+				out[i] = Answer{Interpretation: ins[i], Result: res}
 			}
-			res.SortRows()
-			out[i] = Answer{Interpretation: ins[i], Result: res}
-		}(i)
+		}()
 	}
+	for i := range ins {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

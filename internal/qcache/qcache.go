@@ -1,0 +1,180 @@
+// Package qcache provides the query-plan cache of the serving layer: a
+// bounded LRU keyed by normalized query string, with singleflight collapse
+// so N concurrent requests for the same uncached query compute it once and
+// share the result.
+//
+// The cache stores whatever the compute function returns — the engine keeps
+// the full ranked interpretation slice of a query in it, so Interpret,
+// Answer, Explain and PatternDot all serve from one computation. Values must
+// be treated as immutable by every reader, since hits hand back the same
+// value to many goroutines.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCapacity is used when New is given a non-positive capacity.
+const DefaultCapacity = 128
+
+// Cache is a bounded LRU with singleflight computation. The zero value is
+// not usable; construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element whose Value is *entry
+	inflight map[string]*flight
+
+	hits      uint64 // Get served from the cache
+	misses    uint64 // Get computed the value itself
+	collapsed uint64 // Get waited on another goroutine's computation
+	evictions uint64 // entries dropped at capacity
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New creates a cache holding at most capacity entries (DefaultCapacity when
+// capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the cached value for key, computing it with compute on a miss.
+// Concurrent Gets for the same missing key run compute once: one caller
+// computes while the others block and share the outcome (singleflight).
+// Errors are returned but never cached, so a failed computation is retried
+// by the next caller.
+func (c *Cache) Get(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.collapsed++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		// On success, error, or panic in compute: unregister the flight and
+		// release the waiters so nobody blocks forever. A panic propagates to
+		// the computing caller; waiters receive a sentinel error instead.
+		if !completed {
+			f.err = errComputePanicked
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if completed && f.err == nil {
+			c.addLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = compute()
+	completed = true
+	return f.val, f.err
+}
+
+type computePanicError struct{}
+
+func (computePanicError) Error() string { return "qcache: compute panicked" }
+
+var errComputePanicked = computePanicError{}
+
+// addLocked inserts key -> val, evicting from the LRU tail at capacity.
+func (c *Cache) addLocked(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Peek returns the cached value without touching LRU order or counters.
+func (c *Cache) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every cached entry (in-flight computations are unaffected and
+// will re-insert when they finish). Counters are preserved.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`      // served from the cache
+	Misses    uint64 `json:"misses"`    // computed by the caller
+	Collapsed uint64 `json:"collapsed"` // waited on a concurrent computation
+	Evictions uint64 `json:"evictions"` // entries dropped at capacity
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Inflight  int    `json:"inflight"` // computations currently running
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Collapsed: c.collapsed,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+		Inflight:  len(c.inflight),
+	}
+}

@@ -1,0 +1,239 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHitMiss(t *testing.T) {
+	c := New(4)
+	calls := 0
+	compute := func() (any, error) { calls++; return "v", nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Get("k", compute)
+		if err != nil || v != "v" {
+			t.Fatalf("Get: %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Size != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.Get("k", func() (any, error) { calls++; return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("want boom, got %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("failed compute should rerun: %d calls", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("errors must not be cached, len=%d", c.Len())
+	}
+	// A later success is cached normally.
+	if v, err := c.Get("k", func() (any, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("Get after errors: %v, %v", v, err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len=%d after success", c.Len())
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	c := New(2)
+	get := func(k string) {
+		t.Helper()
+		if _, err := c.Get(k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a; b is now least recently used
+	get("c") // evicts b
+	if _, ok := c.Peek("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+	// Evicted entries are recomputed.
+	miss := false
+	if v, err := c.Get("b", func() (any, error) { miss = true; return "b2", nil }); err != nil || v != "b2" {
+		t.Fatalf("Get b: %v, %v", v, err)
+	}
+	if !miss {
+		t.Error("evicted key should recompute")
+	}
+}
+
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	c := New(8)
+	const waiters = 100
+	var computing atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Get("k", func() (any, error) {
+				once.Do(func() { close(started) })
+				computing.Add(1)
+				<-release // hold the flight open so everyone piles up
+				return "shared", nil
+			})
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-started
+	// Wait until every other goroutine is either blocked on the flight or
+	// has not reached Get yet, then release; all must share one compute.
+	close(release)
+	wg.Wait()
+
+	if n := computing.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != "shared" {
+			t.Errorf("result[%d] = %v", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Collapsed != waiters-1 {
+		t.Errorf("hits %d + collapsed %d != %d", st.Hits, st.Collapsed, waiters-1)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("inflight = %d after completion", st.Inflight)
+	}
+}
+
+func TestComputePanicReleasesWaiters(t *testing.T) {
+	c := New(4)
+	ready := make(chan struct{})
+	release := make(chan struct{})
+	var waiterErr error
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }()
+		_, _ = c.Get("k", func() (any, error) {
+			close(ready)
+			<-release
+			panic("compute exploded")
+		})
+	}()
+	<-ready
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, waiterErr = c.Get("k", func() (any, error) { return "unused", nil })
+	}()
+	// Give the waiter a moment to join the flight, then let it explode. If
+	// the waiter raced past the flight it computed "unused" with nil error —
+	// both outcomes are fine; the test is that nothing deadlocks.
+	close(release)
+	wg.Wait()
+	if waiterErr != nil && waiterErr.Error() != "qcache: compute panicked" {
+		t.Errorf("waiter error: %v", waiterErr)
+	}
+	if c.Len() != 0 && waiterErr != nil {
+		t.Errorf("panicked compute must not cache: len=%d", c.Len())
+	}
+}
+
+// TestStressMixedKeys fires many goroutines over overlapping keys and checks
+// every caller sees the value its key's compute produces, with the map and
+// LRU staying consistent. Run with -race.
+func TestStressMixedKeys(t *testing.T) {
+	c := New(16) // smaller than the key space: eviction churns under load
+	const goroutines = 120
+	const iters = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%24)
+				v, err := c.Get(key, func() (any, error) { return "val-" + key, nil })
+				if err != nil {
+					t.Errorf("Get(%s): %v", key, err)
+					return
+				}
+				if v != "val-"+key {
+					t.Errorf("Get(%s) = %v", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 16 {
+		t.Errorf("size %d exceeds capacity", st.Size)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("inflight = %d after quiescence", st.Inflight)
+	}
+	if total := st.Hits + st.Misses + st.Collapsed; total != goroutines*iters {
+		t.Errorf("counter total %d != %d requests", total, goroutines*iters)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(4)
+	if _, err := c.Get("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("len=%d after purge", c.Len())
+	}
+	recomputed := false
+	if _, err := c.Get("k", func() (any, error) { recomputed = true; return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Error("purged key should recompute")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := New(0).Stats().Capacity; got != DefaultCapacity {
+		t.Errorf("capacity = %d", got)
+	}
+	if got := New(-5).Stats().Capacity; got != DefaultCapacity {
+		t.Errorf("capacity = %d", got)
+	}
+}

@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Tuple is one row of a table; Tuple[i] is the value of Schema.Attributes[i].
@@ -16,6 +17,8 @@ type Table struct {
 	Schema *Schema
 	Tuples []Tuple
 
+	mu      sync.Mutex                  // guards hashIdx builds on unfrozen tables
+	frozen  bool                        // set by Freeze; rejects further inserts
 	hashIdx map[string]map[string][]int // attr (lower) -> formatted value -> row ids
 }
 
@@ -23,8 +26,12 @@ type Table struct {
 func NewTable(s *Schema) *Table { return &Table{Schema: s} }
 
 // Insert appends a tuple after checking its arity. Values must already have
-// the declared types; use InsertRow for string coercion.
+// the declared types; use InsertRow for string coercion. Frozen tables (see
+// Freeze) reject inserts.
 func (t *Table) Insert(tu Tuple) error {
+	if t.frozen {
+		return fmt.Errorf("relation: %s is frozen (opened for keyword search); inserts are rejected", t.Schema.Name)
+	}
 	if len(tu) != len(t.Schema.Attributes) {
 		return fmt.Errorf("relation: %s expects %d values, got %d",
 			t.Schema.Name, len(t.Schema.Attributes), len(tu))
@@ -32,6 +39,42 @@ func (t *Table) Insert(tu Tuple) error {
 	t.Tuples = append(t.Tuples, tu)
 	t.hashIdx = nil
 	return nil
+}
+
+// Freeze makes the table immutable: subsequent Insert/InsertRow calls return
+// an error, and the per-attribute hash indexes are built eagerly so that
+// Lookup never mutates shared state again. After Freeze the table is safe
+// for unsynchronized concurrent readers.
+func (t *Table) Freeze() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.frozen = true
+	for _, a := range t.Schema.Attributes {
+		t.buildIdxLocked(strings.ToLower(a.Name))
+	}
+}
+
+// Frozen reports whether the table has been frozen.
+func (t *Table) Frozen() bool { return t.frozen }
+
+// buildIdxLocked builds the hash index of one attribute; t.mu must be held.
+func (t *Table) buildIdxLocked(key string) map[string][]int {
+	if t.hashIdx == nil {
+		t.hashIdx = make(map[string]map[string][]int)
+	}
+	if idx, ok := t.hashIdx[key]; ok {
+		return idx
+	}
+	j := t.Schema.AttrIndex(key)
+	if j < 0 {
+		return nil
+	}
+	idx := make(map[string][]int)
+	for i, tu := range t.Tuples {
+		idx[Format(tu[j])] = append(idx[Format(tu[j])], i)
+	}
+	t.hashIdx[key] = idx
+	return idx
 }
 
 // MustInsert is Insert but panics on arity mismatch; intended for dataset
@@ -72,25 +115,18 @@ func (t *Table) Value(i int, attr string) Value {
 	return t.Tuples[i][j]
 }
 
-// Lookup returns the row ids whose attribute equals v exactly, using a lazily
-// built hash index.
+// Lookup returns the row ids (ascending) whose attribute formats equally to
+// v, using the per-attribute hash index. On frozen tables every index exists
+// and the lookup is a lock-free map read; on mutable tables the index is
+// built lazily under the table's mutex, so concurrent lookups stay safe.
 func (t *Table) Lookup(attr string, v Value) []int {
 	key := strings.ToLower(attr)
-	if t.hashIdx == nil {
-		t.hashIdx = make(map[string]map[string][]int)
+	if t.frozen {
+		return t.hashIdx[key][Format(v)]
 	}
-	idx, ok := t.hashIdx[key]
-	if !ok {
-		j := t.Schema.AttrIndex(attr)
-		if j < 0 {
-			return nil
-		}
-		idx = make(map[string][]int)
-		for i, tu := range t.Tuples {
-			idx[Format(tu[j])] = append(idx[Format(tu[j])], i)
-		}
-		t.hashIdx[key] = idx
-	}
+	t.mu.Lock()
+	idx := t.buildIdxLocked(key)
+	t.mu.Unlock()
 	return idx[Format(v)]
 }
 
@@ -195,6 +231,26 @@ func (db *Database) Schemas() []*Schema {
 		out = append(out, db.tables[k].Schema)
 	}
 	return out
+}
+
+// Freeze freezes every table of the database (see Table.Freeze): inserts are
+// rejected and all per-attribute value indexes are built eagerly. Called when
+// a database is opened for keyword search; afterwards the database is safe
+// for unsynchronized concurrent readers.
+func (db *Database) Freeze() {
+	for _, t := range db.Tables() {
+		t.Freeze()
+	}
+}
+
+// Frozen reports whether the database has been frozen.
+func (db *Database) Frozen() bool {
+	for _, t := range db.Tables() {
+		if !t.Frozen() {
+			return false
+		}
+	}
+	return len(db.order) > 0
 }
 
 // Stats returns a one-line tuple-count summary, useful in CLIs and examples.

@@ -3,38 +3,92 @@
 //
 //	GET  /healthz               liveness probe
 //	GET  /api/schema            ORM schema graph (text and DOT)
+//	GET  /api/stats             cache / pool / request counters
 //	POST /api/query             {"q": "...", "k": 3} -> ranked answers
 //	POST /api/sql               {"sql": "SELECT ..."} -> result grid
 //	POST /api/sqak              {"q": "..."} -> the SQAK baseline's answer
 //	GET  /api/explain?q=...&i=0 explanation of the i-th interpretation
 //
-// All state is read-only after construction, so one Server handles
-// concurrent requests without locking.
+// The engine is safe for concurrent use (immutable after Open, with a
+// singleflight interpretation cache), so one Server handles concurrent
+// requests; the server adds a configurable concurrency limit (excess
+// requests are rejected with 503 rather than queued without bound) and a
+// per-request timeout enforced through the request context.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"kwagg"
+	"kwagg/internal/qcache"
+)
+
+// Config tunes the serving behavior; the zero value of any field selects its
+// default.
+type Config struct {
+	// MaxK caps the number of interpretations executed per request
+	// (default 10).
+	MaxK int
+	// Timeout bounds each request; statements not yet started when it
+	// expires are abandoned and the request fails with 504 (default 30s;
+	// negative disables).
+	Timeout time.Duration
+	// MaxConcurrent bounds simultaneously served requests; excess requests
+	// get 503 immediately (default 64; negative disables the limit).
+	MaxConcurrent int
+}
+
+const (
+	defaultMaxK          = 10
+	defaultTimeout       = 30 * time.Second
+	defaultMaxConcurrent = 64
 )
 
 // Server is an http.Handler answering keyword queries over one engine.
 type Server struct {
-	eng *kwagg.Engine
-	mux *http.ServeMux
-	// MaxK caps the number of interpretations executed per request.
-	MaxK int
+	eng     *kwagg.Engine
+	mux     *http.ServeMux
+	maxK    int
+	timeout time.Duration
+	sem     chan struct{} // nil = unlimited
+
+	requests uint64 // total requests accepted
+	rejected uint64 // rejected at the concurrency limit
+	timeouts uint64 // requests that hit the per-request timeout
+	inflight int64  // currently being served
 }
 
-// New creates a server for the engine.
-func New(eng *kwagg.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), MaxK: 10}
+// New creates a server for the engine with default limits.
+func New(eng *kwagg.Engine) *Server { return NewWith(eng, Config{}) }
+
+// NewWith creates a server with explicit limits.
+func NewWith(eng *kwagg.Engine, cfg Config) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), maxK: cfg.MaxK, timeout: cfg.Timeout}
+	if s.maxK <= 0 {
+		s.maxK = defaultMaxK
+	}
+	if s.timeout == 0 {
+		s.timeout = defaultTimeout
+	} else if s.timeout < 0 {
+		s.timeout = 0
+	}
+	limit := cfg.MaxConcurrent
+	if limit == 0 {
+		limit = defaultMaxConcurrent
+	}
+	if limit > 0 {
+		s.sem = make(chan struct{}, limit)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/api/schema", s.handleSchema)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/sql", s.handleSQL)
 	s.mux.HandleFunc("/api/sqak", s.handleSQAK)
@@ -42,8 +96,29 @@ func New(eng *kwagg.Engine) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: it applies the concurrency limit and
+// the per-request timeout, then dispatches to the API handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			atomic.AddUint64(&s.rejected, 1)
+			writeErr(w, http.StatusServiceUnavailable, errors.New("server at concurrency limit"))
+			return
+		}
+	}
+	atomic.AddUint64(&s.requests, 1)
+	atomic.AddInt64(&s.inflight, 1)
+	defer atomic.AddInt64(&s.inflight, -1)
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -88,6 +163,41 @@ type queryRequest struct {
 	K int    `json:"k"`
 }
 
+// statsResponse exposes the serving counters: the engine's interpretation
+// and answer caches, the execution pool size, and the HTTP-level request
+// counters.
+type statsResponse struct {
+	Cache       qcache.Stats `json:"cache"`
+	AnswerCache qcache.Stats `json:"answer_cache"`
+	Workers     int          `json:"workers"`
+	Server      serverStats  `json:"server"`
+}
+
+type serverStats struct {
+	Requests uint64 `json:"requests"`
+	InFlight int64  `json:"in_flight"`
+	Rejected uint64 `json:"rejected"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Cache:       s.eng.CacheStats(),
+		AnswerCache: s.eng.AnswerCacheStats(),
+		Workers:     s.eng.Workers(),
+		Server: serverStats{
+			Requests: atomic.LoadUint64(&s.requests),
+			InFlight: atomic.LoadInt64(&s.inflight),
+			Rejected: atomic.LoadUint64(&s.rejected),
+			Timeouts: atomic.LoadUint64(&s.timeouts),
+		},
+	})
+}
+
 type answerJSON struct {
 	Description string     `json:"description"`
 	Pattern     string     `json:"pattern"`
@@ -106,11 +216,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := req.K
-	if k <= 0 || k > s.MaxK {
-		k = s.MaxK
+	if k <= 0 || k > s.maxK {
+		k = s.maxK
 	}
-	answers, err := s.eng.Answer(req.Q, k)
+	answers, err := s.eng.AnswerContext(r.Context(), req.Q, k)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			atomic.AddUint64(&s.timeouts, 1)
+			writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("query timed out: %w", err))
+			return
+		}
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}

@@ -6,7 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"kwagg"
 )
@@ -170,4 +173,176 @@ func TestExplainEndpoint(t *testing.T) {
 	if bad.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad i: status %d", bad.StatusCode)
 	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// Serve one query first so the counters have something to show.
+	if resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "Green SUM Credit", "k": 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var body struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+			Size   int    `json:"size"`
+		} `json:"cache"`
+		AnswerCache struct {
+			Misses uint64 `json:"misses"`
+		} `json:"answer_cache"`
+		Workers int `json:"workers"`
+		Server  struct {
+			Requests uint64 `json:"requests"`
+			InFlight int64  `json:"in_flight"`
+			Rejected uint64 `json:"rejected"`
+			Timeouts uint64 `json:"timeouts"`
+		} `json:"server"`
+	}
+	decode(t, resp, &body)
+	if body.Cache.Misses != 1 || body.Cache.Size != 1 {
+		t.Errorf("cache stats: %+v", body.Cache)
+	}
+	if body.AnswerCache.Misses != 1 {
+		t.Errorf("answer cache stats: %+v", body.AnswerCache)
+	}
+	if body.Workers < 1 {
+		t.Errorf("workers = %d", body.Workers)
+	}
+	// The /api/stats request itself is counted, so requests >= 2.
+	if body.Server.Requests < 2 || body.Server.Rejected != 0 || body.Server.Timeouts != 0 {
+		t.Errorf("server stats: %+v", body.Server)
+	}
+	if post := postJSON(t, ts.URL+"/api/stats", map[string]string{}); post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST on stats: status %d", post.StatusCode)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	eng, err := kwagg.Open(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(eng, Config{Timeout: 1 * time.Nanosecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "Green SUM Credit", "k": 1})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if n := atomic.LoadUint64(&srv.timeouts); n != 1 {
+		t.Errorf("timeouts counter = %d, want 1", n)
+	}
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	eng, err := kwagg.Open(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(eng, Config{MaxConcurrent: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Occupy the only slot so the next request is deterministically rejected.
+	srv.sem <- struct{}{}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if n := atomic.LoadUint64(&srv.rejected); n != 1 {
+		t.Errorf("rejected counter = %d, want 1", n)
+	}
+	<-srv.sem
+
+	// With the slot free the same request succeeds.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d after freeing the slot", resp.StatusCode)
+	}
+}
+
+// TestConcurrentQueriesMatchSerial is the HTTP-level stress gate: 100+
+// goroutines of mixed identical/distinct queries against one server must all
+// get exactly the response body the serial path produced. Run with -race.
+func TestConcurrentQueriesMatchSerial(t *testing.T) {
+	eng, err := kwagg.Open(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlimited concurrency: the point is racing the engine, not testing 503s.
+	ts := httptest.NewServer(NewWith(eng, Config{MaxConcurrent: -1}))
+	defer ts.Close()
+
+	queries := []string{
+		"Green SUM Credit",
+		"COUNT Student",
+		"AVG Credit",
+		"COUNT Student GROUPBY Course",
+		"MAX Credit",
+	}
+	fetch := func(q string) (string, int, error) {
+		raw, _ := json.Marshal(map[string]interface{}{"q": q, "k": 3})
+		resp, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return "", 0, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return "", 0, err
+		}
+		return buf.String(), resp.StatusCode, nil
+	}
+
+	want := make(map[string]string, len(queries))
+	for _, q := range queries {
+		body, code, err := fetch(q)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("serial %s: status %d, err %v", q, code, err)
+		}
+		want[q] = body
+	}
+
+	const goroutines = 120
+	const iters = 3
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := queries[(g+i)%len(queries)]
+				body, code, err := fetch(q)
+				if err != nil {
+					t.Errorf("concurrent %s: %v", q, err)
+					return
+				}
+				if code != http.StatusOK {
+					t.Errorf("concurrent %s: status %d", q, code)
+					return
+				}
+				if body != want[q] {
+					t.Errorf("concurrent %s diverged from serial response", q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -75,3 +75,34 @@ func BenchmarkDistinctProjection(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEqualityFilter measures an equality-constant filter over the
+// Lineitem table through the value index against the scan-only reference
+// path (ExecNoIndex).
+func BenchmarkEqualityFilter(b *testing.B) {
+	db := benchDB(b)
+	db.Freeze()
+	q, err := Parse("SELECT L.partkey FROM Lineitem L WHERE L.suppkey = 7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res, err := Exec(db, q); err != nil || len(res.Rows) == 0 {
+		b.Fatalf("filter selects nothing: %v, %v", res, err)
+	}
+	b.Run("index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Exec(db, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ExecNoIndex(db, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

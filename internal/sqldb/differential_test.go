@@ -1,0 +1,156 @@
+// Differential suite for the value-index fast path: every query the seed
+// workloads generate must produce row-for-row the same Result through the
+// index-accelerated executor (Exec) as through the scan-only reference path
+// (ExecNoIndex). This file is an external test package because it drives the
+// executor through internal/experiments, which itself imports sqldb.
+package sqldb_test
+
+import (
+	"reflect"
+	"testing"
+
+	"kwagg/internal/dataset/acmdl"
+	"kwagg/internal/dataset/tpch"
+	"kwagg/internal/experiments"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqldb"
+)
+
+// diffQueries runs every interpretation of every keyword query through both
+// executors and compares the sorted results.
+func diffQueries(t *testing.T, s *experiments.Setup, queries []experiments.Query) {
+	t.Helper()
+	interpretations := 0
+	for _, q := range queries {
+		ins, err := s.Ours.Interpret(q.Keywords, 0)
+		if err != nil {
+			t.Fatalf("%s %s: %v", q.ID, q.Keywords, err)
+		}
+		for i, in := range ins {
+			indexed, err := sqldb.Exec(s.Ours.Data, in.SQL)
+			if err != nil {
+				t.Fatalf("%s interpretation %d: indexed exec: %v", q.ID, i, err)
+			}
+			scanned, err := sqldb.ExecNoIndex(s.Ours.Data, in.SQL)
+			if err != nil {
+				t.Fatalf("%s interpretation %d: scan exec: %v", q.ID, i, err)
+			}
+			indexed.SortRows()
+			scanned.SortRows()
+			if !reflect.DeepEqual(indexed, scanned) {
+				t.Errorf("%s interpretation %d diverged:\nSQL: %s\nindexed: %+v\nscan:    %+v",
+					q.ID, i, in.SQL, indexed, scanned)
+			}
+			interpretations++
+		}
+	}
+	t.Logf("%s: %d interpretations compared", s.Label, interpretations)
+}
+
+func TestDifferentialUniversity(t *testing.T) {
+	s, err := experiments.NewUniversity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []experiments.Query{
+		{ID: "U1", Keywords: "Green SUM Credit"},
+		{ID: "U2", Keywords: "COUNT Student GROUPBY Course"},
+		{ID: "U3", Keywords: "AVG Credit"},
+		{ID: "U4", Keywords: "MAX Price"},
+		{ID: "U5", Keywords: "COUNT Lecturer GROUPBY Department"},
+	}
+	diffQueries(t, s, queries)
+}
+
+func TestDifferentialTPCH(t *testing.T) {
+	s, err := experiments.NewTPCH(tpch.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffQueries(t, s, experiments.QueriesTPCH())
+}
+
+func TestDifferentialACMDL(t *testing.T) {
+	s, err := experiments.NewACMDL(acmdl.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffQueries(t, s, experiments.QueriesACMDL())
+}
+
+func TestDifferentialTPCHUnnormalized(t *testing.T) {
+	s, err := experiments.NewTPCHUnnormalized(tpch.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffQueries(t, s, experiments.QueriesTPCH())
+}
+
+func TestDifferentialACMDLUnnormalized(t *testing.T) {
+	s, err := experiments.NewACMDLUnnormalized(acmdl.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffQueries(t, s, experiments.QueriesACMDL())
+}
+
+// TestDifferentialEqualityCorners hand-builds rows around the index's edge
+// cases — NULLs, a literal "NULL" string (which shares the NULL rows' index
+// key after Format), int vs float constants — and checks Exec == ExecNoIndex
+// on direct equality filters.
+func TestDifferentialEqualityCorners(t *testing.T) {
+	db := relation.NewDatabase("corners")
+	item := db.AddSchema(relation.NewSchema("Item", "Id", "Name", "Qty INT", "Price FLOAT").Key("Id"))
+	item.MustInsert("i1", "widget", int64(5), 1.5)
+	item.MustInsert("i2", "NULL", int64(5), 2.5) // the string "NULL", not a missing value
+	item.MustInsert("i3", nil, int64(7), 1.5)    // a genuinely missing name
+	item.MustInsert("i4", "widget", nil, nil)    // missing numbers
+	item.MustInsert("i5", "widget", int64(5), 1.5)
+	db.Freeze()
+
+	for _, sql := range []string{
+		// string constant: index path
+		"SELECT I.Id FROM Item I WHERE I.Name = 'widget'",
+		// the literal string "NULL" must not match the NULL row i3
+		"SELECT I.Id FROM Item I WHERE I.Name = 'NULL'",
+		// int constant: index path; NULL Qty row i4 must not match
+		"SELECT I.Id FROM Item I WHERE I.Qty = 5",
+		// unmatched constant: empty either way
+		"SELECT I.Id FROM Item I WHERE I.Qty = 99",
+		// float constant: not indexable, but both paths must still agree
+		"SELECT I.Id FROM Item I WHERE I.Price = 1.5",
+	} {
+		q, err := sqldb.Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		indexed, err := sqldb.Exec(db, q)
+		if err != nil {
+			t.Fatalf("%s: indexed exec: %v", sql, err)
+		}
+		scanned, err := sqldb.ExecNoIndex(db, q)
+		if err != nil {
+			t.Fatalf("%s: scan exec: %v", sql, err)
+		}
+		indexed.SortRows()
+		scanned.SortRows()
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Errorf("%s diverged:\nindexed: %+v\nscan:    %+v", sql, indexed, scanned)
+		}
+	}
+
+	// Pin the specific trap: Format(nil) == "NULL" == Format("NULL"), so the
+	// index bucket for the constant 'NULL' contains row i3; the executor must
+	// filter it back out.
+	q, err := sqldb.Parse("SELECT I.Id FROM Item I WHERE I.Name = 'NULL'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sqldb.Exec(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "i2" {
+		t.Errorf("'NULL' string filter: %+v (want only i2)", res.Rows)
+	}
+}

@@ -73,9 +73,19 @@ func ExecSQL(db *relation.Database, sql string) (*Result, error) {
 	return Exec(db, q)
 }
 
-// Exec evaluates the query against db.
+// Exec evaluates the query against db. Equality predicates on base-table
+// scans are answered from the per-table value index (built eagerly when the
+// database is frozen at open time, lazily otherwise).
 func Exec(db *relation.Database, q *sqlast.Query) (*Result, error) {
 	e := &executor{db: db}
+	return e.query(q)
+}
+
+// ExecNoIndex evaluates the query with the value-index fast path disabled,
+// scanning every filter. It exists as a reference path for differential
+// tests (indexed execution must be row-for-row identical) and benchmarks.
+func ExecNoIndex(db *relation.Database, q *sqlast.Query) (*Result, error) {
+	e := &executor{db: db, noIndex: true}
 	return e.query(q)
 }
 
@@ -87,6 +97,10 @@ type boundCol struct {
 type rowset struct {
 	cols []boundCol
 	rows []relation.Tuple
+	// base is the table this rowset scans when rows is exactly base.Tuples
+	// (no filter or join applied yet); equality filters on such a pristine
+	// scan can use the table's value index. nil otherwise.
+	base *relation.Table
 }
 
 // resolve returns the position of c in the rowset, or -1. Unqualified names
@@ -123,7 +137,8 @@ func (rs *rowset) has(c sqlast.Col) bool {
 }
 
 type executor struct {
-	db *relation.Database
+	db      *relation.Database
+	noIndex bool // disable the value-index fast path (test hook)
 }
 
 func (e *executor) query(q *sqlast.Query) (*Result, error) {
@@ -148,7 +163,7 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 				continue
 			}
 			if localPred(rs, p) {
-				filtered, err := filterRows(rs, p)
+				filtered, err := e.filterRows(rs, p)
 				if err != nil {
 					return nil, err
 				}
@@ -245,7 +260,7 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 		if consumed[pi] {
 			continue
 		}
-		filtered, err := filterRows(acc, p)
+		filtered, err := e.filterRows(acc, p)
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +302,7 @@ func (e *executor) source(tr sqlast.TableRef) (*rowset, error) {
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: unknown relation %q", tr.Name)
 	}
-	rs := &rowset{rows: t.Tuples}
+	rs := &rowset{rows: t.Tuples, base: t}
 	for _, a := range t.Schema.Attributes {
 		rs.cols = append(rs.cols, boundCol{table: alias, name: a.Name})
 	}
@@ -310,13 +325,44 @@ func localPred(rs *rowset, p sqlast.Pred) bool {
 	}
 }
 
-func filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
+// indexableEq reports whether p is an equality against a constant that the
+// per-table value index can answer on a pristine base-table scan. Floating-
+// point constants fall back to the scan path: the index is keyed by the
+// formatted value, and float formatting has corners (negative zero) where
+// format equality and Compare equality disagree.
+func indexableEq(rs *rowset, p sqlast.Pred) bool {
+	pp, ok := p.(sqlast.ComparePred)
+	if !ok || pp.Op != sqlast.OpEq || rs.base == nil {
+		return false
+	}
+	switch pp.Value.(type) {
+	case string, int64:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 	out := &rowset{cols: rs.cols}
 	switch pp := p.(type) {
 	case sqlast.ComparePred:
 		i, err := rs.resolve(pp.Col)
 		if err != nil {
 			return nil, err
+		}
+		if !e.noIndex && indexableEq(rs, p) {
+			// Index lookup instead of a scan: candidates come from the hash
+			// index (ascending row ids, so scan order is preserved) and are
+			// re-verified with Compare, which also rejects NULLs colliding
+			// with the formatted key.
+			for _, ri := range rs.base.Lookup(rs.cols[i].name, pp.Value) {
+				row := rs.rows[ri]
+				if !relation.Null(row[i]) && relation.Compare(row[i], pp.Value) == 0 {
+					out.rows = append(out.rows, row)
+				}
+			}
+			return out, nil
 		}
 		for _, row := range rs.rows {
 			if relation.Null(row[i]) {

@@ -109,7 +109,13 @@ func Explain(db *relation.Database, q *sqlast.Query) (*Plan, error) {
 				continue
 			}
 			if localPred(rs, p) {
-				plan.Sources[si].Pushed = append(plan.Sources[si].Pushed, p.String())
+				// Report the access path the executor would take: equality
+				// constants on a base-table scan hit the value index.
+				access := " [scan]"
+				if indexableEq(rs, p) {
+					access = " [index lookup]"
+				}
+				plan.Sources[si].Pushed = append(plan.Sources[si].Pushed, p.String()+access)
 				consumed[pi] = true
 			}
 		}

@@ -25,9 +25,14 @@
 package kwagg
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"kwagg/internal/core"
+	"kwagg/internal/keyword"
+	"kwagg/internal/qcache"
 	"kwagg/internal/relation"
 	"kwagg/internal/sqak"
 	"kwagg/internal/sqldb"
@@ -98,6 +103,11 @@ func (d *DB) MustCreateTable(spec TableSpec) {
 
 // Insert appends a row of string fields, coerced to the declared column
 // types (empty string becomes NULL for non-VARCHAR columns).
+//
+// Once the database has been passed to Open, it is frozen: Insert returns an
+// error from then on, which is what lets an Engine serve concurrent queries
+// over immutable data and caches without locking. Build the data first, then
+// Open.
 func (d *DB) Insert(table string, fields ...string) error {
 	t := d.db.Table(table)
 	if t == nil {
@@ -137,27 +147,103 @@ type Options struct {
 	// lower-cased, sorted and comma-joined (e.g. "paperid" or
 	// "authorid,paperid"). Unnamed relations get generated names.
 	ViewNames map[string]string
+	// CacheSize bounds the interpretation cache (entries, LRU); 0 means
+	// qcache.DefaultCapacity, negative disables caching.
+	CacheSize int
+	// Workers bounds the pool executing the top-k statements of Answer;
+	// 0 means min(GOMAXPROCS, 8).
+	Workers int
 }
 
 // Engine answers keyword queries over one database.
+//
+// An Engine is safe for concurrent use: Open freezes the database (Insert is
+// rejected afterwards) and builds every index up front, so all query-time
+// state is immutable. Interpretations are memoized in a bounded LRU cache
+// keyed by the normalized query; concurrent identical queries collapse to
+// one computation (singleflight), and Interpret, Answer, Explain and
+// PatternDot all share the cached slice. Executed answers are memoized the
+// same way per (query, k) — sound because the frozen data cannot change —
+// so repeat queries skip execution entirely.
 type Engine struct {
-	sys  *core.System
-	sqak *sqak.System
+	sys     *core.System
+	sqak    *sqak.System
+	cache   *qcache.Cache // nil when caching is disabled; holds []core.Interpretation
+	answers *qcache.Cache // nil when caching is disabled; holds []Answer per (query, k)
 }
 
 // Open prepares the database for keyword search: it checks every relation's
 // normal form, builds the ORM schema graph (over the normalized view for
-// unnormalized databases), and indexes the stored values.
+// unnormalized databases), and indexes the stored values. Open freezes the
+// database; see DB.Insert.
 func Open(d *DB, opts *Options) (*Engine, error) {
-	var copts *core.Options
+	copts := &core.Options{}
+	cacheSize := 0
 	if opts != nil {
-		copts = &core.Options{NameHints: opts.ViewNames}
+		copts.NameHints = opts.ViewNames
+		copts.Workers = opts.Workers
+		cacheSize = opts.CacheSize
 	}
 	sys, err := core.Open(d.db, copts)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{sys: sys, sqak: sqak.New(d.db)}, nil
+	e := &Engine{sys: sys, sqak: sqak.New(d.db)}
+	if cacheSize >= 0 {
+		e.cache = qcache.New(cacheSize)
+		e.answers = qcache.New(cacheSize)
+	}
+	return e, nil
+}
+
+// normalizeQuery canonicalizes a keyword query for cache keying: terms are
+// re-tokenized so that spacing variations of the same query share one cache
+// entry, while quoted phrases keep their exact text. Queries that fail to
+// parse fall back to a whitespace-collapsed key (their error is computed,
+// returned and never cached).
+func normalizeQuery(query string) string {
+	if q, err := keyword.Parse(query); err == nil {
+		return q.String()
+	}
+	return strings.Join(strings.Fields(query), " ")
+}
+
+// interpretations returns the full ranked interpretation slice of the query,
+// serving from the cache when possible. Callers must treat the slice as
+// read-only (it is shared across goroutines); take sub-slices, don't modify.
+func (e *Engine) interpretations(query string) ([]core.Interpretation, error) {
+	if e.cache == nil {
+		return e.sys.Interpret(query, 0)
+	}
+	v, err := e.cache.Get(normalizeQuery(query), func() (any, error) {
+		ins, err := e.sys.Interpret(query, 0)
+		if err != nil {
+			return nil, err
+		}
+		return ins, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]core.Interpretation), nil
+}
+
+// CacheStats reports the interpretation cache counters (all zero when the
+// cache is disabled).
+func (e *Engine) CacheStats() qcache.Stats {
+	if e.cache == nil {
+		return qcache.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// AnswerCacheStats reports the executed-answer cache counters (all zero when
+// the cache is disabled).
+func (e *Engine) AnswerCacheStats() qcache.Stats {
+	if e.answers == nil {
+		return qcache.Stats{}
+	}
+	return e.answers.Stats()
 }
 
 // Unnormalized reports whether the engine plans over a derived normalized
@@ -192,11 +278,16 @@ type Answer struct {
 }
 
 // Interpret returns the top-k ranked interpretations of the query with their
-// generated SQL (k <= 0 returns all).
+// generated SQL (k <= 0 returns all). The full ranked slice is computed once
+// per query and cached, so follow-up calls with any k (and Answer, Explain,
+// PatternDot on the same query) are served from the cache.
 func (e *Engine) Interpret(query string, k int) ([]Interpretation, error) {
-	ins, err := e.sys.Interpret(query, k)
+	ins, err := e.interpretations(query)
 	if err != nil {
 		return nil, err
+	}
+	if k > 0 && len(ins) > k {
+		ins = ins[:k]
 	}
 	out := make([]Interpretation, len(ins))
 	for i, in := range ins {
@@ -215,7 +306,7 @@ func (e *Engine) Interpret(query string, k int) ([]Interpretation, error) {
 // nodes, disambiguation and duplicate-elimination decisions, and the
 // ranking signals.
 func (e *Engine) Explain(query string, i int) (string, error) {
-	ins, err := e.sys.Interpret(query, 0)
+	ins, err := e.interpretations(query)
 	if err != nil {
 		return "", err
 	}
@@ -228,7 +319,7 @@ func (e *Engine) Explain(query string, i int) (string, error) {
 // PatternDot renders the i-th ranked interpretation's annotated query
 // pattern in Graphviz DOT form (the paper's Figures 4-7 style).
 func (e *Engine) PatternDot(query string, i int) (string, error) {
-	ins, err := e.sys.Interpret(query, 0)
+	ins, err := e.interpretations(query)
 	if err != nil {
 		return "", err
 	}
@@ -243,8 +334,48 @@ func (e *Engine) PatternDot(query string, i int) (string, error) {
 func (e *Engine) SchemaDot() string { return e.sys.Graph.Dot() }
 
 // Answer interprets the query and executes the top-k generated statements.
+// Interpretations come from the cache when available; the statements execute
+// concurrently on a bounded worker pool, and the returned slice preserves
+// rank order. The executed answers are themselves cached per (query, k) —
+// the frozen data cannot change under the engine, so a repeat query is a
+// cache hit that skips execution entirely. Treat the returned slice as
+// read-only; it is shared with later callers of the same query.
 func (e *Engine) Answer(query string, k int) ([]Answer, error) {
-	as, err := e.sys.Answer(query, k)
+	return e.AnswerContext(context.Background(), query, k)
+}
+
+// AnswerContext is Answer honoring a context deadline or cancellation:
+// statements that have not started executing when the context is done are
+// abandoned and the context's error is returned (a statement already running
+// finishes; execution is not interrupted mid-statement). Context errors are
+// never cached.
+func (e *Engine) AnswerContext(ctx context.Context, query string, k int) ([]Answer, error) {
+	if e.answers == nil {
+		return e.answerUncached(ctx, query, k)
+	}
+	key := normalizeQuery(query) + "\x00k=" + strconv.Itoa(k)
+	v, err := e.answers.Get(key, func() (any, error) {
+		as, err := e.answerUncached(ctx, query, k)
+		if err != nil {
+			return nil, err
+		}
+		return as, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Answer), nil
+}
+
+func (e *Engine) answerUncached(ctx context.Context, query string, k int) ([]Answer, error) {
+	ins, err := e.interpretations(query)
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 && len(ins) > k {
+		ins = ins[:k]
+	}
+	as, err := e.sys.ExecuteAll(ctx, ins)
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +393,9 @@ func (e *Engine) Answer(query string, k int) ([]Answer, error) {
 	}
 	return out, nil
 }
+
+// Workers reports the size of the pool Answer executes statements on.
+func (e *Engine) Workers() int { return e.sys.ExecWorkers() }
 
 // ExecuteSQL runs a SQL statement of the supported subset directly against
 // the stored database.

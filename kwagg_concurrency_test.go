@@ -1,0 +1,336 @@
+package kwagg_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kwagg"
+)
+
+func uniEngineOpts(t *testing.T, opts *kwagg.Options) *kwagg.Engine {
+	t.Helper()
+	eng, err := kwagg.Open(kwagg.UniversityDB(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestInsertAfterOpenRejected pins the thread-safety contract: Open freezes
+// the database, so mutating it under a live engine is an error rather than a
+// data race.
+func TestInsertAfterOpenRejected(t *testing.T) {
+	db := kwagg.UniversityDB()
+	if _, err := kwagg.Open(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Student", "s99", "Newcomer", "20"); err == nil {
+		t.Fatal("Insert after Open should be rejected")
+	}
+}
+
+// TestAnswerAfterInterpretDifferentK verifies the cache stores the full
+// interpretation slice: asking for a different k later slices the cached
+// set instead of recomputing or returning the wrong count.
+func TestAnswerAfterInterpretDifferentK(t *testing.T) {
+	eng := uniEngineOpts(t, nil)
+	q := "Green SUM Credit"
+
+	all, err := eng.Interpret(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Fatalf("need ≥2 interpretations for this test, have %d", len(all))
+	}
+
+	one, err := eng.Interpret(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != all[0] {
+		t.Fatalf("Interpret k=1 after k=0: %d results, top mismatch", len(one))
+	}
+
+	ans, err := eng.Answer(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("Answer k=2 after cached k=0: %d answers", len(ans))
+	}
+	for i := range ans {
+		if ans[i].SQL != all[i].SQL {
+			t.Errorf("answer %d executes %q, interpretation was %q", i, ans[i].SQL, all[i].SQL)
+		}
+	}
+	if st := eng.CacheStats(); st.Misses != 1 {
+		t.Errorf("different-k calls should share one computation: %+v", st)
+	}
+}
+
+// TestInterpretationsComputedOncePerQuery is the regression test for the
+// former Explain/PatternDot behavior of re-running the whole pipeline with
+// Interpret(query, 0): across Interpret, Answer, Explain and PatternDot the
+// interpretations must be computed exactly once.
+func TestInterpretationsComputedOncePerQuery(t *testing.T) {
+	eng := uniEngineOpts(t, nil)
+	q := "Green SUM Credit"
+
+	if _, err := eng.Interpret(q, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Answer(q, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Explain(q, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PatternDot(q, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("interpretations computed %d times across the API, want 1 (%+v)", st.Misses, st)
+	}
+	if st.Hits != 3 {
+		t.Errorf("hits = %d, want 3 (%+v)", st.Hits, st)
+	}
+
+	// Whitespace variants share the cache entry (normalized keying).
+	if _, err := eng.Interpret("  Green   SUM  Credit ", 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Misses != 1 {
+		t.Errorf("whitespace variant recomputed: %+v", st)
+	}
+}
+
+// TestCacheEvictionAtCapacity exercises the LRU bound through the engine.
+func TestCacheEvictionAtCapacity(t *testing.T) {
+	eng := uniEngineOpts(t, &kwagg.Options{CacheSize: 2})
+	queries := []string{"Green SUM Credit", "COUNT Student", "AVG Credit"}
+	for _, q := range queries {
+		if _, err := eng.Interpret(q, 1); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	st := eng.CacheStats()
+	if st.Size != 2 || st.Evictions == 0 {
+		t.Errorf("capacity 2 after 3 queries: %+v", st)
+	}
+	// The first (evicted) query recomputes; the engine still answers it.
+	if _, err := eng.Answer(queries[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Misses != 4 {
+		t.Errorf("evicted query should count a new miss: %+v", st)
+	}
+}
+
+// TestCacheDisabled verifies CacheSize < 0 bypasses the cache entirely.
+func TestCacheDisabled(t *testing.T) {
+	eng := uniEngineOpts(t, &kwagg.Options{CacheSize: -1})
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Interpret("COUNT Student", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.CacheStats(); st.Misses != 0 && st.Hits != 0 {
+		t.Errorf("disabled cache should not count: %+v", st)
+	}
+}
+
+// TestSingleflightThroughEngine fires 100 goroutines at one cold query and
+// asserts the interpretation pipeline ran exactly once.
+func TestSingleflightThroughEngine(t *testing.T) {
+	eng := uniEngineOpts(t, nil)
+	const goroutines = 100
+	q := "Green SUM Credit"
+
+	want, err := eng.Interpret(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference answer taken; stampede a fresh engine so the query is cold.
+	eng = uniEngineOpts(t, nil)
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	results := make([][]kwagg.Interpretation, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = eng.Interpret(q, 0)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(results[g], want) {
+			t.Fatalf("goroutine %d got different interpretations", g)
+		}
+	}
+	st := eng.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("stampede computed %d times, want 1 (%+v)", st.Misses, st)
+	}
+	if st.Hits+st.Collapsed != goroutines-1 {
+		t.Errorf("hits %d + collapsed %d != %d", st.Hits, st.Collapsed, goroutines-1)
+	}
+}
+
+// TestConcurrentMixedQueriesMatchSerial is the engine-level stress gate: 100+
+// goroutines of mixed identical/distinct queries must return exactly what
+// the serial path returns. Run under -race this also proves the engine's
+// immutability contract.
+func TestConcurrentMixedQueriesMatchSerial(t *testing.T) {
+	queries := []string{
+		"Green SUM Credit",
+		"COUNT Student",
+		"AVG Credit",
+		"COUNT Student GROUPBY Course",
+		"MAX Credit",
+	}
+
+	// Serial baseline on its own engine.
+	serial := uniEngineOpts(t, nil)
+	want := make(map[string][]kwagg.Answer)
+	for _, q := range queries {
+		as, err := serial.Answer(q, 3)
+		if err != nil {
+			t.Fatalf("serial %s: %v", q, err)
+		}
+		want[q] = as
+	}
+
+	eng := uniEngineOpts(t, nil)
+	const goroutines = 120
+	const iters = 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := queries[(g+i)%len(queries)]
+				got, err := eng.Answer(q, 3)
+				if err != nil {
+					t.Errorf("concurrent %s: %v", q, err)
+					return
+				}
+				if !reflect.DeepEqual(got, want[q]) {
+					t.Errorf("concurrent %s diverged from serial answer", q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestAnswerContextCancelled verifies a cancelled context aborts execution.
+func TestAnswerContextCancelled(t *testing.T) {
+	eng := uniEngineOpts(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.AnswerContext(ctx, "Green SUM Credit", 1); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}
+
+// TestAnswerRankOrderPreserved checks parallel execution returns answers in
+// interpretation rank order, not completion order.
+func TestAnswerRankOrderPreserved(t *testing.T) {
+	eng := uniEngineOpts(t, &kwagg.Options{Workers: 4})
+	q := "Green SUM Credit"
+	ins, err := eng.Interpret(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		as, err := eng.Answer(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != len(ins) {
+			t.Fatalf("answers %d != interpretations %d", len(as), len(ins))
+		}
+		for i := range as {
+			if as[i].SQL != ins[i].SQL {
+				t.Fatalf("trial %d: answer %d is %q, rank says %q", trial, i, as[i].SQL, ins[i].SQL)
+			}
+		}
+	}
+}
+
+// TestWorkersConfigurable pins pool sizing: explicit option wins, default is
+// bounded.
+func TestWorkersConfigurable(t *testing.T) {
+	if w := uniEngineOpts(t, &kwagg.Options{Workers: 3}).Workers(); w != 3 {
+		t.Errorf("workers = %d, want 3", w)
+	}
+	if w := uniEngineOpts(t, nil).Workers(); w < 1 || w > 8 {
+		t.Errorf("default workers = %d, want 1..8", w)
+	}
+}
+
+func ExampleEngine_cacheStats() {
+	eng, _ := kwagg.Open(kwagg.UniversityDB(), nil)
+	_, _ = eng.Interpret("COUNT Student", 1)
+	_, _ = eng.Answer("COUNT Student", 1)
+	st := eng.CacheStats()
+	fmt.Println(st.Misses, st.Hits)
+	// Output: 1 1
+}
+
+// TestAnswerCachePerK verifies executed answers are memoized per (query, k):
+// a repeat Answer is a cache hit, a different k is a distinct entry, and both
+// serve the same content as a cold engine.
+func TestAnswerCachePerK(t *testing.T) {
+	eng := uniEngineOpts(t, nil)
+	q := "Green SUM Credit"
+
+	first, err := eng.Answer(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.Answer(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("repeat Answer diverged")
+	}
+	st := eng.AnswerCacheStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("answer cache after repeat: %+v", st)
+	}
+
+	// A different k executes (and caches) separately.
+	if _, err := eng.Answer(q, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.AnswerCacheStats(); st.Misses != 2 {
+		t.Errorf("k=2 should be its own entry: %+v", st)
+	}
+	// ...but shares the one cached interpretation slice.
+	if st := eng.CacheStats(); st.Misses != 1 {
+		t.Errorf("interpretations recomputed: %+v", st)
+	}
+
+	cold := uniEngineOpts(t, nil)
+	want, err := cold.Answer(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Error("cached answer diverged from cold engine")
+	}
+}
