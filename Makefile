@@ -1,6 +1,6 @@
 # Standard entry points; everything is pure Go with no external dependencies.
 
-.PHONY: all build test test-race race cover bench experiments verify fmt vet examples
+.PHONY: all build test test-race race cover bench experiments verify fmt fmt-check vet ci examples
 
 all: build test
 
@@ -34,8 +34,18 @@ verify:
 fmt:
 	gofmt -l -w .
 
+# Fails (with the offending files listed) when anything is unformatted;
+# mirrors the CI gofmt gate without rewriting the tree.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
 vet:
 	go vet ./...
+
+# Mirrors .github/workflows/ci.yml exactly, so contributors can run the
+# whole push gate locally before opening a PR.
+ci: build vet fmt-check test test-race
 
 # Run every example end to end.
 examples:

@@ -15,11 +15,18 @@
 //	\sql SELECT... execute raw SQL of the supported subset
 //	\plan SELECT...show the engine's evaluation plan for a statement
 //	\k N           change how many interpretations are shown
+//	\trace         toggle the per-stage duration breakdown (also -trace)
 //	\quit          exit
+//
+// With -trace, every query prints its observability trace: one line per
+// pipeline stage (parse, match, generate, rank, translate, execute, and the
+// per-statement executions nested under execute) with durations that sum to
+// approximately the total query latency, plus the cache provenance.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,15 +35,17 @@ import (
 	"strings"
 
 	"kwagg"
+	"kwagg/internal/obs"
 )
 
 func main() {
 	var (
 		dataset = flag.String("dataset", "university",
 			"university | fig2 | enrolment | tpch | tpch-denorm | acmdl | acmdl-denorm")
-		load  = flag.String("load", "", "load a saved database directory (schema.json + CSVs) instead of -dataset")
-		k     = flag.Int("k", 3, "number of interpretations to show")
-		small = flag.Bool("small", false, "use the small dataset scale")
+		load    = flag.String("load", "", "load a saved database directory (schema.json + CSVs) instead of -dataset")
+		k       = flag.Int("k", 3, "number of interpretations to show")
+		small   = flag.Bool("small", false, "use the small dataset scale")
+		traceOn = flag.Bool("trace", false, "print the per-stage duration breakdown after each query")
 	)
 	flag.Parse()
 
@@ -88,6 +97,9 @@ func main() {
 			if n, err := strconv.Atoi(strings.TrimSpace(line[3:])); err == nil && n > 0 {
 				*k = n
 			}
+		case line == `\trace`:
+			*traceOn = !*traceOn
+			fmt.Printf("trace: %v\n", *traceOn)
 		case strings.HasPrefix(line, `\sqak `):
 			res, sql, err := eng.SQAKAnswer(strings.TrimSpace(line[6:]))
 			if err != nil {
@@ -110,7 +122,13 @@ func main() {
 			}
 			fmt.Print(out)
 		default:
-			answers, err := eng.Answer(line, *k)
+			ctx := context.Background()
+			var trace *obs.Trace
+			if *traceOn {
+				ctx, trace = obs.NewTrace(ctx)
+			}
+			answers, err := eng.AnswerContext(ctx, line, *k)
+			trace.Finish()
 			if err != nil {
 				fmt.Println("error:", err)
 				break
@@ -118,6 +136,9 @@ func main() {
 			for i, a := range answers {
 				fmt.Printf("-- #%d %s\n   pattern: %s\n%s\n%s",
 					i+1, a.Description, a.Pattern, a.PrettySQL, a.Result)
+			}
+			if trace != nil {
+				fmt.Print(trace.Breakdown())
 			}
 		}
 		fmt.Print("> ")

@@ -3,12 +3,19 @@
 //
 //	kwserve -dataset tpch -addr :8080
 //	curl -s localhost:8080/api/query -d '{"q":"COUNT order \"royal olive\"","k":1}'
+//	curl -s localhost:8080/metrics        # Prometheus text format
+//
+// Observability: GET /metrics always serves the engine's metrics registry;
+// -reqlog (on by default) writes one structured JSON line per request to
+// stderr; -pprof opts into the net/http/pprof endpoints at /debug/pprof/.
 package main
 
 import (
 	"flag"
+	"io"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"kwagg"
@@ -26,7 +33,9 @@ func main() {
 			"per-request timeout (negative disables)")
 		maxConc = flag.Int("max-concurrent", 64,
 			"max simultaneously served requests; excess get 503 (negative disables)")
-		maxK = flag.Int("max-k", 10, "cap on interpretations executed per request")
+		maxK     = flag.Int("max-k", 10, "cap on interpretations executed per request")
+		reqlog   = flag.Bool("reqlog", true, "log one structured JSON line per request to stderr")
+		pprofOpt = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -34,12 +43,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("kwserve: dataset %q on %s (unnormalized: %v, workers: %d)",
-		*dataset, *addr, eng.Unnormalized(), eng.Workers())
+	log.Printf("kwserve: dataset %q on %s (unnormalized: %v, workers: %d, pprof: %v)",
+		*dataset, *addr, eng.Unnormalized(), eng.Workers(), *pprofOpt)
+	var accessLog io.Writer
+	if *reqlog {
+		accessLog = os.Stderr
+	}
 	srv := server.NewWith(eng, server.Config{
 		MaxK:          *maxK,
 		Timeout:       *timeout,
 		MaxConcurrent: *maxConc,
+		AccessLog:     accessLog,
+		Pprof:         *pprofOpt,
 	})
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

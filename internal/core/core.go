@@ -15,6 +15,7 @@ import (
 	"kwagg/internal/keyword"
 	"kwagg/internal/match"
 	"kwagg/internal/normalize"
+	"kwagg/internal/obs"
 	"kwagg/internal/orm"
 	"kwagg/internal/pattern"
 	"kwagg/internal/relation"
@@ -113,17 +114,29 @@ type Interpretation struct {
 // Interpret parses the query, generates and ranks the annotated query
 // patterns, and translates the top-k of them into SQL. k <= 0 means all.
 func (s *System) Interpret(query string, k int) ([]Interpretation, error) {
+	return s.InterpretContext(context.Background(), query, k)
+}
+
+// InterpretContext is Interpret with the pipeline stages instrumented: when
+// the context carries an obs trace or registry, parsing, matching, pattern
+// generation, ranking and SQL translation each run under a span, giving the
+// per-stage cost breakdown the paper reports in its evaluation (Section 8).
+func (s *System) InterpretContext(ctx context.Context, query string, k int) ([]Interpretation, error) {
+	_, pspan := obs.Start(ctx, "parse")
 	q, err := keyword.Parse(query)
+	pspan.End()
 	if err != nil {
 		return nil, err
 	}
-	patterns, err := s.Generator.Generate(q)
+	patterns, err := s.Generator.GenerateContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	if k > 0 && len(patterns) > k {
 		patterns = patterns[:k]
 	}
+	_, tspan := obs.Start(ctx, "translate")
+	defer tspan.End()
 	out := make([]Interpretation, 0, len(patterns))
 	for _, p := range patterns {
 		sql, err := s.Translator.Translate(p)
@@ -152,7 +165,7 @@ func (s *System) Answer(query string, k int) ([]Answer, error) {
 // each statement starts executing (a statement already running is not
 // interrupted).
 func (s *System) AnswerContext(ctx context.Context, query string, k int) ([]Answer, error) {
-	ins, err := s.Interpret(query, k)
+	ins, err := s.InterpretContext(ctx, query, k)
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +202,11 @@ func (s *System) ExecuteAll(ctx context.Context, ins []Interpretation) ([]Answer
 	if len(ins) == 0 {
 		return nil, nil
 	}
+	// The execute span covers the wall time of the whole pool run; each
+	// statement additionally runs under a nested per-statement span, so a
+	// trace shows both the stage cost and how the pool overlapped statements.
+	ctx, espan := obs.Start(ctx, "execute")
+	defer espan.End()
 	workers := s.ExecWorkers()
 	if workers > len(ins) {
 		workers = len(ins)
@@ -206,7 +224,10 @@ func (s *System) ExecuteAll(ctx context.Context, ins []Interpretation) ([]Answer
 					errs[i] = err
 					continue
 				}
+				_, sspan := obs.Start(ctx, "sql")
+				sspan.Detail(fmt.Sprintf("stmt %d", i))
 				res, err := sqldb.Exec(s.Data, ins[i].SQL)
+				sspan.End()
 				if err != nil {
 					errs[i] = fmt.Errorf("core: executing %q: %w", ins[i].SQL, err)
 					continue

@@ -1,0 +1,482 @@
+// Package obs is the observability layer of the serving stack: a
+// dependency-free metrics registry (atomic counters, gauges, and fixed-bucket
+// latency histograms with quantile snapshots) plus a lightweight span API
+// (span.go) that the query pipeline threads through every stage.
+//
+// The paper's evaluation (Section 8) reports per-stage costs — keyword
+// interpretation, pattern generation, ranking, SQL execution — and this
+// package makes those stage latencies first-class, measurable quantities at
+// serving time: every pipeline stage runs under a span, spans observe into
+// per-stage histograms, and the registry encodes itself in the Prometheus
+// text exposition format for GET /metrics.
+//
+// A Registry and all metric types are safe for concurrent use. Metrics are
+// identified by name plus an ordered label set; re-registering the same
+// (name, labels) returns the existing metric, so call sites can look metrics
+// up on the hot path without holding references.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are the default latency histogram bucket upper bounds in
+// seconds: exponential from 50µs to 10s, chosen so the in-memory pipeline
+// stages (typically µs–ms) and full SQL executions (ms–s) both land in the
+// resolved range rather than the first or last bucket.
+var DefBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds named metric families. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family groups every label combination of one metric name under a single
+// HELP/TYPE pair (the Prometheus exposition rules forbid repeating them).
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	mu     sync.Mutex
+	series map[string]any // label signature -> *Counter | *Gauge | *Histogram | funcMetric
+}
+
+type funcMetric struct{ fn func() float64 }
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (atomic compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1. Dec subtracts 1.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram of float64 observations (latency in
+// seconds by convention). Buckets are cumulative-upper-bound as in
+// Prometheus; observations above the last bound land in the implicit +Inf
+// bucket.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarises the histogram: total count, sum, and the estimated
+// 50th/95th/99th percentiles (linear interpolation inside the bucket holding
+// the target rank; the +Inf bucket clamps to the last finite bound).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	n := len(h.bounds)
+	counts := make([]uint64, n+1)
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: math.Float64frombits(h.sum.Load())}
+	if total == 0 {
+		return s
+	}
+	s.P50 = h.quantile(counts, total, 0.50)
+	s.P95 = h.quantile(counts, total, 0.95)
+	s.P99 = h.quantile(counts, total, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from per-bucket counts. The target rank
+// is interpolated linearly within its bucket, between the bucket's lower and
+// upper bound (lower bound 0 for the first bucket).
+func (h *Histogram) quantile(counts []uint64, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: no finite upper bound, clamp.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*((rank-prev)/float64(c))
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// family lookup: get-or-create with type/help consistency checks.
+func (r *Registry) family(name, help, typ string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]any)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// signature renders labels sorted by key as {k="v",...}; "" for no labels.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func (f *family) get(labels []Label, create func() any) any {
+	sig := signature(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[sig]; ok {
+		return m
+	}
+	m := create()
+	f.series[sig] = m
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.family(name, help, "counter").get(labels, func() any { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q%s is not an owned counter", name, signature(labels)))
+	}
+	return c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.family(name, help, "gauge").get(labels, func() any { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q%s is not an owned gauge", name, signature(labels)))
+	}
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape time
+// (used to surface counters owned elsewhere, e.g. the qcache hit counts).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.family(name, help, "counter").get(labels, func() any { return funcMetric{fn} })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.family(name, help, "gauge").get(labels, func() any { return funcMetric{fn} })
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given bucket bounds on first use (nil buckets selects DefBuckets). Later
+// calls ignore buckets and return the existing histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	m := r.family(name, help, "histogram").get(labels, func() any { return newHistogram(buckets) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q%s is not a histogram", name, signature(labels)))
+	}
+	return h
+}
+
+// MetricSnapshot is one metric series in a registry snapshot, JSON-friendly
+// for /api/stats.
+type MetricSnapshot struct {
+	Name   string             `json:"name"`
+	Type   string             `json:"type"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	Value  float64            `json:"value"`
+	Hist   *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot returns every metric series with its current value, sorted by
+// name then label signature. Histogram series carry quantile summaries and
+// report their observation count as Value.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	var out []MetricSnapshot
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			ms := MetricSnapshot{Name: f.name, Type: f.typ, Labels: labelMap(s.labels)}
+			switch m := s.metric.(type) {
+			case *Counter:
+				ms.Value = float64(m.Value())
+			case *Gauge:
+				ms.Value = m.Value()
+			case funcMetric:
+				ms.Value = m.fn()
+			case *Histogram:
+				snap := m.Snapshot()
+				ms.Hist = &snap
+				ms.Value = float64(snap.Count)
+			}
+			out = append(out, ms)
+		}
+	}
+	return out
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// series pairs a metric with its parsed label signature for stable encoding.
+type seriesView struct {
+	sig    string
+	labels []Label
+	metric any
+}
+
+func (f *family) sortedSeries() []seriesView {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]seriesView, 0, len(f.series))
+	for sig, m := range f.series {
+		out = append(out, seriesView{sig: sig, labels: parseSignature(sig), metric: m})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
+	return out
+}
+
+// parseSignature recovers the label list from a signature string. Signatures
+// are produced by this package, so the parse only has to undo its own
+// escaping.
+func parseSignature(sig string) []Label {
+	if sig == "" {
+		return nil
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(sig, "{"), "}")
+	var out []Label
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		if eq < 0 {
+			break
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		end, val := 0, strings.Builder{}
+		for end < len(rest) {
+			if rest[end] == '\\' && end+1 < len(rest) {
+				switch rest[end+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[end+1])
+				}
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			val.WriteByte(rest[end])
+			end++
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		body = strings.TrimPrefix(rest[min(end+1, len(rest)):], ",")
+	}
+	return out
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE pair per family, series sorted, and
+// histograms expanded to cumulative _bucket/_sum/_count lines.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.sortedSeries() {
+			switch m := s.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.sig, fmtFloat(float64(m.Value())))
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.sig, fmtFloat(m.Value()))
+			case funcMetric:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.sig, fmtFloat(m.fn()))
+			case *Histogram:
+				writeHistogram(w, f.name, s.labels, m)
+			}
+		}
+	}
+}
+
+func writeHistogram(w io.Writer, name string, labels []Label, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			signature(append(labels[:len(labels):len(labels)], L("le", fmtFloat(bound)))), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+		signature(append(labels[:len(labels):len(labels)], L("le", "+Inf"))), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, signature(labels), fmtFloat(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, signature(labels), h.count.Load())
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same (name, labels) returns the same counter.
+	if r.Counter("test_total", "help") != c {
+		t.Error("re-registering returned a different counter")
+	}
+
+	g := r.Gauge("test_gauge", "help", L("x", "1"))
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(0.5)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.01, 0.1, 1})
+	// A value exactly on a bound lands in that bound's bucket (le is <=).
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.1, 0.5, 1, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.01"} 2`,
+		`test_seconds_bucket{le="0.1"} 4`,
+		`test_seconds_bucket{le="1"} 6`,
+		`test_seconds_bucket{le="+Inf"} 7`,
+		`test_seconds_count 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encoding missing %q in:\n%s", want, out)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Count != 7 {
+		t.Errorf("count = %d, want 7", snap.Count)
+	}
+	wantSum := 0.005 + 0.01 + 0.05 + 0.1 + 0.5 + 1 + 5
+	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "help", []float64{0.1, 0.2, 0.4, 0.8})
+	// 100 observations uniform in (0, 0.1]: every quantile interpolates
+	// inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	snap := h.Snapshot()
+	if snap.P50 <= 0 || snap.P50 > 0.1 {
+		t.Errorf("p50 = %v, want within first bucket (0, 0.1]", snap.P50)
+	}
+	if math.Abs(snap.P50-0.05) > 0.01 {
+		t.Errorf("p50 = %v, want ~0.05", snap.P50)
+	}
+	if snap.P95 < snap.P50 || snap.P99 < snap.P95 {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", snap.P50, snap.P95, snap.P99)
+	}
+
+	// Observations above every bound land in +Inf and clamp to the last
+	// finite bound.
+	h2 := r.Histogram("q2_seconds", "help", []float64{0.1, 0.2})
+	for i := 0; i < 10; i++ {
+		h2.Observe(5)
+	}
+	if got := h2.Snapshot().P99; got != 0.2 {
+		t.Errorf("p99 of all-overflow histogram = %v, want clamp to 0.2", got)
+	}
+
+	// Empty histogram: all quantiles zero.
+	h3 := r.Histogram("q3_seconds", "help", nil)
+	if s := h3.Snapshot(); s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Count != 0 {
+		t.Errorf("empty histogram snapshot = %+v, want zeros", s)
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "help")
+			g := r.Gauge("conc_gauge", "help")
+			h := r.Histogram("conc_seconds", "help", nil)
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "help").Value(); got != goroutines*per {
+		t.Errorf("counter = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Gauge("conc_gauge", "help").Value(); got != goroutines*per {
+		t.Errorf("gauge = %v, want %d", got, goroutines*per)
+	}
+	snap := r.Histogram("conc_seconds", "help", nil).Snapshot()
+	if snap.Count != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", snap.Count, goroutines*per)
+	}
+	if math.Abs(snap.Sum-float64(goroutines*per)*0.001) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", snap.Sum, float64(goroutines*per)*0.001)
+	}
+}
+
+func TestPrometheusEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("enc_total", "requests by outcome", L("outcome", "ok")).Add(3)
+	r.Counter("enc_total", "requests by outcome", L("outcome", "error")).Inc()
+	r.Gauge("enc_gauge", "a gauge").Set(1.5)
+	r.GaugeFunc("enc_func", "func gauge", func() float64 { return 42 })
+	r.Histogram("enc_seconds", "latency", []float64{0.1, 1}, L("stage", "match")).Observe(0.05)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	// Every non-comment line is "name{labels} value" with a parseable value.
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			name := strings.Fields(line)[2]
+			if helpSeen[name] {
+				t.Errorf("duplicate HELP for %s", name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			name, typ := fields[2], fields[3]
+			if typeSeen[name] {
+				t.Errorf("duplicate TYPE for %s", name)
+			}
+			typeSeen[name] = true
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("bad TYPE %q for %s", typ, name)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("malformed line %q", line)
+			continue
+		}
+		if _, err := parseFloat(line[sp+1:]); err != nil {
+			t.Errorf("unparseable value in line %q: %v", line, err)
+		}
+	}
+	for _, want := range []string{
+		`enc_total{outcome="error"} 1`,
+		`enc_total{outcome="ok"} 3`,
+		`enc_gauge 1.5`,
+		`enc_func 42`,
+		`enc_seconds_bucket{le="0.1",stage="match"} 1`,
+		`enc_seconds_bucket{le="+Inf",stage="match"} 1`,
+		`enc_seconds_count{stage="match"} 1`,
+		`# TYPE enc_seconds histogram`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encoding missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", L("q", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if want := `esc_total{q="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped encoding missing %q in:\n%s", want, b.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "h", L("outcome", "ok")).Add(2)
+	r.Histogram("snap_seconds", "h", nil, L("stage", "x")).Observe(0.01)
+	snaps := r.Snapshot()
+	byName := map[string]MetricSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	c, ok := byName["snap_total"]
+	if !ok || c.Value != 2 || c.Labels["outcome"] != "ok" || c.Type != "counter" {
+		t.Errorf("counter snapshot wrong: %+v", c)
+	}
+	h, ok := byName["snap_seconds"]
+	if !ok || h.Hist == nil || h.Hist.Count != 1 || h.Labels["stage"] != "x" {
+		t.Errorf("histogram snapshot wrong: %+v", h)
+	}
+}

@@ -1,0 +1,306 @@
+// Trace and span support: every query request carries a Trace in its
+// context; pipeline stages open spans with Start and close them with End.
+// Ending a span appends a record to the trace (request ID, per-stage offsets
+// and durations, nesting) and observes the duration into the per-stage
+// latency histogram of the Registry attached to the same context — so one
+// instrumentation point feeds both the single-request view (kwsearch -trace,
+// the structured request log) and the aggregate view (GET /metrics).
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageMetric is the histogram family every span observes into, labeled by
+// stage name.
+const StageMetric = "kwagg_stage_duration_seconds"
+
+type traceKey struct{}
+type registryKey struct{}
+type spanKey struct{}
+
+// Trace accumulates the spans and annotations of one request. Safe for
+// concurrent use (per-statement execution spans end on pool workers).
+type Trace struct {
+	ID    string
+	start time.Time
+
+	mu    sync.Mutex
+	end   time.Time // zero until Finish
+	spans []SpanRecord
+	notes []Annotation
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Detail   string        `json:"detail,omitempty"`
+	Start    time.Duration `json:"start_ns"`    // offset from trace start
+	Duration time.Duration `json:"duration_ns"` // wall time of the span
+	Depth    int           `json:"depth"`       // 0 = top-level stage
+}
+
+// Annotation is one key=value note on the trace (cache hit/miss provenance,
+// the query text, ...).
+type Annotation struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// NewTrace creates a trace with a fresh request ID and attaches it to the
+// context.
+func NewTrace(ctx context.Context) (context.Context, *Trace) {
+	t := &Trace{ID: NewID(), start: time.Now()}
+	return context.WithValue(ctx, traceKey{}, t), t
+}
+
+// NewID returns a 16-hex-char random request ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; fall back to a
+		// time-derived ID rather than panicking in a logging path.
+		return fmt.Sprintf("%016x", uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// WithRegistry attaches the metrics registry spans observe into.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// RegistryFrom returns the registry attached to ctx, or nil.
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}
+
+// Span is one in-progress timed stage. A nil *Span is a valid no-op, so
+// callers can unconditionally defer End.
+type Span struct {
+	name   string
+	detail string
+	start  time.Time
+	depth  int
+	trace  *Trace
+	reg    *Registry
+	once   sync.Once
+}
+
+// Start opens a span named after a pipeline stage. The returned context
+// carries the span, so nested Start calls record their depth under it; End
+// closes the span. When the context carries neither a trace nor a registry,
+// Start returns a nil span (no-op, near-zero cost).
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	t := TraceFrom(ctx)
+	r := RegistryFrom(ctx)
+	if t == nil && r == nil {
+		return ctx, nil
+	}
+	depth := 0
+	if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
+		depth = parent.depth + 1
+	}
+	s := &Span{name: name, start: time.Now(), depth: depth, trace: t, reg: r}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Detail attaches a free-form note to the span's trace record (e.g. which
+// SQL statement an execution span ran).
+func (s *Span) Detail(d string) {
+	if s != nil {
+		s.detail = d
+	}
+}
+
+// End closes the span: it records the span into the trace and observes the
+// duration into the per-stage latency histogram. Safe to call more than
+// once; only the first call records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() {
+		d := time.Since(s.start)
+		if s.trace != nil {
+			s.trace.mu.Lock()
+			s.trace.spans = append(s.trace.spans, SpanRecord{
+				Name:     s.name,
+				Detail:   s.detail,
+				Start:    s.start.Sub(s.trace.start),
+				Duration: d,
+				Depth:    s.depth,
+			})
+			s.trace.mu.Unlock()
+		}
+		if s.reg != nil {
+			s.reg.Histogram(StageMetric, "Pipeline stage latency in seconds.",
+				nil, L("stage", s.name)).Observe(d.Seconds())
+		}
+	})
+}
+
+// Annotate adds a key=value note to the trace. Nil-safe.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.notes = append(t.notes, Annotation{Key: key, Value: value})
+	t.mu.Unlock()
+}
+
+// Finish stamps the trace's end time (idempotent; earliest call wins).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// Elapsed is the wall time from trace creation to Finish (or to now when the
+// trace is unfinished).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.end.IsZero() {
+		return time.Since(t.start)
+	}
+	return t.end.Sub(t.start)
+}
+
+// Spans returns the completed span records ordered by start offset.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Annotations returns the trace annotations in the order they were added.
+func (t *Trace) Annotations() []Annotation {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Annotation, len(t.notes))
+	copy(out, t.notes)
+	return out
+}
+
+// StageTotal sums the durations of the top-level (depth 0) spans — the
+// per-stage account of where the request's latency went. Nested spans (e.g.
+// per-statement executions inside the execute stage) are excluded so
+// concurrent children don't double-count wall time.
+func (t *Trace) StageTotal() time.Duration {
+	var sum time.Duration
+	for _, s := range t.Spans() {
+		if s.Depth == 0 {
+			sum += s.Duration
+		}
+	}
+	return sum
+}
+
+// Breakdown renders the per-stage duration table kwsearch -trace prints:
+// each top-level stage with its wall time and share, nested spans indented,
+// then the stage total against the trace's elapsed wall time.
+func (t *Trace) Breakdown() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	elapsed := t.Elapsed()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s\n", t.ID)
+	for _, s := range spans {
+		name := strings.Repeat("  ", s.Depth) + s.Name
+		if s.Detail != "" {
+			name += " (" + s.Detail + ")"
+		}
+		line := fmt.Sprintf("  %-28s %12v", name, s.Duration.Round(time.Microsecond))
+		if s.Depth == 0 && elapsed > 0 {
+			line += fmt.Sprintf("  %5.1f%%", 100*float64(s.Duration)/float64(elapsed))
+		}
+		b.WriteString(line + "\n")
+	}
+	fmt.Fprintf(&b, "  %-28s %12v  of %v wall\n", "stages total",
+		t.StageTotal().Round(time.Microsecond), elapsed.Round(time.Microsecond))
+	if notes := t.Annotations(); len(notes) > 0 {
+		parts := make([]string, len(notes))
+		for i, n := range notes {
+			parts[i] = n.Key + "=" + n.Value
+		}
+		fmt.Fprintf(&b, "  %s\n", strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+// traceJSON is the wire form of a trace (the structured request log embeds
+// it; /api/query returns it when asked).
+type traceJSON struct {
+	ID          string       `json:"id"`
+	ElapsedMS   float64      `json:"elapsed_ms"`
+	Stages      []stageJSON  `json:"stages"`
+	Annotations []Annotation `json:"annotations,omitempty"`
+}
+
+type stageJSON struct {
+	Name       string  `json:"name"`
+	Detail     string  `json:"detail,omitempty"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	Depth      int     `json:"depth,omitempty"`
+}
+
+// MarshalJSON renders the trace with millisecond stage timings.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	tj := traceJSON{
+		ID:          t.ID,
+		ElapsedMS:   ms(t.Elapsed()),
+		Annotations: t.Annotations(),
+	}
+	for _, s := range t.Spans() {
+		tj.Stages = append(tj.Stages, stageJSON{
+			Name:       s.Name,
+			Detail:     s.Detail,
+			StartMS:    ms(s.Start),
+			DurationMS: ms(s.Duration),
+			Depth:      s.Depth,
+		})
+	}
+	return json.Marshal(tj)
+}
+
+func ms(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	ctx, trace := NewTrace(context.Background())
+	ctx = WithRegistry(ctx, NewRegistry())
+
+	ctx1, outer := Start(ctx, "outer")
+	ctx2, inner := Start(ctx1, "inner")
+	_, innermost := Start(ctx2, "innermost")
+	innermost.End()
+	inner.End()
+	outer.End()
+	// A sibling of outer goes back to depth 0.
+	_, sib := Start(ctx, "sibling")
+	sib.End()
+	trace.Finish()
+
+	spans := trace.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	depth := map[string]int{}
+	for _, s := range spans {
+		depth[s.Name] = s.Depth
+	}
+	for name, want := range map[string]int{"outer": 0, "inner": 1, "innermost": 2, "sibling": 0} {
+		if depth[name] != want {
+			t.Errorf("span %s depth = %d, want %d", name, depth[name], want)
+		}
+	}
+	// StageTotal only sums depth-0 spans.
+	var want time.Duration
+	for _, s := range spans {
+		if s.Depth == 0 {
+			want += s.Duration
+		}
+	}
+	if got := trace.StageTotal(); got != want {
+		t.Errorf("StageTotal = %v, want %v", got, want)
+	}
+}
+
+func TestSpanObservesHistogram(t *testing.T) {
+	reg := NewRegistry()
+	ctx := WithRegistry(context.Background(), reg)
+	_, sp := Start(ctx, "match")
+	sp.End()
+	h := reg.Histogram(StageMetric, "", nil, L("stage", "match"))
+	if h.Snapshot().Count != 1 {
+		t.Error("span did not observe into the stage histogram")
+	}
+	// End is idempotent.
+	sp.End()
+	if h.Snapshot().Count != 1 {
+		t.Error("double End observed twice")
+	}
+}
+
+func TestNoopSpan(t *testing.T) {
+	// No trace, no registry: Start returns a nil span and every method is
+	// safe.
+	ctx, sp := Start(context.Background(), "x")
+	if sp != nil {
+		t.Error("expected nil span on bare context")
+	}
+	sp.Detail("d")
+	sp.End()
+	if TraceFrom(ctx) != nil {
+		t.Error("bare context should have no trace")
+	}
+	// Nil trace methods are safe too.
+	var tr *Trace
+	tr.Annotate("k", "v")
+	tr.Finish()
+	if tr.Elapsed() != 0 || tr.Spans() != nil || tr.Breakdown() != "" {
+		t.Error("nil trace accessors should return zero values")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	ctx, trace := NewTrace(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := Start(ctx, "sql")
+			trace.Annotate("k", "v")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	if got := len(trace.Spans()); got != 32 {
+		t.Errorf("got %d spans, want 32", got)
+	}
+	if got := len(trace.Annotations()); got != 32 {
+		t.Errorf("got %d annotations, want 32", got)
+	}
+}
+
+func TestTraceJSONAndBreakdown(t *testing.T) {
+	ctx, trace := NewTrace(context.Background())
+	ctx1, outer := Start(ctx, "execute")
+	_, inner := Start(ctx1, "sql")
+	inner.Detail("stmt 0")
+	inner.End()
+	outer.End()
+	trace.Annotate("answer_cache", "miss")
+	trace.Finish()
+
+	b, err := json.Marshal(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string `json:"id"`
+		Stages []struct {
+			Name   string `json:"name"`
+			Detail string `json:"detail"`
+			Depth  int    `json:"depth"`
+		} `json:"stages"`
+		Annotations []Annotation `json:"annotations"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if decoded.ID != trace.ID || len(decoded.Stages) != 2 {
+		t.Errorf("bad trace JSON: %s", b)
+	}
+	if decoded.Stages[1].Detail != "stmt 0" || decoded.Stages[1].Depth != 1 {
+		t.Errorf("nested stage lost detail/depth: %s", b)
+	}
+	if len(decoded.Annotations) != 1 || decoded.Annotations[0].Key != "answer_cache" {
+		t.Errorf("annotations lost: %s", b)
+	}
+
+	bd := trace.Breakdown()
+	for _, want := range []string{"execute", "sql (stmt 0)", "stages total", "answer_cache=miss", trace.ID} {
+		if !strings.Contains(bd, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, bd)
+		}
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 16 || seen[id] {
+			t.Fatalf("bad or duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}

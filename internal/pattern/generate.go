@@ -1,12 +1,14 @@
 package pattern
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"kwagg/internal/keyword"
 	"kwagg/internal/match"
+	"kwagg/internal/obs"
 	"kwagg/internal/orm"
 	"kwagg/internal/relation"
 )
@@ -34,19 +36,31 @@ func NewGenerator(m *match.Matcher) *Generator {
 // Generate produces the ranked annotated query patterns of q: pattern
 // generation and annotation, disambiguation, then ranking (Section 3.1).
 func (g *Generator) Generate(q *keyword.Query) ([]*Pattern, error) {
+	return g.GenerateContext(context.Background(), q)
+}
+
+// GenerateContext is Generate with the pipeline stages instrumented: term
+// matching, pattern generation/annotation/disambiguation, and ranking each
+// run under an obs span, so a traced request sees the Section 8 cost
+// breakdown per stage.
+func (g *Generator) GenerateContext(ctx context.Context, q *keyword.Query) ([]*Pattern, error) {
 	basics := q.BasicTerms()
 	if len(basics) == 0 {
 		return nil, fmt.Errorf("pattern: query %q has no basic terms", q)
 	}
+	_, mspan := obs.Start(ctx, "match")
 	tagSets := make([][]match.Tag, len(basics))
 	for i, ti := range basics {
 		tags := g.M.Match(q.Terms[ti])
 		if len(tags) == 0 {
+			mspan.End()
 			return nil, fmt.Errorf("pattern: term %q matches nothing in the database", q.Terms[ti].Text)
 		}
 		tagSets[i] = tags
 	}
+	mspan.End()
 
+	_, gspan := obs.Start(ctx, "generate")
 	combos := enumerate(tagSets, g.MaxCombos)
 	var patterns []*Pattern
 	seen := make(map[string]bool)
@@ -87,10 +101,13 @@ func (g *Generator) Generate(q *keyword.Query) ([]*Pattern, error) {
 			}
 		}
 	}
+	gspan.End()
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("pattern: no valid interpretation for query %q", q)
 	}
+	_, rspan := obs.Start(ctx, "rank")
 	rank(patterns)
+	rspan.End()
 	if len(patterns) > g.MaxPatterns {
 		patterns = patterns[:g.MaxPatterns]
 	}

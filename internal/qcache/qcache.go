@@ -164,6 +164,21 @@ type Stats struct {
 	Inflight  int    `json:"inflight"` // computations currently running
 }
 
+// Each visits every counter of the snapshot as a (name, value) pair, in a
+// fixed order. It is the export hook the observability layer uses to mirror
+// cache counters into a metrics registry without this package depending on
+// one: hits/misses/collapsed/evictions are cumulative (Prometheus counters),
+// size/capacity/inflight are levels (gauges).
+func (s Stats) Each(visit func(name string, value float64, cumulative bool)) {
+	visit("hits", float64(s.Hits), true)
+	visit("misses", float64(s.Misses), true)
+	visit("collapsed", float64(s.Collapsed), true)
+	visit("evictions", float64(s.Evictions), true)
+	visit("size", float64(s.Size), false)
+	visit("capacity", float64(s.Capacity), false)
+	visit("inflight", float64(s.Inflight), false)
+}
+
 // Stats returns a consistent snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()

@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"kwagg"
+)
+
+func newEngine(t *testing.T) *kwagg.Engine {
+	t.Helper()
+	eng, err := kwagg.Open(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// metricValue scans a Prometheus text body for an exact series line
+// ("name" or `name{labels}`) and returns its value.
+func metricValue(t *testing.T, body, series string) (float64, bool) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, series+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestMetricsEndpointFormat(t *testing.T) {
+	eng := newEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	// Two queries (one repeat: interpretation + answer cache hit).
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "SUM Credit Green", "k": 1})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", resp.StatusCode)
+		}
+	}
+	status, body := getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+
+	// Valid exposition: every line is a comment or name[{labels}] value, with
+	// exactly one HELP/TYPE pair per family.
+	helpSeen, typeSeen := map[string]bool{}, map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			if helpSeen[name] {
+				t.Errorf("duplicate HELP %s", name)
+			}
+			helpSeen[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			name := strings.Fields(line)[2]
+			if typeSeen[name] {
+				t.Errorf("duplicate TYPE %s", name)
+			}
+			typeSeen[name] = true
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unexpected comment line %q", line)
+		default:
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				t.Fatalf("malformed metric line %q", line)
+			}
+			if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+				t.Errorf("unparseable value in %q", line)
+			}
+		}
+	}
+
+	// The per-stage latency histograms are present for the whole pipeline.
+	for _, stage := range []string{"parse", "match", "generate", "rank", "translate", "execute", "sql", "render"} {
+		series := `kwagg_stage_duration_seconds_count{stage="` + stage + `"}`
+		v, ok := metricValue(t, body, series)
+		if !ok || v < 1 {
+			t.Errorf("missing or zero stage histogram %s (v=%v ok=%v)", series, v, ok)
+		}
+	}
+	// Query outcomes, cache events and pool gauges are exported.
+	for _, series := range []string{
+		`kwagg_queries_total{outcome="ok"}`,
+		`kwagg_cache_events_total{cache="answer",event="hits"}`,
+		`kwagg_cache_events_total{cache="interpretation",event="misses"}`,
+		`kwagg_exec_workers`,
+		`kwagg_http_requests_total`,
+		`kwagg_http_in_flight`,
+	} {
+		if _, ok := metricValue(t, body, series); !ok {
+			t.Errorf("missing series %s", series)
+		}
+	}
+	if v, _ := metricValue(t, body, `kwagg_queries_total{outcome="ok"}`); v != 2 {
+		t.Errorf("queries ok = %v, want 2", v)
+	}
+	if v, _ := metricValue(t, body, `kwagg_cache_events_total{cache="answer",event="hits"}`); v != 1 {
+		t.Errorf("answer cache hits = %v, want 1 (the repeat query)", v)
+	}
+}
+
+// TestStatsAndMetricsAgree asserts the satellite invariant: /api/stats and
+// /metrics read the same counters, so the request counts they report can
+// never disagree.
+func TestStatsAndMetricsAgree(t *testing.T) {
+	eng := newEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	const queries = 3
+	for i := 0; i < queries; i++ {
+		postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "COUNT Student GROUPBY Course", "k": 1})
+	}
+	status, body := getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	fromMetrics, ok := metricValue(t, body, "kwagg_http_requests_total")
+	if !ok {
+		t.Fatal("kwagg_http_requests_total missing from /metrics")
+	}
+	if fromMetrics != queries+1 { // the /metrics request itself is counted
+		t.Errorf("metrics requests = %v, want %d", fromMetrics, queries+1)
+	}
+
+	var stats struct {
+		Server struct {
+			Requests uint64 `json:"requests"`
+		} `json:"server"`
+		Obs []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"obs"`
+	}
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(t, resp, &stats)
+
+	// The stats request is one more than the metrics scrape saw.
+	if stats.Server.Requests != uint64(fromMetrics)+1 {
+		t.Errorf("stats requests = %d, metrics reported %v (+1 expected)",
+			stats.Server.Requests, fromMetrics)
+	}
+	// Inside one response the legacy counter and the obs snapshot are
+	// identical — same underlying metric.
+	var snapVal float64
+	found := false
+	for _, m := range stats.Obs {
+		if m.Name == "kwagg_http_requests_total" {
+			snapVal, found = m.Value, true
+		}
+	}
+	if !found {
+		t.Fatal("obs snapshot missing kwagg_http_requests_total")
+	}
+	if uint64(snapVal) != stats.Server.Requests {
+		t.Errorf("within one /api/stats response: server.requests=%d but obs snapshot=%v",
+			stats.Server.Requests, snapVal)
+	}
+}
+
+func TestStructuredRequestLog(t *testing.T) {
+	eng := newEngine(t)
+	var buf syncBuffer
+	ts := httptest.NewServer(NewWith(eng, Config{AccessLog: &buf}))
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "SUM Credit Green", "k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Error("missing X-Request-Id header")
+	}
+
+	line := strings.TrimSpace(buf.String())
+	var entry struct {
+		RequestID  string  `json:"request_id"`
+		Method     string  `json:"method"`
+		Path       string  `json:"path"`
+		Status     int     `json:"status"`
+		DurationMS float64 `json:"duration_ms"`
+		Trace      struct {
+			ID     string `json:"id"`
+			Stages []struct {
+				Name string `json:"name"`
+			} `json:"stages"`
+			Annotations []struct {
+				Key   string `json:"key"`
+				Value string `json:"value"`
+			} `json:"annotations"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("request log line is not JSON: %v\n%s", err, line)
+	}
+	if entry.RequestID != reqID || entry.Method != "POST" || entry.Path != "/api/query" || entry.Status != 200 {
+		t.Errorf("bad log entry: %+v", entry)
+	}
+	stageSeen := map[string]bool{}
+	for _, s := range entry.Trace.Stages {
+		stageSeen[s.Name] = true
+	}
+	for _, stage := range []string{"parse", "match", "generate", "rank", "translate", "execute"} {
+		if !stageSeen[stage] {
+			t.Errorf("log trace missing stage %s: %s", stage, line)
+		}
+	}
+	notes := map[string]string{}
+	for _, a := range entry.Trace.Annotations {
+		notes[a.Key] = a.Value
+	}
+	if notes["query"] != "SUM Credit Green" {
+		t.Errorf("log missing query annotation: %v", notes)
+	}
+	if notes["interpretation_cache"] != "miss" || notes["answer_cache"] != "miss" {
+		t.Errorf("log missing cache provenance: %v", notes)
+	}
+}
+
+func TestQueryTraceResponse(t *testing.T) {
+	eng := newEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/api/query",
+		map[string]interface{}{"q": "SUM Credit Green", "k": 1, "trace": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Answers []struct {
+			SQL string `json:"sql"`
+		} `json:"answers"`
+		Trace struct {
+			ID     string `json:"id"`
+			Stages []struct {
+				Name       string  `json:"name"`
+				DurationMS float64 `json:"duration_ms"`
+			} `json:"stages"`
+		} `json:"trace"`
+	}
+	decode(t, resp, &out)
+	if len(out.Answers) == 0 || out.Answers[0].SQL == "" {
+		t.Errorf("traced response lost the answers: %+v", out)
+	}
+	if out.Trace.ID == "" || len(out.Trace.Stages) == 0 {
+		t.Errorf("traced response has no trace: %+v", out)
+	}
+}
+
+func TestPprofMount(t *testing.T) {
+	eng := newEngine(t)
+	off := httptest.NewServer(New(eng))
+	defer off.Close()
+	if status, _ := getBody(t, off.URL+"/debug/pprof/"); status != http.StatusNotFound {
+		t.Errorf("pprof should be off by default, got status %d", status)
+	}
+
+	on := httptest.NewServer(NewWith(newEngine(t), Config{Pprof: true}))
+	defer on.Close()
+	status, body := getBody(t, on.URL+"/debug/pprof/")
+	if status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index not served: status %d", status)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the access-log tests.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,105 @@
+// HTTP-side observability: the Prometheus /metrics endpoint, the structured
+// per-request JSON log, the response status recorder, and the opt-in pprof
+// mount. The metric values themselves live in the engine's obs registry (see
+// server.go), so this file only encodes and transports them.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"kwagg/internal/obs"
+)
+
+// handleMetrics serves the engine registry — per-stage latency histograms,
+// query outcome counters, cache/pool gauges and the HTTP request counters —
+// in the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.eng.Metrics().WritePrometheus(w)
+}
+
+// mountPprof exposes the net/http/pprof handlers on the server's own mux
+// (the server never uses http.DefaultServeMux, so the side-effect
+// registration of importing net/http/pprof alone would not be reachable).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// statusRecorder captures the response status for the request log and the
+// per-status counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Hijack forwards to the underlying writer when it supports hijacking, so
+// wrapping does not break upgrade-style handlers.
+func (r *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	h, ok := r.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("server: response writer does not support hijacking")
+	}
+	return h.Hijack()
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestLogLine is the shape of one structured request log entry.
+type requestLogLine struct {
+	Time       string     `json:"ts"`
+	RequestID  string     `json:"request_id"`
+	Method     string     `json:"method"`
+	Path       string     `json:"path"`
+	Status     int        `json:"status"`
+	DurationMS float64    `json:"duration_ms"`
+	Trace      *obs.Trace `json:"trace,omitempty"`
+}
+
+// logRequest writes one JSON line for the request when access logging is
+// enabled. The trace carries the per-stage spans and annotations (query
+// text, cache provenance); rejected requests log without one.
+func (s *Server) logRequest(r *http.Request, id string, trace *obs.Trace, status int, d time.Duration) {
+	if s.accessLog == nil {
+		return
+	}
+	line := requestLogLine{
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID:  id,
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Status:     status,
+		DurationMS: float64(d.Microseconds()) / 1000,
+		Trace:      trace,
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	// One Write call per line keeps concurrent request lines whole on
+	// line-buffered sinks (os.Stderr, files).
+	_, _ = s.accessLog.Write(append(b, '\n'))
+}

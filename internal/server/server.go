@@ -2,8 +2,9 @@
 // API, so the system can back a demo UI or be driven from other languages:
 //
 //	GET  /healthz               liveness probe
+//	GET  /metrics               Prometheus text exposition of the obs registry
 //	GET  /api/schema            ORM schema graph (text and DOT)
-//	GET  /api/stats             cache / pool / request counters
+//	GET  /api/stats             cache / pool / request counters + obs snapshot
 //	POST /api/query             {"q": "...", "k": 3} -> ranked answers
 //	POST /api/sql               {"sql": "SELECT ..."} -> result grid
 //	POST /api/sqak              {"q": "..."} -> the SQAK baseline's answer
@@ -14,6 +15,13 @@
 // requests; the server adds a configurable concurrency limit (excess
 // requests are rejected with 503 rather than queued without bound) and a
 // per-request timeout enforced through the request context.
+//
+// Observability: every request runs under an obs trace (request ID in the
+// X-Request-Id response header, per-stage spans from the engine pipeline)
+// and, when Config.AccessLog is set, is logged as one structured JSON line.
+// The HTTP counters live in the engine's metrics registry, so GET /metrics
+// and GET /api/stats read the same source and can never disagree. An
+// opt-in net/http/pprof mount (Config.Pprof) serves /debug/pprof/.
 package server
 
 import (
@@ -21,12 +29,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"kwagg"
+	"kwagg/internal/obs"
 	"kwagg/internal/qcache"
 )
 
@@ -43,6 +52,13 @@ type Config struct {
 	// MaxConcurrent bounds simultaneously served requests; excess requests
 	// get 503 immediately (default 64; negative disables the limit).
 	MaxConcurrent int
+	// AccessLog receives one structured JSON line per request (request ID,
+	// method, path, status, duration, per-stage trace). Nil disables logging.
+	AccessLog io.Writer
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
+	// default: the profiling endpoints expose internals and cost CPU, so
+	// they are opt-in (the -pprof flag of kwserve).
+	Pprof bool
 }
 
 const (
@@ -53,16 +69,19 @@ const (
 
 // Server is an http.Handler answering keyword queries over one engine.
 type Server struct {
-	eng     *kwagg.Engine
-	mux     *http.ServeMux
-	maxK    int
-	timeout time.Duration
-	sem     chan struct{} // nil = unlimited
+	eng       *kwagg.Engine
+	mux       *http.ServeMux
+	maxK      int
+	timeout   time.Duration
+	sem       chan struct{} // nil = unlimited
+	accessLog io.Writer     // nil = no request logging
 
-	requests uint64 // total requests accepted
-	rejected uint64 // rejected at the concurrency limit
-	timeouts uint64 // requests that hit the per-request timeout
-	inflight int64  // currently being served
+	// The request counters live in the engine's obs registry, so /metrics
+	// and /api/stats read the same values by construction.
+	requests *obs.Counter // total requests accepted
+	rejected *obs.Counter // rejected at the concurrency limit
+	timeouts *obs.Counter // requests that hit the per-request timeout
+	inflight *obs.Gauge   // currently being served
 }
 
 // New creates a server for the engine with default limits.
@@ -70,7 +89,8 @@ func New(eng *kwagg.Engine) *Server { return NewWith(eng, Config{}) }
 
 // NewWith creates a server with explicit limits.
 func NewWith(eng *kwagg.Engine, cfg Config) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), maxK: cfg.MaxK, timeout: cfg.Timeout}
+	s := &Server{eng: eng, mux: http.NewServeMux(), maxK: cfg.MaxK,
+		timeout: cfg.Timeout, accessLog: cfg.AccessLog}
 	if s.maxK <= 0 {
 		s.maxK = defaultMaxK
 	}
@@ -86,38 +106,57 @@ func NewWith(eng *kwagg.Engine, cfg Config) *Server {
 	if limit > 0 {
 		s.sem = make(chan struct{}, limit)
 	}
+	reg := eng.Metrics()
+	s.requests = reg.Counter("kwagg_http_requests_total", "HTTP requests accepted for serving.")
+	s.rejected = reg.Counter("kwagg_http_rejected_total", "HTTP requests rejected at the concurrency limit.")
+	s.timeouts = reg.Counter("kwagg_http_timeouts_total", "Requests that hit the per-request timeout.")
+	s.inflight = reg.Gauge("kwagg_http_in_flight", "Requests currently being served.")
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/schema", s.handleSchema)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/sql", s.handleSQL)
 	s.mux.HandleFunc("/api/sqak", s.handleSQAK)
 	s.mux.HandleFunc("/api/explain", s.handleExplain)
+	if cfg.Pprof {
+		mountPprof(s.mux)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler: it applies the concurrency limit and
-// the per-request timeout, then dispatches to the API handlers.
+// the per-request timeout, opens the request trace, then dispatches to the
+// API handlers and emits the structured request log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.sem != nil {
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			atomic.AddUint64(&s.rejected, 1)
+			s.rejected.Inc()
+			s.logRequest(r, obs.NewID(), nil, http.StatusServiceUnavailable, 0)
 			writeErr(w, http.StatusServiceUnavailable, errors.New("server at concurrency limit"))
 			return
 		}
 	}
-	atomic.AddUint64(&s.requests, 1)
-	atomic.AddInt64(&s.inflight, 1)
-	defer atomic.AddInt64(&s.inflight, -1)
+	s.requests.Inc()
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+	ctx := r.Context()
 	if s.timeout > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
-		r = r.WithContext(ctx)
 	}
-	s.mux.ServeHTTP(w, r)
+	ctx, trace := obs.NewTrace(ctx)
+	r = r.WithContext(ctx)
+	w.Header().Set("X-Request-Id", trace.ID)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	trace.Finish()
+	s.logRequest(r, trace.ID, trace, rec.status, time.Since(start))
 }
 
 type errorBody struct {
@@ -161,16 +200,22 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 type queryRequest struct {
 	Q string `json:"q"`
 	K int    `json:"k"`
+	// Trace asks for the per-stage trace of this request in the response
+	// (the answers array is then wrapped in an object).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // statsResponse exposes the serving counters: the engine's interpretation
-// and answer caches, the execution pool size, and the HTTP-level request
-// counters.
+// and answer caches, the execution pool size, the HTTP-level request
+// counters, and the full obs registry snapshot. The request counters and the
+// snapshot are read from the same registry metrics /metrics encodes, so the
+// two endpoints cannot disagree.
 type statsResponse struct {
-	Cache       qcache.Stats `json:"cache"`
-	AnswerCache qcache.Stats `json:"answer_cache"`
-	Workers     int          `json:"workers"`
-	Server      serverStats  `json:"server"`
+	Cache       qcache.Stats         `json:"cache"`
+	AnswerCache qcache.Stats         `json:"answer_cache"`
+	Workers     int                  `json:"workers"`
+	Server      serverStats          `json:"server"`
+	Obs         []obs.MetricSnapshot `json:"obs"`
 }
 
 type serverStats struct {
@@ -190,11 +235,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AnswerCache: s.eng.AnswerCacheStats(),
 		Workers:     s.eng.Workers(),
 		Server: serverStats{
-			Requests: atomic.LoadUint64(&s.requests),
-			InFlight: atomic.LoadInt64(&s.inflight),
-			Rejected: atomic.LoadUint64(&s.rejected),
-			Timeouts: atomic.LoadUint64(&s.timeouts),
+			Requests: s.requests.Value(),
+			InFlight: int64(s.inflight.Value()),
+			Rejected: s.rejected.Value(),
+			Timeouts: s.timeouts.Value(),
 		},
+		Obs: s.eng.Metrics().Snapshot(),
 	})
 }
 
@@ -219,10 +265,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 || k > s.maxK {
 		k = s.maxK
 	}
+	trace := obs.TraceFrom(r.Context())
+	trace.Annotate("query", req.Q)
 	answers, err := s.eng.AnswerContext(r.Context(), req.Q, k)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			atomic.AddUint64(&s.timeouts, 1)
+			s.timeouts.Inc()
 			writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("query timed out: %w", err))
 			return
 		}
@@ -239,7 +287,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Rows:        a.Result.Rows,
 		}
 	}
+	if req.Trace && trace != nil {
+		trace.Finish()
+		writeJSON(w, http.StatusOK, tracedQueryResponse{Answers: out, Trace: trace})
+		return
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// tracedQueryResponse wraps the answers with the request's per-stage trace
+// when the client asks for it ({"q": ..., "trace": true}).
+type tracedQueryResponse struct {
+	Answers []answerJSON `json:"answers"`
+	Trace   *obs.Trace   `json:"trace"`
 }
 
 type sqlRequest struct {

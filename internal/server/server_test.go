@@ -7,7 +7,6 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -237,7 +236,7 @@ func TestRequestTimeout(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504", resp.StatusCode)
 	}
-	if n := atomic.LoadUint64(&srv.timeouts); n != 1 {
+	if n := srv.timeouts.Value(); n != 1 {
 		t.Errorf("timeouts counter = %d, want 1", n)
 	}
 }
@@ -261,7 +260,7 @@ func TestConcurrencyLimit(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", resp.StatusCode)
 	}
-	if n := atomic.LoadUint64(&srv.rejected); n != 1 {
+	if n := srv.rejected.Value(); n != 1 {
 		t.Errorf("rejected counter = %d, want 1", n)
 	}
 	<-srv.sem

@@ -26,12 +26,14 @@ package kwagg
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"kwagg/internal/core"
 	"kwagg/internal/keyword"
+	"kwagg/internal/obs"
 	"kwagg/internal/qcache"
 	"kwagg/internal/relation"
 	"kwagg/internal/sqak"
@@ -170,6 +172,7 @@ type Engine struct {
 	sqak    *sqak.System
 	cache   *qcache.Cache // nil when caching is disabled; holds []core.Interpretation
 	answers *qcache.Cache // nil when caching is disabled; holds []Answer per (query, k)
+	metrics *obs.Registry // per-engine observability registry (never nil)
 }
 
 // Open prepares the database for keyword search: it checks every relation's
@@ -188,12 +191,58 @@ func Open(d *DB, opts *Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{sys: sys, sqak: sqak.New(d.db)}
+	e := &Engine{sys: sys, sqak: sqak.New(d.db), metrics: obs.NewRegistry()}
 	if cacheSize >= 0 {
 		e.cache = qcache.New(cacheSize)
 		e.answers = qcache.New(cacheSize)
+		registerCacheMetrics(e.metrics, "interpretation", e.cache.Stats)
+		registerCacheMetrics(e.metrics, "answer", e.answers.Stats)
 	}
+	e.metrics.GaugeFunc("kwagg_exec_workers", "Size of the pool executing top-k statements.",
+		func() float64 { return float64(e.sys.ExecWorkers()) })
 	return e, nil
+}
+
+// Metrics returns the engine's observability registry: per-stage latency
+// histograms (fed by the pipeline spans), query outcome counters, cache
+// counters mirrored from qcache, and the worker-pool gauge. The server layer
+// encodes it at GET /metrics and adds its own HTTP counters to it.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// registerCacheMetrics mirrors a qcache's counters into the registry via the
+// Stats export hook: cumulative counters (hits, misses, collapsed,
+// evictions) become one labeled counter family, levels (size, capacity,
+// inflight) become gauges. Values are read live at scrape time.
+func registerCacheMetrics(reg *obs.Registry, cache string, stats func() qcache.Stats) {
+	qcache.Stats{}.Each(func(name string, _ float64, cumulative bool) {
+		read := func() float64 {
+			var v float64
+			stats().Each(func(n string, val float64, _ bool) {
+				if n == name {
+					v = val
+				}
+			})
+			return v
+		}
+		if cumulative {
+			reg.CounterFunc("kwagg_cache_events_total",
+				"Cache lookups by cache and event (hits, misses, collapsed, evictions).",
+				read, obs.L("cache", cache), obs.L("event", name))
+		} else {
+			reg.GaugeFunc("kwagg_cache_"+name, "Cache "+name+" by cache.",
+				read, obs.L("cache", cache))
+		}
+	})
+}
+
+// withObs attaches the engine's metrics registry to the context (unless the
+// caller already attached one), so pipeline spans observe into the per-stage
+// histograms even when the caller only wants aggregate metrics, not a trace.
+func (e *Engine) withObs(ctx context.Context) context.Context {
+	if obs.RegistryFrom(ctx) == nil {
+		ctx = obs.WithRegistry(ctx, e.metrics)
+	}
+	return ctx
 }
 
 // normalizeQuery canonicalizes a keyword query for cache keying: terms are
@@ -211,17 +260,26 @@ func normalizeQuery(query string) string {
 // interpretations returns the full ranked interpretation slice of the query,
 // serving from the cache when possible. Callers must treat the slice as
 // read-only (it is shared across goroutines); take sub-slices, don't modify.
-func (e *Engine) interpretations(query string) ([]core.Interpretation, error) {
+// A trace on the context records whether the slice came from the cache.
+func (e *Engine) interpretations(ctx context.Context, query string) ([]core.Interpretation, error) {
+	ctx = e.withObs(ctx)
 	if e.cache == nil {
-		return e.sys.Interpret(query, 0)
+		return e.sys.InterpretContext(ctx, query, 0)
 	}
+	computed := false
 	v, err := e.cache.Get(normalizeQuery(query), func() (any, error) {
-		ins, err := e.sys.Interpret(query, 0)
+		computed = true
+		ins, err := e.sys.InterpretContext(ctx, query, 0)
 		if err != nil {
 			return nil, err
 		}
 		return ins, nil
 	})
+	if computed {
+		obs.TraceFrom(ctx).Annotate("interpretation_cache", "miss")
+	} else {
+		obs.TraceFrom(ctx).Annotate("interpretation_cache", "hit")
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +340,7 @@ type Answer struct {
 // per query and cached, so follow-up calls with any k (and Answer, Explain,
 // PatternDot on the same query) are served from the cache.
 func (e *Engine) Interpret(query string, k int) ([]Interpretation, error) {
-	ins, err := e.interpretations(query)
+	ins, err := e.interpretations(context.Background(), query)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +364,7 @@ func (e *Engine) Interpret(query string, k int) ([]Interpretation, error) {
 // nodes, disambiguation and duplicate-elimination decisions, and the
 // ranking signals.
 func (e *Engine) Explain(query string, i int) (string, error) {
-	ins, err := e.interpretations(query)
+	ins, err := e.interpretations(context.Background(), query)
 	if err != nil {
 		return "", err
 	}
@@ -319,7 +377,7 @@ func (e *Engine) Explain(query string, i int) (string, error) {
 // PatternDot renders the i-th ranked interpretation's annotated query
 // pattern in Graphviz DOT form (the paper's Figures 4-7 style).
 func (e *Engine) PatternDot(query string, i int) (string, error) {
-	ins, err := e.interpretations(query)
+	ins, err := e.interpretations(context.Background(), query)
 	if err != nil {
 		return "", err
 	}
@@ -349,18 +407,44 @@ func (e *Engine) Answer(query string, k int) ([]Answer, error) {
 // abandoned and the context's error is returned (a statement already running
 // finishes; execution is not interrupted mid-statement). Context errors are
 // never cached.
+//
+// When the context carries an obs trace (obs.NewTrace), the per-stage spans
+// and the cache hit/miss provenance of this query are recorded on it; stage
+// durations always land in the engine's metrics registry either way.
 func (e *Engine) AnswerContext(ctx context.Context, query string, k int) ([]Answer, error) {
+	ctx = e.withObs(ctx)
+	as, err := e.answerCached(ctx, query, k)
+	outcome := "ok"
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		outcome = "canceled"
+	case err != nil:
+		outcome = "error"
+	}
+	e.metrics.Counter("kwagg_queries_total",
+		"Answered keyword queries by outcome.", obs.L("outcome", outcome)).Inc()
+	return as, err
+}
+
+func (e *Engine) answerCached(ctx context.Context, query string, k int) ([]Answer, error) {
 	if e.answers == nil {
 		return e.answerUncached(ctx, query, k)
 	}
+	computed := false
 	key := normalizeQuery(query) + "\x00k=" + strconv.Itoa(k)
 	v, err := e.answers.Get(key, func() (any, error) {
+		computed = true
 		as, err := e.answerUncached(ctx, query, k)
 		if err != nil {
 			return nil, err
 		}
 		return as, nil
 	})
+	if computed {
+		obs.TraceFrom(ctx).Annotate("answer_cache", "miss")
+	} else {
+		obs.TraceFrom(ctx).Annotate("answer_cache", "hit")
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +452,7 @@ func (e *Engine) AnswerContext(ctx context.Context, query string, k int) ([]Answ
 }
 
 func (e *Engine) answerUncached(ctx context.Context, query string, k int) ([]Answer, error) {
-	ins, err := e.interpretations(query)
+	ins, err := e.interpretations(ctx, query)
 	if err != nil {
 		return nil, err
 	}
@@ -379,6 +463,8 @@ func (e *Engine) answerUncached(ctx context.Context, query string, k int) ([]Ans
 	if err != nil {
 		return nil, err
 	}
+	_, rspan := obs.Start(ctx, "render")
+	defer rspan.End()
 	out := make([]Answer, len(as))
 	for i, a := range as {
 		out[i] = Answer{
