@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"kwagg"
+	"kwagg/internal/chaos"
 	"kwagg/internal/obs"
 )
 
@@ -42,24 +43,34 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "university",
 			"university | fig2 | enrolment | tpch | tpch-denorm | acmdl | acmdl-denorm")
-		load    = flag.String("load", "", "load a saved database directory (schema.json + CSVs) instead of -dataset")
-		k       = flag.Int("k", 3, "number of interpretations to show")
-		small   = flag.Bool("small", false, "use the small dataset scale")
-		traceOn = flag.Bool("trace", false, "print the per-stage duration breakdown after each query")
+		load      = flag.String("load", "", "load a saved database directory (schema.json + CSVs) instead of -dataset")
+		k         = flag.Int("k", 3, "number of interpretations to show")
+		small     = flag.Bool("small", false, "use the small dataset scale")
+		traceOn   = flag.Bool("trace", false, "print the per-stage duration breakdown after each query")
+		chaosSpec = flag.String("chaos", "",
+			`fault injection spec, e.g. "rate=0.1,seed=7,latency=5ms" (empty disables)`)
 	)
 	flag.Parse()
 
+	cinj, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var opts *kwagg.Options
+	if cinj != nil {
+		opts = &kwagg.Options{Chaos: cinj}
+		fmt.Printf("chaos enabled: %s\n", *chaosSpec)
+	}
 	var eng *kwagg.Engine
-	var err error
 	if *load != "" {
 		var db *kwagg.DB
 		db, err = kwagg.Load(*load)
 		if err == nil {
 			*dataset = *load
-			eng, err = kwagg.Open(db, nil)
+			eng, err = kwagg.Open(db, opts)
 		}
 	} else {
-		eng, err = open(*dataset, *small)
+		eng, err = kwagg.OpenDatasetOpts(*dataset, *small, opts)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -127,15 +138,22 @@ func main() {
 			if *traceOn {
 				ctx, trace = obs.NewTrace(ctx)
 			}
-			answers, err := eng.AnswerContext(ctx, line, *k)
+			set, err := eng.AnswerSetContext(ctx, line, *k)
 			trace.Finish()
 			if err != nil {
 				fmt.Println("error:", err)
 				break
 			}
-			for i, a := range answers {
+			for i, a := range set.Answers {
 				fmt.Printf("-- #%d %s\n   pattern: %s\n%s\n%s",
 					i+1, a.Description, a.Pattern, a.PrettySQL, a.Result)
+			}
+			if set.Partial {
+				fmt.Printf("partial: %d of %d statements failed\n",
+					len(set.Failed), len(set.Failed)+len(set.Answers))
+				for _, f := range set.Failed {
+					fmt.Printf("   #%d: %s\n", f.Index+1, f.Message)
+				}
 			}
 			if trace != nil {
 				fmt.Print(trace.Breakdown())
@@ -143,8 +161,4 @@ func main() {
 		}
 		fmt.Print("> ")
 	}
-}
-
-func open(dataset string, small bool) (*kwagg.Engine, error) {
-	return kwagg.OpenDataset(dataset, small)
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"kwagg"
+	"kwagg/internal/chaos"
 	"kwagg/internal/server"
 )
 
@@ -33,13 +34,28 @@ func main() {
 			"per-request timeout (negative disables)")
 		maxConc = flag.Int("max-concurrent", 64,
 			"max simultaneously served requests; excess get 503 (negative disables)")
-		maxK     = flag.Int("max-k", 10, "cap on interpretations executed per request")
-		reqlog   = flag.Bool("reqlog", true, "log one structured JSON line per request to stderr")
-		pprofOpt = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		maxK      = flag.Int("max-k", 10, "cap on interpretations executed per request")
+		reqlog    = flag.Bool("reqlog", true, "log one structured JSON line per request to stderr")
+		pprofOpt  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		chaosSpec = flag.String("chaos", "",
+			`fault injection spec, e.g. "rate=0.1,seed=7,latency=5ms,points=statement+cache-lookup" (empty disables)`)
 	)
 	flag.Parse()
 
-	eng, err := openEngine(*dataset, *load, *small)
+	cinj, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Keep the interface nil when chaos is disabled (a typed-nil *Chaos in
+	// the interface would defeat the nil checks at the injection points).
+	var inj chaos.Injector
+	var opts *kwagg.Options
+	if cinj != nil {
+		inj = cinj
+		opts = &kwagg.Options{Chaos: inj}
+		log.Printf("kwserve: chaos enabled: %s", *chaosSpec)
+	}
+	eng, err := openEngine(*dataset, *load, *small, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,17 +71,18 @@ func main() {
 		MaxConcurrent: *maxConc,
 		AccessLog:     accessLog,
 		Pprof:         *pprofOpt,
+		Chaos:         inj,
 	})
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
-func openEngine(dataset, load string, small bool) (*kwagg.Engine, error) {
+func openEngine(dataset, load string, small bool, opts *kwagg.Options) (*kwagg.Engine, error) {
 	if load != "" {
 		db, err := kwagg.Load(load)
 		if err != nil {
 			return nil, err
 		}
-		return kwagg.Open(db, nil)
+		return kwagg.Open(db, opts)
 	}
-	return kwagg.OpenDataset(dataset, small)
+	return kwagg.OpenDatasetOpts(dataset, small, opts)
 }

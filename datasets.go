@@ -93,26 +93,46 @@ func ACMDLViewNames() map[string]string { return acmdl.NameHints() }
 // synthesized relations carry the natural names. small selects the fast
 // scale for the generated datasets.
 func OpenDataset(name string, small bool) (*Engine, error) {
+	return OpenDatasetOpts(name, small, nil)
+}
+
+// OpenDatasetOpts is OpenDataset with engine options: the dataset's own view
+// names are filled in automatically (opts.ViewNames, when set, wins), so
+// callers can layer caching, worker-pool and chaos settings over any bundled
+// dataset.
+func OpenDatasetOpts(name string, small bool, opts *Options) (*Engine, error) {
 	tscale, ascale := TPCHDefault, ACMDLDefault
 	if small {
 		tscale, ascale = TPCHSmall, ACMDLSmall
 	}
+	var (
+		db    *DB
+		views map[string]string
+	)
 	switch name {
 	case "university":
-		return Open(UniversityDB(), nil)
+		db = UniversityDB()
 	case "fig2":
-		return Open(UniversityFig2DB(), &Options{ViewNames: UniversityFig2ViewNames()})
+		db, views = UniversityFig2DB(), UniversityFig2ViewNames()
 	case "enrolment":
-		return Open(UniversityEnrolmentDB(), &Options{ViewNames: UniversityEnrolmentViewNames()})
+		db, views = UniversityEnrolmentDB(), UniversityEnrolmentViewNames()
 	case "tpch":
-		return Open(TPCHDB(tscale), nil)
+		db = TPCHDB(tscale)
 	case "tpch-denorm":
-		return Open(TPCHUnnormalizedDB(tscale), &Options{ViewNames: TPCHViewNames()})
+		db, views = TPCHUnnormalizedDB(tscale), TPCHViewNames()
 	case "acmdl":
-		return Open(ACMDLDB(ascale), nil)
+		db = ACMDLDB(ascale)
 	case "acmdl-denorm":
-		return Open(ACMDLUnnormalizedDB(ascale), &Options{ViewNames: ACMDLViewNames()})
+		db, views = ACMDLUnnormalizedDB(ascale), ACMDLViewNames()
 	default:
 		return nil, fmt.Errorf("kwagg: unknown dataset %q", name)
 	}
+	merged := Options{}
+	if opts != nil {
+		merged = *opts
+	}
+	if merged.ViewNames == nil {
+		merged.ViewNames = views
+	}
+	return Open(db, &merged)
 }

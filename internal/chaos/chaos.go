@@ -1,0 +1,301 @@
+// Package chaos is the fault-injection layer of the serving stack. The
+// pipeline stages that already carry an obs span — per-statement SQL
+// execution, the top-k worker pool, the query caches, and the HTTP layer —
+// additionally consult an Injector, so tests (and operators reproducing an
+// incident) can make any of them slow, flaky or stuck on demand and verify
+// that the engine degrades instead of answering wrongly.
+//
+// Chaos is disabled by passing a nil Injector, which is the default
+// everywhere: call sites guard every injection point with a plain nil check,
+// so the disabled hot path costs one predictable branch and no allocations.
+//
+// The built-in Chaos injector is driven by a Config (fault rate, injected
+// latency, the share of faults surfaced as context cancellations, an
+// optional subset of points) and a deterministic seeded RNG, so a chaos run
+// is reproducible: the same seed over the same request sequence injects the
+// same faults. Parse builds one from a flag-friendly spec string
+// ("rate=0.1,seed=7,latency=5ms,points=statement+cache-lookup").
+//
+// Injected statement faults are *Transient values; the execution layer
+// retries those (bounded, jittered backoff) and treats everything else as a
+// real error. See docs/ROBUSTNESS.md for the full degradation semantics.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Point names one fault-injection point of the serving pipeline.
+type Point string
+
+// The injection points. Each corresponds to a pipeline stage that already
+// runs under an obs span or metric, so injected misbehavior is visible in
+// the same traces and histograms as real misbehavior.
+const (
+	// PointStatement guards every SQL statement execution attempt on the
+	// top-k pool: faults abort the attempt (transient ones are retried),
+	// delays stretch its latency.
+	PointStatement Point = "statement"
+	// PointWorker delays a pool worker between statements (slow or stuck
+	// workers).
+	PointWorker Point = "worker"
+	// PointCacheLookup forces query-cache lookups to miss (miss storm).
+	PointCacheLookup Point = "cache-lookup"
+	// PointCacheStore drops query-cache inserts, so computed entries vanish
+	// immediately (eviction storm).
+	PointCacheStore Point = "cache-store"
+	// PointClientRead throttles HTTP request-body reads (slow clients).
+	PointClientRead Point = "client-read"
+)
+
+// AllPoints lists every injection point in a fixed order.
+func AllPoints() []Point {
+	return []Point{PointStatement, PointWorker, PointCacheLookup, PointCacheStore, PointClientRead}
+}
+
+// Injector decides, at each injection point, whether to misbehave.
+// Implementations must be safe for concurrent use; a nil Injector means
+// chaos is disabled.
+type Injector interface {
+	// Fault returns the fault to inject at point, or nil for none. detail
+	// carries the statement SQL or cache key for targeted injectors. Faults
+	// that the caller may retry must be (or wrap) *Transient.
+	Fault(point Point, detail string) error
+	// Delay returns artificial latency to add at point (0 for none). Callers
+	// sleep via Sleep so injected latency still honors cancellation.
+	Delay(point Point) time.Duration
+}
+
+// Transient is an injected fault the serving path is allowed to retry.
+type Transient struct {
+	Point  Point
+	Detail string
+}
+
+func (t *Transient) Error() string {
+	return fmt.Sprintf("chaos: injected transient fault at %s", t.Point)
+}
+
+// IsTransient reports whether err is (or wraps) an injected transient fault —
+// the only class of statement error the executor retries; real execution
+// errors are deterministic and surface immediately.
+func IsTransient(err error) bool {
+	var t *Transient
+	return errors.As(err, &t)
+}
+
+// Sleep blocks for d or until ctx is done, whichever comes first, returning
+// ctx.Err() when interrupted. Injected latency and retry backoff both sleep
+// through it so a cancelled request never waits out an artificial delay.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Config parameterizes the built-in injector.
+type Config struct {
+	// Rate is the probability in [0, 1] of injecting a fault at each enabled
+	// point decision.
+	Rate float64
+	// Seed seeds the deterministic RNG (0 selects 1).
+	Seed uint64
+	// Latency is the maximum artificial delay; each Delay draw is uniform in
+	// [Latency/2, Latency), injected with probability Rate. 0 disables delays.
+	Latency time.Duration
+	// Cancel is the share in [0, 1] of statement faults injected as context
+	// cancellations instead of retryable transient errors.
+	Cancel float64
+	// Points restricts injection to the listed points; empty enables all.
+	Points []Point
+}
+
+// Chaos is the built-in Injector: seeded, deterministic, concurrency-safe.
+type Chaos struct {
+	cfg     Config
+	enabled map[Point]bool // nil = all points
+
+	mu       sync.Mutex
+	state    uint64 // SplitMix64
+	injected map[Point]uint64
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Chaos {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	c := &Chaos{cfg: cfg, state: cfg.Seed, injected: make(map[Point]uint64)}
+	if len(cfg.Points) > 0 {
+		c.enabled = make(map[Point]bool, len(cfg.Points))
+		for _, p := range cfg.Points {
+			c.enabled[p] = true
+		}
+	}
+	return c
+}
+
+// Parse builds an injector from a spec string of comma-separated key=value
+// pairs: rate=0.1, seed=7, latency=5ms, cancel=0.25, and
+// points=statement+cache-lookup (plus-separated subset of the point names).
+// A bare number is shorthand for rate=N. The empty string yields nil
+// (chaos disabled).
+func Parse(spec string) (*Chaos, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var cfg Config
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, found := strings.Cut(part, "=")
+		if !found {
+			// Bare value: the fault rate.
+			key, val = "rate", part
+		}
+		var err error
+		switch key {
+		case "rate":
+			cfg.Rate, err = parseUnit(val)
+		case "cancel":
+			cfg.Cancel, err = parseUnit(val)
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "points":
+			for _, name := range strings.Split(val, "+") {
+				p := Point(strings.TrimSpace(name))
+				if !validPoint(p) {
+					return nil, fmt.Errorf("chaos: unknown point %q (have %v)", name, AllPoints())
+				}
+				cfg.Points = append(cfg.Points, p)
+			}
+		default:
+			return nil, fmt.Errorf("chaos: unknown spec key %q in %q", key, spec)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad %s in %q: %w", key, spec, err)
+		}
+	}
+	return New(cfg), nil
+}
+
+func parseUnit(val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("%v not in [0, 1]", f)
+	}
+	return f, nil
+}
+
+func validPoint(p Point) bool {
+	for _, q := range AllPoints() {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Fault implements Injector: with probability Rate at an enabled point it
+// returns a *Transient, except that a Cancel share of statement faults
+// surface as context.Canceled (a client that gave up mid-statement).
+func (c *Chaos) Fault(point Point, detail string) error {
+	if !c.on(point) {
+		return nil
+	}
+	c.mu.Lock()
+	hit := c.roll() < c.cfg.Rate
+	canceled := hit && point == PointStatement && c.roll() < c.cfg.Cancel
+	if hit {
+		c.injected[point]++
+	}
+	c.mu.Unlock()
+	if !hit {
+		return nil
+	}
+	if canceled {
+		return fmt.Errorf("chaos: injected client cancellation at %s: %w", point, context.Canceled)
+	}
+	return &Transient{Point: point, Detail: detail}
+}
+
+// Delay implements Injector: with probability Rate at an enabled point it
+// returns a delay uniform in [Latency/2, Latency).
+func (c *Chaos) Delay(point Point) time.Duration {
+	if !c.on(point) || c.cfg.Latency <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.roll() >= c.cfg.Rate {
+		return 0
+	}
+	half := c.cfg.Latency / 2
+	return half + time.Duration(c.roll()*float64(half))
+}
+
+// Injected reports how many faults have been injected per point (delays do
+// not count; only Fault hits).
+func (c *Chaos) Injected() map[Point]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Point]uint64, len(c.injected))
+	for p, n := range c.injected {
+		out[p] = n
+	}
+	return out
+}
+
+// String summarizes the configuration and the per-point injection counts.
+func (c *Chaos) String() string {
+	counts := c.Injected()
+	points := make([]string, 0, len(counts))
+	for p := range counts {
+		points = append(points, string(p))
+	}
+	sort.Strings(points)
+	parts := make([]string, 0, len(points))
+	for _, p := range points {
+		parts = append(parts, fmt.Sprintf("%s=%d", p, counts[Point(p)]))
+	}
+	return fmt.Sprintf("chaos(rate=%g seed=%d injected: %s)",
+		c.cfg.Rate, c.cfg.Seed, strings.Join(parts, " "))
+}
+
+func (c *Chaos) on(point Point) bool {
+	return c.enabled == nil || c.enabled[point]
+}
+
+// roll advances the SplitMix64 state and returns a uniform float in [0, 1).
+// Callers hold c.mu.
+func (c *Chaos) roll() float64 {
+	c.state += 0x9e3779b97f4a7c15
+	z := c.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+	}{
+		{"rate=0.1", Config{Rate: 0.1, Seed: 1}},
+		{"0.25", Config{Rate: 0.25, Seed: 1}},
+		{"rate=0.1,seed=7", Config{Rate: 0.1, Seed: 7}},
+		{"rate=0.1,latency=5ms", Config{Rate: 0.1, Seed: 1, Latency: 5 * time.Millisecond}},
+		{"rate=0.5,cancel=0.25", Config{Rate: 0.5, Seed: 1, Cancel: 0.25}},
+		{"rate=1,points=statement+cache-lookup", Config{Rate: 1, Seed: 1,
+			Points: []Point{PointStatement, PointCacheLookup}}},
+		{" rate=0.1 , seed=3 ", Config{Rate: 0.1, Seed: 3}},
+	}
+	for _, c := range cases {
+		inj, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if fmt.Sprint(inj.cfg) != fmt.Sprint(c.want) {
+			t.Fatalf("Parse(%q) = %+v, want %+v", c.spec, inj.cfg, c.want)
+		}
+	}
+}
+
+func TestParseEmptyDisables(t *testing.T) {
+	for _, spec := range []string{"", "   "} {
+		inj, err := Parse(spec)
+		if err != nil || inj != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", spec, inj, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"rate=2",                  // out of [0, 1]
+		"rate=-0.1",               // out of [0, 1]
+		"cancel=1.5",              // out of [0, 1]
+		"bogus=1",                 // unknown key
+		"points=statement+nosuch", // unknown point
+		"latency=fast",            // not a duration
+		"seed=abc",                // not an integer
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+// TestDeterminism: the same seed over the same decision sequence injects the
+// same faults — the property that makes a chaos run reproducible.
+func TestDeterminism(t *testing.T) {
+	run := func() []bool {
+		inj := New(Config{Rate: 0.3, Seed: 42})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, inj.Fault(PointStatement, "q") != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identically seeded runs", i)
+		}
+	}
+}
+
+func TestFaultRate(t *testing.T) {
+	inj := New(Config{Rate: 0.1, Seed: 7})
+	n := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if inj.Fault(PointStatement, "q") != nil {
+			n++
+		}
+	}
+	got := float64(n) / trials
+	if got < 0.05 || got > 0.15 {
+		t.Fatalf("fault rate %v far from configured 0.1", got)
+	}
+	if inj.Injected()[PointStatement] != uint64(n) {
+		t.Fatalf("Injected() = %v, want %d at %s", inj.Injected(), n, PointStatement)
+	}
+}
+
+func TestPointsFilter(t *testing.T) {
+	inj := New(Config{Rate: 1, Points: []Point{PointCacheLookup}})
+	if inj.Fault(PointStatement, "q") != nil {
+		t.Fatal("statement faults must be off when points excludes them")
+	}
+	if inj.Fault(PointCacheLookup, "k") == nil {
+		t.Fatal("cache-lookup faults must fire at rate 1")
+	}
+	if inj.Delay(PointStatement) != 0 {
+		t.Fatal("delays must honor the points filter too")
+	}
+}
+
+func TestTransient(t *testing.T) {
+	inj := New(Config{Rate: 1})
+	err := inj.Fault(PointStatement, "SELECT 1")
+	if !IsTransient(err) {
+		t.Fatalf("rate-1 cancel-0 fault should be transient, got %v", err)
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !IsTransient(wrapped) {
+		t.Fatal("IsTransient must see through wrapping")
+	}
+	if IsTransient(errors.New("plain")) || IsTransient(nil) {
+		t.Fatal("non-injected errors are not transient")
+	}
+}
+
+// TestCancelShare: with cancel=1 every statement fault surfaces as a context
+// cancellation (and is therefore not retryable).
+func TestCancelShare(t *testing.T) {
+	inj := New(Config{Rate: 1, Cancel: 1})
+	for i := 0; i < 50; i++ {
+		err := inj.Fault(PointStatement, "q")
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel=1 fault should wrap context.Canceled, got %v", err)
+		}
+		if IsTransient(err) {
+			t.Fatal("injected cancellations must not be retryable")
+		}
+	}
+	// Non-statement points never surface cancellations.
+	if err := inj.Fault(PointCacheLookup, "k"); errors.Is(err, context.Canceled) {
+		t.Fatal("cancel share applies to statement faults only")
+	}
+}
+
+func TestDelayRange(t *testing.T) {
+	inj := New(Config{Rate: 1, Latency: 10 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		d := inj.Delay(PointWorker)
+		if d < 5*time.Millisecond || d >= 10*time.Millisecond {
+			t.Fatalf("delay %v outside [latency/2, latency)", d)
+		}
+	}
+	if New(Config{Rate: 1}).Delay(PointWorker) != 0 {
+		t.Fatal("zero latency must mean zero delay")
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on dead context = %v, want Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep must return promptly when the context is dead")
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep: %v", err)
+	}
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("short sleep: %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	inj := New(Config{Rate: 1, Seed: 3})
+	inj.Fault(PointStatement, "q")
+	inj.Fault(PointCacheStore, "k")
+	s := inj.String()
+	for _, want := range []string{"rate=1", "seed=3", "statement=1", "cache-store=1"} {
+		if !contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

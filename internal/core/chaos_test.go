@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kwagg/internal/chaos"
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/obs"
+)
+
+// scriptedInjector injects, per statement attempt, the scripted faults in
+// order (nil entries succeed), then stops injecting.
+type scriptedInjector struct {
+	mu     sync.Mutex
+	faults []error
+	calls  int
+}
+
+func (i *scriptedInjector) Fault(p chaos.Point, detail string) error {
+	if p != chaos.PointStatement {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.calls++
+	if len(i.faults) == 0 {
+		return nil
+	}
+	f := i.faults[0]
+	i.faults = i.faults[1:]
+	return f
+}
+
+func (i *scriptedInjector) Delay(chaos.Point) time.Duration { return 0 }
+
+func transient() error { return &chaos.Transient{Point: chaos.PointStatement} }
+
+func openChaos(t *testing.T, inj chaos.Injector) *System {
+	t.Helper()
+	s, err := Open(university.New(), &Options{Chaos: inj})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func interpretations(t *testing.T, s *System, query string, k int) []Interpretation {
+	t.Helper()
+	ins, err := s.Interpret(query, k)
+	if err != nil || len(ins) < k {
+		t.Fatalf("Interpret(%q): %v (%d interpretations, want %d)", query, err, len(ins), k)
+	}
+	return ins[:k]
+}
+
+// TestRetryMetricsAndKinds runs one statement through two transient faults
+// (retried to success) and checks the registry counters the degradation
+// layer promises: kwagg_exec_retries_total and, for a permanent failure,
+// kwagg_exec_statement_failures_total{kind=error}.
+func TestRetryMetricsAndKinds(t *testing.T) {
+	inj := &scriptedInjector{faults: []error{transient(), transient()}}
+	s := openChaos(t, inj)
+	ins := interpretations(t, s, "Green SUM Credit", 1)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+
+	rep := s.ExecuteAllReport(ctx, ins)
+	if len(rep.Failed) != 0 || len(rep.Answers) != 1 {
+		t.Fatalf("retried statement should complete: %+v", rep.Err())
+	}
+	if rep.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", rep.Retries)
+	}
+	if rep.Partial() || rep.Err() != nil {
+		t.Fatalf("complete report misreports: partial=%v err=%v", rep.Partial(), rep.Err())
+	}
+	if n := reg.Counter("kwagg_exec_retries_total", "").Value(); n != 2 {
+		t.Fatalf("kwagg_exec_retries_total = %d, want 2", n)
+	}
+
+	// A permanent (non-transient) fault fails without retrying and is
+	// counted with kind=error.
+	inj.mu.Lock()
+	inj.faults = []error{errors.New("disk on fire")}
+	inj.calls = 0
+	inj.mu.Unlock()
+	rep = s.ExecuteAllReport(ctx, ins)
+	if len(rep.Failed) != 1 || len(rep.Answers) != 0 {
+		t.Fatalf("permanent fault should fail the statement: %+v", rep)
+	}
+	if inj.calls != 1 {
+		t.Fatalf("permanent fault retried: %d attempts", inj.calls)
+	}
+	f := rep.Failed[0]
+	if !strings.Contains(f.Error(), "disk on fire") || f.Unwrap() == nil {
+		t.Fatalf("StatementError lost its cause: %v", f.Error())
+	}
+	if n := reg.Counter("kwagg_exec_statement_failures_total", "",
+		obs.L("kind", "error")).Value(); n != 1 {
+		t.Fatalf("failures{kind=error} = %d, want 1", n)
+	}
+}
+
+// TestTransientBudgetAndPartial: a statement that keeps faulting past the
+// retry budget fails with kind=transient, while the other statement
+// completes — the report is partial and Err() surfaces the failure.
+func TestTransientBudgetAndPartial(t *testing.T) {
+	// 1 + DefaultMaxRetries attempts all fault; the second statement's
+	// attempts find the script empty and succeed.
+	inj := &scriptedInjector{faults: []error{transient(), transient(), transient()}}
+	s := openChaos(t, inj)
+	s.Workers = 1 // serialize so the script hits one statement
+	ins := interpretations(t, s, "Green SUM Credit", 2)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+
+	rep := s.ExecuteAllReport(ctx, ins)
+	if !rep.Partial() || len(rep.Answers) != 1 || len(rep.Failed) != 1 {
+		t.Fatalf("want a partial report, got %d answers + %d failures",
+			len(rep.Answers), len(rep.Failed))
+	}
+	if rep.Err() == nil || !chaos.IsTransient(rep.Err()) {
+		t.Fatalf("Err() = %v, want the exhausted transient fault", rep.Err())
+	}
+	if n := reg.Counter("kwagg_exec_statement_failures_total", "",
+		obs.L("kind", "transient")).Value(); n != 1 {
+		t.Fatalf("failures{kind=transient} = %d, want 1", n)
+	}
+}
+
+// TestInjectedCancellationKind: injected cancellations are counted with
+// kind=canceled and never retried.
+func TestInjectedCancellationKind(t *testing.T) {
+	inj := chaos.New(chaos.Config{Rate: 1, Cancel: 1, Seed: 9,
+		Points: []chaos.Point{chaos.PointStatement}})
+	s := openChaos(t, inj)
+	ins := interpretations(t, s, "Green SUM Credit", 1)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+
+	rep := s.ExecuteAllReport(ctx, ins)
+	if len(rep.Failed) != 1 || rep.Retries != 0 {
+		t.Fatalf("injected cancellation must fail without retry: %+v", rep)
+	}
+	if err := rep.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want Canceled", err)
+	}
+	if n := reg.Counter("kwagg_exec_statement_failures_total", "",
+		obs.L("kind", "canceled")).Value(); n != 1 {
+		t.Fatalf("failures{kind=canceled} = %d, want 1", n)
+	}
+}
+
+// TestStatementDeadlineKind: a request deadline that expires mid-statement
+// (stretched by injected statement latency) is counted with kind=deadline.
+func TestStatementDeadlineKind(t *testing.T) {
+	s := openChaos(t, &slowInjector{d: time.Minute})
+	ins := interpretations(t, s, "Green SUM Credit", 1)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	ctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+
+	rep := s.ExecuteAllReport(ctx, ins)
+	if len(rep.Failed) != 1 {
+		t.Fatalf("deadline must fail the statement: %+v", rep)
+	}
+	if err := rep.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want DeadlineExceeded", err)
+	}
+	if n := reg.Counter("kwagg_exec_statement_failures_total", "",
+		obs.L("kind", "deadline")).Value(); n != 1 {
+		t.Fatalf("failures{kind=deadline} = %d, want 1", n)
+	}
+}

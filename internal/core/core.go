@@ -7,11 +7,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"kwagg/internal/chaos"
 	"kwagg/internal/keyword"
 	"kwagg/internal/match"
 	"kwagg/internal/normalize"
@@ -42,7 +47,31 @@ type System struct {
 	// Workers bounds the worker pool executing the top-k statements in
 	// Answer; 0 means min(GOMAXPROCS, 8). Set before sharing the System.
 	Workers int
+
+	// Chaos is the optional fault injector consulted at the statement and
+	// worker injection points (nil disables chaos, the default). Set before
+	// sharing the System.
+	Chaos chaos.Injector
+
+	// MaxRetries bounds how many times one statement is retried after an
+	// injectable-transient fault (real execution errors are never retried);
+	// 0 means DefaultMaxRetries, negative disables retrying. Set before
+	// sharing the System.
+	MaxRetries int
+
+	// RetryBackoff is the base of the exponential jittered backoff between
+	// statement retries; 0 means DefaultRetryBackoff. Set before sharing
+	// the System.
+	RetryBackoff time.Duration
 }
+
+// Retry policy defaults: up to two retries, 1ms base backoff doubling per
+// attempt with up to 50% jitter — enough to ride out an injected fault burst
+// without holding a request hostage.
+const (
+	DefaultMaxRetries   = 2
+	DefaultRetryBackoff = time.Millisecond
+)
 
 // Options configures Open.
 type Options struct {
@@ -54,6 +83,12 @@ type Options struct {
 	ForceViewPipeline bool
 	// Workers bounds the Answer execution pool; 0 means min(GOMAXPROCS, 8).
 	Workers int
+	// Chaos is the optional fault injector (nil = disabled).
+	Chaos chaos.Injector
+	// MaxRetries and RetryBackoff tune the transient-fault retry policy;
+	// zero values select the defaults.
+	MaxRetries   int
+	RetryBackoff time.Duration
 }
 
 // Open prepares a database for keyword search. It checks every relation's
@@ -93,6 +128,9 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 	}
 	s.Generator = pattern.NewGenerator(s.Matcher)
 	s.Workers = opts.Workers
+	s.Chaos = opts.Chaos
+	s.MaxRetries = opts.MaxRetries
+	s.RetryBackoff = opts.RetryBackoff
 	// Freeze the stored data: later inserts are rejected, and every
 	// per-table value index is built now so query execution never mutates
 	// shared state (the thread-safety contract of System).
@@ -193,26 +231,102 @@ func (s *System) ExecWorkers() int {
 	return n
 }
 
+// StatementError describes one interpretation whose statement failed to
+// produce an answer after retries.
+type StatementError struct {
+	// Index is the interpretation's rank position in the executed slice.
+	Index int
+	// Pattern and SQL identify the failed interpretation.
+	Pattern string
+	SQL     string
+	// Err is the final attempt's error.
+	Err error
+}
+
+func (e *StatementError) Error() string {
+	return fmt.Sprintf("core: executing %s: %v", e.SQL, e.Err)
+}
+
+func (e *StatementError) Unwrap() error { return e.Err }
+
+// ExecReport is the degradation-aware outcome of ExecuteAllReport: the
+// statements that completed (rank order preserved) and, separately, the ones
+// that failed, so the serving layer can return a partial answer instead of
+// failing the whole request.
+type ExecReport struct {
+	Answers []Answer          // completed statements, in rank order
+	Failed  []*StatementError // failed statements, in rank order
+	Retries int               // transient-fault retry attempts across all statements
+}
+
+// Partial reports whether some but not all statements completed.
+func (r *ExecReport) Partial() bool { return len(r.Failed) > 0 && len(r.Answers) > 0 }
+
+// Err summarizes the report as a single error for strict callers: nil when
+// everything completed, otherwise the first failure — preferring a context
+// error so a timed-out request keeps its deadline semantics.
+func (r *ExecReport) Err() error {
+	if len(r.Failed) == 0 {
+		return nil
+	}
+	for _, f := range r.Failed {
+		if errors.Is(f.Err, context.DeadlineExceeded) || errors.Is(f.Err, context.Canceled) {
+			return f
+		}
+	}
+	return r.Failed[0]
+}
+
 // ExecuteAll executes every interpretation's SQL against the stored database
-// on a pool of at most workerCount goroutines, returning the answers in the
+// on a pool of at most ExecWorkers goroutines, returning the answers in the
 // same rank order as ins. The database is frozen (read-only), so the workers
 // share it without locking. The first error wins; ctx cancellation stops
-// statements that have not started yet.
+// statements that have not started yet and interrupts running ones at the
+// next row-batch boundary. Degradation-tolerant callers use
+// ExecuteAllReport instead and keep the statements that did complete.
 func (s *System) ExecuteAll(ctx context.Context, ins []Interpretation) ([]Answer, error) {
+	rep := s.ExecuteAllReport(ctx, ins)
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	return rep.Answers, nil
+}
+
+// ExecuteAllReport executes every interpretation's SQL on the bounded worker
+// pool and reports per-statement outcomes instead of failing the whole batch
+// on the first error.
+//
+// Robustness semantics (see docs/ROBUSTNESS.md):
+//
+//   - Each statement runs under a deadline derived from the request deadline
+//     (a slice of the remaining budget is reserved for rendering), and
+//     execution aborts mid-statement when it expires — a goroutine never
+//     outlives a cancelled request by more than one row batch.
+//   - Injectable-transient faults (chaos.IsTransient) are retried up to
+//     MaxRetries times with exponential jittered backoff; real execution
+//     errors and context errors surface immediately.
+//   - Every degradation event is counted in the registry carried by ctx:
+//     retries, and failures labeled by kind (transient, deadline, canceled,
+//     error).
+func (s *System) ExecuteAllReport(ctx context.Context, ins []Interpretation) *ExecReport {
+	rep := &ExecReport{}
 	if len(ins) == 0 {
-		return nil, nil
+		return rep
 	}
 	// The execute span covers the wall time of the whole pool run; each
 	// statement additionally runs under a nested per-statement span, so a
 	// trace shows both the stage cost and how the pool overlapped statements.
 	ctx, espan := obs.Start(ctx, "execute")
 	defer espan.End()
+	sctx, cancel := statementContext(ctx)
+	defer cancel()
 	workers := s.ExecWorkers()
 	if workers > len(ins) {
 		workers = len(ins)
 	}
-	out := make([]Answer, len(ins))
+	out := make([]*Answer, len(ins))
 	errs := make([]error, len(ins))
+	var retries atomic.Int64
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -224,16 +338,22 @@ func (s *System) ExecuteAll(ctx context.Context, ins []Interpretation) ([]Answer
 					errs[i] = err
 					continue
 				}
-				_, sspan := obs.Start(ctx, "sql")
-				sspan.Detail(fmt.Sprintf("stmt %d", i))
-				res, err := sqldb.Exec(s.Data, ins[i].SQL)
-				sspan.End()
+				if s.Chaos != nil {
+					// Slow/stuck-worker injection: the delay honors the
+					// request context, so a stuck worker unsticks the moment
+					// the request is cancelled.
+					if err := chaos.Sleep(ctx, s.Chaos.Delay(chaos.PointWorker)); err != nil {
+						errs[i] = err
+						continue
+					}
+				}
+				res, n, err := s.execStatement(sctx, ctx, ins[i], i)
+				retries.Add(int64(n))
 				if err != nil {
-					errs[i] = fmt.Errorf("core: executing %q: %w", ins[i].SQL, err)
+					errs[i] = err
 					continue
 				}
-				res.SortRows()
-				out[i] = Answer{Interpretation: ins[i], Result: res}
+				out[i] = &Answer{Interpretation: ins[i], Result: res}
 			}
 		}()
 	}
@@ -242,12 +362,133 @@ func (s *System) ExecuteAll(ctx context.Context, ins []Interpretation) ([]Answer
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	rep.Retries = int(retries.Load())
+	reg := obs.RegistryFrom(ctx)
+	if reg != nil && rep.Retries > 0 {
+		reg.Counter("kwagg_exec_retries_total",
+			"Statement execution retries after injectable-transient faults.").
+			Add(uint64(rep.Retries))
+	}
+	for i := range ins {
+		switch {
+		case errs[i] != nil:
+			rep.Failed = append(rep.Failed, &StatementError{
+				Index:   i,
+				Pattern: ins[i].Pattern.String(),
+				SQL:     ins[i].SQL.String(),
+				Err:     errs[i],
+			})
+			if reg != nil {
+				reg.Counter("kwagg_exec_statement_failures_total",
+					"Statements that failed after retries, by failure kind.",
+					obs.L("kind", failureKind(errs[i]))).Inc()
+			}
+		case out[i] != nil:
+			rep.Answers = append(rep.Answers, *out[i])
+		}
+	}
+	return rep
+}
+
+// execStatement runs one interpretation's SQL with the retry policy: sctx
+// carries the per-statement deadline, rctx the plain request context used
+// for backoff sleeps (so retries are abandoned when the request dies).
+func (s *System) execStatement(sctx, rctx context.Context, in Interpretation, idx int) (*sqldb.Result, int, error) {
+	maxRetries := s.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = DefaultMaxRetries
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	backoff := s.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	var detail string
+	if s.Chaos != nil {
+		detail = in.SQL.String()
+	}
+	retried := 0
+	for attempt := 0; ; attempt++ {
+		_, sspan := obs.Start(rctx, "sql")
+		if attempt == 0 {
+			sspan.Detail(fmt.Sprintf("stmt %d", idx))
+		} else {
+			sspan.Detail(fmt.Sprintf("stmt %d retry %d", idx, attempt))
+		}
+		res, err := s.execAttempt(sctx, in, detail)
+		sspan.End()
+		if err == nil {
+			res.SortRows()
+			return res, retried, nil
+		}
+		if !chaos.IsTransient(err) || attempt >= maxRetries || rctx.Err() != nil {
+			return nil, retried, err
+		}
+		retried++
+		// Exponential backoff with up to 50% jitter, abandoned as soon as
+		// the request context dies.
+		d := backoff << attempt
+		d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+		if serr := chaos.Sleep(rctx, d); serr != nil {
+			return nil, retried, serr
+		}
+	}
+}
+
+// execAttempt is one execution attempt: chaos statement injection (latency,
+// transient error, injected cancellation) followed by the cancellable
+// evaluation under the per-statement deadline.
+func (s *System) execAttempt(sctx context.Context, in Interpretation, detail string) (*sqldb.Result, error) {
+	if s.Chaos != nil {
+		if err := chaos.Sleep(sctx, s.Chaos.Delay(chaos.PointStatement)); err != nil {
+			return nil, err
+		}
+		if err := s.Chaos.Fault(chaos.PointStatement, detail); err != nil {
 			return nil, err
 		}
 	}
-	return out, nil
+	return sqldb.ExecContext(sctx, s.Data, in.SQL)
+}
+
+// statementMarginCap bounds the slice of the request budget reserved for
+// rendering the (possibly partial) response after statements finish.
+const statementMarginCap = 100 * time.Millisecond
+
+// statementContext derives the per-statement deadline from the request
+// deadline: 10% of the remaining budget (capped at statementMarginCap) is
+// held back so a request whose statements run long still has time to render
+// a partial answer and count the degradation, instead of the whole response
+// dying at the wire deadline. Without a request deadline the context is
+// returned unchanged.
+func statementContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return ctx, func() {}
+	}
+	margin := time.Until(dl) / 10
+	if margin > statementMarginCap {
+		margin = statementMarginCap
+	}
+	if margin <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, dl.Add(-margin))
+}
+
+// failureKind buckets a statement failure for the degradation counters.
+func failureKind(err error) string {
+	switch {
+	case chaos.IsTransient(err):
+		return "transient"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
 }
 
 // BestAnswer returns the first interpretation whose description satisfies

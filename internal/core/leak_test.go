@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"kwagg/internal/chaos"
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/leakcheck"
+)
+
+// slowInjector stretches every statement attempt so a request can be
+// cancelled while the pool is mid-flight.
+type slowInjector struct{ d time.Duration }
+
+func (i *slowInjector) Fault(chaos.Point, string) error { return nil }
+
+func (i *slowInjector) Delay(p chaos.Point) time.Duration {
+	if p == chaos.PointStatement || p == chaos.PointWorker {
+		return i.d
+	}
+	return 0
+}
+
+// TestExecuteAllNoLeakOnCancel cancels a request while the worker pool is
+// stuck in injected latency: ExecuteAllReport must return promptly with the
+// cancellation accounted, and every pool goroutine must unwind — a worker
+// never outlives the request it served.
+func TestExecuteAllNoLeakOnCancel(t *testing.T) {
+	check := leakcheck.Check(t)
+	defer check()
+	s, err := Open(university.New(), &Options{Chaos: &slowInjector{d: time.Minute}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := s.Interpret("Green SUM Credit", 2)
+	if err != nil || len(ins) == 0 {
+		t.Fatalf("Interpret: %v (%d interpretations)", err, len(ins))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep := s.ExecuteAllReport(ctx, ins)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancelled execution took %v; workers waited out injected latency", took)
+	}
+	if len(rep.Answers) != 0 || len(rep.Failed) != len(ins) {
+		t.Fatalf("want every statement failed on cancellation, got %d answers + %d failures",
+			len(rep.Answers), len(rep.Failed))
+	}
+	if err := rep.Err(); !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("report error = %v, want a context error", err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package leakcheck is a dependency-free goroutine-leak checker for tests,
+// in the style of goleak: snapshot the live goroutines when the test starts,
+// and at the end demand that every goroutine the test spawned has exited.
+//
+// Usage:
+//
+//	func TestSomething(t *testing.T) {
+//		defer leakcheck.Check(t)()
+//		...
+//	}
+//
+// Goroutines are identified by their creation site (the "created by" frame),
+// so the checker is insensitive to goroutine IDs and to unrelated tests
+// running earlier in the same process: only sites with MORE live goroutines
+// at the end than at the start count as leaks. Shutdown is asynchronous
+// almost everywhere (worker pools drain, HTTP connections unwind), so the
+// final comparison retries for up to two seconds before failing.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// retryFor bounds how long Check waits for spawned goroutines to unwind.
+const retryFor = 2 * time.Second
+
+// Check snapshots the current goroutines and returns the function that
+// enforces the no-leak property; defer it immediately. Anything the test
+// still needs to shut down (servers, engines) must be deferred after Check
+// so it closes first.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := snapshot()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(retryFor)
+		var leaked map[string]int
+		for {
+			leaked = diff(snapshot(), before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var sites []string
+		for site, n := range leaked {
+			sites = append(sites, fmt.Sprintf("%d leaked from %s", n, site))
+		}
+		sort.Strings(sites)
+		t.Errorf("goroutines still running %s after the test:\n%s",
+			retryFor, strings.Join(sites, "\n"))
+	}
+}
+
+// snapshot counts the live goroutines per creation site.
+func snapshot() map[string]int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	counts := make(map[string]int)
+	for _, stanza := range strings.Split(string(buf[:n]), "\n\n") {
+		if site := creationSite(stanza); site != "" {
+			counts[site]++
+		}
+	}
+	return counts
+}
+
+// creationSite extracts the "created by" function of one goroutine stanza,
+// or "" for goroutines without one (main, the runtime's own) — those are
+// never the test's to leak.
+func creationSite(stanza string) string {
+	const marker = "created by "
+	i := strings.LastIndex(stanza, marker)
+	if i < 0 {
+		return ""
+	}
+	site := stanza[i+len(marker):]
+	if j := strings.IndexAny(site, " \n"); j >= 0 {
+		site = site[:j]
+	}
+	return site
+}
+
+// diff reports the creation sites with more live goroutines in after than in
+// before, with the excess count.
+func diff(after, before map[string]int) map[string]int {
+	leaked := make(map[string]int)
+	for site, n := range after {
+		if extra := n - before[site]; extra > 0 {
+			leaked[site] = extra
+		}
+	}
+	return leaked
+}

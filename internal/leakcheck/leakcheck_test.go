@@ -1,0 +1,70 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls so the checker's failure path can be tested
+// without failing the real test.
+type recorder struct {
+	testing.TB
+	failed  bool
+	message string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...interface{}) {
+	r.failed = true
+	r.message = format
+	for _, a := range args {
+		if s, ok := a.(string); ok {
+			r.message += " " + s
+		}
+	}
+}
+
+func TestCleanTestPasses(t *testing.T) {
+	r := &recorder{}
+	check := Check(r)
+	done := make(chan struct{})
+	go func() { close(done) }() // spawn and exit before the check
+	<-done
+	check()
+	if r.failed {
+		t.Fatalf("clean test reported a leak: %s", r.message)
+	}
+}
+
+func TestDrainingGoroutineIsNotALeak(t *testing.T) {
+	r := &recorder{}
+	check := Check(r)
+	// Exits on its own, but only after the first comparison has failed —
+	// the retry loop must absorb it.
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	check()
+	if r.failed {
+		t.Fatalf("slow-but-exiting goroutine reported as leak: %s", r.message)
+	}
+}
+
+func TestLeakIsDetected(t *testing.T) {
+	r := &recorder{}
+	check := Check(r)
+	block := make(chan struct{})
+	defer close(block)
+	go func() { <-block }()
+	start := time.Now()
+	check()
+	if !r.failed {
+		t.Fatal("blocked goroutine not reported as a leak")
+	}
+	if !strings.Contains(r.message, "leakcheck") {
+		t.Fatalf("leak report does not name the creation site: %q", r.message)
+	}
+	if time.Since(start) < retryFor {
+		t.Fatal("checker gave up before the retry window elapsed")
+	}
+}

@@ -1,0 +1,300 @@
+// Package proptest is the property-based differential harness of the query
+// pipeline: it generates random database instances of a fixed ORA shape —
+// object relations, a binary relationship, an n-ary relationship, and a
+// denormalized single-relation variant — fills them with random data that
+// deliberately plants the paper's hard cases (objects sharing an attribute
+// value, duplicated participant pairs in the n-ary relationship), and checks
+// the engine's answers for random aggregate/GROUPBY keyword queries against
+// a brute-force in-memory oracle.
+//
+// The properties correspond to the paper's semantic claims:
+//
+//	P1  one aggregate per object: a value matched by several objects yields
+//	    per-object groups whose aggregates equal the oracle's (Q1/Green).
+//	P2  n-ary relationships are projected DISTINCT onto the participants the
+//	    query uses before joining, so shared participants are not counted
+//	    twice (Q2/Java).
+//	P3  over the denormalized variant the engine answers through the
+//	    synthesized normalized view, and the answers still equal the oracle
+//	    computed on the base data.
+//
+// The shape mirrors the running example: Person plays Student (same-value
+// objects), Project plays Course with Works as Enrol (binary relationship
+// carrying the P1 aggregates), and Uses(Jid, Gid, Tid) plays Teach (ternary
+// relationship between Project, Site and Tool with planted duplicate
+// (project, tool) pairs for P2). Site keeps the ternary relationship off the
+// Person-Project axis, so each property has exactly one join path — like
+// Lecturer in the paper's Teach.
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kwagg/internal/normalize"
+	"kwagg/internal/relation"
+)
+
+// Aggs lists the aggregate functions the random queries draw from.
+var Aggs = []string{"SUM", "COUNT", "AVG", "MIN", "MAX"}
+
+// Obj is one generated object row; Val is the numeric attribute of its table
+// (Hours, Budget or Price).
+type Obj struct {
+	ID   string
+	Name string
+	Val  int64
+}
+
+// Instance is one random database instance plus the facts the oracle needs.
+type Instance struct {
+	Persons  []Obj
+	Projects []Obj
+	Sites    []Obj
+	Tools    []Obj
+	Works    [][2]int // (person index, project index), sorted, unique
+	Uses     [][3]int // (project index, site index, tool index), sorted, unique
+
+	// Dup is a person name shared by at least two persons (the P1 probe);
+	// Target is the project name whose (project, tool) pairs are duplicated
+	// across sites in Uses (the P2 probe).
+	Dup    string
+	Target string
+}
+
+// Name pools. No pool name is a substring of another (value matching uses
+// CONTAINS), and none collides with a table or attribute name or a query
+// keyword.
+var (
+	personNames  = []string{"parker", "pascal", "patel", "porter", "powell", "peters"}
+	projectNames = []string{"jupiter", "juno", "jigsaw", "jasper", "jolt"}
+	siteNames    = []string{"gamma", "gusto", "gravel", "grove"}
+	toolNames    = []string{"torch", "tongs", "trowel", "tape", "turbine"}
+)
+
+// Generate draws one random instance. The same *rand.Rand state always
+// yields the same instance, so failures reproduce from the reported seed.
+func Generate(r *rand.Rand) *Instance {
+	in := &Instance{Dup: personNames[0]}
+	nP := 3 + r.Intn(4) // 3..6 persons
+	for i := 0; i < nP; i++ {
+		name := personNames[r.Intn(len(personNames))]
+		if i < 2 {
+			name = in.Dup // forced same-value objects
+		}
+		in.Persons = append(in.Persons, Obj{
+			ID: fmt.Sprintf("p%d", i+1), Name: name, Val: int64(1 + r.Intn(9))})
+	}
+	nJ := 2 + r.Intn(4) // 2..5 projects, unique names
+	for i := 0; i < nJ; i++ {
+		in.Projects = append(in.Projects, Obj{
+			ID: fmt.Sprintf("j%d", i+1), Name: projectNames[i], Val: int64(1 + r.Intn(20))})
+	}
+	in.Target = in.Projects[0].Name
+	nG := 2 + r.Intn(3) // 2..4 sites, unique names
+	for i := 0; i < nG; i++ {
+		in.Sites = append(in.Sites, Obj{ID: fmt.Sprintf("g%d", i+1), Name: siteNames[i]})
+	}
+	nT := 2 + r.Intn(4) // 2..5 tools, unique names
+	for i := 0; i < nT; i++ {
+		in.Tools = append(in.Tools, Obj{
+			ID: fmt.Sprintf("t%d", i+1), Name: toolNames[i], Val: int64(1 + r.Intn(30))})
+	}
+
+	// Binary relationship: both same-named persons always work on some
+	// project, so the P1 probe always has two objects to disambiguate (and
+	// both survive into the denormalized variant, which joins Works in),
+	// plus a random bipartite rest.
+	works := map[[2]int]bool{{0, 0}: true, {1, r.Intn(nJ)}: true}
+	for p := 0; p < nP; p++ {
+		for j := 0; j < nJ; j++ {
+			if r.Float64() < 0.4 {
+				works[[2]int{p, j}] = true
+			}
+		}
+	}
+	for w := range works {
+		in.Works = append(in.Works, w)
+	}
+	sort.Slice(in.Works, func(i, j int) bool {
+		a, b := in.Works[i], in.Works[j]
+		return a[0] < b[0] || a[0] == b[0] && a[1] < b[1]
+	})
+
+	// Ternary relationship: the target project always uses tool 1 at two
+	// different sites — the duplicated (project, tool) pair that makes a
+	// naive join double-count for P2 — plus random extra triples.
+	uses := map[[3]int]bool{{0, 0, 0}: true, {0, 1, 0}: true}
+	for i, extra := 0, r.Intn(9); i < extra; i++ {
+		uses[[3]int{r.Intn(nJ), r.Intn(nG), r.Intn(nT)}] = true
+	}
+	for u := range uses {
+		in.Uses = append(in.Uses, u)
+	}
+	sort.Slice(in.Uses, func(i, j int) bool {
+		a, b := in.Uses[i], in.Uses[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	return in
+}
+
+// DB materializes the normalized database of the instance.
+func (in *Instance) DB() *relation.Database {
+	db := relation.NewDatabase("proptest")
+	person := db.AddSchema(relation.NewSchema("Person", "Pid", "Pname", "Hours INT").Key("Pid"))
+	for _, p := range in.Persons {
+		person.MustInsert(p.ID, p.Name, p.Val)
+	}
+	project := db.AddSchema(relation.NewSchema("Project", "Jid", "Jname", "Budget INT").Key("Jid"))
+	for _, j := range in.Projects {
+		project.MustInsert(j.ID, j.Name, j.Val)
+	}
+	site := db.AddSchema(relation.NewSchema("Site", "Gid", "Gname").Key("Gid"))
+	for _, g := range in.Sites {
+		site.MustInsert(g.ID, g.Name)
+	}
+	tool := db.AddSchema(relation.NewSchema("Tool", "Tid", "Tname", "Price INT").Key("Tid"))
+	for _, t := range in.Tools {
+		tool.MustInsert(t.ID, t.Name, t.Val)
+	}
+	works := db.AddSchema(relation.NewSchema("Works", "Pid", "Jid", "Role").
+		Key("Pid", "Jid").
+		Ref([]string{"Pid"}, "Person").
+		Ref([]string{"Jid"}, "Project"))
+	for _, w := range in.Works {
+		works.MustInsert(in.Persons[w[0]].ID, in.Projects[w[1]].ID, "member")
+	}
+	uses := db.AddSchema(relation.NewSchema("Uses", "Jid", "Gid", "Tid").
+		Key("Jid", "Gid", "Tid").
+		Ref([]string{"Jid"}, "Project").
+		Ref([]string{"Gid"}, "Site").
+		Ref([]string{"Tid"}, "Tool"))
+	for _, u := range in.Uses {
+		uses.MustInsert(in.Projects[u[0]].ID, in.Sites[u[1]].ID, in.Tools[u[2]].ID)
+	}
+	return db
+}
+
+// DenormDB materializes the Figure-8-style denormalized variant: the join of
+// Person, Works and Project collapsed into one wide relation that violates
+// 3NF, over the same base data (persons or projects without a Works row do
+// not appear, matching the inner-join semantics the oracle uses).
+func (in *Instance) DenormDB() *relation.Database {
+	db := relation.NewDatabase("proptest-denorm")
+	wide := db.AddSchema(relation.NewSchema("PersonProject",
+		"Pid", "Jid", "Pname", "Hours INT", "Jname", "Budget INT", "Role").
+		Key("Pid", "Jid").
+		Dep([]string{"Pid"}, "Pname", "Hours").
+		Dep([]string{"Jid"}, "Jname", "Budget").
+		Dep([]string{"Pid", "Jid"}, "Role"))
+	for _, w := range in.Works {
+		p, j := in.Persons[w[0]], in.Projects[w[1]]
+		wide.MustInsert(p.ID, j.ID, p.Name, p.Val, j.Name, j.Val, "member")
+	}
+	return db
+}
+
+// DenormHints names the normalized-view relations of DenormDB like the real
+// datasets do, so the rewritten SQL reads naturally.
+func (in *Instance) DenormHints() map[string]string {
+	return map[string]string{
+		normalize.KeySig("Pid"):        "Person",
+		normalize.KeySig("Jid"):        "Project",
+		normalize.KeySig("Pid", "Jid"): "Works",
+	}
+}
+
+// Aggregate applies one of Aggs to vals by brute force. vals must be
+// non-empty.
+func Aggregate(agg string, vals []float64) float64 {
+	out := vals[0]
+	switch agg {
+	case "COUNT":
+		return float64(len(vals))
+	case "SUM", "AVG":
+		out = 0
+		for _, v := range vals {
+			out += v
+		}
+		if agg == "AVG" {
+			out /= float64(len(vals))
+		}
+	case "MIN":
+		for _, v := range vals[1:] {
+			if v < out {
+				out = v
+			}
+		}
+	case "MAX":
+		for _, v := range vals[1:] {
+			if v > out {
+				out = v
+			}
+		}
+	default:
+		panic("proptest: unknown aggregate " + agg)
+	}
+	return out
+}
+
+// OracleP1 computes, per person whose name is name, the aggregate of the
+// budgets of the projects they work on (persons with no projects drop out,
+// matching inner-join semantics). The result is sorted.
+func (in *Instance) OracleP1(agg, name string) []float64 {
+	var out []float64
+	for p, person := range in.Persons {
+		if person.Name != name {
+			continue
+		}
+		var vals []float64
+		for _, w := range in.Works {
+			if w[0] == p {
+				vals = append(vals, float64(in.Projects[w[1]].Val))
+			}
+		}
+		if len(vals) > 0 {
+			out = append(out, Aggregate(agg, vals))
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// OracleP2 computes the aggregate of the prices of the distinct tools used
+// by projects named Target — each distinct (project, tool) pair counted
+// once, no matter how many sites duplicate it in Uses.
+func (in *Instance) OracleP2(agg string) float64 {
+	seen := map[[2]int]bool{}
+	var vals []float64
+	for _, u := range in.Uses {
+		if in.Projects[u[0]].Name != in.Target || seen[[2]int{u[0], u[2]}] {
+			continue
+		}
+		seen[[2]int{u[0], u[2]}] = true
+		vals = append(vals, float64(in.Tools[u[2]].Val))
+	}
+	return Aggregate(agg, vals)
+}
+
+// OracleGroupCount computes, per project with at least one worker, the
+// number of persons working on it (the COUNT Person GROUPBY Project oracle).
+// The result is sorted.
+func (in *Instance) OracleGroupCount() []float64 {
+	counts := make(map[int]int)
+	for _, w := range in.Works {
+		counts[w[1]]++
+	}
+	var out []float64
+	for _, n := range counts {
+		out = append(out, float64(n))
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,246 @@
+package proptest
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"kwagg/internal/core"
+	"kwagg/internal/relation"
+)
+
+var (
+	seedFlag = flag.Int64("proptest.seed", 2016,
+		"base seed for the random instances; round i uses seed+i")
+	deepFlag = flag.Bool("proptest.deep", false,
+		"run many more random instances (make test-prop)")
+)
+
+// rounds picks how many random instances each property test draws: a quick
+// default, fewer under -short, and the deep sweep behind -proptest.deep.
+func rounds() int {
+	switch {
+	case *deepFlag:
+		return 50
+	case testing.Short():
+		return 3
+	default:
+		return 10
+	}
+}
+
+func mustOpen(t *testing.T, db *relation.Database, opts *core.Options) *core.System {
+	t.Helper()
+	s, err := core.Open(db, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// match returns the first answer whose SQL contains every fragment.
+func match(as []core.Answer, frags ...string) *core.Answer {
+	for i := range as {
+		sql := as[i].SQL.String()
+		ok := true
+		for _, f := range frags {
+			if !strings.Contains(sql, f) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return &as[i]
+		}
+	}
+	return nil
+}
+
+// lastCol extracts the last column of every result row as floats, sorted —
+// the aggregate column of the generated statements.
+func lastCol(a *core.Answer) []float64 {
+	var out []float64
+	for _, row := range a.Result.Rows {
+		f, ok := relation.AsFloat(row[len(row)-1])
+		if !ok {
+			return nil
+		}
+		out = append(out, f)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func floatsEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkPerObject is property P1 (and P3 when s is the denormalized engine):
+// the query "<dup> <AGG> Budget" must have an interpretation that groups per
+// matched person object, and its group aggregates must equal the oracle's
+// per-object values. extraFrags pins the interpretation further (the
+// normalized engine passes "Works" to exclude the Uses join path).
+func checkPerObject(s *core.System, in *Instance, agg string, extraFrags ...string) error {
+	query := fmt.Sprintf("%s %s Budget", in.Dup, agg)
+	as, err := s.Answer(query, 0)
+	if err != nil {
+		return fmt.Errorf("Answer(%q): %w", query, err)
+	}
+	frags := append([]string{"GROUP BY", "CONTAINS '" + in.Dup + "'", agg + "("}, extraFrags...)
+	a := match(as, frags...)
+	if a == nil {
+		return fmt.Errorf("no interpretation of %q contains %v", query, frags)
+	}
+	got, want := lastCol(a), in.OracleP1(agg, in.Dup)
+	if !floatsEq(got, want) {
+		return fmt.Errorf("%q: per-object %s got %v, oracle says %v\nSQL: %s",
+			query, agg, got, want, a.SQL)
+	}
+	return nil
+}
+
+// checkDistinct is property P2: the query "<target> <AGG> Price" must have
+// an interpretation that projects the ternary Uses relationship DISTINCT
+// onto (project, tool) before joining, and its single aggregate must equal
+// the oracle computed over distinct pairs — never the duplicate-inflated
+// naive join value.
+func checkDistinct(s *core.System, in *Instance, agg string) error {
+	query := fmt.Sprintf("%s %s Price", in.Target, agg)
+	as, err := s.Answer(query, 0)
+	if err != nil {
+		return fmt.Errorf("Answer(%q): %w", query, err)
+	}
+	frags := []string{"(SELECT DISTINCT Jid, Tid FROM Uses)",
+		"CONTAINS '" + in.Target + "'", agg + "("}
+	a := match(as, frags...)
+	if a == nil {
+		return fmt.Errorf("no interpretation of %q contains %v", query, frags)
+	}
+	got := lastCol(a)
+	want := []float64{in.OracleP2(agg)}
+	if !floatsEq(got, want) {
+		return fmt.Errorf("%q: DISTINCT %s got %v, oracle says %v\nSQL: %s",
+			query, agg, got, want, a.SQL)
+	}
+	return nil
+}
+
+// checkGroupBy covers the explicit GROUPBY keyword: "COUNT Person GROUPBY
+// Project" over the binary relationship must produce per-project worker
+// counts equal to the oracle's.
+func checkGroupBy(s *core.System, in *Instance) error {
+	const query = "COUNT Person GROUPBY Project"
+	as, err := s.Answer(query, 0)
+	if err != nil {
+		return fmt.Errorf("Answer(%q): %w", query, err)
+	}
+	a := match(as, "GROUP BY", "COUNT(", "Works")
+	if a == nil {
+		return fmt.Errorf("no interpretation of %q joins through Works with GROUP BY", query)
+	}
+	got, want := lastCol(a), in.OracleGroupCount()
+	if !floatsEq(got, want) {
+		return fmt.Errorf("%q: got %v, oracle says %v\nSQL: %s", query, got, want, a.SQL)
+	}
+	return nil
+}
+
+// TestP1PerObjectAggregates: random instances, every aggregate function —
+// a value shared by several objects yields one aggregate per object.
+func TestP1PerObjectAggregates(t *testing.T) {
+	for i := 0; i < rounds(); i++ {
+		seed := *seedFlag + int64(i)
+		in := Generate(rand.New(rand.NewSource(seed)))
+		s := mustOpen(t, in.DB(), nil)
+		for _, agg := range Aggs {
+			if err := checkPerObject(s, in, agg, "Works"); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if err := checkGroupBy(s, in); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestP2DistinctNaryProjection: random instances, every aggregate function —
+// duplicated (project, tool) pairs in the ternary relationship are counted
+// once.
+func TestP2DistinctNaryProjection(t *testing.T) {
+	for i := 0; i < rounds(); i++ {
+		seed := *seedFlag + int64(i)
+		in := Generate(rand.New(rand.NewSource(seed)))
+		s := mustOpen(t, in.DB(), nil)
+		for _, agg := range Aggs {
+			if err := checkDistinct(s, in, agg); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestP3NormalizedViewAnswers: the same P1 queries over the denormalized
+// single-relation variant — answered through the synthesized normalized view
+// — still equal the oracle computed on the base data, and hence equal the
+// base-table engine's answers.
+func TestP3NormalizedViewAnswers(t *testing.T) {
+	for i := 0; i < rounds(); i++ {
+		seed := *seedFlag + int64(i)
+		in := Generate(rand.New(rand.NewSource(seed)))
+		s := mustOpen(t, in.DenormDB(), &core.Options{NameHints: in.DenormHints()})
+		if !s.Unnormalized() {
+			t.Fatalf("seed %d: denormalized variant not detected as unnormalized", seed)
+		}
+		for _, agg := range Aggs {
+			if err := checkPerObject(s, in, agg); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestHarnessCatchesDedupRegression is the harness's own regression check:
+// with the Section 3.1.3 duplicate-elimination rule disabled (the P2 SELECT
+// DISTINCT projection reverted), checkDistinct must fail — proving that a
+// real regression of that rule cannot slip past make test-prop.
+func TestHarnessCatchesDedupRegression(t *testing.T) {
+	in := Generate(rand.New(rand.NewSource(*seedFlag)))
+	s := mustOpen(t, in.DB(), nil)
+	if err := checkDistinct(s, in, "SUM"); err != nil {
+		t.Fatalf("baseline must pass before the ablation: %v", err)
+	}
+	s.Translator.DisableDedup = true
+	defer func() { s.Translator.DisableDedup = false }()
+	if err := checkDistinct(s, in, "SUM"); err == nil {
+		t.Fatal("duplicate elimination disabled, yet the P2 property still passed; " +
+			"the harness would miss a dedup regression")
+	}
+}
+
+// TestHarnessCatchesDisambiguationRegression: with Section 3.1.2 object
+// disambiguation disabled, the per-object property P1 must fail.
+func TestHarnessCatchesDisambiguationRegression(t *testing.T) {
+	in := Generate(rand.New(rand.NewSource(*seedFlag)))
+	s := mustOpen(t, in.DB(), nil)
+	if err := checkPerObject(s, in, "SUM", "Works"); err != nil {
+		t.Fatalf("baseline must pass before the ablation: %v", err)
+	}
+	s.Generator.DisableDisambiguation = true
+	defer func() { s.Generator.DisableDisambiguation = false }()
+	if err := checkPerObject(s, in, "SUM", "Works"); err == nil {
+		t.Fatal("disambiguation disabled, yet the P1 property still passed; " +
+			"the harness would miss a disambiguation regression")
+	}
+}

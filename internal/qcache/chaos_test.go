@@ -1,0 +1,122 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"kwagg/internal/chaos"
+)
+
+// cachePointInjector fires (or not) per point, deterministically.
+type cachePointInjector struct {
+	lookup, store bool
+}
+
+func (i *cachePointInjector) Fault(p chaos.Point, _ string) error {
+	if p == chaos.PointCacheLookup && i.lookup || p == chaos.PointCacheStore && i.store {
+		return errors.New("chaos")
+	}
+	return nil
+}
+
+func (i *cachePointInjector) Delay(chaos.Point) time.Duration { return 0 }
+
+func TestInjectedLookupFaultForcesMiss(t *testing.T) {
+	c := New(4)
+	inj := &cachePointInjector{}
+	c.SetInjector(inj)
+	computes := 0
+	compute := func() (any, error) { computes++; return "v", nil }
+
+	// Warm the entry, then turn the miss storm on: every lookup recomputes
+	// even though the entry is stored.
+	for i := 0; i < 2; i++ {
+		if v, err := c.Get("k", compute); err != nil || v != "v" {
+			t.Fatalf("Get: %v, %v", v, err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("warm lookups computed %d times, want 1", computes)
+	}
+	inj.lookup = true
+	for i := 0; i < 3; i++ {
+		if v, err := c.Get("k", compute); err != nil || v != "v" {
+			t.Fatalf("forced-miss Get: %v, %v", v, err)
+		}
+	}
+	if computes != 4 {
+		t.Fatalf("forced misses computed %d times, want 4", computes)
+	}
+	st := c.Stats()
+	if st.ForcedMisses != 3 {
+		t.Fatalf("ForcedMisses = %d, want 3", st.ForcedMisses)
+	}
+
+	// A forced miss whose compute fails propagates the error and caches
+	// nothing new.
+	boom := errors.New("boom")
+	if _, err := c.Get("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("forced-miss compute error = %v, want boom", err)
+	}
+}
+
+func TestInjectedStoreFaultDropsInsert(t *testing.T) {
+	c := New(4)
+	c.SetInjector(&cachePointInjector{store: true})
+	computes := 0
+	compute := func() (any, error) { computes++; return computes, nil }
+	// Every Get recomputes: the insert is dropped each time.
+	for want := 1; want <= 3; want++ {
+		v, err := c.Get("k", compute)
+		if err != nil || v != want {
+			t.Fatalf("Get #%d = %v, %v", want, v, err)
+		}
+	}
+	st := c.Stats()
+	if st.DroppedInserts != 3 || st.Hits != 0 {
+		t.Fatalf("stats after dropped inserts: %+v", st)
+	}
+	if _, ok := c.Peek("k"); ok {
+		t.Fatal("dropped insert still landed in the cache")
+	}
+}
+
+func TestGetContextWaiterHonorsCancellation(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		_, _ = c.Get("k", func() (any, error) {
+			close(started)
+			<-release
+			return "v", nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A collapsed waiter with a dead context must stop waiting on the other
+	// goroutine's computation instead of blocking until it finishes.
+	_, err := c.GetContext(ctx, "k", func() (any, error) { return "other", nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("collapsed waiter with dead context = %v, want Canceled", err)
+	}
+}
+
+func TestStatsMirrorChaosCounters(t *testing.T) {
+	c := New(4)
+	c.SetInjector(&cachePointInjector{lookup: true, store: true})
+	if _, err := c.Get("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]float64{}
+	c.Stats().Each(func(name string, v float64, _ bool) {
+		seen[name] = v
+	})
+	if seen["forced_misses"] != 1 || seen["dropped_inserts"] != 1 {
+		t.Fatalf("Each did not export the chaos counters: %v", seen)
+	}
+}

@@ -12,7 +12,10 @@ package qcache
 
 import (
 	"container/list"
+	"context"
 	"sync"
+
+	"kwagg/internal/chaos"
 )
 
 // DefaultCapacity is used when New is given a non-positive capacity.
@@ -31,6 +34,23 @@ type Cache struct {
 	misses    uint64 // Get computed the value itself
 	collapsed uint64 // Get waited on another goroutine's computation
 	evictions uint64 // entries dropped at capacity
+
+	// Chaos injection (SetInjector): forced lookup misses and dropped
+	// stores, counted separately so a chaos run shows up in the stats.
+	inj            chaos.Injector
+	forcedMisses   uint64 // lookups forced to miss by the injector
+	droppedInserts uint64 // computed entries the injector refused to store
+}
+
+// SetInjector installs a chaos injector consulted on every lookup (a fault
+// at chaos.PointCacheLookup forces a miss storm: the hit and singleflight
+// paths are bypassed) and on every insert (a fault at chaos.PointCacheStore
+// drops the computed entry, an immediate eviction). Install before the cache
+// is shared; pass nil to disable.
+func (c *Cache) SetInjector(inj chaos.Injector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inj = inj
 }
 
 type entry struct {
@@ -65,7 +85,31 @@ func New(capacity int) *Cache {
 // Errors are returned but never cached, so a failed computation is retried
 // by the next caller.
 func (c *Cache) Get(key string, compute func() (any, error)) (any, error) {
+	return c.GetContext(context.Background(), key, compute)
+}
+
+// GetContext is Get honoring the caller's context while waiting on another
+// goroutine's in-flight computation: a collapsed waiter whose own deadline
+// expires stops waiting and returns its context's error instead of blocking
+// on a computation it no longer wants (the computation itself continues for
+// the remaining waiters). The compute function is not interrupted — thread
+// the context into compute for that.
+func (c *Cache) GetContext(ctx context.Context, key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
+	if c.inj != nil && c.inj.Fault(chaos.PointCacheLookup, key) != nil {
+		// Injected miss storm: bypass both the stored entry and the
+		// singleflight collapse, so every affected request recomputes —
+		// exactly what a cold or thrashing cache does to the backend.
+		c.forcedMisses++
+		c.misses++
+		c.mu.Unlock()
+		val, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		c.add(key, val)
+		return val, nil
+	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
@@ -76,8 +120,12 @@ func (c *Cache) Get(key string, compute func() (any, error)) (any, error) {
 	if f, ok := c.inflight[key]; ok {
 		c.collapsed++
 		c.mu.Unlock()
-		<-f.done
-		return f.val, f.err
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
@@ -95,7 +143,7 @@ func (c *Cache) Get(key string, compute func() (any, error)) (any, error) {
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if completed && f.err == nil {
-			c.addLocked(key, f.val)
+			c.addDroppable(key, f.val)
 		}
 		c.mu.Unlock()
 		close(f.done)
@@ -103,6 +151,24 @@ func (c *Cache) Get(key string, compute func() (any, error)) (any, error) {
 	f.val, f.err = compute()
 	completed = true
 	return f.val, f.err
+}
+
+// add inserts key -> val taking the lock; used by the forced-miss path.
+func (c *Cache) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addDroppable(key, val)
+}
+
+// addDroppable is addLocked behind the store injection point: a fault at
+// chaos.PointCacheStore drops the insert (an immediate eviction). Callers
+// hold c.mu.
+func (c *Cache) addDroppable(key string, val any) {
+	if c.inj != nil && c.inj.Fault(chaos.PointCacheStore, key) != nil {
+		c.droppedInserts++
+		return
+	}
+	c.addLocked(key, val)
 }
 
 type computePanicError struct{}
@@ -159,9 +225,12 @@ type Stats struct {
 	Misses    uint64 `json:"misses"`    // computed by the caller
 	Collapsed uint64 `json:"collapsed"` // waited on a concurrent computation
 	Evictions uint64 `json:"evictions"` // entries dropped at capacity
-	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
-	Inflight  int    `json:"inflight"` // computations currently running
+	// Chaos-injected degradations (zero unless an injector is installed).
+	ForcedMisses   uint64 `json:"forced_misses"`   // lookups forced to miss
+	DroppedInserts uint64 `json:"dropped_inserts"` // stores refused
+	Size           int    `json:"size"`
+	Capacity       int    `json:"capacity"`
+	Inflight       int    `json:"inflight"` // computations currently running
 }
 
 // Each visits every counter of the snapshot as a (name, value) pair, in a
@@ -174,6 +243,8 @@ func (s Stats) Each(visit func(name string, value float64, cumulative bool)) {
 	visit("misses", float64(s.Misses), true)
 	visit("collapsed", float64(s.Collapsed), true)
 	visit("evictions", float64(s.Evictions), true)
+	visit("forced_misses", float64(s.ForcedMisses), true)
+	visit("dropped_inserts", float64(s.DroppedInserts), true)
 	visit("size", float64(s.Size), false)
 	visit("capacity", float64(s.Capacity), false)
 	visit("inflight", float64(s.Inflight), false)
@@ -184,12 +255,14 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Collapsed: c.collapsed,
-		Evictions: c.evictions,
-		Size:      c.ll.Len(),
-		Capacity:  c.capacity,
-		Inflight:  len(c.inflight),
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Collapsed:      c.collapsed,
+		Evictions:      c.evictions,
+		ForcedMisses:   c.forcedMisses,
+		DroppedInserts: c.droppedInserts,
+		Size:           c.ll.Len(),
+		Capacity:       c.capacity,
+		Inflight:       len(c.inflight),
 	}
 }

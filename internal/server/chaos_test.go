@@ -1,0 +1,157 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kwagg"
+	"kwagg/internal/chaos"
+	"kwagg/internal/leakcheck"
+)
+
+// sqlFaultInjector fails, with a permanent (non-retryable) fault, every
+// statement whose SQL equals failSQL — a deterministic way to force a
+// partial answer.
+type sqlFaultInjector struct{ failSQL string }
+
+func (i *sqlFaultInjector) Fault(p chaos.Point, detail string) error {
+	if p == chaos.PointStatement && detail == i.failSQL {
+		return errors.New("chaos test: injected statement fault")
+	}
+	return nil
+}
+
+func (i *sqlFaultInjector) Delay(chaos.Point) time.Duration { return 0 }
+
+// TestQueryPartialResponse checks the degraded-response contract of
+// POST /api/query: when some statements fail and some complete, the server
+// answers 200 with {"answers": ..., "partial": true, "errors": [...]} and
+// counts the degradation.
+func TestQueryPartialResponse(t *testing.T) {
+	clean, err := kwagg.Open(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const query = "Green SUM Credit"
+	ins, err := clean.Interpret(query, 2)
+	if err != nil || len(ins) < 2 {
+		t.Fatalf("need 2 interpretations of %q, got %d (%v)", query, len(ins), err)
+	}
+	eng, err := kwagg.Open(kwagg.UniversityDB(),
+		&kwagg.Options{Chaos: &sqlFaultInjector{failSQL: ins[0].SQL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(eng, Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": query, "k": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (partial answers still answer)", resp.StatusCode)
+	}
+	var body queryResponse
+	decode(t, resp, &body)
+	if !body.Partial {
+		t.Fatal("response must be marked partial")
+	}
+	if len(body.Answers) != 1 || len(body.Errors) != 1 {
+		t.Fatalf("want 1 answer + 1 error, got %d + %d", len(body.Answers), len(body.Errors))
+	}
+	if body.Errors[0].SQL != ins[0].SQL {
+		t.Fatalf("error detail names the wrong statement: %+v", body.Errors[0])
+	}
+	if body.Errors[0].Message == "" {
+		t.Fatal("error detail lost its message")
+	}
+	if body.Answers[0].SQL != ins[1].SQL {
+		t.Fatalf("surviving answer is not the other interpretation: %+v", body.Answers[0])
+	}
+	if n := srv.partial.Value(); n != 1 {
+		t.Errorf("kwagg_http_partial_total = %d, want 1", n)
+	}
+}
+
+// TestQueryCompleteStaysPlainArray: without degradation the endpoint keeps
+// its original response shape — a bare JSON array of answers — so existing
+// clients see no difference when chaos never fires.
+func TestQueryCompleteStaysPlainArray(t *testing.T) {
+	ts := testServer(t)
+	resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "Green SUM Credit", "k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var answers []answerJSON
+	decode(t, resp, &answers)
+	if len(answers) != 1 {
+		t.Fatalf("want a plain array with 1 answer, got %d", len(answers))
+	}
+}
+
+// TestQueryChaosTimeout504: injected worker latency beyond the request
+// budget must surface as 504 — the request context's death wins even when
+// some statements finished — and the handler must not leak the goroutines
+// that were mid-statement when the deadline hit.
+func TestQueryChaosTimeout504(t *testing.T) {
+	check := leakcheck.Check(t)
+	defer check()
+	defer http.DefaultClient.CloseIdleConnections()
+	inj := chaos.New(chaos.Config{Rate: 1, Seed: 2, Latency: 200 * time.Millisecond,
+		Points: []chaos.Point{chaos.PointWorker, chaos.PointStatement}})
+	eng, err := kwagg.Open(kwagg.UniversityDB(), &kwagg.Options{Chaos: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(eng, Config{Timeout: 20 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "Green SUM Credit", "k": 2})
+	// Close the body before the deferred leak check so the client connection
+	// can go idle and be reaped (t.Cleanup would be too late).
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 under injected latency", resp.StatusCode)
+	}
+	if n := srv.timeouts.Value(); n != 1 {
+		t.Errorf("timeouts counter = %d, want 1", n)
+	}
+}
+
+// delayInjector records Delay consultations at the client-read point.
+type delayInjector struct{ reads atomic.Int64 }
+
+func (i *delayInjector) Fault(chaos.Point, string) error { return nil }
+
+func (i *delayInjector) Delay(p chaos.Point) time.Duration {
+	if p != chaos.PointClientRead {
+		return 0
+	}
+	i.reads.Add(1)
+	return time.Millisecond
+}
+
+// TestChaosBodyThrottlesClientRead: with a client-read injector configured
+// on the server, request-body reads go through the throttle and the request
+// still completes.
+func TestChaosBodyThrottlesClientRead(t *testing.T) {
+	inj := &delayInjector{}
+	eng, err := kwagg.Open(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWith(eng, Config{Chaos: inj}))
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/api/query", map[string]interface{}{"q": "Green SUM Credit", "k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if inj.reads.Load() == 0 {
+		t.Fatal("request body was read without consulting the injector")
+	}
+}

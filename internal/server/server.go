@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"kwagg"
+	"kwagg/internal/chaos"
 	"kwagg/internal/obs"
 	"kwagg/internal/qcache"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	// default: the profiling endpoints expose internals and cost CPU, so
 	// they are opt-in (the -pprof flag of kwserve).
 	Pprof bool
+	// Chaos throttles request-body reads through the injector (the
+	// chaos.PointClientRead slow-client fault). Engine-side injection points
+	// are configured on the engine via kwagg.Options.Chaos; pass the same
+	// injector to both (the -chaos flag of kwserve does). Nil disables.
+	Chaos chaos.Injector
 }
 
 const (
@@ -73,14 +79,16 @@ type Server struct {
 	mux       *http.ServeMux
 	maxK      int
 	timeout   time.Duration
-	sem       chan struct{} // nil = unlimited
-	accessLog io.Writer     // nil = no request logging
+	sem       chan struct{}  // nil = unlimited
+	accessLog io.Writer      // nil = no request logging
+	inj       chaos.Injector // nil = no client-read fault injection
 
 	// The request counters live in the engine's obs registry, so /metrics
 	// and /api/stats read the same values by construction.
 	requests *obs.Counter // total requests accepted
 	rejected *obs.Counter // rejected at the concurrency limit
 	timeouts *obs.Counter // requests that hit the per-request timeout
+	partial  *obs.Counter // query responses degraded to partial answers
 	inflight *obs.Gauge   // currently being served
 }
 
@@ -90,7 +98,7 @@ func New(eng *kwagg.Engine) *Server { return NewWith(eng, Config{}) }
 // NewWith creates a server with explicit limits.
 func NewWith(eng *kwagg.Engine, cfg Config) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux(), maxK: cfg.MaxK,
-		timeout: cfg.Timeout, accessLog: cfg.AccessLog}
+		timeout: cfg.Timeout, accessLog: cfg.AccessLog, inj: cfg.Chaos}
 	if s.maxK <= 0 {
 		s.maxK = defaultMaxK
 	}
@@ -110,6 +118,7 @@ func NewWith(eng *kwagg.Engine, cfg Config) *Server {
 	s.requests = reg.Counter("kwagg_http_requests_total", "HTTP requests accepted for serving.")
 	s.rejected = reg.Counter("kwagg_http_rejected_total", "HTTP requests rejected at the concurrency limit.")
 	s.timeouts = reg.Counter("kwagg_http_timeouts_total", "Requests that hit the per-request timeout.")
+	s.partial = reg.Counter("kwagg_http_partial_total", "Query responses degraded to partial answers.")
 	s.inflight = reg.Gauge("kwagg_http_in_flight", "Requests currently being served.")
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -267,8 +276,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	trace := obs.TraceFrom(r.Context())
 	trace.Annotate("query", req.Q)
-	answers, err := s.eng.AnswerContext(r.Context(), req.Q, k)
+	set, err := s.eng.AnswerSetContext(r.Context(), req.Q, k)
 	if err != nil {
+		// The error path means no usable answers: the request context died
+		// (504, the client's deadline semantics win over any finished
+		// statements) or interpretation/execution failed outright (422).
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.timeouts.Inc()
 			writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("query timed out: %w", err))
@@ -277,8 +289,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	out := make([]answerJSON, len(answers))
-	for i, a := range answers {
+	out := make([]answerJSON, len(set.Answers))
+	for i, a := range set.Answers {
 		out[i] = answerJSON{
 			Description: a.Description,
 			Pattern:     a.Pattern,
@@ -287,19 +299,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Rows:        a.Result.Rows,
 		}
 	}
-	if req.Trace && trace != nil {
-		trace.Finish()
-		writeJSON(w, http.StatusOK, tracedQueryResponse{Answers: out, Trace: trace})
-		return
+	if set.Partial {
+		s.partial.Inc()
 	}
-	writeJSON(w, http.StatusOK, out)
+	// A degraded request still answers 200: the completed answers are exact
+	// (never silently wrong), and "partial": true plus the per-statement
+	// errors tell the client what is missing.
+	switch {
+	case req.Trace && trace != nil:
+		trace.Finish()
+		writeJSON(w, http.StatusOK, queryResponse{Answers: out,
+			Partial: set.Partial, Errors: set.Failed, Retries: set.Retries, Trace: trace})
+	case set.Partial:
+		writeJSON(w, http.StatusOK, queryResponse{Answers: out,
+			Partial: true, Errors: set.Failed, Retries: set.Retries})
+	default:
+		writeJSON(w, http.StatusOK, out)
+	}
 }
 
-// tracedQueryResponse wraps the answers with the request's per-stage trace
-// when the client asks for it ({"q": ..., "trace": true}).
-type tracedQueryResponse struct {
-	Answers []answerJSON `json:"answers"`
-	Trace   *obs.Trace   `json:"trace"`
+// queryResponse wraps the answers when there is more to say than the plain
+// array: the request's per-stage trace ({"q": ..., "trace": true}) and/or the
+// degradation detail of a partial answer.
+type queryResponse struct {
+	Answers []answerJSON            `json:"answers"`
+	Partial bool                    `json:"partial"`
+	Errors  []kwagg.FailedStatement `json:"errors,omitempty"`
+	Retries int                     `json:"retries,omitempty"`
+	Trace   *obs.Trace              `json:"trace,omitempty"`
 }
 
 type sqlRequest struct {
@@ -374,10 +401,32 @@ func (s *Server) readPost(w http.ResponseWriter, r *http.Request, v interface{})
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	var body io.Reader = http.MaxBytesReader(w, r.Body, 1<<20)
+	if s.inj != nil {
+		body = &chaosBody{r: body, ctx: r.Context(), inj: s.inj}
+	}
+	dec := json.NewDecoder(body)
 	if err := dec.Decode(v); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
+}
+
+// chaosBody throttles request-body reads through the injector's
+// chaos.PointClientRead delay (a slow or stalling client), honoring the
+// request context so a timed-out request stops reading.
+type chaosBody struct {
+	r   io.Reader
+	ctx context.Context
+	inj chaos.Injector
+}
+
+func (b *chaosBody) Read(p []byte) (int, error) {
+	if d := b.inj.Delay(chaos.PointClientRead); d > 0 {
+		if err := chaos.Sleep(b.ctx, d); err != nil {
+			return 0, err
+		}
+	}
+	return b.r.Read(p)
 }

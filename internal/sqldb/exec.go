@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -81,6 +82,19 @@ func Exec(db *relation.Database, q *sqlast.Query) (*Result, error) {
 	return e.query(q)
 }
 
+// ExecContext is Exec honoring cancellation: evaluation checks the context
+// between operator phases and every rowCheckInterval rows inside scan, filter
+// and join loops, returning the context's error mid-statement instead of
+// running a doomed query to completion. A context that cannot be cancelled
+// (Background) costs nothing: the checks are compiled out by a nil test.
+func ExecContext(ctx context.Context, db *relation.Database, q *sqlast.Query) (*Result, error) {
+	e := &executor{db: db}
+	if ctx != nil && ctx.Done() != nil {
+		e.ctx = ctx
+	}
+	return e.query(q)
+}
+
 // ExecNoIndex evaluates the query with the value-index fast path disabled,
 // scanning every filter. It exists as a reference path for differential
 // tests (indexed execution must be row-for-row identical) and benchmarks.
@@ -138,7 +152,37 @@ func (rs *rowset) has(c sqlast.Col) bool {
 
 type executor struct {
 	db      *relation.Database
-	noIndex bool // disable the value-index fast path (test hook)
+	noIndex bool            // disable the value-index fast path (test hook)
+	ctx     context.Context // non-nil only when cancellable (see ExecContext)
+	ops     uint            // row-touch counter for amortized ctx checks
+}
+
+// rowCheckInterval bounds how many rows a loop may touch between context
+// checks; a power of two so the amortized check is a mask, not a division.
+const rowCheckInterval = 1024
+
+// step is called once per row inside the evaluation loops. With no
+// cancellable context it is a single nil comparison; otherwise it polls
+// ctx.Err() every rowCheckInterval rows.
+func (e *executor) step() error {
+	if e.ctx == nil {
+		return nil
+	}
+	e.ops++
+	if e.ops&(rowCheckInterval-1) != 0 {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// checkpoint polls cancellation at operator boundaries (per source, join,
+// filter and projection phase), so even tiny statements notice a dead
+// context promptly.
+func (e *executor) checkpoint() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 func (e *executor) query(q *sqlast.Query) (*Result, error) {
@@ -147,6 +191,9 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 	}
 	sources := make([]*rowset, len(q.From))
 	for i, tr := range q.From {
+		if err := e.checkpoint(); err != nil {
+			return nil, err
+		}
 		rs, err := e.source(tr)
 		if err != nil {
 			return nil, err
@@ -228,6 +275,9 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 		}
 		src := sources[pick]
 		remaining = append(remaining[:pickPos], remaining[pickPos+1:]...)
+		if err := e.checkpoint(); err != nil {
+			return nil, err
+		}
 
 		var eqs []sqlast.JoinPred
 		for pi, p := range q.Where {
@@ -248,7 +298,7 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 				consumed[pi] = true
 			}
 		}
-		joined, err := join(acc, src, eqs)
+		joined, err := e.join(acc, src, eqs)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +317,10 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 		acc = filtered
 	}
 
-	res, err := project(acc, q)
+	if err := e.checkpoint(); err != nil {
+		return nil, err
+	}
+	res, err := e.project(acc, q)
 	if err != nil {
 		return nil, err
 	}
@@ -365,6 +418,9 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 			return out, nil
 		}
 		for _, row := range rs.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
 			if relation.Null(row[i]) {
 				continue
 			}
@@ -394,6 +450,9 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 			return nil, err
 		}
 		for _, row := range rs.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
 			s, ok := row[i].(string)
 			if ok && relation.ContainsFold(s, pp.Needle) {
 				out.rows = append(out.rows, row)
@@ -409,6 +468,9 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 			return nil, err
 		}
 		for _, row := range rs.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
 			if !relation.Null(row[li]) && relation.Equal(row[li], row[ri]) {
 				out.rows = append(out.rows, row)
 			}
@@ -423,6 +485,9 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 			return nil, err
 		}
 		for _, row := range rs.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
 			if relation.Null(row[li]) || relation.Null(row[ri]) {
 				continue
 			}
@@ -452,11 +517,14 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 
 // join combines two rowsets. With equality predicates it hash-joins;
 // otherwise it produces the cross product.
-func join(left, right *rowset, eqs []sqlast.JoinPred) (*rowset, error) {
+func (e *executor) join(left, right *rowset, eqs []sqlast.JoinPred) (*rowset, error) {
 	out := &rowset{cols: append(append([]boundCol(nil), left.cols...), right.cols...)}
 	if len(eqs) == 0 {
 		for _, lr := range left.rows {
 			for _, rr := range right.rows {
+				if err := e.step(); err != nil {
+					return nil, err
+				}
 				out.rows = append(out.rows, concatRows(lr, rr))
 			}
 		}
@@ -484,6 +552,9 @@ func join(left, right *rowset, eqs []sqlast.JoinPred) (*rowset, error) {
 		build[key] = append(build[key], i)
 	}
 	for _, lr := range left.rows {
+		if err := e.step(); err != nil {
+			return nil, err
+		}
 		key, ok := joinKey(lr, lidx)
 		if !ok {
 			continue
@@ -514,7 +585,7 @@ func concatRows(a, b relation.Tuple) relation.Tuple {
 }
 
 // project evaluates the SELECT list, applying GROUP BY and aggregates.
-func project(rs *rowset, q *sqlast.Query) (*Result, error) {
+func (e *executor) project(rs *rowset, q *sqlast.Query) (*Result, error) {
 	res := &Result{}
 	hasAgg := false
 	for _, it := range q.Select {
@@ -557,6 +628,9 @@ func project(rs *rowset, q *sqlast.Query) (*Result, error) {
 	groups := make(map[string]*group)
 	var order []string
 	for _, row := range rs.rows {
+		if err := e.step(); err != nil {
+			return nil, err
+		}
 		parts := make([]string, len(gidx))
 		for k, i := range gidx {
 			parts[k] = relation.Format(row[i])

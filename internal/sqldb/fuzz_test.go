@@ -34,6 +34,30 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzPretty ensures the multi-line AST printer is faithful: whatever
+// parses, its Pretty rendering must parse back to the same canonical
+// single-line rendering — the printer may only change layout, never meaning.
+func FuzzPretty(f *testing.F) {
+	for _, seed := range corpus {
+		f.Add(seed)
+	}
+	f.Add("SELECT COUNT(DISTINCT x) FROM (SELECT y FROM T) Z ORDER BY y DESC LIMIT 2")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		pretty := q.Pretty()
+		back, err := Parse(pretty)
+		if err != nil {
+			t.Fatalf("Pretty rendering does not parse: %v\nin:     %q\npretty: %q", err, src, pretty)
+		}
+		if back.String() != q.String() {
+			t.Fatalf("Pretty changed the statement's meaning:\nwant %q\ngot  %q", q.String(), back.String())
+		}
+	})
+}
+
 // FuzzExec ensures executing arbitrary parsed statements never panics (it
 // may error) against a real database.
 func FuzzExec(f *testing.F) {

@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"kwagg/internal/chaos"
 	"kwagg/internal/core"
 	"kwagg/internal/keyword"
 	"kwagg/internal/obs"
@@ -155,6 +156,11 @@ type Options struct {
 	// Workers bounds the pool executing the top-k statements of Answer;
 	// 0 means min(GOMAXPROCS, 8).
 	Workers int
+	// Chaos installs a fault injector at every instrumented pipeline point
+	// (statement execution, worker pool, query caches); nil — the default —
+	// disables chaos entirely, leaving only a nil check on the hot path.
+	// See internal/chaos and docs/ROBUSTNESS.md.
+	Chaos chaos.Injector
 }
 
 // Engine answers keyword queries over one database.
@@ -185,6 +191,7 @@ func Open(d *DB, opts *Options) (*Engine, error) {
 	if opts != nil {
 		copts.NameHints = opts.ViewNames
 		copts.Workers = opts.Workers
+		copts.Chaos = opts.Chaos
 		cacheSize = opts.CacheSize
 	}
 	sys, err := core.Open(d.db, copts)
@@ -195,6 +202,10 @@ func Open(d *DB, opts *Options) (*Engine, error) {
 	if cacheSize >= 0 {
 		e.cache = qcache.New(cacheSize)
 		e.answers = qcache.New(cacheSize)
+		if opts != nil && opts.Chaos != nil {
+			e.cache.SetInjector(opts.Chaos)
+			e.answers.SetInjector(opts.Chaos)
+		}
 		registerCacheMetrics(e.metrics, "interpretation", e.cache.Stats)
 		registerCacheMetrics(e.metrics, "answer", e.answers.Stats)
 	}
@@ -257,6 +268,32 @@ func normalizeQuery(query string) string {
 	return strings.Join(strings.Fields(query), " ")
 }
 
+// isContextError reports whether err is a deadline or cancellation error.
+func isContextError(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// cachedCompute wraps qcache.GetContext with the poisoned-collapse retry: a
+// waiter that collapsed onto another request's in-flight computation can
+// inherit that request's context error (its client hung up mid-compute) even
+// though this request is perfectly healthy. When that happens — a context
+// error we did not compute ourselves while our own context is fine — retry
+// once, starting (or joining) a fresh flight, instead of failing a healthy
+// request with someone else's cancellation.
+func cachedCompute(ctx context.Context, c *qcache.Cache, key string, compute func() (any, error)) (v any, computed bool, err error) {
+	for attempt := 0; ; attempt++ {
+		computed = false
+		v, err = c.GetContext(ctx, key, func() (any, error) {
+			computed = true
+			return compute()
+		})
+		if err != nil && !computed && attempt < 1 && isContextError(err) && ctx.Err() == nil {
+			continue
+		}
+		return v, computed, err
+	}
+}
+
 // interpretations returns the full ranked interpretation slice of the query,
 // serving from the cache when possible. Callers must treat the slice as
 // read-only (it is shared across goroutines); take sub-slices, don't modify.
@@ -266,9 +303,7 @@ func (e *Engine) interpretations(ctx context.Context, query string) ([]core.Inte
 	if e.cache == nil {
 		return e.sys.InterpretContext(ctx, query, 0)
 	}
-	computed := false
-	v, err := e.cache.Get(normalizeQuery(query), func() (any, error) {
-		computed = true
+	v, computed, err := cachedCompute(ctx, e.cache, normalizeQuery(query), func() (any, error) {
 		ins, err := e.sys.InterpretContext(ctx, query, 0)
 		if err != nil {
 			return nil, err
@@ -333,6 +368,54 @@ type Result struct {
 type Answer struct {
 	Interpretation
 	Result Result
+}
+
+// FailedStatement describes one top-k statement that did not complete, for
+// the degradation detail of a partial AnswerSet.
+type FailedStatement struct {
+	// Index is the interpretation's rank position among the executed top-k.
+	Index int `json:"index"`
+	// Pattern and SQL identify the failed interpretation.
+	Pattern string `json:"pattern"`
+	SQL     string `json:"sql"`
+	// Message is the final attempt's error text.
+	Message string `json:"error"`
+
+	err error
+}
+
+// Unwrap exposes the underlying error (errors.Is/As through FailedStatement).
+func (f FailedStatement) Unwrap() error { return f.err }
+
+// AnswerSet is the degradation-aware result of AnswerSetContext: the answers
+// that completed (rank order preserved) plus, when some statements failed,
+// the per-statement failure detail. A partial set is never cached, so the
+// next identical query recomputes the failed statements.
+type AnswerSet struct {
+	Answers []Answer
+	// Partial is true when some (but not all) of the top-k statements failed;
+	// Failed then lists them. Completed answers in a partial set are exactly
+	// the answers a fault-free run would produce for those interpretations.
+	Partial bool
+	Failed  []FailedStatement
+	// Retries counts transient-fault retry attempts across all statements.
+	Retries int
+}
+
+// Err summarizes the set for strict callers: nil when complete, otherwise
+// the first failure — preferring a context error so a timed-out request
+// keeps its deadline semantics.
+func (s *AnswerSet) Err() error {
+	if len(s.Failed) == 0 {
+		return nil
+	}
+	for _, f := range s.Failed {
+		if isContextError(f.err) {
+			return fmt.Errorf("kwagg: statement %d failed: %w", f.Index, f.err)
+		}
+	}
+	f := s.Failed[0]
+	return fmt.Errorf("kwagg: statement %d failed: %w", f.Index, f.err)
 }
 
 // Interpret returns the top-k ranked interpretations of the query with their
@@ -412,46 +495,83 @@ func (e *Engine) Answer(query string, k int) ([]Answer, error) {
 // and the cache hit/miss provenance of this query are recorded on it; stage
 // durations always land in the engine's metrics registry either way.
 func (e *Engine) AnswerContext(ctx context.Context, query string, k int) ([]Answer, error) {
+	set, err := e.AnswerSetContext(ctx, query, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := set.Err(); err != nil {
+		return nil, err
+	}
+	return set.Answers, nil
+}
+
+// AnswerSetContext is AnswerContext with graceful degradation: when some of
+// the top-k statements fail (an injected fault, a per-statement deadline)
+// while others complete, it returns a partial AnswerSet instead of an error,
+// so the serving layer can answer with what it has. The error path is
+// reserved for total failures: interpretation errors, every statement
+// failing, or the request context itself expiring (a dead request gets its
+// context error even if some statements finished first). Partial sets are
+// never cached; complete sets are cached per (query, k) like Answer.
+func (e *Engine) AnswerSetContext(ctx context.Context, query string, k int) (*AnswerSet, error) {
 	ctx = e.withObs(ctx)
-	as, err := e.answerCached(ctx, query, k)
+	set, err := e.answerSetCached(ctx, query, k)
 	outcome := "ok"
 	switch {
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case isContextError(err):
 		outcome = "canceled"
 	case err != nil:
 		outcome = "error"
+	case set.Partial:
+		outcome = "partial"
+		e.metrics.Counter("kwagg_partial_answers_total",
+			"Queries answered partially after statement failures.").Inc()
 	}
 	e.metrics.Counter("kwagg_queries_total",
 		"Answered keyword queries by outcome.", obs.L("outcome", outcome)).Inc()
-	return as, err
+	return set, err
 }
 
-func (e *Engine) answerCached(ctx context.Context, query string, k int) ([]Answer, error) {
+// partialResult carries a partial AnswerSet out of the answer cache as an
+// error, so the singleflight shares it with collapsed waiters but the cache
+// never stores it (errors are not cached); the next identical query retries
+// the failed statements.
+type partialResult struct{ set *AnswerSet }
+
+func (p *partialResult) Error() string { return "kwagg: partial answer set" }
+
+func (e *Engine) answerSetCached(ctx context.Context, query string, k int) (*AnswerSet, error) {
 	if e.answers == nil {
-		return e.answerUncached(ctx, query, k)
+		return e.answerSetUncached(ctx, query, k)
 	}
-	computed := false
 	key := normalizeQuery(query) + "\x00k=" + strconv.Itoa(k)
-	v, err := e.answers.Get(key, func() (any, error) {
-		computed = true
-		as, err := e.answerUncached(ctx, query, k)
+	v, computed, err := cachedCompute(ctx, e.answers, key, func() (any, error) {
+		set, err := e.answerSetUncached(ctx, query, k)
 		if err != nil {
 			return nil, err
 		}
-		return as, nil
+		if set.Partial {
+			return nil, &partialResult{set: set}
+		}
+		return set, nil
 	})
 	if computed {
 		obs.TraceFrom(ctx).Annotate("answer_cache", "miss")
 	} else {
 		obs.TraceFrom(ctx).Annotate("answer_cache", "hit")
 	}
-	if err != nil {
+	var pr *partialResult
+	switch {
+	case err == nil:
+		return v.(*AnswerSet), nil
+	case errors.As(err, &pr):
+		return pr.set, nil
+	default:
 		return nil, err
 	}
-	return v.([]Answer), nil
 }
 
-func (e *Engine) answerUncached(ctx context.Context, query string, k int) ([]Answer, error) {
+func (e *Engine) answerSetUncached(ctx context.Context, query string, k int) (*AnswerSet, error) {
 	ins, err := e.interpretations(ctx, query)
 	if err != nil {
 		return nil, err
@@ -459,15 +579,23 @@ func (e *Engine) answerUncached(ctx context.Context, query string, k int) ([]Ans
 	if k > 0 && len(ins) > k {
 		ins = ins[:k]
 	}
-	as, err := e.sys.ExecuteAll(ctx, ins)
-	if err != nil {
-		return nil, err
+	rep := e.sys.ExecuteAllReport(ctx, ins)
+	if ctx.Err() != nil {
+		// The request itself is dead: its client gets the timeout/cancel
+		// semantics, not a partial answer it is no longer waiting for.
+		return nil, ctx.Err()
+	}
+	if len(rep.Answers) == 0 {
+		if err := rep.Err(); err != nil {
+			return nil, err
+		}
 	}
 	_, rspan := obs.Start(ctx, "render")
 	defer rspan.End()
-	out := make([]Answer, len(as))
-	for i, a := range as {
-		out[i] = Answer{
+	set := &AnswerSet{Retries: rep.Retries, Partial: len(rep.Failed) > 0}
+	set.Answers = make([]Answer, len(rep.Answers))
+	for i, a := range rep.Answers {
+		set.Answers[i] = Answer{
 			Interpretation: Interpretation{
 				Description: a.Description,
 				SQL:         a.SQL.String(),
@@ -477,7 +605,16 @@ func (e *Engine) answerUncached(ctx context.Context, query string, k int) ([]Ans
 			Result: convertResult(a.Result),
 		}
 	}
-	return out, nil
+	for _, f := range rep.Failed {
+		set.Failed = append(set.Failed, FailedStatement{
+			Index:   f.Index,
+			Pattern: f.Pattern,
+			SQL:     f.SQL,
+			Message: f.Err.Error(),
+			err:     f.Err,
+		})
+	}
+	return set, nil
 }
 
 // Workers reports the size of the pool Answer executes statements on.
