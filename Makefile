@@ -1,6 +1,6 @@
 # Standard entry points; everything is pure Go with no external dependencies.
 
-.PHONY: all build test test-race race cover cover-check test-prop test-chaos fuzz-smoke bench experiments verify fmt fmt-check vet ci examples
+.PHONY: all build test test-race race cover cover-check test-prop test-chaos fuzz-smoke bench bench-json experiments verify fmt fmt-check vet ci examples
 
 all: build test
 
@@ -56,6 +56,15 @@ fuzz-smoke:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Machine-readable record of the executor-kernel and memo benchmarks
+# (BENCH_PR4.json is the committed record for the dictionary-encoding PR;
+# the nightly workflow regenerates it as an artifact). -cpu 1,4 covers both
+# the single-threaded kernels and the serving parallelism.
+bench-json:
+	go test -run '^$$' -bench 'HashJoin3Way|GroupByAggregate|DistinctProjection|EqualityFilter|MemoSharedSubplans' \
+		-benchmem -cpu 1,4 ./internal/sqldb/ | go run ./cmd/benchjson > BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

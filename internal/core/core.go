@@ -63,6 +63,14 @@ type System struct {
 	// statement retries; 0 means DefaultRetryBackoff. Set before sharing
 	// the System.
 	RetryBackoff time.Duration
+
+	// Memo is the shared-subplan cache statement execution runs through: the
+	// top-k interpretations of one keyword query share most of their
+	// ORM-graph join fragments, so filtered scans, join accumulations and
+	// derived tables computed by one statement are reused by the others (and
+	// by later requests — sound because Open froze the database). nil
+	// disables memoization. Built by Open from Options.MemoCells.
+	Memo *sqldb.Memo
 }
 
 // Retry policy defaults: up to two retries, 1ms base backoff doubling per
@@ -72,6 +80,11 @@ const (
 	DefaultMaxRetries   = 2
 	DefaultRetryBackoff = time.Millisecond
 )
+
+// DefaultMemoCells is the default shared-subplan memo budget, in result cells
+// (rows x columns summed over cached fragments) — roughly a few tens of
+// megabytes of cached intermediate rowsets at typical column counts.
+const DefaultMemoCells = 1 << 20
 
 // Options configures Open.
 type Options struct {
@@ -89,6 +102,9 @@ type Options struct {
 	// zero values select the defaults.
 	MaxRetries   int
 	RetryBackoff time.Duration
+	// MemoCells bounds the shared-subplan memo (result cells, LRU); 0 means
+	// DefaultMemoCells, negative disables memoization.
+	MemoCells int64
 }
 
 // Open prepares a database for keyword search. It checks every relation's
@@ -132,9 +148,19 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 	s.MaxRetries = opts.MaxRetries
 	s.RetryBackoff = opts.RetryBackoff
 	// Freeze the stored data: later inserts are rejected, and every
-	// per-table value index is built now so query execution never mutates
-	// shared state (the thread-safety contract of System).
+	// per-table value index and column dictionary is built now so query
+	// execution never mutates shared state (the thread-safety contract of
+	// System).
 	db.Freeze()
+	if opts.MemoCells >= 0 {
+		cells := opts.MemoCells
+		if cells == 0 {
+			cells = DefaultMemoCells
+		}
+		// Safe to share across statements and requests: the database was
+		// frozen above, so every memo key's fragment is deterministic.
+		s.Memo = sqldb.NewMemo(cells)
+	}
 	return s, nil
 }
 
@@ -449,7 +475,16 @@ func (s *System) execAttempt(sctx context.Context, in Interpretation, detail str
 			return nil, err
 		}
 	}
-	return sqldb.ExecContext(sctx, s.Data, in.SQL)
+	res, st, err := sqldb.ExecMemoContext(sctx, s.Data, in.SQL, s.Memo)
+	if st.Hits > 0 || st.Misses > 0 {
+		if reg := obs.RegistryFrom(sctx); reg != nil {
+			reg.Counter("kwagg_memo_hits_total",
+				"Subplan fragments served from the shared-subplan memo.").Add(uint64(st.Hits))
+			reg.Counter("kwagg_memo_misses_total",
+				"Subplan fragments computed on a memo miss.").Add(uint64(st.Misses))
+		}
+	}
+	return res, err
 }
 
 // statementMarginCap bounds the slice of the request budget reserved for

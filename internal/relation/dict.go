@@ -1,0 +1,107 @@
+package relation
+
+import (
+	"strconv"
+	"sync"
+)
+
+// NoID is the sentinel dictionary ID meaning "no such value"; it is returned
+// by remapping tables for values absent from the target dictionary. Real IDs
+// are dense from 0, so NoID can never collide with one.
+const NoID = ^uint32(0)
+
+// Dict is a per-column value dictionary: every distinct stored value gets a
+// dense uint32 ID. Distinctness is by the value's Format rendering — the same
+// equality the executor's historical string-keyed hash paths used — so two
+// values share an ID exactly when their formatted forms are equal (notably,
+// SQL NULL shares an ID with the literal string "NULL", and int64(5) with
+// "5"; callers that must distinguish them re-check the boxed value, exactly
+// as the string-keyed paths did).
+//
+// A Dict is built while freezing a table and never mutated afterwards, so it
+// is safe for unsynchronized concurrent readers.
+type Dict struct {
+	ids    map[string]uint32 // Format(v) -> id
+	vals   []Value           // id -> first value encoded with that id
+	allStr bool              // every encoded value was a string
+	remaps sync.Map          // *Dict -> []uint32 translation tables (see RemapCached)
+}
+
+func newDict() *Dict { return &Dict{ids: make(map[string]uint32), allStr: true} }
+
+// encode interns v and returns its ID, assigning the next dense ID to a
+// formatted form not seen before.
+func (d *Dict) encode(v Value) uint32 {
+	if _, ok := v.(string); !ok {
+		d.allStr = false
+	}
+	key := Format(v)
+	if id, ok := d.ids[key]; ok {
+		return id
+	}
+	id := uint32(len(d.vals))
+	d.ids[key] = id
+	d.vals = append(d.vals, v)
+	return id
+}
+
+// ID returns the dictionary ID of v, matching by Format rendering; ok is
+// false when no stored value formats equally. The common constant types
+// (string, int64) avoid allocating the rendering.
+func (d *Dict) ID(v Value) (uint32, bool) {
+	switch x := v.(type) {
+	case string:
+		id, ok := d.ids[x]
+		return id, ok
+	case int64:
+		var buf [20]byte
+		id, ok := d.ids[string(strconv.AppendInt(buf[:0], x, 10))]
+		return id, ok
+	}
+	id, ok := d.ids[Format(v)]
+	return id, ok
+}
+
+// Len returns the number of distinct (by Format) values in the dictionary.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Value decodes an ID back to a stored value: the first value that was
+// encoded with that ID. IDs come from the same dictionary's encode/ID.
+func (d *Dict) Value(id uint32) Value { return d.vals[id] }
+
+// AllStrings reports whether every encoded value was a string. Kernels that
+// evaluate a predicate once per dictionary entry instead of once per row
+// (e.g. CONTAINS) require this: with mixed types one ID can cover values of
+// different dynamic types, and the per-entry answer would be wrong for some
+// of its rows.
+func (d *Dict) AllStrings() bool { return d.allStr }
+
+// Remap builds a translation table from this dictionary's ID space into
+// to's: out[id] is the ID in to of the value this dictionary stores under
+// id, or NoID when to has no value with that formatted form. Hash joins use
+// it to probe a build table keyed in another column's ID space with O(1) per
+// row after O(distinct) setup.
+func (d *Dict) Remap(to *Dict) []uint32 {
+	out := make([]uint32, len(d.vals))
+	for id, v := range d.vals {
+		tid, ok := to.ID(v)
+		if !ok {
+			tid = NoID
+		}
+		out[id] = tid
+	}
+	return out
+}
+
+// RemapCached is Remap with the translation table cached on d per target
+// dictionary. Frozen dictionaries are immutable, so a table computed once is
+// valid forever; joins between the same column pair — the common case across
+// a keyword query's top-k interpretations — pay the O(distinct) build once.
+// Safe for concurrent use; a duplicated build is benign.
+func (d *Dict) RemapCached(to *Dict) []uint32 {
+	if v, ok := d.remaps.Load(to); ok {
+		return v.([]uint32)
+	}
+	m, _ := d.remaps.LoadOrStore(to, d.Remap(to))
+	return m.([]uint32)
+}

@@ -1,0 +1,157 @@
+package relation
+
+import "testing"
+
+func TestDictEncodeSharesIDByFormat(t *testing.T) {
+	d := newDict()
+	a := d.encode(int64(5))
+	b := d.encode("5")
+	if a != b {
+		t.Fatalf("int64(5) and \"5\" format equally but got ids %d and %d", a, b)
+	}
+	n := d.encode(nil)
+	s := d.encode("NULL")
+	if n != s {
+		t.Fatalf("nil and \"NULL\" format equally but got ids %d and %d", n, s)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	// Decoding returns the first value encoded with the ID.
+	if v := d.Value(a); v != int64(5) {
+		t.Fatalf("Value(%d) = %#v, want int64(5)", a, v)
+	}
+	if v := d.Value(n); v != nil {
+		t.Fatalf("Value(%d) = %#v, want nil", n, v)
+	}
+}
+
+func TestDictIDLookup(t *testing.T) {
+	d := newDict()
+	d.encode("alice")
+	d.encode(int64(42))
+	d.encode(3.5)
+
+	if id, ok := d.ID("alice"); !ok || d.Value(id) != "alice" {
+		t.Fatalf("ID(alice) = %d,%v", id, ok)
+	}
+	if id, ok := d.ID(int64(42)); !ok || d.Value(id) != int64(42) {
+		t.Fatalf("ID(42) = %d,%v", id, ok)
+	}
+	if id, ok := d.ID("42"); !ok || d.Value(id) != int64(42) {
+		t.Fatalf("ID(\"42\") should alias int64(42), got %d,%v", id, ok)
+	}
+	if id, ok := d.ID(3.5); !ok || d.Value(id) != 3.5 {
+		t.Fatalf("ID(3.5) = %d,%v", id, ok)
+	}
+	if _, ok := d.ID("absent"); ok {
+		t.Fatal("ID(absent) reported ok")
+	}
+}
+
+func TestDictAllStrings(t *testing.T) {
+	d := newDict()
+	d.encode("a")
+	d.encode("b")
+	if !d.AllStrings() {
+		t.Fatal("string-only dict should report AllStrings")
+	}
+	d.encode(int64(1))
+	if d.AllStrings() {
+		t.Fatal("dict with an int must not report AllStrings")
+	}
+}
+
+func TestDictRemap(t *testing.T) {
+	from := newDict()
+	a := from.encode("a")
+	b := from.encode("b")
+	only := from.encode("only-here")
+
+	to := newDict()
+	to.encode("b")
+	to.encode("a")
+
+	m := from.Remap(to)
+	if got, _ := to.ID("a"); m[a] != got {
+		t.Fatalf("remap(a) = %d, want %d", m[a], got)
+	}
+	if got, _ := to.ID("b"); m[b] != got {
+		t.Fatalf("remap(b) = %d, want %d", m[b], got)
+	}
+	if m[only] != NoID {
+		t.Fatalf("remap(only-here) = %d, want NoID", m[only])
+	}
+}
+
+func TestFreezeBuildsEncoding(t *testing.T) {
+	s := NewSchema("T", "id:int", "name:string")
+	tb := NewTable(s)
+	tb.MustInsert(int64(1), "alice")
+	tb.MustInsert(int64(2), "bob")
+	tb.MustInsert(int64(3), "alice")
+
+	if _, _, ok := tb.Encoding(); ok {
+		t.Fatal("Encoding must report !ok before Freeze")
+	}
+	tb.Freeze()
+	tb.Freeze() // idempotent
+	dicts, enc, ok := tb.Encoding()
+	if !ok {
+		t.Fatal("Encoding !ok after Freeze")
+	}
+	if len(dicts) != 2 || len(enc) != 6 {
+		t.Fatalf("got %d dicts, %d cells", len(dicts), len(enc))
+	}
+	if enc[0*2+1] != enc[2*2+1] {
+		t.Fatal("rows 0 and 2 share name 'alice' but got different ids")
+	}
+	if enc[0*2+1] == enc[1*2+1] {
+		t.Fatal("'alice' and 'bob' share an id")
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			got := dicts[j].Value(enc[i*2+j])
+			want := tb.Tuples[i][j]
+			if got != want {
+				t.Fatalf("decode(row %d, col %d) = %#v, want %#v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestFrozenLookupMatchesUnfrozen(t *testing.T) {
+	build := func() *Table {
+		s := NewSchema("T", "id:int", "name:string", "score:float")
+		tb := NewTable(s)
+		tb.MustInsert(int64(1), "alice", 3.5)
+		tb.MustInsert(int64(2), "NULL", 2.0)
+		tb.MustInsert(int64(3), nil, 2.0)
+		tb.MustInsert(int64(4), "alice", nil)
+		return tb
+	}
+	mut, fro := build(), build()
+	fro.Freeze()
+
+	probes := []struct {
+		attr string
+		v    Value
+	}{
+		{"name", "alice"}, {"name", "NULL"}, {"name", nil}, {"name", "bob"},
+		{"id", int64(2)}, {"id", "2"}, {"id", int64(99)},
+		{"score", 2.0}, {"score", "2"}, {"score", nil},
+		{"nosuchattr", "x"},
+	}
+	for _, p := range probes {
+		a := mut.Lookup(p.attr, p.v)
+		b := fro.Lookup(p.attr, p.v)
+		if len(a) != len(b) {
+			t.Fatalf("Lookup(%s, %#v): unfrozen %v vs frozen %v", p.attr, p.v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Lookup(%s, %#v): unfrozen %v vs frozen %v", p.attr, p.v, a, b)
+			}
+		}
+	}
+}

@@ -20,6 +20,15 @@ type Table struct {
 	mu      sync.Mutex                  // guards hashIdx builds on unfrozen tables
 	frozen  bool                        // set by Freeze; rejects further inserts
 	hashIdx map[string]map[string][]int // attr (lower) -> formatted value -> row ids
+
+	// Dictionary encoding, built by Freeze and immutable afterwards: one
+	// dictionary per attribute, the flat row-major array of encoded tuples
+	// (row i, attribute j at i*len(dicts)+j), and per-attribute postings
+	// mapping each dictionary ID to its ascending row ids (the frozen value
+	// index, replacing the formatted-string hashIdx).
+	dicts []*Dict
+	enc   []uint32
+	post  [][][]int
 }
 
 // NewTable creates an empty table with the given schema.
@@ -42,16 +51,50 @@ func (t *Table) Insert(tu Tuple) error {
 }
 
 // Freeze makes the table immutable: subsequent Insert/InsertRow calls return
-// an error, and the per-attribute hash indexes are built eagerly so that
-// Lookup never mutates shared state again. After Freeze the table is safe
-// for unsynchronized concurrent readers.
+// an error, every column is dictionary-encoded (each distinct value gets a
+// dense uint32 ID, with the encoded tuples stored row-major alongside the
+// boxed ones), and the per-attribute value index is built eagerly over the
+// IDs so that Lookup never mutates shared state again. After Freeze the
+// table is safe for unsynchronized concurrent readers.
 func (t *Table) Freeze() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.frozen = true
-	for _, a := range t.Schema.Attributes {
-		t.buildIdxLocked(strings.ToLower(a.Name))
+	if t.frozen {
+		return
 	}
+	t.frozen = true
+	ncols := len(t.Schema.Attributes)
+	t.dicts = make([]*Dict, ncols)
+	for j := range t.dicts {
+		t.dicts[j] = newDict()
+	}
+	t.enc = make([]uint32, len(t.Tuples)*ncols)
+	for i, tu := range t.Tuples {
+		for j, v := range tu {
+			t.enc[i*ncols+j] = t.dicts[j].encode(v)
+		}
+	}
+	t.post = make([][][]int, ncols)
+	for j := range t.post {
+		p := make([][]int, t.dicts[j].Len())
+		for i := range t.Tuples {
+			id := t.enc[i*ncols+j]
+			p[id] = append(p[id], i)
+		}
+		t.post[j] = p
+	}
+	t.hashIdx = nil // the ID postings replace the formatted-string index
+}
+
+// Encoding exposes the frozen table's dictionary encoding: the per-attribute
+// dictionaries and the flat row-major ID array (row i, attribute j at
+// i*len(dicts)+j). ok is false until the table has been frozen; the returned
+// slices are immutable shared state — read only.
+func (t *Table) Encoding() (dicts []*Dict, ids []uint32, ok bool) {
+	if !t.frozen {
+		return nil, nil, false
+	}
+	return t.dicts, t.enc, true
 }
 
 // Frozen reports whether the table has been frozen.
@@ -116,13 +159,22 @@ func (t *Table) Value(i int, attr string) Value {
 }
 
 // Lookup returns the row ids (ascending) whose attribute formats equally to
-// v, using the per-attribute hash index. On frozen tables every index exists
-// and the lookup is a lock-free map read; on mutable tables the index is
-// built lazily under the table's mutex, so concurrent lookups stay safe.
+// v. On frozen tables the lookup goes through the attribute's dictionary
+// (value to ID, then the ID's postings) without locking or string building
+// for the common constant types; on mutable tables a formatted-string index
+// is built lazily under the table's mutex, so concurrent lookups stay safe.
 func (t *Table) Lookup(attr string, v Value) []int {
 	key := strings.ToLower(attr)
 	if t.frozen {
-		return t.hashIdx[key][Format(v)]
+		j := t.Schema.AttrIndex(key)
+		if j < 0 {
+			return nil
+		}
+		id, ok := t.dicts[j].ID(v)
+		if !ok {
+			return nil
+		}
+		return t.post[j][id]
 	}
 	t.mu.Lock()
 	idx := t.buildIdxLocked(key)

@@ -1,15 +1,22 @@
 package sqldb
 
 import (
+	"context"
 	"testing"
 
 	"kwagg/internal/dataset/tpch"
 	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
 )
 
+// benchDB returns the TPCH benchmark database frozen, as Open leaves it in
+// production: frozen tables carry the dictionary encoding, so Exec runs the
+// integer-keyed kernels while ExecNoIndex is the formatted-string reference.
 func benchDB(b *testing.B) *relation.Database {
 	b.Helper()
-	return tpch.New(tpch.Default())
+	db := tpch.New(tpch.Default())
+	db.Freeze()
+	return db
 }
 
 // BenchmarkParse measures parsing the Example 7 nested statement.
@@ -25,55 +32,50 @@ func BenchmarkParse(b *testing.B) {
 	}
 }
 
-// BenchmarkHashJoin3Way measures the T5-style join over the TPCH data.
-func BenchmarkHashJoin3Way(b *testing.B) {
-	db := benchDB(b)
-	sql := "SELECT COUNT(S.suppkey) AS n FROM Supplier S, Part P, " +
-		"(SELECT DISTINCT suppkey, partkey FROM Lineitem) L " +
-		"WHERE P.partkey=L.partkey AND L.suppkey=S.suppkey AND P.pname CONTAINS 'royal olive'"
+// benchEncodedVsReference runs the statement through the dictionary-encoded
+// executor and through the scan-only formatted-string reference path.
+func benchEncodedVsReference(b *testing.B, db *relation.Database, sql string) {
+	b.Helper()
 	q, err := Parse(sql)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Exec(db, q); err != nil {
-			b.Fatal(err)
+	b.Run("encoded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Exec(db, q); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ExecNoIndex(db, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHashJoin3Way measures the T5-style join over the TPCH data.
+func BenchmarkHashJoin3Way(b *testing.B) {
+	benchEncodedVsReference(b, benchDB(b),
+		"SELECT COUNT(S.suppkey) AS n FROM Supplier S, Part P, "+
+			"(SELECT DISTINCT suppkey, partkey FROM Lineitem) L "+
+			"WHERE P.partkey=L.partkey AND L.suppkey=S.suppkey AND P.pname CONTAINS 'royal olive'")
 }
 
 // BenchmarkGroupByAggregate measures grouping all lineitems by supplier.
 func BenchmarkGroupByAggregate(b *testing.B) {
-	db := benchDB(b)
-	q, err := Parse("SELECT L.suppkey, COUNT(L.partkey) AS n FROM Lineitem L GROUP BY L.suppkey")
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Exec(db, q); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchEncodedVsReference(b, benchDB(b),
+		"SELECT L.suppkey, COUNT(L.partkey) AS n FROM Lineitem L GROUP BY L.suppkey")
 }
 
 // BenchmarkDistinctProjection measures the Section 3.1.3 projection cost.
 func BenchmarkDistinctProjection(b *testing.B) {
-	db := benchDB(b)
-	q, err := Parse("SELECT DISTINCT L.partkey, L.suppkey FROM Lineitem L")
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Exec(db, q); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchEncodedVsReference(b, benchDB(b),
+		"SELECT DISTINCT L.partkey, L.suppkey FROM Lineitem L")
 }
 
 // BenchmarkEqualityFilter measures an equality-constant filter over the
@@ -81,7 +83,6 @@ func BenchmarkDistinctProjection(b *testing.B) {
 // path (ExecNoIndex).
 func BenchmarkEqualityFilter(b *testing.B) {
 	db := benchDB(b)
-	db.Freeze()
 	q, err := Parse("SELECT L.partkey FROM Lineitem L WHERE L.suppkey = 7")
 	if err != nil {
 		b.Fatal(err)
@@ -102,6 +103,48 @@ func BenchmarkEqualityFilter(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := ExecNoIndex(db, q); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMemoSharedSubplans executes a batch of statements that share join
+// fragments — the shape of a top-k interpretation list — with and without the
+// shared-subplan memo.
+func BenchmarkMemoSharedSubplans(b *testing.B) {
+	db := benchDB(b)
+	sqls := []string{
+		"SELECT S.sname, COUNT(L.partkey) AS n FROM Supplier S, Lineitem L WHERE S.suppkey=L.suppkey GROUP BY S.sname",
+		"SELECT S.sname, SUM(L.quantity) AS n FROM Supplier S, Lineitem L WHERE S.suppkey=L.suppkey GROUP BY S.sname",
+		"SELECT S.sname, AVG(L.quantity) AS n FROM Supplier S, Lineitem L WHERE S.suppkey=L.suppkey GROUP BY S.sname",
+		"SELECT S.sname, MAX(L.quantity) AS n FROM Supplier S, Lineitem L WHERE S.suppkey=L.suppkey GROUP BY S.sname",
+	}
+	queries := make([]*sqlast.Query, 0, len(sqls))
+	for _, s := range sqls {
+		q, err := Parse(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	b.Run("memo", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMemo(1 << 22)
+			for _, q := range queries {
+				if _, _, err := ExecMemoContext(context.Background(), db, q, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("nomemo", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if _, err := Exec(db, q); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

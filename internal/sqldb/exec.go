@@ -76,7 +76,10 @@ func ExecSQL(db *relation.Database, sql string) (*Result, error) {
 
 // Exec evaluates the query against db. Equality predicates on base-table
 // scans are answered from the per-table value index (built eagerly when the
-// database is frozen at open time, lazily otherwise).
+// database is frozen at open time, lazily otherwise), and on frozen databases
+// the hash paths — joins, GROUP BY, DISTINCT, equality filters — run over the
+// tables' dictionary encoding (dense uint32 IDs instead of formatted
+// strings), decoding back to values only at projection time.
 func Exec(db *relation.Database, q *sqlast.Query) (*Result, error) {
 	e := &executor{db: db}
 	return e.query(q)
@@ -95,9 +98,10 @@ func ExecContext(ctx context.Context, db *relation.Database, q *sqlast.Query) (*
 	return e.query(q)
 }
 
-// ExecNoIndex evaluates the query with the value-index fast path disabled,
-// scanning every filter. It exists as a reference path for differential
-// tests (indexed execution must be row-for-row identical) and benchmarks.
+// ExecNoIndex evaluates the query with the value-index fast path and the
+// dictionary-encoded kernels disabled, scanning every filter and hashing
+// formatted values. It exists as a reference path for differential tests
+// (accelerated execution must be row-for-row identical) and benchmarks.
 func ExecNoIndex(db *relation.Database, q *sqlast.Query) (*Result, error) {
 	e := &executor{db: db, noIndex: true}
 	return e.query(q)
@@ -115,7 +119,21 @@ type rowset struct {
 	// (no filter or join applied yet); equality filters on such a pristine
 	// scan can use the table's value index. nil otherwise.
 	base *relation.Table
+	// Dictionary encoding carried alongside rows when the source tables are
+	// frozen: dicts[i] is column i's dictionary (a nil entry marks an
+	// unencoded column, e.g. an aggregate output; a nil slice means the
+	// rowset carries no encoding at all) and enc holds the IDs row-major
+	// with stride len(cols). Cells of unencoded columns are meaningless
+	// zeros. Invariant: enc is maintained exactly when dicts is non-nil.
+	dicts []*relation.Dict
+	enc   []uint32
+	// key is the canonical subplan identity used by the memo; empty when
+	// the rowset is not a cacheable fragment or no memo is attached.
+	key string
 }
+
+// encoded reports whether column i carries dictionary IDs in enc.
+func (rs *rowset) encoded(i int) bool { return i < len(rs.dicts) && rs.dicts[i] != nil }
 
 // resolve returns the position of c in the rowset, or -1. Unqualified names
 // must be unambiguous.
@@ -150,11 +168,38 @@ func (rs *rowset) has(c sqlast.Col) bool {
 	return n == 1
 }
 
+// appendHashKey appends an injective hash key for the given columns of row
+// ri: a fixed 4-byte dictionary ID for encoded columns, a length-prefixed
+// Format rendering otherwise. Two rows of the same rowset get equal keys
+// exactly when every selected column pair formats equally — unlike the old
+// "\x1f"-joined keys, values containing the separator cannot alias.
+func (rs *rowset) appendHashKey(buf []byte, ri int, idx []int) []byte {
+	st := len(rs.cols)
+	for _, i := range idx {
+		if rs.encoded(i) {
+			buf = appendLE32(buf, rs.enc[ri*st+i])
+		} else {
+			s := relation.Format(rs.rows[ri][i])
+			buf = appendLE32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	return buf
+}
+
+func appendLE32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
 type executor struct {
 	db      *relation.Database
-	noIndex bool            // disable the value-index fast path (test hook)
+	noIndex bool            // disable index + encoded fast paths (test hook)
 	ctx     context.Context // non-nil only when cancellable (see ExecContext)
 	ops     uint            // row-touch counter for amortized ctx checks
+	memo    *Memo           // shared-subplan cache; nil = no memoization
+
+	memoHits   int
+	memoMisses int
 }
 
 // rowCheckInterval bounds how many rows a loop may touch between context
@@ -186,6 +231,22 @@ func (e *executor) checkpoint() error {
 }
 
 func (e *executor) query(q *sqlast.Query) (*Result, error) {
+	rs, err := e.queryRowset(q, true)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(rs.cols))
+	for i, bc := range rs.cols {
+		cols[i] = bc.name
+	}
+	return &Result{Columns: cols, Rows: rs.rows}, nil
+}
+
+// queryRowset evaluates q into a rowset. topLevel marks the outermost query
+// of a statement: its projected rowset becomes the Result directly, so
+// building an output encoding would be wasted work unless DISTINCT still
+// needs hash keys.
+func (e *executor) queryRowset(q *sqlast.Query, topLevel bool) (*rowset, error) {
 	if len(q.From) == 0 {
 		return nil, fmt.Errorf("sqldb: query has no FROM clause")
 	}
@@ -203,22 +264,46 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 
 	consumed := make([]bool, len(q.Where))
 
-	// Push single-source filters down before joining.
+	// Push single-source filters down before joining. All predicates local
+	// to one source are applied as a unit so the filtered rowset can be
+	// memoized under its canonical scan-plus-filters key.
 	for si, rs := range sources {
+		var preds []sqlast.Pred
 		for pi, p := range q.Where {
-			if consumed[pi] {
+			if consumed[pi] || !localPred(rs, p) {
 				continue
 			}
-			if localPred(rs, p) {
-				filtered, err := e.filterRows(rs, p)
+			preds = append(preds, p)
+			consumed[pi] = true
+		}
+		if len(preds) == 0 {
+			continue
+		}
+		key := ""
+		if rs.key != "" {
+			var b strings.Builder
+			b.WriteString(rs.key)
+			for _, p := range preds {
+				b.WriteString("|f:")
+				b.WriteString(p.String())
+			}
+			key = b.String()
+		}
+		filtered, err := e.memoized(key, func() (*rowset, error) {
+			cur := rs
+			for _, p := range preds {
+				next, err := e.filterRows(cur, p)
 				if err != nil {
 					return nil, err
 				}
-				sources[si] = filtered
-				rs = filtered
-				consumed[pi] = true
+				cur = next
 			}
+			return cur, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		sources[si] = filtered
 	}
 
 	// Greedy join ordering: start from the smallest source, then repeatedly
@@ -298,7 +383,18 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 				consumed[pi] = true
 			}
 		}
-		joined, err := e.join(acc, src, eqs)
+		key := ""
+		if acc.key != "" && src.key != "" {
+			ons := make([]string, len(eqs))
+			for k, jp := range eqs {
+				ons[k] = jp.String()
+			}
+			sort.Strings(ons)
+			key = "join(" + acc.key + ")+(" + src.key + ")|on:" + strings.Join(ons, ",")
+		}
+		joined, err := e.memoized(key, func() (*rowset, error) {
+			return e.join(acc, src, eqs)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -320,20 +416,23 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 	if err := e.checkpoint(); err != nil {
 		return nil, err
 	}
-	res, err := e.project(acc, q)
+	res, err := e.project(acc, q, !topLevel || q.Distinct)
 	if err != nil {
 		return nil, err
 	}
 	if q.Distinct {
-		res = distinct(res)
+		res = distinctRowset(res)
 	}
 	if len(q.OrderBy) > 0 {
-		if err := orderBy(res, q.OrderBy); err != nil {
+		if err := orderByRowset(res, q.OrderBy); err != nil {
 			return nil, err
 		}
 	}
-	if q.Limit > 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
+	if q.Limit > 0 && len(res.rows) > q.Limit {
+		res.rows = res.rows[:q.Limit]
+		if res.enc != nil {
+			res.enc = res.enc[:q.Limit*len(res.cols)]
+		}
 	}
 	return res, nil
 }
@@ -341,13 +440,26 @@ func (e *executor) query(q *sqlast.Query) (*Result, error) {
 func (e *executor) source(tr sqlast.TableRef) (*rowset, error) {
 	alias := tr.Alias
 	if tr.Subquery != nil {
-		sub, err := e.query(tr.Subquery)
+		key := ""
+		if e.memo != nil {
+			key = "sub|" + tr.Subquery.String()
+		}
+		sub, err := e.memoized(key, func() (*rowset, error) {
+			return e.queryRowset(tr.Subquery, false)
+		})
 		if err != nil {
 			return nil, err
 		}
-		rs := &rowset{rows: sub.Rows}
-		for _, c := range sub.Columns {
-			rs.cols = append(rs.cols, boundCol{table: alias, name: c})
+		// Rebind the subquery's output columns under the FROM alias on a
+		// fresh rowset: the underlying rows may be shared through the memo
+		// and must never be mutated.
+		rs := &rowset{rows: sub.rows, dicts: sub.dicts, enc: sub.enc}
+		rs.cols = make([]boundCol, len(sub.cols))
+		for i, bc := range sub.cols {
+			rs.cols[i] = boundCol{table: alias, name: bc.name}
+		}
+		if key != "" {
+			rs.key = key + "|as:" + strings.ToLower(alias)
 		}
 		return rs, nil
 	}
@@ -356,6 +468,14 @@ func (e *executor) source(tr sqlast.TableRef) (*rowset, error) {
 		return nil, fmt.Errorf("sqldb: unknown relation %q", tr.Name)
 	}
 	rs := &rowset{rows: t.Tuples, base: t}
+	if !e.noIndex {
+		if dicts, enc, ok := t.Encoding(); ok {
+			rs.dicts, rs.enc = dicts, enc
+		}
+	}
+	if e.memo != nil {
+		rs.key = "scan|" + strings.ToLower(tr.Name) + "|" + strings.ToLower(alias)
+	}
 	for _, a := range t.Schema.Attributes {
 		rs.cols = append(rs.cols, boundCol{table: alias, name: a.Name})
 	}
@@ -378,17 +498,13 @@ func localPred(rs *rowset, p sqlast.Pred) bool {
 	}
 }
 
-// indexableEq reports whether p is an equality against a constant that the
-// per-table value index can answer on a pristine base-table scan. Floating-
-// point constants fall back to the scan path: the index is keyed by the
-// formatted value, and float formatting has corners (negative zero) where
-// format equality and Compare equality disagree.
-func indexableEq(rs *rowset, p sqlast.Pred) bool {
-	pp, ok := p.(sqlast.ComparePred)
-	if !ok || pp.Op != sqlast.OpEq || rs.base == nil {
-		return false
-	}
-	switch pp.Value.(type) {
+// keyableConst reports whether the constant can key a hash/index lookup.
+// Floating-point constants fall back to the scan path: the index and the
+// dictionaries are keyed by the formatted value, and float formatting has
+// corners (negative zero) where format equality and Compare equality
+// disagree.
+func keyableConst(v relation.Value) bool {
+	switch v.(type) {
 	case string, int64:
 		return true
 	default:
@@ -396,8 +512,25 @@ func indexableEq(rs *rowset, p sqlast.Pred) bool {
 	}
 }
 
+// indexableEq reports whether p is an equality against a constant that the
+// per-table value index can answer on a pristine base-table scan.
+func indexableEq(rs *rowset, p sqlast.Pred) bool {
+	pp, ok := p.(sqlast.ComparePred)
+	return ok && pp.Op == sqlast.OpEq && rs.base != nil && keyableConst(pp.Value)
+}
+
 func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
-	out := &rowset{cols: rs.cols}
+	out := &rowset{cols: rs.cols, dicts: rs.dicts}
+	if rs.key != "" {
+		out.key = rs.key + "|f:" + p.String()
+	}
+	st := len(rs.cols)
+	emit := func(ri int) {
+		out.rows = append(out.rows, rs.rows[ri])
+		if out.dicts != nil {
+			out.enc = append(out.enc, rs.enc[ri*st:(ri+1)*st]...)
+		}
+	}
 	switch pp := p.(type) {
 	case sqlast.ComparePred:
 		i, err := rs.resolve(pp.Col)
@@ -405,19 +538,41 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 			return nil, err
 		}
 		if !e.noIndex && indexableEq(rs, p) {
-			// Index lookup instead of a scan: candidates come from the hash
+			// Index lookup instead of a scan: candidates come from the value
 			// index (ascending row ids, so scan order is preserved) and are
 			// re-verified with Compare, which also rejects NULLs colliding
 			// with the formatted key.
 			for _, ri := range rs.base.Lookup(rs.cols[i].name, pp.Value) {
-				row := rs.rows[ri]
-				if !relation.Null(row[i]) && relation.Compare(row[i], pp.Value) == 0 {
-					out.rows = append(out.rows, row)
+				v := rs.rows[ri][i]
+				if !relation.Null(v) && relation.Compare(v, pp.Value) == 0 {
+					emit(ri)
 				}
 			}
 			return out, nil
 		}
-		for _, row := range rs.rows {
+		if !e.noIndex && pp.Op == sqlast.OpEq && rs.encoded(i) && keyableConst(pp.Value) {
+			// Encoded equality on a derived rowset (post-filter, post-join or
+			// subquery output): compare dictionary IDs instead of formatting
+			// each row, re-verifying candidates exactly like the index path.
+			id, ok := rs.dicts[i].ID(pp.Value)
+			if !ok {
+				return out, nil
+			}
+			for ri := range rs.rows {
+				if err := e.step(); err != nil {
+					return nil, err
+				}
+				if rs.enc[ri*st+i] != id {
+					continue
+				}
+				v := rs.rows[ri][i]
+				if !relation.Null(v) && relation.Compare(v, pp.Value) == 0 {
+					emit(ri)
+				}
+			}
+			return out, nil
+		}
+		for ri, row := range rs.rows {
 			if err := e.step(); err != nil {
 				return nil, err
 			}
@@ -441,7 +596,7 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 				keep = c >= 0
 			}
 			if keep {
-				out.rows = append(out.rows, row)
+				emit(ri)
 			}
 		}
 	case sqlast.ContainsPred:
@@ -449,13 +604,34 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range rs.rows {
+		if d := dictFor(rs, i); d != nil && d.AllStrings() && d.Len() <= len(rs.rows) {
+			// Evaluate the substring match once per dictionary entry instead
+			// of once per row. Sound only when every encoded value is a
+			// string: with mixed types one ID can cover values of different
+			// dynamic types, and the per-entry answer would be wrong for
+			// some of its rows.
+			keep := make([]bool, d.Len())
+			for id := range keep {
+				s, _ := d.Value(uint32(id)).(string)
+				keep[id] = relation.ContainsFold(s, pp.Needle)
+			}
+			for ri := range rs.rows {
+				if err := e.step(); err != nil {
+					return nil, err
+				}
+				if keep[rs.enc[ri*st+i]] {
+					emit(ri)
+				}
+			}
+			return out, nil
+		}
+		for ri, row := range rs.rows {
 			if err := e.step(); err != nil {
 				return nil, err
 			}
 			s, ok := row[i].(string)
 			if ok && relation.ContainsFold(s, pp.Needle) {
-				out.rows = append(out.rows, row)
+				emit(ri)
 			}
 		}
 	case sqlast.JoinPred:
@@ -467,12 +643,12 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range rs.rows {
+		for rowi, row := range rs.rows {
 			if err := e.step(); err != nil {
 				return nil, err
 			}
 			if !relation.Null(row[li]) && relation.Equal(row[li], row[ri]) {
-				out.rows = append(out.rows, row)
+				emit(rowi)
 			}
 		}
 	case sqlast.ColComparePred:
@@ -484,7 +660,7 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range rs.rows {
+		for rowi, row := range rs.rows {
 			if err := e.step(); err != nil {
 				return nil, err
 			}
@@ -506,7 +682,7 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 				keep = c >= 0
 			}
 			if keep {
-				out.rows = append(out.rows, row)
+				emit(rowi)
 			}
 		}
 	default:
@@ -515,17 +691,70 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 	return out, nil
 }
 
-// join combines two rowsets. With equality predicates it hash-joins;
-// otherwise it produces the cross product.
+// dictFor returns column i's dictionary when the encoded fast paths may use
+// it, nil otherwise.
+func dictFor(rs *rowset, i int) *relation.Dict {
+	if !rs.encoded(i) {
+		return nil
+	}
+	return rs.dicts[i]
+}
+
+// join combines two rowsets. With equality predicates it hash-joins —
+// over dictionary IDs when every key column is encoded (a per-column
+// translation table bridges the two sides' ID spaces), over length-prefixed
+// formatted keys otherwise. Without predicates it produces the cross
+// product.
 func (e *executor) join(left, right *rowset, eqs []sqlast.JoinPred) (*rowset, error) {
-	out := &rowset{cols: append(append([]boundCol(nil), left.cols...), right.cols...)}
+	lst, rst := len(left.cols), len(right.cols)
+	out := &rowset{cols: make([]boundCol, 0, lst+rst)}
+	out.cols = append(append(out.cols, left.cols...), right.cols...)
+	if left.dicts != nil || right.dicts != nil {
+		out.dicts = make([]*relation.Dict, lst+rst)
+		copy(out.dicts[:lst], left.dicts)
+		copy(out.dicts[lst:], right.dicts)
+	}
+	var chunk []uint32 // scratch encoded output row, appended per emit
+	if out.dicts != nil {
+		chunk = make([]uint32, lst+rst)
+	}
+	// Output tuples are carved out of arena blocks: one allocation per
+	// tupleArenaValues values instead of one per output row. Earlier blocks
+	// stay referenced by the tuples sliced from them, and every tuple is
+	// capacity-capped so a consumer's append cannot bleed into a neighbor.
+	var arena []relation.Value
+	width := lst + rst
+	emit := func(li, ri int) {
+		if len(arena)+width > cap(arena) {
+			c := tupleArenaValues
+			if width > c {
+				c = width
+			}
+			arena = make([]relation.Value, 0, c)
+		}
+		off := len(arena)
+		arena = arena[:off+width]
+		t := relation.Tuple(arena[off : off+width : off+width])
+		copy(t[:lst], left.rows[li])
+		copy(t[lst:], right.rows[ri])
+		out.rows = append(out.rows, t)
+		if chunk != nil {
+			if left.enc != nil {
+				copy(chunk[:lst], left.enc[li*lst:(li+1)*lst])
+			}
+			if right.enc != nil {
+				copy(chunk[lst:], right.enc[ri*rst:(ri+1)*rst])
+			}
+			out.enc = append(out.enc, chunk...)
+		}
+	}
 	if len(eqs) == 0 {
-		for _, lr := range left.rows {
-			for _, rr := range right.rows {
+		for li := range left.rows {
+			for ri := range right.rows {
 				if err := e.step(); err != nil {
 					return nil, err
 				}
-				out.rows = append(out.rows, concatRows(lr, rr))
+				emit(li, ri)
 			}
 		}
 		return out, nil
@@ -543,75 +772,298 @@ func (e *executor) join(left, right *rowset, eqs []sqlast.JoinPred) (*rowset, er
 		}
 		lidx[k], ridx[k] = li, ri
 	}
-	build := make(map[string][]int, len(right.rows))
-	for i, rr := range right.rows {
-		key, ok := joinKey(rr, ridx)
-		if !ok {
-			continue
+	encKeys := true
+	for k := range eqs {
+		if !left.encoded(lidx[k]) || !right.encoded(ridx[k]) {
+			encKeys = false
+			break
 		}
-		build[key] = append(build[key], i)
 	}
-	for _, lr := range left.rows {
-		if err := e.step(); err != nil {
-			return nil, err
+
+	switch {
+	case encKeys && len(eqs) == 1:
+		// Single encoded key: build-side rows are chained per dictionary ID
+		// through heads/next — zero allocations per row — and probed through
+		// a cached left-to-right ID translation table. Chains are threaded in
+		// reverse row order so probing walks matches in ascending row order,
+		// matching the formatted-key path's output order exactly. NULL never
+		// joins, and NULL shares its ID with the literal string "NULL", so
+		// the skip must test the boxed value.
+		li, ri := lidx[0], ridx[0]
+		next := make([]int32, len(right.rows))
+		nd := right.dicts[ri].Len()
+		var headOf func(id uint32) int32
+		if nd <= 4*len(right.rows)+1024 {
+			// Dictionary small relative to the build side: index chain heads
+			// by ID directly.
+			heads := make([]int32, nd)
+			for i := range heads {
+				heads[i] = -1
+			}
+			for rj := len(right.rows) - 1; rj >= 0; rj-- {
+				if relation.Null(right.rows[rj][ri]) {
+					continue
+				}
+				id := right.enc[rj*rst+ri]
+				next[rj] = heads[id]
+				heads[id] = int32(rj)
+			}
+			headOf = func(id uint32) int32 { return heads[id] }
+		} else {
+			// Build side much smaller than the dictionary (a filtered scan
+			// over a wide column): a map wastes less than a dense table.
+			heads := make(map[uint32]int32, len(right.rows))
+			for rj := len(right.rows) - 1; rj >= 0; rj-- {
+				if relation.Null(right.rows[rj][ri]) {
+					continue
+				}
+				id := right.enc[rj*rst+ri]
+				h, ok := heads[id]
+				if !ok {
+					h = -1
+				}
+				next[rj] = h
+				heads[id] = int32(rj)
+			}
+			headOf = func(id uint32) int32 {
+				if h, ok := heads[id]; ok {
+					return h
+				}
+				return -1
+			}
 		}
-		key, ok := joinKey(lr, lidx)
-		if !ok {
-			continue
+		remap := left.dicts[li].RemapCached(right.dicts[ri])
+		for lj, lr := range left.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
+			if relation.Null(lr[li]) {
+				continue
+			}
+			id := remap[left.enc[lj*lst+li]]
+			if id == relation.NoID {
+				continue
+			}
+			for rj := headOf(id); rj >= 0; rj = next[rj] {
+				emit(lj, int(rj))
+			}
 		}
-		for _, ri := range build[key] {
-			out.rows = append(out.rows, concatRows(lr, right.rows[ri]))
+	case encKeys && len(eqs) == 2:
+		// Two encoded keys pack into one uint64, chained exactly like the
+		// single-key kernel: no per-row allocation on either side.
+		l0, l1 := lidx[0], lidx[1]
+		r0, r1 := ridx[0], ridx[1]
+		next := make([]int32, len(right.rows))
+		heads := make(map[uint64]int32, len(right.rows))
+		for rj := len(right.rows) - 1; rj >= 0; rj-- {
+			rr := right.rows[rj]
+			if relation.Null(rr[r0]) || relation.Null(rr[r1]) {
+				continue
+			}
+			key := uint64(right.enc[rj*rst+r0]) | uint64(right.enc[rj*rst+r1])<<32
+			h, ok := heads[key]
+			if !ok {
+				h = -1
+			}
+			next[rj] = h
+			heads[key] = int32(rj)
+		}
+		remap0 := left.dicts[l0].RemapCached(right.dicts[r0])
+		remap1 := left.dicts[l1].RemapCached(right.dicts[r1])
+		for lj, lr := range left.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
+			if relation.Null(lr[l0]) || relation.Null(lr[l1]) {
+				continue
+			}
+			id0 := remap0[left.enc[lj*lst+l0]]
+			id1 := remap1[left.enc[lj*lst+l1]]
+			if id0 == relation.NoID || id1 == relation.NoID {
+				continue
+			}
+			h, ok := heads[uint64(id0)|uint64(id1)<<32]
+			if !ok {
+				continue
+			}
+			for rj := h; rj >= 0; rj = next[rj] {
+				emit(lj, int(rj))
+			}
+		}
+	case encKeys:
+		// Three or more encoded keys: pack the 4-byte IDs into a reusable buffer.
+		// Probing with map[string(buf)] is allocation-free; only inserting a
+		// new distinct key copies the buffer into a string.
+		slots := make(map[string]int, len(right.rows))
+		var lists [][]int
+		buf := make([]byte, 0, 4*len(eqs))
+	buildRows:
+		for rj, rr := range right.rows {
+			buf = buf[:0]
+			for k := range eqs {
+				if relation.Null(rr[ridx[k]]) {
+					continue buildRows
+				}
+				buf = appendLE32(buf, right.enc[rj*rst+ridx[k]])
+			}
+			slot, ok := slots[string(buf)]
+			if !ok {
+				slot = len(lists)
+				slots[string(buf)] = slot
+				lists = append(lists, nil)
+			}
+			lists[slot] = append(lists[slot], rj)
+		}
+		remaps := make([][]uint32, len(eqs))
+		for k := range eqs {
+			remaps[k] = left.dicts[lidx[k]].RemapCached(right.dicts[ridx[k]])
+		}
+	probeRows:
+		for lj, lr := range left.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
+			buf = buf[:0]
+			for k := range eqs {
+				if relation.Null(lr[lidx[k]]) {
+					continue probeRows
+				}
+				id := remaps[k][left.enc[lj*lst+lidx[k]]]
+				if id == relation.NoID {
+					continue probeRows
+				}
+				buf = appendLE32(buf, id)
+			}
+			slot, ok := slots[string(buf)]
+			if !ok {
+				continue
+			}
+			for _, rj := range lists[slot] {
+				emit(lj, rj)
+			}
+		}
+	default:
+		// Unencoded fallback: length-prefixed formatted keys. Like the
+		// encoded kernels these cannot alias values containing the old
+		// "\x1f" separator.
+		slots := make(map[string]int, len(right.rows))
+		var lists [][]int
+		var buf []byte
+		for rj, rr := range right.rows {
+			var ok bool
+			buf, ok = appendJoinKey(buf[:0], rr, ridx)
+			if !ok {
+				continue
+			}
+			slot, have := slots[string(buf)]
+			if !have {
+				slot = len(lists)
+				slots[string(buf)] = slot
+				lists = append(lists, nil)
+			}
+			lists[slot] = append(lists[slot], rj)
+		}
+		for lj, lr := range left.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
+			var ok bool
+			buf, ok = appendJoinKey(buf[:0], lr, lidx)
+			if !ok {
+				continue
+			}
+			slot, have := slots[string(buf)]
+			if !have {
+				continue
+			}
+			for _, rj := range lists[slot] {
+				emit(lj, rj)
+			}
 		}
 	}
 	return out, nil
 }
 
-func joinKey(row relation.Tuple, idx []int) (string, bool) {
-	parts := make([]string, len(idx))
-	for k, i := range idx {
-		if relation.Null(row[i]) {
-			return "", false
+// appendJoinKey appends the length-prefixed formatted join key of the given
+// columns, reporting false when any key value is NULL (NULL never joins).
+func appendJoinKey(buf []byte, row relation.Tuple, idx []int) ([]byte, bool) {
+	for _, i := range idx {
+		v := row[i]
+		if relation.Null(v) {
+			return buf, false
 		}
-		parts[k] = relation.Format(row[i])
+		s := relation.Format(v)
+		buf = appendLE32(buf, uint32(len(s)))
+		buf = append(buf, s...)
 	}
-	return strings.Join(parts, "\x1f"), true
+	return buf, true
 }
 
-func concatRows(a, b relation.Tuple) relation.Tuple {
-	out := make(relation.Tuple, 0, len(a)+len(b))
-	out = append(out, a...)
-	out = append(out, b...)
-	return out
-}
+// tupleArenaValues sizes the arena blocks that join output tuples are carved
+// from: larger blocks amortize allocation further but round the last block's
+// waste up.
+const tupleArenaValues = 8192
 
 // project evaluates the SELECT list, applying GROUP BY and aggregates.
-func (e *executor) project(rs *rowset, q *sqlast.Query) (*Result, error) {
-	res := &Result{}
+// wantEnc asks for the output rowset to carry dictionary encoding for the
+// pass-through columns (worth it when the projection feeds DISTINCT or an
+// outer query's joins; wasted at the top level of a statement).
+func (e *executor) project(rs *rowset, q *sqlast.Query, wantEnc bool) (*rowset, error) {
+	out := &rowset{cols: make([]boundCol, len(q.Select))}
 	hasAgg := false
-	for _, it := range q.Select {
-		res.Columns = append(res.Columns, outputName(it))
+	for k, it := range q.Select {
+		out.cols[k] = boundCol{name: outputName(it)}
 		if _, ok := it.Expr.(sqlast.AggExpr); ok {
 			hasAgg = true
 		}
 	}
+	st := len(rs.cols)
+
 	if !hasAgg && len(q.GroupBy) == 0 {
 		idxs := make([]int, len(q.Select))
 		for k, it := range q.Select {
-			ce := it.Expr.(sqlast.ColExpr)
+			ce, ok := it.Expr.(sqlast.ColExpr)
+			if !ok {
+				return nil, fmt.Errorf("sqldb: unsupported select expression %T", it.Expr)
+			}
 			i, err := rs.resolve(ce.Col)
 			if err != nil {
 				return nil, err
 			}
 			idxs[k] = i
 		}
-		for _, row := range rs.rows {
-			out := make(relation.Tuple, len(idxs))
+		if wantEnc && rs.dicts != nil {
+			dicts := make([]*relation.Dict, len(idxs))
+			any := false
 			for k, i := range idxs {
-				out[k] = row[i]
+				if dicts[k] = rs.dicts[i]; dicts[k] != nil {
+					any = true
+				}
 			}
-			res.Rows = append(res.Rows, out)
+			if any {
+				out.dicts = dicts
+				out.enc = make([]uint32, 0, len(rs.rows)*len(idxs))
+			}
 		}
-		return res, nil
+		// All output tuples share one flat backing array (capacity-capped per
+		// tuple, and never mutated after projection), so the projection costs
+		// one allocation instead of one per row.
+		nc := len(idxs)
+		backing := make([]relation.Value, len(rs.rows)*nc)
+		out.rows = make([]relation.Tuple, 0, len(rs.rows))
+		for ri, row := range rs.rows {
+			tuple := relation.Tuple(backing[ri*nc : (ri+1)*nc : (ri+1)*nc])
+			for k, i := range idxs {
+				tuple[k] = row[i]
+			}
+			out.rows = append(out.rows, tuple)
+			if out.dicts != nil {
+				for _, i := range idxs {
+					out.enc = append(out.enc, rs.enc[ri*st+i])
+				}
+			}
+		}
+		return out, nil
 	}
 
 	gidx := make([]int, len(q.GroupBy))
@@ -622,81 +1074,280 @@ func (e *executor) project(rs *rowset, q *sqlast.Query) (*Result, error) {
 		}
 		gidx[k] = i
 	}
-	type group struct {
-		rows []relation.Tuple
-	}
-	groups := make(map[string]*group)
-	var order []string
-	for _, row := range rs.rows {
-		if err := e.step(); err != nil {
-			return nil, err
+
+	// Bucket rows into groups; lists and firsts are in first-seen order.
+	// Unlike joins, grouping does not skip NULLs — a NULL key groups with
+	// the literal string "NULL" by format, which is exactly the class the
+	// shared dictionary ID represents.
+	var lists [][]int
+	var firsts []int
+	allEnc := len(gidx) > 0
+	for _, g := range gidx {
+		if !rs.encoded(g) {
+			allEnc = false
+			break
 		}
-		parts := make([]string, len(gidx))
-		for k, i := range gidx {
-			parts[k] = relation.Format(row[i])
-		}
-		key := strings.Join(parts, "\x1f")
-		g, ok := groups[key]
-		if !ok {
-			g = &group{}
-			groups[key] = g
-			order = append(order, key)
-		}
-		g.rows = append(g.rows, row)
 	}
-	if len(q.GroupBy) == 0 && len(order) == 0 {
-		// Aggregates over an empty input still yield one row.
-		groups[""] = &group{}
-		order = append(order, "")
-	}
-	for _, key := range order {
-		g := groups[key]
-		out := make(relation.Tuple, len(q.Select))
-		for k, it := range q.Select {
-			switch ex := it.Expr.(type) {
-			case sqlast.ColExpr:
-				i, err := rs.resolve(ex.Col)
-				if err != nil {
+	switch {
+	case len(gidx) == 1 && allEnc:
+		// Single encoded group key: no per-row key building at all. When the
+		// dictionary is small relative to the input, slot lookup is a dense
+		// array index; otherwise a uint32-keyed map.
+		g := gidx[0]
+		if nd := rs.dicts[g].Len(); nd <= 4*len(rs.rows)+1024 {
+			slotOf := make([]int32, nd)
+			for i := range slotOf {
+				slotOf[i] = -1
+			}
+			for ri := range rs.rows {
+				if err := e.step(); err != nil {
 					return nil, err
 				}
-				if len(g.rows) > 0 {
-					out[k] = g.rows[0][i]
+				id := rs.enc[ri*st+g]
+				slot := slotOf[id]
+				if slot < 0 {
+					slot = int32(len(lists))
+					slotOf[id] = slot
+					lists = append(lists, nil)
+					firsts = append(firsts, ri)
 				}
-			case sqlast.AggExpr:
-				i, err := rs.resolve(ex.Arg)
-				if err != nil {
+				lists[slot] = append(lists[slot], ri)
+			}
+		} else {
+			slots := make(map[uint32]int)
+			for ri := range rs.rows {
+				if err := e.step(); err != nil {
 					return nil, err
 				}
-				v, err := aggregate(ex, g.rows, i)
-				if err != nil {
-					return nil, err
+				id := rs.enc[ri*st+g]
+				slot, ok := slots[id]
+				if !ok {
+					slot = len(lists)
+					slots[id] = slot
+					lists = append(lists, nil)
+					firsts = append(firsts, ri)
 				}
-				out[k] = v
-			default:
-				return nil, fmt.Errorf("sqldb: unsupported select expression %T", it.Expr)
+				lists[slot] = append(lists[slot], ri)
 			}
 		}
-		res.Rows = append(res.Rows, out)
+	case len(gidx) == 2 && allEnc:
+		// Two encoded group keys pack into one uint64 — no byte-buffer
+		// hashing, no string interning per group.
+		g0, g1 := gidx[0], gidx[1]
+		slots := make(map[uint64]int)
+		for ri := range rs.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
+			key := uint64(rs.enc[ri*st+g0]) | uint64(rs.enc[ri*st+g1])<<32
+			slot, ok := slots[key]
+			if !ok {
+				slot = len(lists)
+				slots[key] = slot
+				lists = append(lists, nil)
+				firsts = append(firsts, ri)
+			}
+			lists[slot] = append(lists[slot], ri)
+		}
+	case len(gidx) > 0:
+		// General path: packed IDs for encoded key columns, length-prefixed
+		// formats for the rest. Lookups through map[string(buf)] are
+		// allocation-free; a new group interns its key once.
+		slots := make(map[string]int)
+		var buf []byte
+		for ri := range rs.rows {
+			if err := e.step(); err != nil {
+				return nil, err
+			}
+			buf = rs.appendHashKey(buf[:0], ri, gidx)
+			slot, ok := slots[string(buf)]
+			if !ok {
+				slot = len(lists)
+				slots[string(buf)] = slot
+				lists = append(lists, nil)
+				firsts = append(firsts, ri)
+			}
+			lists[slot] = append(lists[slot], ri)
+		}
+	default:
+		// Aggregates without GROUP BY: one group holding every row.
+		if len(rs.rows) > 0 {
+			all := make([]int, len(rs.rows))
+			for i := range all {
+				all[i] = i
+			}
+			lists = [][]int{all}
+			firsts = []int{0}
+		}
 	}
-	return res, nil
+	synthetic := false
+	if len(gidx) == 0 && len(lists) == 0 {
+		// Aggregates over an empty input still yield one row.
+		lists = [][]int{nil}
+		firsts = []int{-1}
+		synthetic = true
+	}
+
+	// Resolve the select list once, not per group.
+	type selItem struct {
+		agg bool
+		ex  sqlast.AggExpr
+		col int
+	}
+	plan := make([]selItem, len(q.Select))
+	for k, it := range q.Select {
+		switch ex := it.Expr.(type) {
+		case sqlast.ColExpr:
+			i, err := rs.resolve(ex.Col)
+			if err != nil {
+				return nil, err
+			}
+			plan[k] = selItem{col: i}
+		case sqlast.AggExpr:
+			i, err := rs.resolve(ex.Arg)
+			if err != nil {
+				return nil, err
+			}
+			plan[k] = selItem{agg: true, ex: ex, col: i}
+		default:
+			return nil, fmt.Errorf("sqldb: unsupported select expression %T", it.Expr)
+		}
+	}
+	if wantEnc && !synthetic && rs.dicts != nil {
+		dicts := make([]*relation.Dict, len(plan))
+		any := false
+		for k, s := range plan {
+			if !s.agg && rs.dicts[s.col] != nil {
+				dicts[k] = rs.dicts[s.col]
+				any = true
+			}
+		}
+		if any {
+			out.dicts = dicts
+			out.enc = make([]uint32, 0, len(lists)*len(plan))
+		}
+	}
+	for slot, rows := range lists {
+		first := firsts[slot]
+		tuple := make(relation.Tuple, len(plan))
+		for k, s := range plan {
+			if s.agg {
+				v, err := aggregate(s.ex, rs, rows, s.col)
+				if err != nil {
+					return nil, err
+				}
+				tuple[k] = v
+			} else if first >= 0 {
+				tuple[k] = rs.rows[first][s.col]
+			}
+		}
+		out.rows = append(out.rows, tuple)
+		if out.dicts != nil {
+			for k, s := range plan {
+				var id uint32
+				if out.dicts[k] != nil {
+					id = rs.enc[first*st+s.col]
+				}
+				out.enc = append(out.enc, id)
+			}
+		}
+	}
+	return out, nil
 }
 
-func aggregate(ex sqlast.AggExpr, rows []relation.Tuple, i int) (relation.Value, error) {
-	var vals []relation.Value
-	seen := make(map[string]bool)
-	for _, row := range rows {
-		v := row[i]
-		if relation.Null(v) {
-			continue
+func aggregate(ex sqlast.AggExpr, rs *rowset, rows []int, i int) (relation.Value, error) {
+	st := len(rs.cols)
+	if !ex.Distinct {
+		// Without DISTINCT the aggregate folds in one pass over the group —
+		// no intermediate value slice.
+		switch ex.Func {
+		case sqlast.AggCount:
+			n := int64(0)
+			for _, ri := range rows {
+				if !relation.Null(rs.rows[ri][i]) {
+					n++
+				}
+			}
+			return relation.Int(n), nil
+		case sqlast.AggMin, sqlast.AggMax:
+			var best relation.Value
+			for _, ri := range rows {
+				v := rs.rows[ri][i]
+				if relation.Null(v) {
+					continue
+				}
+				if best == nil {
+					best = v
+					continue
+				}
+				c := relation.Compare(v, best)
+				if (ex.Func == sqlast.AggMin && c < 0) || (ex.Func == sqlast.AggMax && c > 0) {
+					best = v
+				}
+			}
+			return best, nil
+		case sqlast.AggSum, sqlast.AggAvg:
+			sum, n, allInt := 0.0, 0, true
+			for _, ri := range rows {
+				v := rs.rows[ri][i]
+				if relation.Null(v) {
+					continue
+				}
+				f, ok := relation.AsFloat(v)
+				if !ok {
+					return nil, fmt.Errorf("sqldb: %s over non-numeric value %v", ex.Func, v)
+				}
+				if _, isInt := v.(int64); !isInt {
+					allInt = false
+				}
+				sum += f
+				n++
+			}
+			if n == 0 {
+				return nil, nil
+			}
+			if ex.Func == sqlast.AggAvg {
+				return relation.Float(sum / float64(n)), nil
+			}
+			if allInt {
+				return relation.Int(int64(sum)), nil
+			}
+			return relation.Float(sum), nil
+		default:
+			return nil, fmt.Errorf("sqldb: unknown aggregate %q", ex.Func)
 		}
-		if ex.Distinct {
+	}
+	var vals []relation.Value
+	if rs.encoded(i) {
+		// DISTINCT de-duplicates by formatted value; the dictionary ID is
+		// that class, so no per-row formatting is needed.
+		seen := make(map[uint32]bool)
+		for _, ri := range rows {
+			v := rs.rows[ri][i]
+			if relation.Null(v) {
+				continue
+			}
+			id := rs.enc[ri*st+i]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			vals = append(vals, v)
+		}
+	} else {
+		seen := make(map[string]bool)
+		for _, ri := range rows {
+			v := rs.rows[ri][i]
+			if relation.Null(v) {
+				continue
+			}
 			k := relation.Format(v)
 			if seen[k] {
 				continue
 			}
 			seen[k] = true
+			vals = append(vals, v)
 		}
-		vals = append(vals, v)
 	}
 	switch ex.Func {
 	case sqlast.AggCount:
@@ -753,30 +1404,94 @@ func outputName(it sqlast.SelectItem) string {
 	}
 }
 
-func distinct(res *Result) *Result {
-	out := &Result{Columns: res.Columns}
-	seen := make(map[string]bool)
-	for _, row := range res.Rows {
-		parts := make([]string, len(row))
-		for i, v := range row {
-			parts[i] = relation.Format(v)
+func distinctRowset(rs *rowset) *rowset {
+	out := &rowset{cols: rs.cols, dicts: rs.dicts}
+	st := len(rs.cols)
+	out.rows = make([]relation.Tuple, 0, len(rs.rows))
+	if out.dicts != nil {
+		out.enc = make([]uint32, 0, len(rs.rows)*st)
+	}
+	emit := func(ri int) {
+		out.rows = append(out.rows, rs.rows[ri])
+		if out.dicts != nil {
+			out.enc = append(out.enc, rs.enc[ri*st:(ri+1)*st]...)
 		}
-		key := strings.Join(parts, "\x1f")
-		if seen[key] {
+	}
+	if st == 1 && rs.encoded(0) {
+		if nd := rs.dicts[0].Len(); nd <= 4*len(rs.rows)+1024 {
+			seen := make([]bool, nd)
+			for ri := range rs.rows {
+				id := rs.enc[ri]
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				emit(ri)
+			}
+			return out
+		}
+		seen := make(map[uint32]bool, len(rs.rows))
+		for ri := range rs.rows {
+			id := rs.enc[ri]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			emit(ri)
+		}
+		return out
+	}
+	if st == 2 && rs.encoded(0) && rs.encoded(1) {
+		nd0, nd1 := int64(rs.dicts[0].Len()), int64(rs.dicts[1].Len())
+		if prod := nd0 * nd1; prod <= 64*int64(len(rs.rows))+4096 {
+			// The combined ID space is small: de-duplicate through a bitset
+			// indexed by id0*nd1+id1 instead of hashing at all.
+			seen := make([]uint64, (prod+63)/64)
+			for ri := range rs.rows {
+				key := int64(rs.enc[ri*2])*nd1 + int64(rs.enc[ri*2+1])
+				w, b := key/64, uint(key%64)
+				if seen[w]&(1<<b) != 0 {
+					continue
+				}
+				seen[w] |= 1 << b
+				emit(ri)
+			}
+			return out
+		}
+		seen := make(map[uint64]struct{}, len(rs.rows))
+		for ri := range rs.rows {
+			key := uint64(rs.enc[ri*2]) | uint64(rs.enc[ri*2+1])<<32
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			seen[key] = struct{}{}
+			emit(ri)
+		}
+		return out
+	}
+	idx := make([]int, st)
+	for i := range idx {
+		idx[i] = i
+	}
+	seen := make(map[string]bool, len(rs.rows))
+	var buf []byte
+	for ri := range rs.rows {
+		buf = rs.appendHashKey(buf[:0], ri, idx)
+		if seen[string(buf)] {
 			continue
 		}
-		seen[key] = true
-		out.Rows = append(out.Rows, row)
+		seen[string(buf)] = true
+		emit(ri)
 	}
 	return out
 }
 
-func orderBy(res *Result, items []sqlast.OrderItem) error {
+func orderByRowset(rs *rowset, items []sqlast.OrderItem) error {
 	idxs := make([]int, len(items))
 	for k, o := range items {
 		found := -1
-		for i, c := range res.Columns {
-			if strings.EqualFold(c, o.Col.Column) || strings.EqualFold(c, o.Col.String()) {
+		for i, bc := range rs.cols {
+			if strings.EqualFold(bc.name, o.Col.Column) || strings.EqualFold(bc.name, o.Col.String()) {
 				found = i
 				break
 			}
@@ -786,9 +1501,9 @@ func orderBy(res *Result, items []sqlast.OrderItem) error {
 		}
 		idxs[k] = found
 	}
-	sort.SliceStable(res.Rows, func(a, b int) bool {
+	less := func(a, b relation.Tuple) bool {
 		for k, i := range idxs {
-			c := relation.Compare(res.Rows[a][i], res.Rows[b][i])
+			c := relation.Compare(a[i], b[i])
 			if c != 0 {
 				if items[k].Desc {
 					return c > 0
@@ -797,6 +1512,24 @@ func orderBy(res *Result, items []sqlast.OrderItem) error {
 			}
 		}
 		return false
-	})
+	}
+	if rs.enc == nil {
+		sort.SliceStable(rs.rows, func(a, b int) bool { return less(rs.rows[a], rs.rows[b]) })
+		return nil
+	}
+	// Sort a permutation, then rebuild rows and the encoding in lockstep.
+	st := len(rs.cols)
+	perm := make([]int, len(rs.rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return less(rs.rows[perm[a]], rs.rows[perm[b]]) })
+	rows := make([]relation.Tuple, len(rs.rows))
+	enc := make([]uint32, len(rs.enc))
+	for ni, oi := range perm {
+		rows[ni] = rs.rows[oi]
+		copy(enc[ni*st:(ni+1)*st], rs.enc[oi*st:(oi+1)*st])
+	}
+	rs.rows, rs.enc = rows, enc
 	return nil
 }

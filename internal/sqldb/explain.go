@@ -25,6 +25,7 @@ type PlanSource struct {
 	Alias   string
 	Name    string // base relation name, or "(subquery)"
 	Rows    int
+	Encoded bool     // rows carry the frozen table's dictionary encoding
 	Pushed  []string // predicates evaluated while scanning this source
 	Derived *Plan    // the plan of a derived table
 }
@@ -46,7 +47,11 @@ func (p *Plan) String() string {
 func (p *Plan) write(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%s%s\n", indent, p.Shape)
 	for _, s := range p.Sources {
-		fmt.Fprintf(b, "%s  scan %s as %s (%d rows)", indent, s.Name, s.Alias, s.Rows)
+		enc := ""
+		if s.Encoded {
+			enc = ", dict-encoded"
+		}
+		fmt.Fprintf(b, "%s  scan %s as %s (%d rows%s)", indent, s.Name, s.Alias, s.Rows, enc)
 		if len(s.Pushed) > 0 {
 			fmt.Fprintf(b, " filter: %s", strings.Join(s.Pushed, " AND "))
 		}
@@ -90,7 +95,7 @@ func Explain(db *relation.Database, q *sqlast.Query) (*Plan, error) {
 			return nil, err
 		}
 		sources[i] = rs
-		ps := PlanSource{Alias: tr.Alias, Name: tr.Name, Rows: len(rs.rows)}
+		ps := PlanSource{Alias: tr.Alias, Name: tr.Name, Rows: len(rs.rows), Encoded: rs.dicts != nil}
 		if tr.Subquery != nil {
 			ps.Name = "(subquery)"
 			sub, err := Explain(db, tr.Subquery)

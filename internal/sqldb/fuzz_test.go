@@ -18,6 +18,7 @@ func FuzzParse(f *testing.F) {
 	f.Add("'unterminated")
 	f.Add("SELECT x FROM T WHERE x CONTAINS 'a' GROUPBY x LIMIT 3")
 	f.Add("SELECT COUNT(DISTINCT x) FROM (SELECT y FROM T) Z ORDER BY y DESC")
+	f.Add("SELECT x FROM T WHERE x = 'a\x1fb'") // the executor's old hash-key separator
 	f.Fuzz(func(t *testing.T, src string) {
 		q, err := Parse(src)
 		if err != nil {
@@ -64,6 +65,11 @@ func FuzzExec(f *testing.F) {
 	for _, seed := range corpus {
 		f.Add(seed)
 	}
+	// Hash-key separator collisions: values containing "\x1f" aliased under
+	// the executor's old joined keys and must stay distinct.
+	f.Add("SELECT S.Sname FROM Student S WHERE S.Sname = 'a\x1fb'")
+	f.Add("SELECT DISTINCT S.Sname, S.Age FROM Student S")
+	f.Add("SELECT E.Grade, COUNT(E.Sid) AS n FROM Enrol E GROUP BY E.Grade, E.Code")
 	db := university.New()
 	f.Fuzz(func(t *testing.T, src string) {
 		q, err := Parse(src)

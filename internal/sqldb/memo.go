@@ -1,0 +1,204 @@
+package sqldb
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// Memo caches intermediate executor rowsets across statements and requests,
+// keyed by a canonical subplan string: "scan|<table>|<alias>" grown with
+// "|f:<pred>" per pushed filter, "join(<left>)+(<right>)|on:<eqs>" per join
+// step, and "sub|<sql>" for derived tables. The top-k interpretations of one
+// keyword query share most of their ORM-graph join fragments, so executing
+// them against the same frozen database repeats near-identical subplans; the
+// memo lets the first execution pay for a fragment and every later
+// interpretation — in the same request or a later one — reuse the finished
+// rowset.
+//
+// Correctness rests on two properties: the database is frozen before a memo
+// is attached (a key's result is deterministic), and cached rowsets are
+// immutable by convention — every executor operator builds a fresh rowset and
+// only reads its inputs, and whole-statement projections are never cached
+// (callers may reorder Result rows in place). Entries are evicted LRU by
+// their cell count (rows × columns) against a fixed budget.
+//
+// Concurrent requests for the same missing key collapse into one computation:
+// the first caller claims the entry and computes it, later callers block on
+// the claim; if the computation fails, the entry is dropped and the waiters
+// compute for themselves without caching.
+type Memo struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[string]*memoEntry
+	lru     *list.List // ready entries, most recently used first
+}
+
+type memoEntry struct {
+	key    string
+	ready  chan struct{} // closed once rs/failed is final
+	rs     *rowset
+	failed bool
+	cost   int64
+	elem   *list.Element // non-nil while the entry is cached in the LRU
+}
+
+// NewMemo creates a memo bounded to budgetCells result cells (rows times
+// columns, summed over cached fragments). A non-positive budget returns nil,
+// which disables memoization wherever the memo is passed.
+func NewMemo(budgetCells int64) *Memo {
+	if budgetCells <= 0 {
+		return nil
+	}
+	return &Memo{
+		budget:  budgetCells,
+		entries: make(map[string]*memoEntry),
+		lru:     list.New(),
+	}
+}
+
+// Len reports the number of cached (ready) fragments.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+// UsedCells reports the cell cost currently held by cached fragments.
+func (m *Memo) UsedCells() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// memoClaim is the right (and obligation) to finish a missing entry: the
+// holder computes the rowset and must call publish or fail exactly once.
+type memoClaim struct {
+	m   *Memo
+	ent *memoEntry
+}
+
+// acquire returns a cached rowset (hit), or a claim to compute the missing
+// key (nil rowset, non-nil claim), or neither when another goroutine's
+// computation of the key failed — the caller should then compute without
+// caching. It blocks while another goroutine holds the key's claim.
+func (m *Memo) acquire(ctx context.Context, key string) (*rowset, *memoClaim, error) {
+	m.mu.Lock()
+	ent, ok := m.entries[key]
+	if !ok {
+		ent = &memoEntry{key: key, ready: make(chan struct{})}
+		m.entries[key] = ent
+		m.mu.Unlock()
+		return nil, &memoClaim{m: m, ent: ent}, nil
+	}
+	m.mu.Unlock()
+	if ctx != nil {
+		select {
+		case <-ent.ready:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	} else {
+		<-ent.ready
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ent.failed {
+		return nil, nil, nil
+	}
+	if ent.elem != nil {
+		m.lru.MoveToFront(ent.elem)
+	}
+	return ent.rs, nil, nil
+}
+
+// publish finishes the claim with a computed rowset, caching it within the
+// budget and waking every waiter.
+func (c *memoClaim) publish(rs *rowset) {
+	m, ent := c.m, c.ent
+	cost := int64(len(rs.rows))*int64(len(rs.cols)) + 1
+	m.mu.Lock()
+	ent.rs = rs
+	ent.cost = cost
+	if cost <= m.budget {
+		ent.elem = m.lru.PushFront(ent)
+		m.used += cost
+		for m.used > m.budget {
+			back := m.lru.Back()
+			old := back.Value.(*memoEntry)
+			m.lru.Remove(back)
+			old.elem = nil
+			delete(m.entries, old.key)
+			m.used -= old.cost
+		}
+	} else {
+		// Larger than the whole budget: hand the rowset to the current
+		// waiters but do not cache it.
+		delete(m.entries, ent.key)
+	}
+	close(ent.ready)
+	m.mu.Unlock()
+}
+
+// fail finishes the claim without a result: the entry is dropped so waiters
+// (and later requests) recompute.
+func (c *memoClaim) fail() {
+	m, ent := c.m, c.ent
+	m.mu.Lock()
+	ent.failed = true
+	delete(m.entries, ent.key)
+	close(ent.ready)
+	m.mu.Unlock()
+}
+
+// memoized returns the rowset for the canonical subplan key, computing it
+// with compute on a miss. With no memo attached (or an uncacheable fragment,
+// key == "") it simply computes.
+func (e *executor) memoized(key string, compute func() (*rowset, error)) (*rowset, error) {
+	if e.memo == nil || key == "" {
+		return compute()
+	}
+	rs, claim, err := e.memo.acquire(e.ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if rs != nil {
+		e.memoHits++
+		return rs, nil
+	}
+	e.memoMisses++
+	out, err := compute()
+	if claim != nil {
+		if err != nil || out == nil {
+			claim.fail()
+		} else {
+			out.key = key
+			claim.publish(out)
+		}
+	}
+	return out, err
+}
+
+// MemoStats reports how one statement's execution interacted with the memo.
+type MemoStats struct {
+	Hits   int // subplan fragments served from the memo
+	Misses int // fragments computed (and, when cacheable, published)
+}
+
+// ExecMemoContext is ExecContext with shared-subplan memoization: filtered
+// scans, join accumulations and derived tables are cached in m under their
+// canonical subplan keys and reused across statements and requests. m must
+// only be shared across executions of the same immutable (frozen) database;
+// a nil m degrades to plain ExecContext.
+func ExecMemoContext(ctx context.Context, db *relation.Database, q *sqlast.Query, m *Memo) (*Result, MemoStats, error) {
+	e := &executor{db: db, memo: m}
+	if ctx != nil && ctx.Done() != nil {
+		e.ctx = ctx
+	}
+	res, err := e.query(q)
+	return res, MemoStats{Hits: e.memoHits, Misses: e.memoMisses}, err
+}

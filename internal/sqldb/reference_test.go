@@ -150,7 +150,7 @@ func refExec(db *relation.Database, q *sqlast.Query) (*Result, error) {
 					if err != nil {
 						return nil, err
 					}
-					v, err := aggregate(ex, g, i)
+					v, err := refAggregate(ex, g, i)
 					if err != nil {
 						return nil, err
 					}
@@ -161,10 +161,10 @@ func refExec(db *relation.Database, q *sqlast.Query) (*Result, error) {
 		}
 	}
 	if q.Distinct {
-		res = distinct(res)
+		res = refDistinct(res)
 	}
 	if len(q.OrderBy) > 0 {
-		if err := orderBy(res, q.OrderBy); err != nil {
+		if err := refOrderBy(res, q.OrderBy); err != nil {
 			return nil, err
 		}
 	}
@@ -172,6 +172,117 @@ func refExec(db *relation.Database, q *sqlast.Query) (*Result, error) {
 		res.Rows = res.Rows[:q.Limit]
 	}
 	return res, nil
+}
+
+// refAggregate, refDistinct and refOrderBy are the reference evaluator's own
+// implementations, independent of the executor's encoded kernels.
+func refAggregate(ex sqlast.AggExpr, rows []relation.Tuple, i int) (relation.Value, error) {
+	var vals []relation.Value
+	seen := make(map[string]bool)
+	for _, row := range rows {
+		v := row[i]
+		if relation.Null(v) {
+			continue
+		}
+		if ex.Distinct {
+			k := relation.Format(v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch ex.Func {
+	case sqlast.AggCount:
+		return relation.Int(int64(len(vals))), nil
+	case sqlast.AggMin, sqlast.AggMax:
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := relation.Compare(v, best)
+			if (ex.Func == sqlast.AggMin && c < 0) || (ex.Func == sqlast.AggMax && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case sqlast.AggSum, sqlast.AggAvg:
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		sum := 0.0
+		allInt := true
+		for _, v := range vals {
+			f, ok := relation.AsFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("ref: %s over non-numeric value %v", ex.Func, v)
+			}
+			if _, isInt := v.(int64); !isInt {
+				allInt = false
+			}
+			sum += f
+		}
+		if ex.Func == sqlast.AggAvg {
+			return relation.Float(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return relation.Int(int64(sum)), nil
+		}
+		return relation.Float(sum), nil
+	default:
+		return nil, fmt.Errorf("ref: unknown aggregate %q", ex.Func)
+	}
+}
+
+func refDistinct(res *Result) *Result {
+	out := &Result{Columns: res.Columns}
+	seen := make(map[string]bool)
+	for _, row := range res.Rows {
+		var b strings.Builder
+		for _, v := range row {
+			s := relation.Format(v)
+			fmt.Fprintf(&b, "%d:%s|", len(s), s)
+		}
+		key := b.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func refOrderBy(res *Result, items []sqlast.OrderItem) error {
+	idxs := make([]int, len(items))
+	for k, o := range items {
+		found := -1
+		for i, c := range res.Columns {
+			if strings.EqualFold(c, o.Col.Column) || strings.EqualFold(c, o.Col.String()) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("ref: ORDER BY column %s not in result", o.Col)
+		}
+		idxs[k] = found
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for k, i := range idxs {
+			c := relation.Compare(res.Rows[a][i], res.Rows[b][i])
+			if c != 0 {
+				if items[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
 }
 
 func refPred(row relation.Tuple, p sqlast.Pred, resolve func(sqlast.Col) (int, error)) (bool, error) {

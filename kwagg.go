@@ -161,6 +161,12 @@ type Options struct {
 	// disables chaos entirely, leaving only a nil check on the hot path.
 	// See internal/chaos and docs/ROBUSTNESS.md.
 	Chaos chaos.Injector
+	// MemoCells bounds the shared-subplan memo that statement execution runs
+	// through (result cells = rows x columns summed over cached fragments,
+	// LRU): join fragments shared by the top-k interpretations of a query —
+	// and by later queries, since the data is frozen — are computed once.
+	// 0 means the core default, negative disables memoization.
+	MemoCells int64
 }
 
 // Engine answers keyword queries over one database.
@@ -192,6 +198,7 @@ func Open(d *DB, opts *Options) (*Engine, error) {
 		copts.NameHints = opts.ViewNames
 		copts.Workers = opts.Workers
 		copts.Chaos = opts.Chaos
+		copts.MemoCells = opts.MemoCells
 		cacheSize = opts.CacheSize
 	}
 	sys, err := core.Open(d.db, copts)
