@@ -1,6 +1,6 @@
 # Standard entry points; everything is pure Go with no external dependencies.
 
-.PHONY: all build test test-race race cover cover-check test-prop test-chaos fuzz-smoke bench bench-json experiments verify fmt fmt-check vet ci examples
+.PHONY: all build test test-race race cover cover-check test-prop test-chaos fuzz-smoke bench bench-json experiments verify fmt fmt-check vet lint lint-json ci examples
 
 all: build test
 
@@ -86,9 +86,23 @@ fmt-check:
 vet:
 	go vet ./...
 
+# Two-level static analysis (see docs/STATIC_ANALYSIS.md): the repo-specific
+# code analyzers over every package, then the plan-invariant verifier over
+# every statement the bundled dataset workloads generate.
+lint:
+	go run ./cmd/kwlint ./...
+	go run ./cmd/kwlint -plans
+
+# Machine-readable lint record; the nightly workflow uploads it as an
+# artifact next to BENCH_PR4.json.
+lint-json:
+	go run ./cmd/kwlint -json ./... > KWLINT.json || true
+	go run ./cmd/kwlint -json -plans > KWLINT_PLANS.json || true
+	@echo "wrote KWLINT.json KWLINT_PLANS.json"
+
 # Mirrors .github/workflows/ci.yml exactly, so contributors can run the
 # whole push gate locally before opening a PR.
-ci: build vet fmt-check test test-race test-chaos test-prop cover-check
+ci: build vet fmt-check lint test test-race test-chaos test-prop cover-check
 
 # Run every example end to end.
 examples:

@@ -1,0 +1,164 @@
+// Command kwlint is the repository's two-level static-analysis driver.
+//
+// Code mode (the default) type-checks the requested packages and runs the
+// repo-specific analyzers of internal/analysis — map-iteration determinism,
+// kernel-loop allocation discipline, clock/randomness containment, metric
+// naming, context threading and frozen-storage writes:
+//
+//	kwlint ./...
+//	kwlint -json ./internal/sqldb
+//
+// Plan mode (-plans) opens every bundled dataset at the small scale, replays
+// its canonical keyword workload (DatasetWorkloads) and runs every generated
+// SQL statement through the internal/planck plan verifier, checking the
+// paper's invariants (object-id GROUP BY, DISTINCT projections, join-key
+// coverage across the Section 4.1 rewrites):
+//
+//	kwlint -plans
+//
+// Both modes exit 1 when they find anything, so they can gate CI. Findings
+// are printed compiler-style (file:line:col: analyzer: message), or as one
+// JSON object with "diagnostics" and "plans" arrays under -json.
+// See docs/STATIC_ANALYSIS.md for each rule and the suppression syntax.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"kwagg"
+	"kwagg/internal/analysis"
+)
+
+// diagJSON is the JSON shape of one code-level diagnostic.
+type diagJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// planJSON is the JSON shape of one plan-level finding.
+type planJSON struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+	Rule    string `json:"rule"`
+	Detail  string `json:"detail"`
+}
+
+// report is the -json output document. Both arrays are always present so
+// downstream tooling can consume the artifact without probing for keys.
+type report struct {
+	Diagnostics []diagJSON `json:"diagnostics"`
+	Plans       []planJSON `json:"plans"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a single JSON object")
+	plans := flag.Bool("plans", false, "verify generated query plans instead of analyzing code")
+	k := flag.Int("k", 0, "with -plans: interpretations to verify per query (0 = all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kwlint [-json] [packages]\n       kwlint [-json] -plans [-k N]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var rep report
+	var err error
+	if *plans {
+		rep.Plans, err = runPlans(*k)
+	} else {
+		rep.Diagnostics, err = runCode(flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kwlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []diagJSON{}
+		}
+		if rep.Plans == nil {
+			rep.Plans = []planJSON{}
+		}
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "kwlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range rep.Diagnostics {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+		for _, p := range rep.Plans {
+			fmt.Printf("%s: %q: %s: %s\n", p.Dataset, p.Query, p.Rule, p.Detail)
+		}
+	}
+	if len(rep.Diagnostics)+len(rep.Plans) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runCode type-checks the named packages (default ./...) and applies every
+// analyzer.
+func runCode(patterns []string) ([]diagJSON, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers())
+	out := make([]diagJSON, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, diagJSON{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out, nil
+}
+
+// runPlans replays the bundled dataset workloads through the planck plan
+// verifier. Every dataset opens at the small scale; k bounds how many
+// interpretations are verified per query (0 verifies all of them).
+func runPlans(k int) ([]planJSON, error) {
+	workloads := kwagg.DatasetWorkloads()
+	names := make([]string, 0, len(workloads))
+	for name := range workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []planJSON
+	for _, name := range names {
+		eng, err := kwagg.OpenDataset(name, true)
+		if err != nil {
+			return nil, fmt.Errorf("open dataset %q: %w", name, err)
+		}
+		for _, q := range workloads[name] {
+			findings, err := eng.PlanFindings(q, k)
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q query %q: %w", name, q, err)
+			}
+			for _, f := range findings {
+				out = append(out, planJSON{Dataset: name, Query: q, Rule: f.Rule, Detail: f.Detail})
+			}
+		}
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"kwagg/internal/dataset/acmdl"
 	"kwagg/internal/dataset/tpch"
 	"kwagg/internal/dataset/university"
+	"kwagg/internal/experiments"
 )
 
 // UniversityDB returns the running-example university database of the
@@ -86,6 +87,32 @@ func ACMDLUnnormalizedDB(scale ACMDLScale) *DB {
 
 // ACMDLViewNames names the normalized-view relations of ACMDLUnnormalizedDB.
 func ACMDLViewNames() map[string]string { return acmdl.NameHints() }
+
+// DatasetWorkloads returns the canonical keyword workload of each bundled
+// dataset: the paper's running-example queries for "university" and the
+// evaluation queries T1-T8 / A1-A8 for the TPC-H and ACMDL databases. The
+// denormalized variants replay the same keywords, which routes them through
+// the Section 4.1 rewrite rules. The chaos replay suite, the plan-verifier
+// corpus test and `kwlint -plans` all iterate this map, so every statement
+// the bundled workloads can generate is covered by the planck invariants.
+func DatasetWorkloads() map[string][]string {
+	w := map[string][]string{
+		"university": {
+			"Green SUM Credit",
+			"Green George COUNT Code",
+			"COUNT Student GROUPBY Course",
+		},
+	}
+	for _, q := range experiments.QueriesTPCH() {
+		w["tpch"] = append(w["tpch"], q.Keywords)
+		w["tpch-denorm"] = append(w["tpch-denorm"], q.Keywords)
+	}
+	for _, q := range experiments.QueriesACMDL() {
+		w["acmdl"] = append(w["acmdl"], q.Keywords)
+		w["acmdl-denorm"] = append(w["acmdl-denorm"], q.Keywords)
+	}
+	return w
+}
 
 // OpenDataset opens one of the bundled datasets by name: "university",
 // "fig2", "enrolment", "tpch", "tpch-denorm", "acmdl" or "acmdl-denorm".

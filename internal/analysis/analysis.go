@@ -1,0 +1,232 @@
+// Package analysis is the repo-specific static-analysis suite behind
+// cmd/kwlint: half a dozen analyzers that encode the code-level contracts the
+// previous PRs established but `go vet` cannot see — deterministic output
+// (no unsorted map iteration feeding results, no wall clock or math/rand in
+// the deterministic pipeline), allocation discipline in the sqldb kernels
+// pinned by alloc_test.go, kwagg_-prefixed metric names registered with one
+// help string, context.Context threaded through the statement-execution
+// path, and no writes to frozen relation storage outside the Freeze/build
+// path.
+//
+// The package is stdlib-only (go/ast, go/parser, go/types, go/importer plus
+// os/exec to ask the go command for export data), keeping the module
+// dependency-free. See docs/STATIC_ANALYSIS.md for each analyzer's rationale
+// and the suppression syntax.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding the way compilers do: file:line:col: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pkg is one loaded, type-checked package handed to the analyzers.
+type Pkg struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named check. Run is called once per package; Finish, when
+// non-nil, is called after every package has been seen (for analyzers that
+// accumulate cross-package state, like the metric-name uniqueness check).
+type Analyzer struct {
+	Name   string
+	Doc    string
+	Run    func(*Pkg) []Diagnostic
+	Finish func() []Diagnostic
+}
+
+// Analyzers returns a fresh instance of every analyzer in the suite.
+// Instances carry per-run state, so a new slice must be used per run.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder(),
+		HotAlloc(),
+		DetClock(),
+		MetricName(),
+		CtxFlow(),
+		FreezeWrite(),
+	}
+}
+
+// Run executes every analyzer over every package, applies the
+// //kwlint:ignore suppressions, and returns the surviving diagnostics in
+// deterministic (file, line, column, analyzer) order.
+func Run(pkgs []*Pkg, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		diags = append(diags, sup.errors...)
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			for _, d := range a.Run(pkg) {
+				if !sup.matches(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			diags = append(diags, a.Finish()...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppression is one //kwlint:ignore directive: it silences diagnostics of
+// the named analyzer ("all" silences every analyzer) on the directive's line
+// or the line immediately below it. A reason is mandatory — a suppression
+// without one is itself reported.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressionSet struct {
+	entries map[suppression]bool
+	errors  []Diagnostic
+}
+
+// IgnoreDirective is the comment prefix that suppresses a finding:
+// //kwlint:ignore <analyzer> <reason>.
+const IgnoreDirective = "//kwlint:ignore"
+
+func collectSuppressions(pkg *Pkg) *suppressionSet {
+	s := &suppressionSet{entries: make(map[suppression]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, IgnoreDirective))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.errors = append(s.errors, Diagnostic{
+						Analyzer: "kwlint",
+						Pos:      pos,
+						Message:  "kwlint:ignore requires an analyzer name and a written reason: //kwlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				s.entries[suppression{file: pos.Filename, line: pos.Line, analyzer: fields[0]}] = true
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressionSet) matches(d Diagnostic) bool {
+	for _, name := range []string{d.Analyzer, "all"} {
+		// The directive suppresses its own line and, when written as a
+		// standalone comment line, the line below it.
+		if s.entries[suppression{file: d.Pos.Filename, line: d.Pos.Line, analyzer: name}] ||
+			s.entries[suppression{file: d.Pos.Filename, line: d.Pos.Line - 1, analyzer: name}] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- shared AST / type helpers used by several analyzers ----
+
+// isPkgCall reports whether call is pkgpath.name(...) — a selector whose
+// qualifier resolves to an imported package with the given path.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// funcDecls yields every function declaration of the package with a body.
+func funcDecls(pkg *Pkg) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// hasCtxParam reports whether the function type declares a parameter of type
+// context.Context.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, fl := range ft.Params.List {
+		if isContextType(info.TypeOf(fl.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

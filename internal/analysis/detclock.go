@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// detClockAllowed lists the packages that may read the wall clock or the
+// global math/rand source: fault injection (chaos owns all randomness),
+// observability (span timing), the HTTP serving layer, and the measurement /
+// test-harness packages. Everything else — the pipeline, core, the executor,
+// storage — must be a pure function of its inputs so that replays, caches and
+// golden files stay byte-identical.
+var detClockAllowed = map[string]bool{
+	"kwagg/internal/chaos":       true,
+	"kwagg/internal/obs":         true,
+	"kwagg/internal/server":      true,
+	"kwagg/internal/leakcheck":   true,
+	"kwagg/internal/proptest":    true,
+	"kwagg/internal/experiments": true,
+}
+
+// DetClock reports wall-clock reads (time.Now, time.Since, time.After,
+// time.Tick) and global math/rand calls outside the packages allowed to be
+// nondeterministic. Explicitly-seeded sources (rand.New, rand.NewSource) and
+// methods on a *rand.Rand passed in by the caller are deterministic and not
+// flagged.
+func DetClock() *Analyzer {
+	a := &Analyzer{
+		Name: "detclock",
+		Doc:  "wall clock / global math-rand use outside chaos, obs and the server layer",
+	}
+	a.Run = func(pkg *Pkg) []Diagnostic {
+		if detClockAllowed[pkg.Path] ||
+			strings.HasPrefix(pkg.Path, "kwagg/cmd/") ||
+			strings.HasPrefix(pkg.Path, "kwagg/examples/") {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, fd := range funcDecls(pkg) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := isPkgCall(pkg.Info, call, "time", "Now", "Since", "Until", "After", "Tick"); ok {
+					diags = append(diags, Diagnostic{
+						Analyzer: "detclock",
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Message:  "time." + name + " makes this package nondeterministic; take durations from the caller or move the timing into internal/obs spans",
+					})
+					return true
+				}
+				if name, ok := isGlobalRandCall(pkg, call); ok {
+					diags = append(diags, Diagnostic{
+						Analyzer: "detclock",
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Message:  "math/rand." + name + " draws from the global nondeterministic source; route randomness through internal/chaos (e.g. chaos.Jitter) or accept a seeded *rand.Rand",
+					})
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// isGlobalRandCall reports calls to math/rand package-level functions other
+// than the explicit constructors New and NewSource.
+func isGlobalRandCall(pkg *Pkg, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name, ok := isPkgCall(pkg.Info, call, "math/rand", sel.Sel.Name)
+	if !ok || name == "New" || name == "NewSource" {
+		return "", false
+	}
+	return name, true
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// freezeWriteAllowed returns whether the package is part of the build path
+// that legitimately mutates storage: the relation package itself (Freeze,
+// Insert, index building), the dataset builders that populate tables before
+// core.Open freezes them, and the normalizer, which constructs the virtual
+// view schemas (decomposition, merging, FK inference) during core.Open.
+func freezeWriteAllowed(path string) bool {
+	return path == relationPkg ||
+		path == "kwagg/internal/normalize" ||
+		strings.HasPrefix(path, "kwagg/internal/dataset")
+}
+
+// schemaMetaFields are the Schema fields that define keys and dependencies;
+// rewriting them after build silently changes superkey and FD reasoning
+// (IsSuperkey, EffectiveFDs) mid-flight.
+var schemaMetaFields = map[string]bool{
+	"Attributes":  true,
+	"PrimaryKey":  true,
+	"ForeignKeys": true,
+	"FDs":         true,
+}
+
+// FreezeWrite reports writes through relation.Table fields (Schema, Tuples —
+// including element writes like t.Tuples[i] = row) and through the key/FD
+// metadata fields of relation.Schema, anywhere outside the relation package
+// and the dataset builders. After core.Open the database is frozen and
+// shared by concurrent queries; such a write is a data race and invalidates
+// the dictionaries, hash indexes and caches built at Freeze.
+func FreezeWrite() *Analyzer {
+	a := &Analyzer{
+		Name: "freezewrite",
+		Doc:  "mutation of relation.Table / relation.Schema storage outside the Freeze/build path",
+	}
+	a.Run = func(pkg *Pkg) []Diagnostic {
+		if freezeWriteAllowed(pkg.Path) {
+			return nil
+		}
+		var diags []Diagnostic
+		check := func(lhs ast.Expr, verb string) {
+			sel, field, owner := frozenField(pkg.Info, lhs)
+			if sel == nil {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "freezewrite",
+				Pos:      pkg.Fset.Position(sel.Pos()),
+				Message: verb + " relation." + owner + "." + field +
+					" outside the Freeze/build path; the database is frozen and shared after core.Open — build new tables instead of mutating stored ones",
+			})
+		}
+		for _, fd := range funcDecls(pkg) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						check(lhs, "assigns to")
+					}
+				case *ast.IncDecStmt:
+					check(st.X, "mutates")
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// frozenField unwraps an lvalue (through indexing, dereference and parens)
+// to a selector on a relation.Table or relation.Schema field covered by the
+// freeze contract. It returns the selector, field name and owning type name,
+// or nils.
+func frozenField(info *types.Info, e ast.Expr) (*ast.SelectorExpr, string, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			selInfo, ok := info.Selections[x]
+			if !ok || selInfo.Kind() != types.FieldVal {
+				return nil, "", ""
+			}
+			recv := selInfo.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != relationPkg {
+				// Not a relation type; but the selector base may still be one
+				// (e.g. db.Table("T").Tuples — base is a call, stop there).
+				e = x.X
+				continue
+			}
+			field := selInfo.Obj().Name()
+			switch named.Obj().Name() {
+			case "Table":
+				return x, field, "Table"
+			case "Schema":
+				if schemaMetaFields[field] {
+					return x, field, "Schema"
+				}
+				return nil, "", ""
+			default:
+				return nil, "", ""
+			}
+		default:
+			return nil, "", ""
+		}
+	}
+}

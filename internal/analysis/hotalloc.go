@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// relationPkg is the import path of the storage package whose Format helper
+// materializes a string per call.
+const relationPkg = "kwagg/internal/relation"
+
+// HotAlloc reports per-row allocation patterns inside loops in the sqldb
+// execution kernels, whose ~0 allocs/row budget is pinned by alloc_test.go:
+//
+//   - fmt.Sprintf / fmt.Sprint calls (always allocate),
+//   - string concatenation onto a variable with += (reallocates every
+//     iteration),
+//   - relation.Format results appended into a []byte key buffer — use
+//     relation.AppendFormat, which appends digits directly.
+//
+// Loops are where rows are processed; the same patterns outside a loop are
+// per-statement, not per-row, and are not flagged.
+func HotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "per-row allocations inside sqldb kernel loops pinned by alloc_test.go",
+	}
+	a.Run = func(pkg *Pkg) []Diagnostic {
+		if pkg.Path != "kwagg/internal/sqldb" {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, fd := range funcDecls(pkg) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch l := n.(type) {
+				case *ast.ForStmt:
+					body = l.Body
+				case *ast.RangeStmt:
+					body = l.Body
+				default:
+					return true
+				}
+				diags = append(diags, checkHotLoop(pkg, body)...)
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// checkHotLoop scans one loop body. Nested loops are skipped here — the
+// outer Inspect visits them separately — so each site is reported exactly
+// once, at the innermost loop containing it.
+func checkHotLoop(pkg *Pkg, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "hotalloc",
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Message:  msg,
+		})
+	}
+	// Identifiers assigned from relation.Format inside this loop body.
+	formatted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.AssignStmt:
+			if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 && isString(pkg.Info.TypeOf(st.Lhs[0])) {
+				report(st, "string += in a kernel loop reallocates every iteration; build into a reused []byte or strings.Builder hoisted out of the loop")
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(st.Lhs) {
+					continue
+				}
+				if _, ok := isPkgCall(pkg.Info, call, relationPkg, "Format"); ok {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						if obj := pkg.Info.ObjectOf(id); obj != nil {
+							formatted[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := isPkgCall(pkg.Info, st, "fmt", "Sprintf", "Sprint", "Sprintln"); ok {
+				report(st, "fmt."+name+" allocates on every row; format into a reused buffer (strconv.Append*, relation.AppendFormat) instead")
+				return true
+			}
+			if isBuiltinAppend(pkg.Info, st) && st.Ellipsis != token.NoPos && len(st.Args) == 2 {
+				arg := st.Args[1]
+				if call, ok := arg.(*ast.CallExpr); ok {
+					if _, ok := isPkgCall(pkg.Info, call, relationPkg, "Format"); ok {
+						report(st, "relation.Format materializes a string per row before the append; use relation.AppendFormat(dst, v) instead")
+						return true
+					}
+				}
+				if id, ok := arg.(*ast.Ident); ok && formatted[pkg.Info.ObjectOf(id)] {
+					report(st, "relation.Format materializes a string per row before the append; use relation.AppendFormat(dst, v) instead")
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Loader parses and type-checks the module's packages from source, resolving
+// imports (standard library and intra-module alike) through compiled export
+// data obtained from one `go list -export -deps` invocation. This keeps the
+// module itself dependency-free: no golang.org/x/tools, just the go command
+// the repo already builds with.
+type Loader struct {
+	Dir     string // module root
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader prepares a loader rooted at the module directory. It asks the go
+// command for the export data of every dependency of every package in the
+// module, so later Load and CheckSource calls type-check without touching
+// the network or GOPATH.
+func NewLoader(dir string) (*Loader, error) {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: make(map[string]string)}
+	out, err := goList(dir, "-e", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}", "./...")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: listing export data: %w", err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		parts := strings.SplitN(sc.Text(), "\t", 2)
+		if len(parts) == 2 && parts[1] != "" {
+			l.exports[parts[0]] = parts[1]
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l, nil
+}
+
+// Fset returns the loader's file set (shared by every loaded package).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks the packages matching the given go package
+// patterns (default ./...), excluding test files: the analyzers check
+// production code, and test packages routinely break the very contracts the
+// suite enforces (fixed clocks, unsorted fixtures, throwaway allocation).
+func (l *Loader) Load(patterns ...string) ([]*Pkg, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"-e", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{range .GoFiles}}{{.}} {{end}}"}, patterns...)
+	out, err := goList(l.Dir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: listing packages: %w", err)
+	}
+	var pkgs []*Pkg
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		parts := strings.SplitN(sc.Text(), "\t", 3)
+		if len(parts) != 3 || parts[0] == "" {
+			continue
+		}
+		importPath, dir := parts[0], parts[1]
+		var files []string
+		for _, f := range strings.Fields(parts[2]) {
+			files = append(files, filepath.Join(dir, f))
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := l.check(importPath, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckSource type-checks in-memory sources as a package with the given
+// import path. Tests use it to prove each analyzer fires on a minimal bad
+// program without committing bad code to the tree.
+func (l *Loader) CheckSource(importPath string, sources ...string) (*Pkg, error) {
+	var names []string
+	srcs := make(map[string]string, len(sources))
+	for i, src := range sources {
+		name := fmt.Sprintf("%s_src%d.go", strings.ReplaceAll(importPath, "/", "_"), i)
+		names = append(names, name)
+		srcs[name] = src
+	}
+	return l.check(importPath, names, srcs)
+}
+
+// check parses the files (from disk, or from the overlay when non-nil) and
+// type-checks them as one package.
+func (l *Loader) check(importPath string, files []string, overlay map[string]string) (*Pkg, error) {
+	pkg := &Pkg{Path: importPath, Fset: l.fset}
+	for _, fname := range files {
+		var src any
+		if overlay != nil {
+			src = overlay[fname]
+		}
+		f, err := parser.ParseFile(l.fset, fname, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", fname, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+func goList(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return string(out), nil
+}

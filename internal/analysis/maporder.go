@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapOrderPkgs are the deterministic-pipeline packages: everything a query
+// flows through between parsing and SQL text. Identical inputs must produce
+// byte-identical interpretations, SQL and rankings (the caches, the golden
+// files and the chaos replays all depend on it), so iteration order must
+// never leak from a Go map into a slice, string or builder here.
+var mapOrderPkgs = map[string]bool{
+	"kwagg/internal/pattern":   true,
+	"kwagg/internal/match":     true,
+	"kwagg/internal/translate": true,
+	"kwagg/internal/sqlast":    true,
+	"kwagg/internal/orm":       true,
+	"kwagg/internal/keyword":   true,
+	"kwagg/internal/normalize": true,
+}
+
+// MapOrder reports `for range m` over a map whose body feeds an
+// order-sensitive sink — an append to a slice declared outside the loop, a
+// strings.Builder / bytes.Buffer write, or string concatenation onto an
+// outer variable — in the deterministic pipeline packages. Appends absolved
+// by a sort of the same slice later in the function are allowed (the
+// collect-then-sort idiom); writes into other maps are order-insensitive and
+// allowed.
+func MapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "unsorted map iteration feeding output slices/strings in the deterministic pipeline",
+	}
+	a.Run = func(pkg *Pkg) []Diagnostic {
+		if !mapOrderPkgs[pkg.Path] {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, fd := range funcDecls(pkg) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pkg.Info.TypeOf(rs.X); t == nil || !isMapType(t) {
+					return true
+				}
+				diags = append(diags, checkMapRange(pkg, fd, rs)...)
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one range-over-map statement for order-sensitive
+// sinks in its body.
+func checkMapRange(pkg *Pkg, fd *ast.FuncDecl, rs *ast.RangeStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, sink string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "maporder",
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Message: "map iteration order is random and this loop " + sink +
+				"; collect the keys, sort them, then iterate (or sort the result before it leaves the function)",
+		})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// s += x on an outer string variable.
+			if st.Tok.String() == "+=" && len(st.Lhs) == 1 {
+				if id, ok := st.Lhs[0].(*ast.Ident); ok && isString(pkg.Info.TypeOf(id)) &&
+					declaredOutside(pkg.Info, id, rs) {
+					report(st, "concatenates onto string "+id.Name)
+					return true
+				}
+			}
+			// x = append(x, ...) where x is a slice declared outside the loop
+			// and never sorted after it.
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pkg.Info, call) || i >= len(st.Lhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok || !declaredOutside(pkg.Info, id, rs) {
+					continue
+				}
+				if sortedAfter(pkg.Info, fd, rs, id) {
+					continue
+				}
+				report(st, "appends to slice "+id.Name)
+			}
+		case *ast.CallExpr:
+			// Builder/buffer writes and fmt.Fprint* into an outer writer.
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok {
+				if isWriterMethod(pkg.Info, sel) {
+					if id, ok := rootIdent(sel.X); ok && declaredOutside(pkg.Info, id, rs) {
+						report(st, "writes into "+id.Name)
+					}
+				}
+			}
+			if name, ok := isPkgCall(pkg.Info, st, "fmt", "Fprintf", "Fprint", "Fprintln"); ok && len(st.Args) > 0 {
+				if id, ok := rootIdent(st.Args[0]); ok && declaredOutside(pkg.Info, id, rs) {
+					report(st, "fmt."+name+"s into "+id.Name)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// declaredOutside reports whether the identifier's declaration precedes the
+// range statement (so the loop mutates state that outlives one iteration).
+func declaredOutside(info *types.Info, id *ast.Ident, rs *ast.RangeStmt) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// sortedAfter reports whether the slice identifier is passed to a sort
+// function after the range statement within the enclosing function — the
+// collect-then-sort idiom that restores determinism.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, id *ast.Ident) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		p := pn.Imported().Path()
+		if p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if aid, ok := an.(*ast.Ident); ok && info.ObjectOf(aid) == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isWriterMethod reports whether sel is a Write*/Print-style method on a
+// strings.Builder or bytes.Buffer.
+func isWriterMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+	default:
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// rootIdent unwraps selectors and unary operators to the base identifier:
+// &b, b.buf, (&b) all root at b.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// obsPkg is the import path of the metrics registry package.
+const obsPkg = "kwagg/internal/obs"
+
+// metricNameRE is the required shape of a metric family name: the kwagg_
+// namespace prefix followed by lowercase snake-case.
+var metricNameRE = regexp.MustCompile(`^kwagg_[a-z0-9_]+$`)
+
+// metricPrefixRE accepts the constant left half of a computed name like
+// "kwagg_cache_"+name — the dynamic suffix is appended at runtime, so only
+// the namespace prefix can be verified statically.
+var metricPrefixRE = regexp.MustCompile(`^kwagg_[a-z0-9_]*$`)
+
+// metricReg records where a (name, help) pair was registered.
+type metricReg struct {
+	help string
+	pos  token.Position
+}
+
+// MetricName checks every obs.Registry registration call (Counter, Gauge,
+// CounterFunc, GaugeFunc, Histogram): the metric name must be a constant
+// kwagg_*-prefixed snake-case string (or a constant kwagg_* prefix
+// concatenated with a runtime suffix), and each family name must be
+// registered with one help string tree-wide — the registry keeps the first
+// help it sees, so divergent help strings silently lose text on /metrics.
+func MetricName() *Analyzer {
+	a := &Analyzer{
+		Name: "metricname",
+		Doc:  "obs metric names must be kwagg_*-prefixed constants with one help string per family",
+	}
+	seen := make(map[string][]metricReg) // family name -> registrations
+	a.Run = func(pkg *Pkg) []Diagnostic {
+		var diags []Diagnostic
+		for _, fd := range funcDecls(pkg) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				method, ok := registryMethod(pkg.Info, call)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				pos := pkg.Fset.Position(call.Pos())
+				name, nameConst := constString(pkg.Info, call.Args[0])
+				switch {
+				case nameConst:
+					if !metricNameRE.MatchString(name) {
+						diags = append(diags, Diagnostic{
+							Analyzer: "metricname",
+							Pos:      pos,
+							Message:  "metric name " + name + " must match kwagg_[a-z0-9_]+ (kwagg_ namespace, lowercase snake-case)",
+						})
+						return true
+					}
+					if help, ok := constString(pkg.Info, call.Args[1]); ok {
+						seen[name] = append(seen[name], metricReg{help: help, pos: pos})
+					}
+				case hasConstPrefix(pkg.Info, call.Args[0]):
+					// "kwagg_cache_"+suffix: prefix verified, suffix dynamic.
+				default:
+					diags = append(diags, Diagnostic{
+						Analyzer: "metricname",
+						Pos:      pos,
+						Message:  "obs." + method + " name is not a constant (or constant-prefixed) kwagg_* string; dynamic names defeat the registry's naming contract",
+					})
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	a.Finish = func() []Diagnostic {
+		var diags []Diagnostic
+		names := make([]string, 0, len(seen))
+		for name := range seen {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			regs := seen[name]
+			for _, r := range regs[1:] {
+				if r.help != regs[0].help {
+					diags = append(diags, Diagnostic{
+						Analyzer: "metricname",
+						Pos:      r.pos,
+						Message: "metric " + name + " registered with help " + strconv.Quote(r.help) +
+							" but " + regs[0].pos.String() + " registered it with " + strconv.Quote(regs[0].help) +
+							"; the registry keeps the first help it sees",
+					})
+				}
+			}
+		}
+		return diags
+	}
+	return a
+}
+
+// registryMethod reports method calls on *obs.Registry that create metric
+// families.
+func registryMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "CounterFunc", "GaugeFunc", "Histogram":
+	default:
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != obsPkg || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// constString resolves a compile-time constant string expression (literal,
+// constant ident like obs.StageMetric, or constant concatenation).
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// hasConstPrefix accepts expressions of the form <const kwagg_* string> + x,
+// recursing into the left operand of nested concatenations.
+func hasConstPrefix(info *types.Info, e ast.Expr) bool {
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "+" {
+		return false
+	}
+	if s, ok := constString(info, be.X); ok {
+		return metricPrefixRE.MatchString(s)
+	}
+	return hasConstPrefix(info, be.X)
+}

@@ -1,0 +1,34 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Jitter's SplitMix64 stream. Package chaos owns all randomness of the
+// serving stack (the detclock analyzer enforces it), so retry backoff draws
+// from here instead of the global math/rand source. The stream is seeded
+// with a constant: jitter only needs to decorrelate concurrent retries
+// within one process, and a deterministic stream keeps chaos replays
+// reproducible.
+var (
+	jitterMu    sync.Mutex
+	jitterState uint64 = 0x51eccde155786e4f
+)
+
+// Jitter stretches a backoff duration by a uniform random extra in
+// [0, d/2], the "up to 50% jitter" of the statement retry policy.
+// Non-positive durations are returned unchanged.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	jitterMu.Lock()
+	jitterState += 0x9e3779b97f4a7c15
+	z := jitterState
+	jitterMu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d/2+1))
+}

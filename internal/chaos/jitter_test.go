@@ -1,0 +1,37 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterBounds: Jitter(d) must land in [d, d+d/2] — the "up to 50%"
+// retry-backoff stretch — and actually vary across draws.
+func TestJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	varied := false
+	var prev time.Duration
+	for i := 0; i < 1000; i++ {
+		j := Jitter(d)
+		if j < d || j > d+d/2 {
+			t.Fatalf("Jitter(%v) = %v, outside [%v, %v]", d, j, d, d+d/2)
+		}
+		if i > 0 && j != prev {
+			varied = true
+		}
+		prev = j
+	}
+	if !varied {
+		t.Error("Jitter returned the same value 1000 times; the stream is not advancing")
+	}
+}
+
+// TestJitterNonPositive: zero and negative durations pass through unchanged
+// (the retry loop uses shift-doubled backoff that can start at 0 in tests).
+func TestJitterNonPositive(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second} {
+		if got := Jitter(d); got != d {
+			t.Errorf("Jitter(%v) = %v, want unchanged", d, got)
+		}
+	}
+}

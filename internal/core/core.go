@@ -9,7 +9,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
@@ -23,6 +22,7 @@ import (
 	"kwagg/internal/obs"
 	"kwagg/internal/orm"
 	"kwagg/internal/pattern"
+	"kwagg/internal/planck"
 	"kwagg/internal/relation"
 	"kwagg/internal/sqlast"
 	"kwagg/internal/sqldb"
@@ -71,6 +71,16 @@ type System struct {
 	// by later requests — sound because Open froze the database). nil
 	// disables memoization. Built by Open from Options.MemoCells.
 	Memo *sqldb.Memo
+
+	// Plan is the plan-invariant verifier over the stored database, built by
+	// Open. CheckPlans always consults it; Interpret additionally fails on
+	// any finding when VerifyPlans is set.
+	Plan *planck.Checker
+
+	// VerifyPlans makes Interpret verify every translated plan with planck
+	// and fail on findings — the debug-mode assertion the test suites run
+	// under. Set before sharing the System.
+	VerifyPlans bool
 }
 
 // Retry policy defaults: up to two retries, 1ms base backoff doubling per
@@ -105,6 +115,9 @@ type Options struct {
 	// MemoCells bounds the shared-subplan memo (result cells, LRU); 0 means
 	// DefaultMemoCells, negative disables memoization.
 	MemoCells int64
+	// VerifyPlans makes Interpret verify every translated plan against the
+	// paper's invariants (internal/planck) and fail on findings.
+	VerifyPlans bool
 }
 
 // Open prepares a database for keyword search. It checks every relation's
@@ -147,6 +160,8 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 	s.Chaos = opts.Chaos
 	s.MaxRetries = opts.MaxRetries
 	s.RetryBackoff = opts.RetryBackoff
+	s.Plan = planck.New(db)
+	s.VerifyPlans = opts.VerifyPlans
 	// Freeze the stored data: later inserts are rejected, and every
 	// per-table value index and column dictionary is built now so query
 	// execution never mutates shared state (the thread-safety contract of
@@ -207,9 +222,41 @@ func (s *System) InterpretContext(ctx context.Context, query string, k int) ([]I
 		if err != nil {
 			return nil, fmt.Errorf("core: translating pattern %s: %w", p, err)
 		}
+		if s.VerifyPlans {
+			if fs := s.Plan.CheckInterpretation(p, sql); len(fs) > 0 {
+				return nil, fmt.Errorf("core: plan verification failed for pattern %s: %s (%d finding(s))",
+					p, fs[0], len(fs))
+			}
+		}
 		out = append(out, Interpretation{Pattern: p, SQL: sql, Description: p.Describe()})
 	}
 	return out, nil
+}
+
+// CheckPlans interprets the query and runs the plan-invariant verifier over
+// every translated statement, returning the findings instead of failing (so
+// callers can report all of them). k <= 0 means all interpretations.
+func (s *System) CheckPlans(query string, k int) ([]planck.Finding, error) {
+	q, err := keyword.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	patterns, err := s.Generator.Generate(q)
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 && len(patterns) > k {
+		patterns = patterns[:k]
+	}
+	var fs []planck.Finding
+	for _, p := range patterns {
+		sql, err := s.Translator.Translate(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: translating pattern %s: %w", p, err)
+		}
+		fs = append(fs, s.Plan.CheckInterpretation(p, sql)...)
+	}
+	return fs, nil
 }
 
 // Answer is one executed interpretation.
@@ -455,8 +502,7 @@ func (s *System) execStatement(sctx, rctx context.Context, in Interpretation, id
 		retried++
 		// Exponential backoff with up to 50% jitter, abandoned as soon as
 		// the request context dies.
-		d := backoff << attempt
-		d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+		d := chaos.Jitter(backoff << attempt)
 		if serr := chaos.Sleep(rctx, d); serr != nil {
 			return nil, retried, serr
 		}
@@ -502,6 +548,7 @@ func statementContext(ctx context.Context) (context.Context, context.CancelFunc)
 	if !ok {
 		return ctx, func() {}
 	}
+	//kwlint:ignore detclock deadline budgeting is inherently wall-clock: the margin derives from the caller's ctx deadline
 	margin := time.Until(dl) / 10
 	if margin > statementMarginCap {
 		margin = statementMarginCap

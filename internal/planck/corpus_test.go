@@ -1,0 +1,39 @@
+package planck_test
+
+import (
+	"testing"
+
+	"kwagg"
+)
+
+// TestDatasetWorkloadCorpus replays the canonical workload of every bundled
+// dataset — the paper's running examples plus the T1-T8 / A1-A8 evaluation
+// queries, on both the normalized and the denormalized (rewrite Rules 1-3)
+// databases — and requires every generated interpretation's plan to pass the
+// plan verifier with zero findings. This is the repo's standing evidence
+// that translation and rewriting preserve the paper's invariants end to end;
+// `kwlint -plans` runs the same corpus from the command line.
+func TestDatasetWorkloadCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens every bundled dataset")
+	}
+	for name, queries := range kwagg.DatasetWorkloads() {
+		name, queries := name, queries
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			eng, err := kwagg.OpenDataset(name, true)
+			if err != nil {
+				t.Fatalf("OpenDataset(%q): %v", name, err)
+			}
+			for _, q := range queries {
+				findings, err := eng.PlanFindings(q, 0)
+				if err != nil {
+					t.Fatalf("PlanFindings(%q): %v", q, err)
+				}
+				for _, f := range findings {
+					t.Errorf("query %q: %s: %s", q, f.Rule, f.Detail)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,337 @@
+// Package planck is the plan-invariant verifier: a domain static analyzer
+// over generated sqlast.Query values that checks, before execution, the
+// paper's correctness properties and the structural sanity of a statement.
+//
+// The rules (each one has a failing-plan unit test):
+//
+//   - distinct-projection (P2, Section 3.1.3): a projection of a stored
+//     relation on an attribute subset that is not a superkey must carry
+//     DISTINCT, or duplicate rows multiply join and aggregate results the
+//     way SQAK's duplicate counting does.
+//   - groupby-object-id (P1, Section 3.1.2): under aggregation every plain
+//     projected column must be grouped, and a disambiguated pattern node's
+//     object identifier must survive translation into some GROUP BY.
+//   - join-key-coverage (P3, Section 4.1): every column reference resolves
+//     against its FROM scope — the alias exists and exposes that column.
+//     This is exactly what rewrite Rules 1-3 must preserve: Rule 3 renames
+//     aliases, Rule 1 prunes projected attributes, and a slip in either
+//     leaves a dangling reference this rule reports.
+//   - unreferenced-alias: with several FROM entries, an alias nothing
+//     references is an accidental cartesian product.
+//   - self-join-noop: a join predicate with identical sides constrains
+//     nothing and almost always means an alias was renamed on one side only.
+//
+// planck is consulted three ways: core.Open(VerifyPlans) checks every
+// translated interpretation, the proptest and dataset-workload suites fail
+// on any finding, and `kwlint -plans` replays the dataset workload corpus.
+package planck
+
+import (
+	"fmt"
+	"strings"
+
+	"kwagg/internal/pattern"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// Finding is one violated plan invariant.
+type Finding struct {
+	Rule   string // rule identifier, e.g. "distinct-projection"
+	Detail string // human-readable description with the offending fragment
+}
+
+// String renders the finding as "rule: detail".
+func (f Finding) String() string { return f.Rule + ": " + f.Detail }
+
+// Checker verifies plans against one stored database (needed for schema
+// lookups: attribute sets, keys, functional dependencies).
+type Checker struct {
+	Data *relation.Database
+}
+
+// New creates a checker for plans that execute against data.
+func New(data *relation.Database) *Checker {
+	return &Checker{Data: data}
+}
+
+// Check verifies one query and, recursively, every derived-table subquery.
+// It returns nil when every invariant holds.
+func (c *Checker) Check(q *sqlast.Query) []Finding {
+	var fs []Finding
+	q.Walk(func(sub *sqlast.Query) {
+		fs = append(fs, c.checkLevel(sub)...)
+	})
+	return fs
+}
+
+// CheckInterpretation verifies a translated plan together with the pattern
+// it came from: Check plus the pattern-level half of P1 — every GROUPBY
+// annotation, in particular the object identifiers added by disambiguation,
+// must survive translation (and rewriting) into some GROUP BY column.
+func (c *Checker) CheckInterpretation(p *pattern.Pattern, q *sqlast.Query) []Finding {
+	fs := c.Check(q)
+	grouped := make(map[string]bool)
+	q.Walk(func(sub *sqlast.Query) {
+		for _, col := range sub.GroupBy {
+			grouped[strings.ToLower(col.Column)] = true
+		}
+	})
+	for _, n := range p.Nodes {
+		for _, g := range n.GroupBys {
+			if grouped[strings.ToLower(g.Attr)] {
+				continue
+			}
+			what := "GROUPBY annotation"
+			if n.Disamb {
+				what = "disambiguation object identifier"
+			}
+			fs = append(fs, Finding{
+				Rule: "groupby-object-id",
+				Detail: fmt.Sprintf("%s %s of node %s is not grouped anywhere in the plan: %s",
+					what, g, n.Class, q),
+			})
+		}
+	}
+	return fs
+}
+
+// scopeEntry is one FROM entry's contribution to the name scope of a query
+// level: the alias and the columns it exposes (nil when unknown, e.g. an
+// unknown relation already reported separately).
+type scopeEntry struct {
+	alias string
+	cols  map[string]bool
+}
+
+func (e *scopeEntry) exposes(col string) bool {
+	return e.cols == nil || e.cols[strings.ToLower(col)]
+}
+
+// checkLevel verifies one query level (subqueries are visited by Check).
+func (c *Checker) checkLevel(q *sqlast.Query) []Finding {
+	var fs []Finding
+
+	// Build the scope, reporting unknown relations and duplicate aliases.
+	scope := make([]*scopeEntry, 0, len(q.From))
+	byAlias := make(map[string]*scopeEntry, len(q.From))
+	for _, tr := range q.From {
+		alias := tr.Alias
+		if alias == "" {
+			alias = tr.Name
+		}
+		if alias == "" {
+			fs = append(fs, Finding{
+				Rule:   "join-key-coverage",
+				Detail: fmt.Sprintf("derived table has no alias in %s", q),
+			})
+			continue
+		}
+		e := &scopeEntry{alias: alias}
+		if tr.Subquery != nil {
+			e.cols = make(map[string]bool, len(tr.Subquery.Select))
+			for _, it := range tr.Subquery.Select {
+				switch {
+				case it.Alias != "":
+					e.cols[strings.ToLower(it.Alias)] = true
+				default:
+					if ce, ok := it.Expr.(sqlast.ColExpr); ok {
+						e.cols[strings.ToLower(ce.Col.Column)] = true
+					}
+				}
+			}
+		} else if t := c.Data.Table(tr.Name); t != nil {
+			e.cols = make(map[string]bool, len(t.Schema.Attributes))
+			for _, a := range t.Schema.AttrNames() {
+				e.cols[strings.ToLower(a)] = true
+			}
+		} else {
+			fs = append(fs, Finding{
+				Rule:   "join-key-coverage",
+				Detail: fmt.Sprintf("FROM references unknown relation %s in %s", tr.Name, q),
+			})
+		}
+		if byAlias[strings.ToLower(alias)] != nil {
+			fs = append(fs, Finding{
+				Rule:   "join-key-coverage",
+				Detail: fmt.Sprintf("alias %s appears twice in the FROM list of %s", alias, q),
+			})
+			continue
+		}
+		byAlias[strings.ToLower(alias)] = e
+		scope = append(scope, e)
+	}
+
+	// Resolve every column reference of this level against the scope.
+	referenced := make(map[string]bool)
+	resolve := func(col sqlast.Col, where string) {
+		if col.Column == "*" {
+			return
+		}
+		if col.Table != "" {
+			e := byAlias[strings.ToLower(col.Table)]
+			switch {
+			case e == nil:
+				fs = append(fs, Finding{
+					Rule:   "join-key-coverage",
+					Detail: fmt.Sprintf("%s references %s but no FROM entry is aliased %s in %s", where, col, col.Table, q),
+				})
+			case !e.exposes(col.Column):
+				fs = append(fs, Finding{
+					Rule:   "join-key-coverage",
+					Detail: fmt.Sprintf("%s references %s but %s does not expose column %s in %s", where, col, col.Table, col.Column, q),
+				})
+			default:
+				referenced[strings.ToLower(col.Table)] = true
+			}
+			return
+		}
+		var owners []*scopeEntry
+		for _, e := range scope {
+			if e.exposes(col.Column) {
+				owners = append(owners, e)
+			}
+		}
+		switch {
+		case len(owners) == 0:
+			fs = append(fs, Finding{
+				Rule:   "join-key-coverage",
+				Detail: fmt.Sprintf("%s references %s but no FROM entry exposes it in %s", where, col, q),
+			})
+		case len(owners) > 1:
+			fs = append(fs, Finding{
+				Rule:   "join-key-coverage",
+				Detail: fmt.Sprintf("%s references unqualified %s, exposed by %d FROM entries in %s", where, col, len(owners), q),
+			})
+		default:
+			referenced[strings.ToLower(owners[0].alias)] = true
+		}
+	}
+
+	hasAgg := false
+	for _, it := range q.Select {
+		switch ex := it.Expr.(type) {
+		case sqlast.ColExpr:
+			resolve(ex.Col, "SELECT")
+		case sqlast.AggExpr:
+			hasAgg = true
+			resolve(ex.Arg, "SELECT")
+		}
+	}
+	for _, p := range q.Where {
+		switch pp := p.(type) {
+		case sqlast.JoinPred:
+			resolve(pp.Left, "WHERE")
+			resolve(pp.Right, "WHERE")
+			if strings.EqualFold(pp.Left.Table, pp.Right.Table) &&
+				strings.EqualFold(pp.Left.Column, pp.Right.Column) {
+				fs = append(fs, Finding{
+					Rule:   "self-join-noop",
+					Detail: fmt.Sprintf("join predicate %s compares a column with itself in %s", pp, q),
+				})
+			}
+		case sqlast.ColComparePred:
+			resolve(pp.Left, "WHERE")
+			resolve(pp.Right, "WHERE")
+		case sqlast.ComparePred:
+			resolve(pp.Col, "WHERE")
+		case sqlast.ContainsPred:
+			resolve(pp.Col, "WHERE")
+		}
+	}
+	for _, col := range q.GroupBy {
+		resolve(col, "GROUP BY")
+	}
+	for _, o := range q.OrderBy {
+		resolve(o.Col, "ORDER BY")
+	}
+
+	// unreferenced-alias: several FROM entries, one of them joined to nothing
+	// and projected nowhere — an accidental cartesian product.
+	if len(scope) > 1 {
+		for _, e := range scope {
+			if !referenced[strings.ToLower(e.alias)] {
+				fs = append(fs, Finding{
+					Rule:   "unreferenced-alias",
+					Detail: fmt.Sprintf("FROM entry %s is never referenced in %s", e.alias, q),
+				})
+			}
+		}
+	}
+
+	// groupby-object-id, SQL half of P1: under aggregation every plain
+	// projected column must appear in GROUP BY, or the engine is asked to
+	// pick an arbitrary representative per group.
+	if hasAgg {
+		for _, it := range q.Select {
+			ce, ok := it.Expr.(sqlast.ColExpr)
+			if !ok {
+				continue
+			}
+			if !groupedBy(q.GroupBy, ce.Col) {
+				fs = append(fs, Finding{
+					Rule:   "groupby-object-id",
+					Detail: fmt.Sprintf("aggregated query projects ungrouped column %s in %s", ce.Col, q),
+				})
+			}
+		}
+	}
+
+	// distinct-projection (P2): a projection level over one stored relation
+	// that drops to a non-superkey attribute subset without DISTINCT has
+	// duplicate rows, which multiply joins and aggregates upstream.
+	if proj, src := projectionOf(q); proj && !q.Distinct {
+		if t := c.Data.Table(src); t != nil {
+			attrs := make([]string, 0, len(q.Select))
+			for _, it := range q.Select {
+				attrs = append(attrs, it.Expr.(sqlast.ColExpr).Col.Column)
+			}
+			if !relation.IsSuperkey(attrs, t.Schema) {
+				fs = append(fs, Finding{
+					Rule: "distinct-projection",
+					Detail: fmt.Sprintf("projection of %s on non-superkey {%s} lacks DISTINCT: %s",
+						src, strings.Join(attrs, ", "), q),
+				})
+			}
+		}
+	}
+	return fs
+}
+
+// projectionOf reports whether q is a plain projection level — SELECT of
+// column expressions from one stored relation, no grouping — and names the
+// relation. Pushed-down contains-conditions (rewrite Rule 2) are allowed in
+// WHERE; they filter rows but do not change multiplicity.
+func projectionOf(q *sqlast.Query) (bool, string) {
+	if len(q.From) != 1 || q.From[0].Name == "" || len(q.GroupBy) != 0 {
+		return false, ""
+	}
+	for _, it := range q.Select {
+		if _, ok := it.Expr.(sqlast.ColExpr); !ok {
+			return false, ""
+		}
+	}
+	for _, p := range q.Where {
+		switch p.(type) {
+		case sqlast.ContainsPred, sqlast.ComparePred:
+		default:
+			return false, ""
+		}
+	}
+	return true, q.From[0].Name
+}
+
+// groupedBy reports whether col appears in the GROUP BY list. An unqualified
+// occurrence on either side matches by column name: the translator qualifies
+// both or neither, and rewriting renames both in lockstep.
+func groupedBy(groupBy []sqlast.Col, col sqlast.Col) bool {
+	for _, g := range groupBy {
+		if !strings.EqualFold(g.Column, col.Column) {
+			continue
+		}
+		if g.Table == "" || col.Table == "" || strings.EqualFold(g.Table, col.Table) {
+			return true
+		}
+	}
+	return false
+}

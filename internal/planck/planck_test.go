@@ -1,0 +1,247 @@
+package planck
+
+import (
+	"strings"
+	"testing"
+
+	"kwagg/internal/pattern"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// testDB is a two-relation schema in the shape of the running example:
+// Student(Sid, Sname, Cid) with Sid as key, Course(Cid, Title, Credit).
+func testDB() *relation.Database {
+	db := relation.NewDatabase("uni")
+	db.AddSchema(relation.NewSchema("Student", "Sid INT", "Sname", "Cid INT").Key("Sid"))
+	db.AddSchema(relation.NewSchema("Course", "Cid INT", "Title", "Credit FLOAT").Key("Cid"))
+	return db
+}
+
+func col(table, column string) sqlast.Col { return sqlast.Col{Table: table, Column: column} }
+
+func selCols(cols ...sqlast.Col) []sqlast.SelectItem {
+	items := make([]sqlast.SelectItem, len(cols))
+	for i, c := range cols {
+		items[i] = sqlast.SelectItem{Expr: sqlast.ColExpr{Col: c}}
+	}
+	return items
+}
+
+// rules collects the distinct rule names of a finding list.
+func rules(fs []Finding) map[string]int {
+	m := make(map[string]int)
+	for _, f := range fs {
+		m[f.Rule]++
+	}
+	return m
+}
+
+func wantRule(t *testing.T, fs []Finding, rule string) {
+	t.Helper()
+	if rules(fs)[rule] == 0 {
+		t.Fatalf("expected a %s finding, got %v", rule, fs)
+	}
+}
+
+func wantClean(t *testing.T, fs []Finding) {
+	t.Helper()
+	if len(fs) != 0 {
+		t.Fatalf("expected a clean plan, got %v", fs)
+	}
+}
+
+// TestCleanPlan verifies that a well-formed aggregate join raises nothing:
+// the shape InterpretContext produces for "Green COUNT Title".
+func TestCleanPlan(t *testing.T) {
+	c := New(testDB())
+	q := &sqlast.Query{
+		Select: []sqlast.SelectItem{
+			{Expr: sqlast.ColExpr{Col: col("R1", "Sname")}},
+			{Expr: sqlast.AggExpr{Func: sqlast.AggCount, Arg: col("R2", "Title")}, Alias: "numTitle"},
+		},
+		From: []sqlast.TableRef{
+			{Name: "Student", Alias: "R1"},
+			{Name: "Course", Alias: "R2"},
+		},
+		Where: []sqlast.Pred{
+			sqlast.JoinPred{Left: col("R1", "Cid"), Right: col("R2", "Cid")},
+			sqlast.ContainsPred{Col: col("R1", "Sname"), Needle: "Green"},
+		},
+		GroupBy: []sqlast.Col{col("R1", "Sname")},
+	}
+	wantClean(t, c.Check(q))
+}
+
+// TestDistinctProjection exercises P2: a projection of a stored relation on
+// a non-superkey attribute set must carry DISTINCT.
+func TestDistinctProjection(t *testing.T) {
+	c := New(testDB())
+	proj := func(distinct bool, cols ...sqlast.Col) *sqlast.Query {
+		return &sqlast.Query{
+			Distinct: distinct,
+			Select:   selCols(cols...),
+			From:     []sqlast.TableRef{{Name: "Student", Alias: "R1"}},
+		}
+	}
+
+	fs := c.Check(proj(false, col("R1", "Sname")))
+	wantRule(t, fs, "distinct-projection")
+	if !strings.Contains(fs[0].Detail, "Sname") {
+		t.Errorf("detail should name the projected attribute: %s", fs[0].Detail)
+	}
+
+	// The same projection with DISTINCT is exactly Section 3.1.3's fix.
+	wantClean(t, c.Check(proj(true, col("R1", "Sname"))))
+
+	// Projecting a superkey preserves multiplicity; DISTINCT is not needed.
+	wantClean(t, c.Check(proj(false, col("R1", "Sid"), col("R1", "Sname"))))
+
+	// Rule 2-pushed contains conditions do not change the projection shape.
+	q := proj(false, col("R1", "Sname"))
+	q.Where = []sqlast.Pred{sqlast.ContainsPred{Col: col("R1", "Sname"), Needle: "Green"}}
+	wantRule(t, c.Check(q), "distinct-projection")
+}
+
+// TestDistinctProjectionNested verifies that Check descends into derived
+// tables: the bad projection hides one level down.
+func TestDistinctProjectionNested(t *testing.T) {
+	c := New(testDB())
+	inner := &sqlast.Query{
+		Select: selCols(col("", "Sname")),
+		From:   []sqlast.TableRef{{Name: "Student"}},
+	}
+	outer := &sqlast.Query{
+		Select: selCols(col("D1", "Sname")),
+		From:   []sqlast.TableRef{{Subquery: inner, Alias: "D1"}},
+	}
+	wantRule(t, c.Check(outer), "distinct-projection")
+}
+
+// TestGroupByObjectID exercises the SQL half of P1: under aggregation a
+// plain projected column must be grouped.
+func TestGroupByObjectID(t *testing.T) {
+	c := New(testDB())
+	q := &sqlast.Query{
+		Select: []sqlast.SelectItem{
+			{Expr: sqlast.ColExpr{Col: col("R1", "Sname")}},
+			{Expr: sqlast.AggExpr{Func: sqlast.AggCount, Arg: col("R1", "Sid")}},
+		},
+		From: []sqlast.TableRef{{Name: "Student", Alias: "R1"}},
+	}
+	wantRule(t, c.Check(q), "groupby-object-id")
+
+	q.GroupBy = []sqlast.Col{col("R1", "Sname")}
+	wantClean(t, c.Check(q))
+}
+
+// TestGroupByObjectIDPattern exercises the pattern half of P1: a GROUPBY
+// annotation — here the object identifier added by disambiguation — that no
+// GROUP BY column of the plan carries is reported, the exact regression a
+// rewrite slip would introduce.
+func TestGroupByObjectIDPattern(t *testing.T) {
+	c := New(testDB())
+	p := &pattern.Pattern{Nodes: []*pattern.Node{{
+		Class:    "Student",
+		GroupBys: []pattern.AttrRef{{Relation: "Student", Attr: "Sid"}},
+		Disamb:   true,
+	}}}
+	q := &sqlast.Query{
+		Select: []sqlast.SelectItem{
+			{Expr: sqlast.AggExpr{Func: sqlast.AggCount, Arg: col("R1", "Cid")}},
+		},
+		From:    []sqlast.TableRef{{Name: "Student", Alias: "R1"}},
+		GroupBy: []sqlast.Col{col("R1", "Sname")}, // grouped, but not by the object id
+	}
+	fs := c.CheckInterpretation(p, q)
+	wantRule(t, fs, "groupby-object-id")
+	if !strings.Contains(fs[0].Detail, "disambiguation object identifier") {
+		t.Errorf("detail should say the lost column is a disambiguation id: %s", fs[0].Detail)
+	}
+
+	q.GroupBy = append(q.GroupBy, col("R1", "Sid"))
+	wantClean(t, c.CheckInterpretation(p, q))
+}
+
+// TestJoinKeyCoverage exercises P3: every column reference must resolve
+// against its FROM scope — what rewrite Rules 1-3 must preserve.
+func TestJoinKeyCoverage(t *testing.T) {
+	c := New(testDB())
+
+	// A dangling alias, as if Rule 3 renamed R9 away on one side only.
+	q := &sqlast.Query{
+		Select: selCols(col("R1", "Sname")),
+		From:   []sqlast.TableRef{{Name: "Student", Alias: "R1"}, {Name: "Course", Alias: "R2"}},
+		Where: []sqlast.Pred{
+			sqlast.JoinPred{Left: col("R1", "Cid"), Right: col("R9", "Cid")},
+		},
+	}
+	wantRule(t, c.Check(q), "join-key-coverage")
+
+	// A pruned column, as if Rule 1 dropped Cid from the projection below.
+	inner := &sqlast.Query{
+		Distinct: true,
+		Select:   selCols(col("", "Sname")),
+		From:     []sqlast.TableRef{{Name: "Student"}},
+	}
+	q2 := &sqlast.Query{
+		Select: selCols(col("D1", "Sname")),
+		From:   []sqlast.TableRef{{Subquery: inner, Alias: "D1"}, {Name: "Course", Alias: "R2"}},
+		Where: []sqlast.Pred{
+			sqlast.JoinPred{Left: col("D1", "Cid"), Right: col("R2", "Cid")},
+		},
+	}
+	wantRule(t, c.Check(q2), "join-key-coverage")
+
+	// Unknown relation and duplicate alias are scope-construction failures.
+	q3 := &sqlast.Query{
+		Select: selCols(col("R1", "Sname")),
+		From:   []sqlast.TableRef{{Name: "Nowhere", Alias: "R1"}},
+	}
+	wantRule(t, c.Check(q3), "join-key-coverage")
+
+	q4 := &sqlast.Query{
+		Select: selCols(col("R1", "Sname")),
+		From:   []sqlast.TableRef{{Name: "Student", Alias: "R1"}, {Name: "Course", Alias: "R1"}},
+	}
+	wantRule(t, c.Check(q4), "join-key-coverage")
+
+	// An unqualified reference two FROM entries expose is ambiguous.
+	q5 := &sqlast.Query{
+		Select: selCols(col("", "Cid")),
+		From:   []sqlast.TableRef{{Name: "Student", Alias: "R1"}, {Name: "Course", Alias: "R2"}},
+		Where: []sqlast.Pred{
+			sqlast.JoinPred{Left: col("R1", "Cid"), Right: col("R2", "Cid")},
+		},
+	}
+	wantRule(t, c.Check(q5), "join-key-coverage")
+}
+
+// TestUnreferencedAlias: a FROM entry joined to nothing and projected
+// nowhere is an accidental cartesian product.
+func TestUnreferencedAlias(t *testing.T) {
+	c := New(testDB())
+	q := &sqlast.Query{
+		Select: selCols(col("R1", "Sname")),
+		From:   []sqlast.TableRef{{Name: "Student", Alias: "R1"}, {Name: "Course", Alias: "R2"}},
+	}
+	wantRule(t, c.Check(q), "unreferenced-alias")
+
+	q.Where = []sqlast.Pred{sqlast.JoinPred{Left: col("R1", "Cid"), Right: col("R2", "Cid")}}
+	wantClean(t, c.Check(q))
+}
+
+// TestSelfJoinNoop: a join predicate comparing a column with itself
+// constrains nothing.
+func TestSelfJoinNoop(t *testing.T) {
+	c := New(testDB())
+	q := &sqlast.Query{
+		Select: selCols(col("R1", "Sname"), col("R2", "Title")),
+		From:   []sqlast.TableRef{{Name: "Student", Alias: "R1"}, {Name: "Course", Alias: "R2"}},
+		Where: []sqlast.Pred{
+			sqlast.JoinPred{Left: col("R1", "Cid"), Right: col("R1", "Cid")},
+			sqlast.JoinPred{Left: col("R1", "Cid"), Right: col("R2", "Cid")},
+		},
+	}
+	wantRule(t, c.Check(q), "self-join-noop")
+}

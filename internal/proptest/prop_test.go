@@ -35,6 +35,12 @@ func rounds() int {
 
 func mustOpen(t *testing.T, db *relation.Database, opts *core.Options) *core.System {
 	t.Helper()
+	if opts == nil {
+		opts = &core.Options{}
+	}
+	// Every property-tested system verifies its plans: a planck finding on
+	// any generated interpretation fails the property outright.
+	opts.VerifyPlans = true
 	s, err := core.Open(db, opts)
 	if err != nil {
 		t.Fatalf("Open: %v", err)

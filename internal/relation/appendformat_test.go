@@ -1,0 +1,40 @@
+package relation
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendFormat pins AppendFormat to Format: for every value class the
+// appended bytes must equal append(dst, Format(v)...), including onto a
+// non-empty prefix. The sqldb key builders depend on this equivalence.
+func TestAppendFormat(t *testing.T) {
+	values := []Value{
+		nil,
+		Int(0), Int(42), Int(-7), Int(1<<62 + 3),
+		Float(0), Float(3.14), Float(-0.5), Float(1e21),
+		Str(""), Str("Green"), Str("2024-01-31"),
+		true, // falls through to the %v default, like Format
+	}
+	for _, v := range values {
+		want := append([]byte("prefix|"), Format(v)...)
+		got := AppendFormat([]byte("prefix|"), v)
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendFormat(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestAppendFormatNoAlloc verifies the point of the helper: appending into a
+// buffer with capacity does not allocate for the common value classes.
+func TestAppendFormatNoAlloc(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	for _, v := range []Value{nil, Int(123456), Str("Green"), Float(2.5)} {
+		v := v
+		if n := testing.AllocsPerRun(100, func() {
+			buf = AppendFormat(buf[:0], v)
+		}); n != 0 {
+			t.Errorf("AppendFormat(%#v) allocates %.1f times per run", v, n)
+		}
+	}
+}

@@ -131,6 +131,27 @@ func Format(v Value) string {
 	}
 }
 
+// AppendFormat appends the Format rendering of v to dst and returns the
+// extended slice, without materializing an intermediate string: integers and
+// floats append their digits directly (strconv.Append*), strings and NULL
+// append their bytes. The execution kernels use it to build per-row hash and
+// join keys allocation-free; AppendFormat(dst, v) is byte-identical to
+// append(dst, Format(v)...) for every value (pinned by TestAppendFormat).
+func AppendFormat(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, "NULL"...)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case float64:
+		return strconv.AppendFloat(dst, x, 'f', -1, 64)
+	case string:
+		return append(dst, x...)
+	default:
+		return fmt.Appendf(dst, "%v", x)
+	}
+}
+
 // Literal renders a value as a SQL literal: strings are single-quoted with
 // embedded quotes doubled.
 func Literal(v Value) string {

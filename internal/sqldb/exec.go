@@ -179,9 +179,7 @@ func (rs *rowset) appendHashKey(buf []byte, ri int, idx []int) []byte {
 		if rs.encoded(i) {
 			buf = appendLE32(buf, rs.enc[ri*st+i])
 		} else {
-			s := relation.Format(rs.rows[ri][i])
-			buf = appendLE32(buf, uint32(len(s)))
-			buf = append(buf, s...)
+			buf = appendFormatted(buf, rs.rows[ri][i])
 		}
 	}
 	return buf
@@ -189,6 +187,24 @@ func (rs *rowset) appendHashKey(buf []byte, ri int, idx []int) []byte {
 
 func appendLE32(b []byte, v uint32) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// putLE32 overwrites the four bytes at b[off:] with v, little-endian.
+func putLE32(b []byte, off int, v uint32) {
+	b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// appendFormatted appends the length-prefixed Format rendering of v without
+// materializing a string per row: a placeholder length is appended first and
+// backfilled once the value's bytes are in place. The output is
+// byte-identical to appendLE32(buf, len(Format(v))) + Format(v) bytes
+// (pinned by TestAppendFormattedKeyBytes).
+func appendFormatted(buf []byte, v relation.Value) []byte {
+	n0 := len(buf)
+	buf = appendLE32(buf, 0)
+	buf = relation.AppendFormat(buf, v)
+	putLE32(buf, n0, uint32(len(buf)-n0-4))
+	return buf
 }
 
 type executor struct {
@@ -992,9 +1008,7 @@ func appendJoinKey(buf []byte, row relation.Tuple, idx []int) ([]byte, bool) {
 		if relation.Null(v) {
 			return buf, false
 		}
-		s := relation.Format(v)
-		buf = appendLE32(buf, uint32(len(s)))
-		buf = append(buf, s...)
+		buf = appendFormatted(buf, v)
 	}
 	return buf, true
 }

@@ -1,0 +1,68 @@
+package sqldb
+
+import (
+	"bytes"
+	"testing"
+
+	"kwagg/internal/relation"
+)
+
+// oldAppendFormatted is the pre-optimization key encoding: materialize the
+// Format string, then append its length and bytes. appendFormatted must stay
+// byte-identical to it — hash buckets and join groups are keyed on these
+// bytes, so any divergence silently changes results.
+func oldAppendFormatted(buf []byte, v relation.Value) []byte {
+	s := relation.Format(v)
+	buf = appendLE32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func TestAppendFormattedKeyBytes(t *testing.T) {
+	values := []relation.Value{
+		nil,
+		relation.Int(0), relation.Int(-99), relation.Int(123456789),
+		relation.Float(2.5), relation.Float(-0.125),
+		relation.Str(""), relation.Str("Green"), relation.Str("a|b|c"),
+	}
+	var got, want []byte
+	for _, v := range values {
+		got = appendFormatted(got, v)
+		want = oldAppendFormatted(want, v)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("appendFormatted diverges from the length-prefixed Format encoding:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestAppendJoinKeyBytes pins the full join-key builder, NULL short-circuit
+// included, against the old per-value encoding.
+func TestAppendJoinKeyBytes(t *testing.T) {
+	row := relation.Tuple{relation.Int(7), relation.Str("Green"), relation.Float(1.5)}
+	got, ok := appendJoinKey(nil, row, []int{0, 1, 2})
+	if !ok {
+		t.Fatal("appendJoinKey reported NULL on a NULL-free row")
+	}
+	var want []byte
+	for _, v := range row {
+		want = oldAppendFormatted(want, v)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("appendJoinKey = %q, want %q", got, want)
+	}
+	if _, ok := appendJoinKey(nil, relation.Tuple{relation.Int(7), nil}, []int{0, 1}); ok {
+		t.Fatal("appendJoinKey must report false for a NULL key value")
+	}
+}
+
+// TestAppendFormattedNoAlloc verifies the optimization holds: formatting an
+// integer key into a buffer with capacity allocates nothing (the old path
+// allocated the Format string every row).
+func TestAppendFormattedNoAlloc(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	v := relation.Int(123456) // boxed once, outside the measured loop
+	if n := testing.AllocsPerRun(100, func() {
+		buf = appendFormatted(buf[:0], v)
+	}); n != 0 {
+		t.Errorf("appendFormatted(int) allocates %.1f times per run", n)
+	}
+}

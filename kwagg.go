@@ -167,6 +167,11 @@ type Options struct {
 	// and by later queries, since the data is frozen — are computed once.
 	// 0 means the core default, negative disables memoization.
 	MemoCells int64
+	// VerifyPlans makes every translated statement pass the plan-invariant
+	// verifier (internal/planck) before it is returned or executed:
+	// Interpret and Answer fail on any finding. The test suites and the
+	// dataset workload replays run with it on; see docs/STATIC_ANALYSIS.md.
+	VerifyPlans bool
 }
 
 // Engine answers keyword queries over one database.
@@ -199,6 +204,7 @@ func Open(d *DB, opts *Options) (*Engine, error) {
 		copts.Workers = opts.Workers
 		copts.Chaos = opts.Chaos
 		copts.MemoCells = opts.MemoCells
+		copts.VerifyPlans = opts.VerifyPlans
 		cacheSize = opts.CacheSize
 	}
 	sys, err := core.Open(d.db, copts)
@@ -626,6 +632,31 @@ func (e *Engine) answerSetUncached(ctx context.Context, query string, k int) (*A
 
 // Workers reports the size of the pool Answer executes statements on.
 func (e *Engine) Workers() int { return e.sys.ExecWorkers() }
+
+// PlanFinding is one plan invariant violated by a generated statement, as
+// reported by the plan verifier (internal/planck): Rule names the invariant
+// (e.g. "distinct-projection"), Detail describes the offending fragment.
+type PlanFinding struct {
+	Rule   string `json:"rule"`
+	Detail string `json:"detail"`
+}
+
+// PlanFindings interprets the query and runs the plan-invariant verifier
+// over the top-k generated statements (k <= 0 checks all), returning every
+// finding instead of failing on the first. A healthy engine returns an empty
+// slice for every query; `kwlint -plans` replays the dataset workloads
+// through this to gate CI.
+func (e *Engine) PlanFindings(query string, k int) ([]PlanFinding, error) {
+	fs, err := e.sys.CheckPlans(query, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PlanFinding, len(fs))
+	for i, f := range fs {
+		out[i] = PlanFinding{Rule: f.Rule, Detail: f.Detail}
+	}
+	return out, nil
+}
 
 // ExecuteSQL runs a SQL statement of the supported subset directly against
 // the stored database.

@@ -41,7 +41,7 @@ func workloads() map[string][]string {
 // rendering of every statement's result, keyed by its SQL.
 func baselineAnswers(t *testing.T, name string, queries []string, k int) map[string]string {
 	t.Helper()
-	eng, err := kwagg.OpenDataset(name, true)
+	eng, err := kwagg.OpenDatasetOpts(name, true, &kwagg.Options{VerifyPlans: true})
 	if err != nil {
 		t.Fatalf("OpenDataset(%q): %v", name, err)
 	}
@@ -82,7 +82,7 @@ func TestChaosReplayNeverSilentlyWrong(t *testing.T) {
 				Cancel:  0.25,
 				Latency: 200 * time.Microsecond,
 			})
-			eng, err := kwagg.OpenDatasetOpts(name, true, &kwagg.Options{Chaos: inj})
+			eng, err := kwagg.OpenDatasetOpts(name, true, &kwagg.Options{Chaos: inj, VerifyPlans: true})
 			if err != nil {
 				t.Fatalf("OpenDatasetOpts(%q): %v", name, err)
 			}
@@ -149,7 +149,7 @@ func TestChaosCachePointsStillCorrect(t *testing.T) {
 		Seed:   3,
 		Points: []chaos.Point{chaos.PointCacheLookup, chaos.PointCacheStore},
 	})
-	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: inj})
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: inj, VerifyPlans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func (ti *targetInjector) Delay(chaos.Point) time.Duration { return 0 }
 // are accounted in the AnswerSet, and the answer is not partial.
 func TestChaosTransientFaultsAreRetried(t *testing.T) {
 	ti := &targetInjector{transientLeft: 2} // == core.DefaultMaxRetries
-	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: ti})
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: ti, VerifyPlans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestChaosTransientFaultsAreRetried(t *testing.T) {
 // with the transient fault in the detail.
 func TestChaosTransientBudgetExhaustion(t *testing.T) {
 	ti := &targetInjector{transientLeft: 3} // > DefaultMaxRetries
-	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: ti})
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: ti, VerifyPlans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestChaosTransientBudgetExhaustion(t *testing.T) {
 // AnswerContext rejects the partial set, and partial sets are never cached.
 func TestChaosPartialSetSemantics(t *testing.T) {
 	const query = "Green SUM Credit"
-	clean, err := kwagg.OpenDataset("university", true)
+	clean, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{VerifyPlans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestChaosPartialSetSemantics(t *testing.T) {
 	}
 	target := ins[0].SQL
 	ti := &targetInjector{failSQL: target}
-	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: ti})
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: ti, VerifyPlans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ func TestChaosPartialSetSemantics(t *testing.T) {
 func TestChaosCanceledFaultsNotRetried(t *testing.T) {
 	inj := chaos.New(chaos.Config{Rate: 1, Cancel: 1, Seed: 5,
 		Points: []chaos.Point{chaos.PointStatement}})
-	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: inj})
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: inj, VerifyPlans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestChaosDisabledIsIdentical(t *testing.T) {
 	queries := workloads()["university"]
 	base := baselineAnswers(t, "university", queries, 2)
 	inj := chaos.New(chaos.Config{Rate: 0, Seed: 1})
-	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: inj})
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: inj, VerifyPlans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +372,7 @@ func TestChaosConcurrentReplay(t *testing.T) {
 	base := baselineAnswers(t, "university", queries, 2)
 	inj := chaos.New(chaos.Config{Rate: 0.1, Seed: 11, Cancel: 0.25,
 		Latency: 100 * time.Microsecond})
-	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: inj})
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Chaos: inj, VerifyPlans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
