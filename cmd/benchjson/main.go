@@ -1,6 +1,7 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // stable JSON document on stdout, so benchmark runs can be committed (see
-// BENCH_PR4.json) and archived as CI artifacts without scraping ad-hoc text.
+// BENCH_PR4.json, BENCH_PR6.json) and archived as CI artifacts without
+// scraping ad-hoc text.
 //
 //	go test -run '^$' -bench . -benchmem ./internal/sqldb/ | go run ./cmd/benchjson
 package main
@@ -10,7 +11,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"regexp"
 	"strconv"
 	"strings"
 )
@@ -28,6 +28,10 @@ type Benchmark struct {
 	// BytesPerOp and AllocsPerOp are present only with -benchmem.
 	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other (value, unit) pair on the line — custom
+	// b.ReportMetric units such as "rows/s", which the testing package
+	// prints between ns/op and the -benchmem columns.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the top-level document.
@@ -38,8 +42,50 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(
-	`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// parseBench parses one `BenchmarkX-N  iters  v unit  v unit ...` result
+// line generically: after the iteration count, the line is (value, unit)
+// pairs in whatever order and number the run produced. Well-known units land
+// in their dedicated fields; everything else goes to Metrics.
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimPrefix(f[0], "Benchmark"), Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	sawNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp, sawNs = v, true
+		case "B/op":
+			n := int64(v)
+			b.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			b.AllocsPerOp = &n
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, sawNs
+}
 
 func main() {
 	rep := Report{Benchmarks: []Benchmark{}}
@@ -58,25 +104,10 @@ func main() {
 		case strings.HasPrefix(line, "pkg: "):
 			pkg = strings.TrimPrefix(line, "pkg: ")
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if b, ok := parseBench(line); ok {
+			b.Package = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
-		b := Benchmark{Name: m[1], Procs: 1, Package: pkg}
-		if m[2] != "" {
-			b.Procs, _ = strconv.Atoi(m[2])
-		}
-		b.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
-		b.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
-		if m[5] != "" {
-			v, _ := strconv.ParseInt(m[5], 10, 64)
-			b.BytesPerOp = &v
-		}
-		if m[6] != "" {
-			v, _ := strconv.ParseInt(m[6], 10, 64)
-			b.AllocsPerOp = &v
-		}
-		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)

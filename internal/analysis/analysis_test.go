@@ -185,6 +185,42 @@ func label(n int) string {
 	wantNone(t, check(t, "kwagg/internal/sqldb", src, HotAlloc()))
 }
 
+func TestHotAllocFlagsMakeInBlockLoop(t *testing.T) {
+	src := `package sqldb
+type executor struct{ ops uint }
+func (e *executor) stepN(n int) error { e.ops += uint(n); return nil }
+func (e *executor) kernel(blocks [][]uint32) int {
+	total := 0
+	for b := range blocks {
+		if err := e.stepN(len(blocks[b])); err != nil {
+			return 0
+		}
+		scratch := make([]uint64, 16)
+		_ = scratch
+		total += b
+	}
+	return total
+}
+`
+	wantDiag(t, check(t, "kwagg/internal/sqldb", src, HotAlloc()),
+		"hotalloc", "batch-kernel block loop")
+}
+
+func TestHotAllocAllowsMakeInPlainLoop(t *testing.T) {
+	// make in a loop that is not a batch block loop (no stepN poll) is a
+	// per-statement or per-group allocation, not per-block scratch.
+	src := `package sqldb
+func carve(sizes []int) [][]int {
+	out := make([][]int, 0, len(sizes))
+	for _, n := range sizes {
+		out = append(out, make([]int, 0, n))
+	}
+	return out
+}
+`
+	wantNone(t, check(t, "kwagg/internal/sqldb", src, HotAlloc()))
+}
+
 func TestHotAllocIgnoresOtherPackages(t *testing.T) {
 	src := `package translate
 import "fmt"

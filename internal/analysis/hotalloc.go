@@ -17,7 +17,11 @@ const relationPkg = "kwagg/internal/relation"
 //   - string concatenation onto a variable with += (reallocates every
 //     iteration),
 //   - relation.Format results appended into a []byte key buffer — use
-//     relation.AppendFormat, which appends digits directly.
+//     relation.AppendFormat, which appends digits directly,
+//   - make(...) in the batch-kernel block loops (any function running the
+//     per-block kernels of batch.go) — block scratch must come from the
+//     executor's reused buffers (ensureBits/ensureIdx/ensurePids), not be
+//     reallocated once per block.
 //
 // Loops are where rows are processed; the same patterns outside a loop are
 // per-statement, not per-row, and are not flagged.
@@ -63,6 +67,23 @@ func checkHotLoop(pkg *Pkg, body *ast.BlockStmt) []Diagnostic {
 			Message:  msg,
 		})
 	}
+	// A loop that polls the per-block cancellation counter stepN is a
+	// batch-kernel block loop (batch.go's kernels are the only callers):
+	// there, make(...) allocates scratch once per block and is flagged —
+	// scratch must come from the executor's reused ensure* buffers.
+	blockLoop := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "stepN" {
+				blockLoop = true
+			}
+		}
+		return true
+	})
 	// Identifiers assigned from relation.Format inside this loop body.
 	formatted := make(map[types.Object]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -88,6 +109,10 @@ func checkHotLoop(pkg *Pkg, body *ast.BlockStmt) []Diagnostic {
 				}
 			}
 		case *ast.CallExpr:
+			if blockLoop && isBuiltinMake(pkg.Info, st) {
+				report(st, "make in a batch-kernel block loop allocates scratch once per block; reuse the executor's ensure* buffers or hoist the allocation out of the loop")
+				return true
+			}
 			if name, ok := isPkgCall(pkg.Info, st, "fmt", "Sprintf", "Sprint", "Sprintln"); ok {
 				report(st, "fmt."+name+" allocates on every row; format into a reused buffer (strconv.Append*, relation.AppendFormat) instead")
 				return true
@@ -108,4 +133,14 @@ func checkHotLoop(pkg *Pkg, body *ast.BlockStmt) []Diagnostic {
 		return true
 	})
 	return diags
+}
+
+// isBuiltinMake reports whether call is the builtin make(...).
+func isBuiltinMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "make"
 }

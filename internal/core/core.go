@@ -81,6 +81,11 @@ type System struct {
 	// and fail on findings — the debug-mode assertion the test suites run
 	// under. Set before sharing the System.
 	VerifyPlans bool
+
+	// NoBatch pins statement execution to the integer-at-a-time encoded
+	// kernels instead of the vectorized batch kernels (output is
+	// byte-identical either way). Built by Open from Options.BatchKernels.
+	NoBatch bool
 }
 
 // Retry policy defaults: up to two retries, 1ms base backoff doubling per
@@ -118,6 +123,11 @@ type Options struct {
 	// VerifyPlans makes Interpret verify every translated plan against the
 	// paper's invariants (internal/planck) and fail on findings.
 	VerifyPlans bool
+	// BatchKernels selects the executor's kernel generation: 0 (the
+	// default) and positive run the vectorized batch kernels, negative pins
+	// the integer-at-a-time encoded path — the escape hatch, byte-identical
+	// output, mirroring the MemoCells zero/negative idiom.
+	BatchKernels int
 }
 
 // Open prepares a database for keyword search. It checks every relation's
@@ -162,6 +172,7 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 	s.RetryBackoff = opts.RetryBackoff
 	s.Plan = planck.New(db)
 	s.VerifyPlans = opts.VerifyPlans
+	s.NoBatch = opts.BatchKernels < 0
 	// Freeze the stored data: later inserts are rejected, and every
 	// per-table value index and column dictionary is built now so query
 	// execution never mutates shared state (the thread-safety contract of
@@ -521,7 +532,7 @@ func (s *System) execAttempt(sctx context.Context, in Interpretation, detail str
 			return nil, err
 		}
 	}
-	res, st, err := sqldb.ExecMemoContext(sctx, s.Data, in.SQL, s.Memo)
+	res, st, err := sqldb.ExecOpts(sctx, s.Data, in.SQL, sqldb.ExecConfig{Memo: s.Memo, NoBatch: s.NoBatch})
 	if st.Hits > 0 || st.Misses > 0 {
 		if reg := obs.RegistryFrom(sctx); reg != nil {
 			reg.Counter("kwagg_memo_hits_total",
@@ -596,7 +607,7 @@ func (s *System) BestAnswer(query string, k int, pick func(Interpretation) bool)
 			return nil, fmt.Errorf("core: no interpretation of %q matches the selector", query)
 		}
 	}
-	res, err := sqldb.Exec(s.Data, ins[idx].SQL)
+	res, _, err := sqldb.ExecOpts(nil, s.Data, ins[idx].SQL, sqldb.ExecConfig{NoBatch: s.NoBatch})
 	if err != nil {
 		return nil, fmt.Errorf("core: executing %q: %w", ins[idx].SQL, err)
 	}
@@ -607,7 +618,12 @@ func (s *System) BestAnswer(query string, k int, pick func(Interpretation) bool)
 // Execute runs an arbitrary SQL statement of the supported subset against
 // the stored database.
 func (s *System) Execute(sql string) (*sqldb.Result, error) {
-	return sqldb.ExecSQL(s.Data, sql)
+	q, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := sqldb.ExecOpts(nil, s.Data, q, sqldb.ExecConfig{NoBatch: s.NoBatch})
+	return res, err
 }
 
 // DescribeSchema summarises the planning schema: node names, types and

@@ -1,0 +1,66 @@
+package relation
+
+// Column-major view of a frozen table's dictionary encoding. The row-major
+// enc array (see Table.Freeze) is the executor's tuple-at-a-time layout; the
+// batch kernels instead want each attribute's IDs contiguous so a 1024-ID
+// block is one cache-friendly sweep. Freeze builds both: the transpose costs
+// one pass over the encoded tuples and is immutable afterwards, so ColData is
+// shared by unsynchronized concurrent readers exactly like the dictionaries.
+
+// BlockSize is the number of rows a batch kernel processes per inner loop:
+// 1024 IDs (4 KiB) fit comfortably in L1 alongside a selection vector, and it
+// equals rowCheckInterval in the executor so per-block cancellation polls
+// keep the same responsiveness as the per-row amortized checks. A multiple of
+// 64 so block boundaries are word-aligned in the null and selection bitsets.
+const BlockSize = 1024
+
+// Blocks returns how many BlockSize blocks cover n rows (the last one may be
+// partial).
+func Blocks(n int) int { return (n + BlockSize - 1) / BlockSize }
+
+// ColData is one attribute's dictionary IDs stored contiguously, with an
+// optional null bitset. IDs[i] is the ID of row i's value — the same ID the
+// row-major encoding stores, so either layout can verify the other.
+type ColData struct {
+	// IDs holds the column's dictionary IDs, one per row, contiguous.
+	IDs []uint32
+	// Nulls marks the rows whose boxed value is SQL NULL, bit i at
+	// Nulls[i/64]>>(i%64). It is nil when the column has no NULLs at all —
+	// the common case, letting kernels skip null masking entirely. The
+	// bitset exists because NULL shares its dictionary ID with the literal
+	// string "NULL" (Format equality), so the IDs alone cannot separate
+	// them.
+	Nulls []uint64
+}
+
+// Len returns the number of rows.
+func (c *ColData) Len() int { return len(c.IDs) }
+
+// Block returns the b'th BlockSize slice of IDs; the last block is short when
+// the row count is not a multiple of BlockSize.
+func (c *ColData) Block(b int) []uint32 {
+	lo := b * BlockSize
+	hi := lo + BlockSize
+	if hi > len(c.IDs) {
+		hi = len(c.IDs)
+	}
+	return c.IDs[lo:hi]
+}
+
+// Null reports whether row i's value is SQL NULL.
+func (c *ColData) Null(i int) bool {
+	if c.Nulls == nil {
+		return false
+	}
+	return c.Nulls[i>>6]>>(uint(i)&63)&1 != 0
+}
+
+// NullWord returns the w'th 64-row word of the null bitset (zero when the
+// column has no NULLs). Block boundaries are word-aligned, so a kernel
+// clearing null rows from a block's selection bitset works word-by-word.
+func (c *ColData) NullWord(w int) uint64 {
+	if c.Nulls == nil {
+		return 0
+	}
+	return c.Nulls[w]
+}

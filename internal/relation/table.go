@@ -23,11 +23,14 @@ type Table struct {
 
 	// Dictionary encoding, built by Freeze and immutable afterwards: one
 	// dictionary per attribute, the flat row-major array of encoded tuples
-	// (row i, attribute j at i*len(dicts)+j), and per-attribute postings
-	// mapping each dictionary ID to its ascending row ids (the frozen value
-	// index, replacing the formatted-string hashIdx).
+	// (row i, attribute j at i*len(dicts)+j), the column-major transpose of
+	// the same IDs (one contiguous ColData per attribute, for the batch
+	// kernels), and per-attribute postings mapping each dictionary ID to its
+	// ascending row ids (the frozen value index, replacing the
+	// formatted-string hashIdx).
 	dicts []*Dict
 	enc   []uint32
+	cols  []ColData
 	post  [][][]int
 }
 
@@ -74,6 +77,27 @@ func (t *Table) Freeze() {
 			t.enc[i*ncols+j] = t.dicts[j].encode(v)
 		}
 	}
+	t.cols = make([]ColData, ncols)
+	if ncols > 0 {
+		ids := make([]uint32, len(t.Tuples)*ncols) // one backing array for all columns
+		for j := range t.cols {
+			col := ids[j*len(t.Tuples) : (j+1)*len(t.Tuples)]
+			for i := range t.Tuples {
+				col[i] = t.enc[i*ncols+j]
+			}
+			t.cols[j].IDs = col
+		}
+		for i, tu := range t.Tuples {
+			for j, v := range tu {
+				if Null(v) {
+					if t.cols[j].Nulls == nil {
+						t.cols[j].Nulls = make([]uint64, (len(t.Tuples)+63)/64)
+					}
+					t.cols[j].Nulls[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+		}
+	}
 	t.post = make([][][]int, ncols)
 	for j := range t.post {
 		p := make([][]int, t.dicts[j].Len())
@@ -95,6 +119,17 @@ func (t *Table) Encoding() (dicts []*Dict, ids []uint32, ok bool) {
 		return nil, nil, false
 	}
 	return t.dicts, t.enc, true
+}
+
+// Col exposes attribute j's column-major encoding: its dictionary IDs stored
+// contiguously plus the null bitset (see ColData). nil until the table has
+// been frozen or when j is out of range; the returned data is immutable
+// shared state — read only.
+func (t *Table) Col(j int) *ColData {
+	if !t.frozen || j < 0 || j >= len(t.cols) {
+		return nil
+	}
+	return &t.cols[j]
 }
 
 // Frozen reports whether the table has been frozen.

@@ -8,12 +8,13 @@ import (
 
 // allocDB builds a frozen single-table database big enough that per-row
 // allocations dominate any fixed setup cost: n rows with 16 distinct group
-// keys and 64 distinct join keys.
+// keys, 64 distinct join keys and 32 distinct float values (floats are not
+// indexable, so equality on F exercises the scan-side filter kernel).
 func allocDB(n int) *relation.Database {
 	db := relation.NewDatabase("alloc")
-	tt := db.AddSchema(relation.NewSchema("T", "G INT", "V INT", "K INT").Key("V"))
+	tt := db.AddSchema(relation.NewSchema("T", "G INT", "V INT", "K INT", "F FLOAT").Key("V"))
 	for i := 0; i < n; i++ {
-		tt.MustInsert(int64(i%16), int64(i), int64(i%64))
+		tt.MustInsert(int64(i%16), int64(i), int64(i%64), float64(i%32)+0.5)
 	}
 	uu := db.AddSchema(relation.NewSchema("U", "K INT", "M INT").Key("K"))
 	for i := 0; i < 16; i++ {
@@ -99,4 +100,65 @@ func TestDistinctKeyAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+}
+
+// TestFilterKernelAllocs pins the batch equality filter: floats are not
+// indexable, so the predicate runs through the scan-side selection-vector
+// kernel, whose only allocations are the bitset and the gathered output —
+// near zero per input row when most rows are filtered out.
+func TestFilterKernelAllocs(t *testing.T) {
+	const rows = 20000
+	db := allocDB(rows)
+	q, err := Parse("SELECT T.V FROM T WHERE T.F = 7.5") // 1/32 of rows survive
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllocsPerRow(t, "batch-filter", rows, 0.05, func() {
+		if _, err := Exec(db, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestBatchAllocsNotWorseThanEncoded compares steady-state allocations of the
+// batch kernels against the integer-at-a-time encoded path on the same
+// statements: vectorizing must not buy speed with extra garbage, so the batch
+// execution may allocate at most what the encoded one does (plus a fixed
+// per-statement scratch slack for the selection vectors).
+func TestBatchAllocsNotWorseThanEncoded(t *testing.T) {
+	const rows = 20000
+	db := allocDB(rows)
+	for _, tc := range []struct{ label, sql string }{
+		{"group-by", "SELECT T.G, COUNT(T.V) AS n FROM T GROUP BY T.G"},
+		{"hash-join", "SELECT COUNT(T.V) AS n FROM T, U WHERE U.K = T.K"},
+		{"distinct", "SELECT DISTINCT T.G, T.K FROM T"},
+	} {
+		q, err := Parse(tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runBatch := func() {
+			if _, err := Exec(db, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runEncoded := func() {
+			if _, err := ExecEncoded(db, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runBatch()
+		runEncoded() // warm cached remap tables for both modes
+		batch := testing.AllocsPerRun(10, runBatch)
+		encoded := testing.AllocsPerRun(10, runEncoded)
+		t.Logf("%s: batch %.0f allocs/op, encoded %.0f allocs/op", tc.label, batch, encoded)
+		// The batch executor may add a handful of fixed scratch allocations
+		// (selection bitset, packed indexes, probe gather buffer) but nothing
+		// per row.
+		const scratchSlack = 8
+		if batch > encoded+scratchSlack {
+			t.Errorf("%s: batch path allocates %.0f/op vs encoded %.0f/op — more than fixed scratch slack %d",
+				tc.label, batch, encoded, scratchSlack)
+		}
+	}
 }

@@ -32,18 +32,27 @@ func BenchmarkParse(b *testing.B) {
 	}
 }
 
-// benchEncodedVsReference runs the statement through the dictionary-encoded
-// executor and through the scan-only formatted-string reference path.
-func benchEncodedVsReference(b *testing.B, db *relation.Database, sql string) {
+// benchThreeWay runs the statement through all three executor generations:
+// the vectorized batch kernels (default), the integer-at-a-time encoded
+// kernels, and the scan-only formatted-string reference path.
+func benchThreeWay(b *testing.B, db *relation.Database, sql string) {
 	b.Helper()
 	q, err := Parse(sql)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Run("encoded", func(b *testing.B) {
+	b.Run("batch", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := Exec(db, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encoded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ExecEncoded(db, q); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -60,7 +69,7 @@ func benchEncodedVsReference(b *testing.B, db *relation.Database, sql string) {
 
 // BenchmarkHashJoin3Way measures the T5-style join over the TPCH data.
 func BenchmarkHashJoin3Way(b *testing.B) {
-	benchEncodedVsReference(b, benchDB(b),
+	benchThreeWay(b, benchDB(b),
 		"SELECT COUNT(S.suppkey) AS n FROM Supplier S, Part P, "+
 			"(SELECT DISTINCT suppkey, partkey FROM Lineitem) L "+
 			"WHERE P.partkey=L.partkey AND L.suppkey=S.suppkey AND P.pname CONTAINS 'royal olive'")
@@ -68,13 +77,13 @@ func BenchmarkHashJoin3Way(b *testing.B) {
 
 // BenchmarkGroupByAggregate measures grouping all lineitems by supplier.
 func BenchmarkGroupByAggregate(b *testing.B) {
-	benchEncodedVsReference(b, benchDB(b),
+	benchThreeWay(b, benchDB(b),
 		"SELECT L.suppkey, COUNT(L.partkey) AS n FROM Lineitem L GROUP BY L.suppkey")
 }
 
 // BenchmarkDistinctProjection measures the Section 3.1.3 projection cost.
 func BenchmarkDistinctProjection(b *testing.B) {
-	benchEncodedVsReference(b, benchDB(b),
+	benchThreeWay(b, benchDB(b),
 		"SELECT DISTINCT L.partkey, L.suppkey FROM Lineitem L")
 }
 
@@ -147,5 +156,141 @@ func BenchmarkMemoSharedSubplans(b *testing.B) {
 				}
 			}
 		}
+	})
+}
+
+// --- Per-kernel benchmarks ---------------------------------------------------
+//
+// The BenchmarkKernel* family isolates one kernel each by driving the
+// executor's operators directly on prepared rowsets (the statement planner
+// would otherwise bury the kernel under scans, planning and output
+// materialization — and always probes hash joins with the smaller side, so a
+// big-probe shape is unreachable through SQL). Relations span many BlockSize
+// blocks plus a partial tail so the block loop's boundary handling is always
+// on the path. Throughput is reported as input rows per second so
+// BENCH_PR6.json can compare kernels directly across execution modes.
+
+// kernelBenchRows sizes the synthetic kernel relations: 256 blocks plus a
+// partial tail.
+const kernelBenchRows = 256*relation.BlockSize + 517
+
+// kernelDB builds the synthetic kernel-benchmark database: T carries a
+// grouping key (64 values), a join key (16384 values) and a float filter
+// column (512 values); U is a small build side covering 64 of T's join keys
+// with one row each, so almost every probe misses.
+func kernelDB() *relation.Database {
+	db := relation.NewDatabase("kernelbench")
+	tt := db.AddSchema(relation.NewSchema("T", "G INT", "V INT", "K INT", "F FLOAT").Key("V"))
+	for i := 0; i < kernelBenchRows; i++ {
+		tt.MustInsert(int64(i%64), int64(i), int64(i%16384), float64(i%1024)/2)
+	}
+	uu := db.AddSchema(relation.NewSchema("U", "K INT", "M INT").Key("K"))
+	for i := 0; i < 64; i++ {
+		uu.MustInsert(int64(i), int64(i*100))
+	}
+	db.Freeze()
+	return db
+}
+
+// kernelSource builds the pristine scan rowset of a table under the three
+// execution modes (the reference mode drops the encoding, exactly like
+// ExecNoIndex's scans).
+func kernelSource(b *testing.B, e *executor, name string) *rowset {
+	b.Helper()
+	rs, err := e.source(sqlast.TableRef{Name: name, Alias: name})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rs
+}
+
+// benchKernelModes runs op through the three executor generations (batch,
+// encoded, reference), reporting input rows per second per mode. op receives
+// a fresh mode-configured executor per call.
+func benchKernelModes(b *testing.B, inputRows int, op func(e *executor) error) {
+	b.Helper()
+	modes := []struct {
+		name    string
+		noIndex bool
+		noBatch bool
+	}{
+		{"batch", false, false},
+		{"encoded", false, true},
+		{"reference", true, false},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := op(&executor{noIndex: m.noIndex, noBatch: m.noBatch}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(inputRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkKernelFilter isolates the equality-filter kernel on a pristine
+// base scan with a float constant — the shape the value index cannot answer
+// (it only keys strings and ints), so the batch path runs the contiguous
+// eqBits kernel over the column blocks, the encoded path compares dictionary
+// IDs row at a time and the reference path Compares boxed values. 1/512 of
+// the rows survive, keeping output cost marginal.
+func BenchmarkKernelFilter(b *testing.B) {
+	db := kernelDB()
+	pred := sqlast.ComparePred{
+		Col: sqlast.Col{Table: "T", Column: "F"}, Op: sqlast.OpEq, Value: float64(3.5)}
+	benchKernelModes(b, kernelBenchRows, func(e *executor) error {
+		e.db = db
+		src := kernelSource(b, e, "T")
+		out, err := e.filterRows(src, pred)
+		// 256 full cycles of F plus the tail's one F=3.5 row.
+		if err == nil && len(out.rows) != kernelBenchRows/1024+1 {
+			b.Fatalf("filter kept %d rows", len(out.rows))
+		}
+		return err
+	})
+}
+
+// BenchmarkKernelJoinProbe isolates the hash-join probe with the probe side
+// 4096x the build side: T's 16384 join keys probe U's 64-key build (dense
+// heads, chains of length one), so 255/256 of the probes miss and the probe
+// loop — fused remap+survivor mask, head lookup — dominates emission.
+func BenchmarkKernelJoinProbe(b *testing.B) {
+	db := kernelDB()
+	eqs := []sqlast.JoinPred{{
+		Left:  sqlast.Col{Table: "T", Column: "K"},
+		Right: sqlast.Col{Table: "U", Column: "K"},
+	}}
+	benchKernelModes(b, kernelBenchRows, func(e *executor) error {
+		e.db = db
+		left := kernelSource(b, e, "T")
+		right := kernelSource(b, e, "U")
+		out, err := e.join(left, right, eqs)
+		// 16 full key cycles emit 64 matches each; the 517-row tail covers
+		// keys 0..63 once more.
+		if err == nil && len(out.rows) != (kernelBenchRows/16384)*64+64 {
+			b.Fatalf("join emitted %d rows", len(out.rows))
+		}
+		return err
+	})
+}
+
+// BenchmarkKernelGroupBy isolates the grouping kernel through the whole
+// statement (grouping is not reachable as a lone operator): one encoded key
+// with 64 distinct values (dense slot table) and a COUNT that the batch path
+// answers from the slot sizes without touching boxed values.
+func BenchmarkKernelGroupBy(b *testing.B) {
+	db := kernelDB()
+	q, err := Parse("SELECT T.G, COUNT(T.V) AS n FROM T GROUP BY T.G")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKernelModes(b, kernelBenchRows, func(e *executor) error {
+		e.db = db
+		_, err := e.query(q)
+		return err
 	})
 }

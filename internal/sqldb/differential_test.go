@@ -1,23 +1,61 @@
-// Differential suite for the value-index fast path: every query the seed
-// workloads generate must produce row-for-row the same Result through the
-// index-accelerated executor (Exec) as through the scan-only reference path
-// (ExecNoIndex). This file is an external test package because it drives the
-// executor through internal/experiments, which itself imports sqldb.
+// Differential suite for the accelerated execution paths: every query the
+// seed workloads generate must produce row-for-row the same Result through
+// all three executor generations — the vectorized batch kernels (Exec, the
+// default), the integer-at-a-time encoded kernels (ExecEncoded, the PR4
+// path) and the scan-only formatted-string reference (ExecNoIndex). This
+// file is an external test package because it drives the executor through
+// internal/experiments, which itself imports sqldb.
 package sqldb_test
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
+	"kwagg"
 	"kwagg/internal/dataset/acmdl"
 	"kwagg/internal/dataset/tpch"
 	"kwagg/internal/experiments"
 	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
 	"kwagg/internal/sqldb"
 )
 
-// diffQueries runs every interpretation of every keyword query through both
-// executors and compares the sorted results.
+// diffThreeWay executes one statement through the batch, encoded and
+// reference paths and fails unless the sorted results are value-identical
+// and the rendered answer sets byte-identical.
+func diffThreeWay(t *testing.T, db *relation.Database, label string, q *sqlast.Query) {
+	t.Helper()
+	batch, err := sqldb.Exec(db, q)
+	if err != nil {
+		t.Fatalf("%s: batch exec: %v", label, err)
+	}
+	encoded, err := sqldb.ExecEncoded(db, q)
+	if err != nil {
+		t.Fatalf("%s: encoded exec: %v", label, err)
+	}
+	scanned, err := sqldb.ExecNoIndex(db, q)
+	if err != nil {
+		t.Fatalf("%s: scan exec: %v", label, err)
+	}
+	batch.SortRows()
+	encoded.SortRows()
+	scanned.SortRows()
+	if !reflect.DeepEqual(batch, encoded) {
+		t.Errorf("%s: batch diverged from encoded:\nSQL: %s\nbatch:   %+v\nencoded: %+v",
+			label, q, batch, encoded)
+	}
+	if !reflect.DeepEqual(encoded, scanned) {
+		t.Errorf("%s: encoded diverged from reference:\nSQL: %s\nencoded: %+v\nscan:    %+v",
+			label, q, encoded, scanned)
+	}
+	if b, e, s := batch.String(), encoded.String(), scanned.String(); b != e || e != s {
+		t.Errorf("%s: rendered answer sets differ:\nbatch:\n%s\nencoded:\n%s\nscan:\n%s", label, b, e, s)
+	}
+}
+
+// diffQueries runs every interpretation of every keyword query through the
+// three executor paths and compares the sorted results.
 func diffQueries(t *testing.T, s *experiments.Setup, queries []experiments.Query) {
 	t.Helper()
 	interpretations := 0
@@ -27,24 +65,12 @@ func diffQueries(t *testing.T, s *experiments.Setup, queries []experiments.Query
 			t.Fatalf("%s %s: %v", q.ID, q.Keywords, err)
 		}
 		for i, in := range ins {
-			indexed, err := sqldb.Exec(s.Ours.Data, in.SQL)
-			if err != nil {
-				t.Fatalf("%s interpretation %d: indexed exec: %v", q.ID, i, err)
-			}
-			scanned, err := sqldb.ExecNoIndex(s.Ours.Data, in.SQL)
-			if err != nil {
-				t.Fatalf("%s interpretation %d: scan exec: %v", q.ID, i, err)
-			}
-			indexed.SortRows()
-			scanned.SortRows()
-			if !reflect.DeepEqual(indexed, scanned) {
-				t.Errorf("%s interpretation %d diverged:\nSQL: %s\nindexed: %+v\nscan:    %+v",
-					q.ID, i, in.SQL, indexed, scanned)
-			}
+			diffThreeWay(t, s.Ours.Data, q.ID, in.SQL)
 			interpretations++
+			_ = i
 		}
 	}
-	t.Logf("%s: %d interpretations compared", s.Label, interpretations)
+	t.Logf("%s: %d interpretations compared three ways", s.Label, interpretations)
 }
 
 func TestDifferentialUniversity(t *testing.T) {
@@ -94,10 +120,50 @@ func TestDifferentialACMDLUnnormalized(t *testing.T) {
 	diffQueries(t, s, experiments.QueriesACMDL())
 }
 
+// TestDifferentialDatasetWorkloadsThreeWay replays every bundled dataset
+// workload (kwagg.DatasetWorkloads, the same map the chaos and plan-verifier
+// suites iterate) and checks that each interpretation's answer set is
+// byte-identical across the batch, encoded and reference paths.
+func TestDifferentialDatasetWorkloadsThreeWay(t *testing.T) {
+	setups := map[string]func() (*experiments.Setup, error){
+		"university":   experiments.NewUniversity,
+		"tpch":         func() (*experiments.Setup, error) { return experiments.NewTPCH(tpch.Small()) },
+		"tpch-denorm":  func() (*experiments.Setup, error) { return experiments.NewTPCHUnnormalized(tpch.Small()) },
+		"acmdl":        func() (*experiments.Setup, error) { return experiments.NewACMDL(acmdl.Small()) },
+		"acmdl-denorm": func() (*experiments.Setup, error) { return experiments.NewACMDLUnnormalized(acmdl.Small()) },
+	}
+	workloads := kwagg.DatasetWorkloads()
+	for name, queries := range workloads {
+		build, ok := setups[name]
+		if !ok {
+			t.Fatalf("workload %q has no differential setup — extend the map", name)
+		}
+		name, queries := name, queries
+		t.Run(name, func(t *testing.T) {
+			s, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			interpretations := 0
+			for _, kw := range queries {
+				ins, err := s.Ours.Interpret(kw, 0)
+				if err != nil {
+					t.Fatalf("%s: %v", kw, err)
+				}
+				for _, in := range ins {
+					diffThreeWay(t, s.Ours.Data, name+"/"+kw, in.SQL)
+					interpretations++
+				}
+			}
+			t.Logf("%s: %d interpretations compared three ways", name, interpretations)
+		})
+	}
+}
+
 // TestDifferentialEqualityCorners hand-builds rows around the index's edge
 // cases — NULLs, a literal "NULL" string (which shares the NULL rows' index
-// key after Format), int vs float constants — and checks Exec == ExecNoIndex
-// on direct equality filters.
+// key after Format), int vs float constants — and checks all three executor
+// paths agree on direct equality filters.
 func TestDifferentialEqualityCorners(t *testing.T) {
 	db := relation.NewDatabase("corners")
 	item := db.AddSchema(relation.NewSchema("Item", "Id", "Name", "Qty INT", "Price FLOAT").Key("Id"))
@@ -106,6 +172,8 @@ func TestDifferentialEqualityCorners(t *testing.T) {
 	item.MustInsert("i3", nil, int64(7), 1.5)    // a genuinely missing name
 	item.MustInsert("i4", "widget", nil, nil)    // missing numbers
 	item.MustInsert("i5", "widget", int64(5), 1.5)
+	item.MustInsert("i6", "widget", int64(0), 0.0)
+	item.MustInsert("i7", "widget", int64(0), math.Copysign(0, -1)) // negative zero
 	db.Freeze()
 
 	for _, sql := range []string{
@@ -117,26 +185,19 @@ func TestDifferentialEqualityCorners(t *testing.T) {
 		"SELECT I.Id FROM Item I WHERE I.Qty = 5",
 		// unmatched constant: empty either way
 		"SELECT I.Id FROM Item I WHERE I.Qty = 99",
-		// float constant: not indexable, but both paths must still agree
+		// float constant: not indexable, but the dictionary-ID kernel path
+		// answers it (with boxed re-verification) and all paths must agree
 		"SELECT I.Id FROM Item I WHERE I.Price = 1.5",
+		// float zero: Format splits "0"/"-0" while Compare does not, so the
+		// kernel path must decline (dictableEq) and fall back to the Compare
+		// scan — rows i6 and i7 both match on every path
+		"SELECT I.Id FROM Item I WHERE I.Price = 0.0",
 	} {
 		q, err := sqldb.Parse(sql)
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
-		indexed, err := sqldb.Exec(db, q)
-		if err != nil {
-			t.Fatalf("%s: indexed exec: %v", sql, err)
-		}
-		scanned, err := sqldb.ExecNoIndex(db, q)
-		if err != nil {
-			t.Fatalf("%s: scan exec: %v", sql, err)
-		}
-		indexed.SortRows()
-		scanned.SortRows()
-		if !reflect.DeepEqual(indexed, scanned) {
-			t.Errorf("%s diverged:\nindexed: %+v\nscan:    %+v", sql, indexed, scanned)
-		}
+		diffThreeWay(t, db, sql, q)
 	}
 
 	// Pin the specific trap: Format(nil) == "NULL" == Format("NULL"), so the

@@ -107,6 +107,16 @@ func ExecNoIndex(db *relation.Database, q *sqlast.Query) (*Result, error) {
 	return e.query(q)
 }
 
+// ExecEncoded evaluates the query with the batch kernels disabled but the
+// dictionary-encoded integer-at-a-time kernels (and the value index) on —
+// the PR4 execution mode. It is the middle rung of the three-way
+// differential ladder (batch vs encoded vs reference) and the baseline the
+// batch kernels are benchmarked against.
+func ExecEncoded(db *relation.Database, q *sqlast.Query) (*Result, error) {
+	e := &executor{db: db, noBatch: true}
+	return e.query(q)
+}
+
 type boundCol struct {
 	table string // alias the column is reachable under
 	name  string
@@ -210,12 +220,21 @@ func appendFormatted(buf []byte, v relation.Value) []byte {
 type executor struct {
 	db      *relation.Database
 	noIndex bool            // disable index + encoded fast paths (test hook)
+	noBatch bool            // disable batch kernels: integer-at-a-time reference
 	ctx     context.Context // non-nil only when cancellable (see ExecContext)
 	ops     uint            // row-touch counter for amortized ctx checks
 	memo    *Memo           // shared-subplan cache; nil = no memoization
 
 	memoHits   int
 	memoMisses int
+
+	// Batch-kernel scratch, reused across operators of one statement (the
+	// executor is single-goroutine and never reentrant within an operator):
+	// the whole-input selection bitset, the packed per-block selection
+	// indexes, and the per-block translated probe IDs.
+	selBits []uint64
+	selIdx  []int32
+	pids    []uint32
 }
 
 // rowCheckInterval bounds how many rows a loop may touch between context
@@ -535,6 +554,19 @@ func indexableEq(rs *rowset, p sqlast.Pred) bool {
 	return ok && pp.Op == sqlast.OpEq && rs.base != nil && keyableConst(pp.Value)
 }
 
+// dictableEq reports whether an equality constant may be answered through a
+// dictionary ID bucket (with a boxed Compare re-verify of the candidates).
+// Wider than keyableConst: any constant formats deterministically and the
+// re-verify rejects format collisions, so floats qualify too — except a float
+// zero, where Format distinguishes "0" from "-0" while Compare does not, so
+// the bucket would miss the other sign's rows that a Compare scan matches.
+func dictableEq(v relation.Value) bool {
+	if f, ok := v.(float64); ok && f == 0 {
+		return false
+	}
+	return true
+}
+
 func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 	out := &rowset{cols: rs.cols, dicts: rs.dicts}
 	if rs.key != "" {
@@ -566,13 +598,27 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 			}
 			return out, nil
 		}
-		if !e.noIndex && pp.Op == sqlast.OpEq && rs.encoded(i) && keyableConst(pp.Value) {
+		if !e.noIndex && pp.Op == sqlast.OpEq && rs.encoded(i) && dictableEq(pp.Value) {
 			// Encoded equality on a derived rowset (post-filter, post-join or
 			// subquery output): compare dictionary IDs instead of formatting
 			// each row, re-verifying candidates exactly like the index path.
 			id, ok := rs.dicts[i].ID(pp.Value)
 			if !ok {
 				return out, nil
+			}
+			if e.batchOn() {
+				// Batch form: a branch-free per-block kernel fills the
+				// selection bitset, then the gather emits (and re-verifies)
+				// only the selected rows, preallocated to the match count.
+				sel, err := e.fillFilterBits(rs, i, id, nil)
+				if err != nil {
+					return nil, err
+				}
+				err = e.gatherSelected(rs, sel, out, func(ri int) bool {
+					v := rs.rows[ri][i]
+					return !relation.Null(v) && relation.Compare(v, pp.Value) == 0
+				})
+				return out, err
 			}
 			for ri := range rs.rows {
 				if err := e.step(); err != nil {
@@ -626,6 +672,26 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 			// string: with mixed types one ID can cover values of different
 			// dynamic types, and the per-entry answer would be wrong for
 			// some of its rows.
+			if e.batchOn() {
+				// Batch form: the per-entry answers become a bitset over the
+				// ID space, and the per-row pass is a branch-free bit lookup
+				// into it. AllStrings implies no NULL rows (NULL is not a
+				// string), so no re-verification is needed — exactly like
+				// the integer-at-a-time keep table.
+				keep := make([]uint64, (d.Len()+63)/64)
+				for id := 0; id < d.Len(); id++ {
+					s, _ := d.Value(uint32(id)).(string)
+					if relation.ContainsFold(s, pp.Needle) {
+						keep[id>>6] |= 1 << (uint(id) & 63)
+					}
+				}
+				sel, err := e.fillFilterBits(rs, i, 0, keep)
+				if err != nil {
+					return nil, err
+				}
+				err = e.gatherSelected(rs, sel, out, nil)
+				return out, err
+			}
 			keep := make([]bool, d.Len())
 			for id := range keep {
 				s, _ := d.Value(uint32(id)).(string)
@@ -808,47 +874,59 @@ func (e *executor) join(left, right *rowset, eqs []sqlast.JoinPred) (*rowset, er
 		li, ri := lidx[0], ridx[0]
 		next := make([]int32, len(right.rows))
 		nd := right.dicts[ri].Len()
-		var headOf func(id uint32) int32
+		var denseHeads []int32
+		var mapHeads map[uint32]int32
 		if nd <= 4*len(right.rows)+1024 {
 			// Dictionary small relative to the build side: index chain heads
 			// by ID directly.
-			heads := make([]int32, nd)
-			for i := range heads {
-				heads[i] = -1
+			denseHeads = make([]int32, nd)
+			for i := range denseHeads {
+				denseHeads[i] = -1
 			}
 			for rj := len(right.rows) - 1; rj >= 0; rj-- {
 				if relation.Null(right.rows[rj][ri]) {
 					continue
 				}
 				id := right.enc[rj*rst+ri]
-				next[rj] = heads[id]
-				heads[id] = int32(rj)
+				next[rj] = denseHeads[id]
+				denseHeads[id] = int32(rj)
 			}
-			headOf = func(id uint32) int32 { return heads[id] }
 		} else {
 			// Build side much smaller than the dictionary (a filtered scan
 			// over a wide column): a map wastes less than a dense table.
-			heads := make(map[uint32]int32, len(right.rows))
+			mapHeads = make(map[uint32]int32, len(right.rows))
 			for rj := len(right.rows) - 1; rj >= 0; rj-- {
 				if relation.Null(right.rows[rj][ri]) {
 					continue
 				}
 				id := right.enc[rj*rst+ri]
-				h, ok := heads[id]
+				h, ok := mapHeads[id]
 				if !ok {
 					h = -1
 				}
 				next[rj] = h
-				heads[id] = int32(rj)
-			}
-			headOf = func(id uint32) int32 {
-				if h, ok := heads[id]; ok {
-					return h
-				}
-				return -1
+				mapHeads[id] = int32(rj)
 			}
 		}
 		remap := left.dicts[li].RemapCached(right.dicts[ri])
+		if e.batchOn() {
+			// Batch probe: translate a block of probe IDs through the remap
+			// table, mask misses and NULLs branch-free, walk chains only for
+			// the packed survivors (see batchProbe).
+			if err := e.batchProbe(left, li, remap, denseHeads, mapHeads, next, emit); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		headOf := func(id uint32) int32 {
+			if denseHeads != nil {
+				return denseHeads[id]
+			}
+			if h, ok := mapHeads[id]; ok {
+				return h
+			}
+			return -1
+		}
 		for lj, lr := range left.rows {
 			if err := e.step(); err != nil {
 				return nil, err
@@ -1089,6 +1167,13 @@ func (e *executor) project(rs *rowset, q *sqlast.Query, wantEnc bool) (*rowset, 
 		gidx[k] = i
 	}
 
+	// Resolve the select list once, not per group — and before grouping, so
+	// the batch path can pick the columnar fold for simple plans.
+	plan, err := resolveSelect(rs, q.Select)
+	if err != nil {
+		return nil, err
+	}
+
 	// Bucket rows into groups; lists and firsts are in first-seen order.
 	// Unlike joins, grouping does not skip NULLs — a NULL key groups with
 	// the literal string "NULL" by format, which is exactly the class the
@@ -1102,7 +1187,33 @@ func (e *executor) project(rs *rowset, q *sqlast.Query, wantEnc bool) (*rowset, 
 			break
 		}
 	}
+	if e.batchOn() && len(rs.rows) > 0 && (len(gidx) == 0 || allEnc) {
+		rowSlot, bfirsts, sizes, err := e.batchGroupSlots(rs, gidx)
+		if err != nil {
+			return nil, err
+		}
+		if rowSlot != nil { // shape is batchable (0–2 encoded key columns)
+			firsts = bfirsts
+			if simplePlan(plan) {
+				// Columnar fold: aggregate straight off the slot assignment,
+				// never materializing per-slot row lists.
+				if wantEnc {
+					setupGroupEnc(out, rs, plan, len(firsts))
+				}
+				if err := e.batchAggregate(rs, plan, rowSlot, firsts, sizes, out); err != nil {
+					return nil, err
+				}
+				return out, nil
+			}
+			// DISTINCT aggregates still need the row lists: carve them from
+			// the slot assignment by counting sort and share the generic
+			// per-slot loop below.
+			lists = carveLists(rowSlot, sizes)
+		}
+	}
 	switch {
+	case lists != nil:
+		// Grouped by the batch path above.
 	case len(gidx) == 1 && allEnc:
 		// Single encoded group key: no per-row key building at all. When the
 		// dictionary is small relative to the input, slot lookup is a dense
@@ -1202,44 +1313,8 @@ func (e *executor) project(rs *rowset, q *sqlast.Query, wantEnc bool) (*rowset, 
 		synthetic = true
 	}
 
-	// Resolve the select list once, not per group.
-	type selItem struct {
-		agg bool
-		ex  sqlast.AggExpr
-		col int
-	}
-	plan := make([]selItem, len(q.Select))
-	for k, it := range q.Select {
-		switch ex := it.Expr.(type) {
-		case sqlast.ColExpr:
-			i, err := rs.resolve(ex.Col)
-			if err != nil {
-				return nil, err
-			}
-			plan[k] = selItem{col: i}
-		case sqlast.AggExpr:
-			i, err := rs.resolve(ex.Arg)
-			if err != nil {
-				return nil, err
-			}
-			plan[k] = selItem{agg: true, ex: ex, col: i}
-		default:
-			return nil, fmt.Errorf("sqldb: unsupported select expression %T", it.Expr)
-		}
-	}
-	if wantEnc && !synthetic && rs.dicts != nil {
-		dicts := make([]*relation.Dict, len(plan))
-		any := false
-		for k, s := range plan {
-			if !s.agg && rs.dicts[s.col] != nil {
-				dicts[k] = rs.dicts[s.col]
-				any = true
-			}
-		}
-		if any {
-			out.dicts = dicts
-			out.enc = make([]uint32, 0, len(lists)*len(plan))
-		}
+	if wantEnc && !synthetic {
+		setupGroupEnc(out, rs, plan, len(lists))
 	}
 	for slot, rows := range lists {
 		first := firsts[slot]
@@ -1267,6 +1342,58 @@ func (e *executor) project(rs *rowset, q *sqlast.Query, wantEnc bool) (*rowset, 
 		}
 	}
 	return out, nil
+}
+
+// selItem is one resolved SELECT item: a pass-through column or an
+// aggregate over a column.
+type selItem struct {
+	agg bool
+	ex  sqlast.AggExpr
+	col int
+}
+
+// resolveSelect resolves every SELECT item against the rowset.
+func resolveSelect(rs *rowset, items []sqlast.SelectItem) ([]selItem, error) {
+	plan := make([]selItem, len(items))
+	for k, it := range items {
+		switch ex := it.Expr.(type) {
+		case sqlast.ColExpr:
+			i, err := rs.resolve(ex.Col)
+			if err != nil {
+				return nil, err
+			}
+			plan[k] = selItem{col: i}
+		case sqlast.AggExpr:
+			i, err := rs.resolve(ex.Arg)
+			if err != nil {
+				return nil, err
+			}
+			plan[k] = selItem{agg: true, ex: ex, col: i}
+		default:
+			return nil, fmt.Errorf("sqldb: unsupported select expression %T", it.Expr)
+		}
+	}
+	return plan, nil
+}
+
+// setupGroupEnc attaches an output encoding for the pass-through columns of
+// a grouped projection over ngroups groups (when any column carries one).
+func setupGroupEnc(out, rs *rowset, plan []selItem, ngroups int) {
+	if rs.dicts == nil {
+		return
+	}
+	dicts := make([]*relation.Dict, len(plan))
+	any := false
+	for k, s := range plan {
+		if !s.agg && rs.dicts[s.col] != nil {
+			dicts[k] = rs.dicts[s.col]
+			any = true
+		}
+	}
+	if any {
+		out.dicts = dicts
+		out.enc = make([]uint32, 0, ngroups*len(plan))
+	}
 }
 
 func aggregate(ex sqlast.AggExpr, rs *rowset, rows []int, i int) (relation.Value, error) {

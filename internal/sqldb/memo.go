@@ -189,16 +189,35 @@ type MemoStats struct {
 	Misses int // fragments computed (and, when cacheable, published)
 }
 
+// ExecConfig bundles the optional execution machinery one statement runs
+// with: the shared-subplan memo and the kernel selection.
+type ExecConfig struct {
+	// Memo is the shared-subplan cache; nil disables memoization. It may be
+	// shared between batch and integer-at-a-time executions of the same
+	// frozen database: the batch kernels preserve exact output row order, so
+	// either mode's fragments are byte-identical.
+	Memo *Memo
+	// NoBatch pins the integer-at-a-time encoded kernels (the PR4 execution
+	// mode) instead of the default vectorized batch kernels.
+	NoBatch bool
+}
+
+// ExecOpts is ExecContext with an ExecConfig: cancellation from ctx,
+// memoization and kernel selection from cfg.
+func ExecOpts(ctx context.Context, db *relation.Database, q *sqlast.Query, cfg ExecConfig) (*Result, MemoStats, error) {
+	e := &executor{db: db, memo: cfg.Memo, noBatch: cfg.NoBatch}
+	if ctx != nil && ctx.Done() != nil {
+		e.ctx = ctx
+	}
+	res, err := e.query(q)
+	return res, MemoStats{Hits: e.memoHits, Misses: e.memoMisses}, err
+}
+
 // ExecMemoContext is ExecContext with shared-subplan memoization: filtered
 // scans, join accumulations and derived tables are cached in m under their
 // canonical subplan keys and reused across statements and requests. m must
 // only be shared across executions of the same immutable (frozen) database;
 // a nil m degrades to plain ExecContext.
 func ExecMemoContext(ctx context.Context, db *relation.Database, q *sqlast.Query, m *Memo) (*Result, MemoStats, error) {
-	e := &executor{db: db, memo: m}
-	if ctx != nil && ctx.Done() != nil {
-		e.ctx = ctx
-	}
-	res, err := e.query(q)
-	return res, MemoStats{Hits: e.memoHits, Misses: e.memoMisses}, err
+	return ExecOpts(ctx, db, q, ExecConfig{Memo: m})
 }

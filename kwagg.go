@@ -172,6 +172,12 @@ type Options struct {
 	// Interpret and Answer fail on any finding. The test suites and the
 	// dataset workload replays run with it on; see docs/STATIC_ANALYSIS.md.
 	VerifyPlans bool
+	// BatchKernels selects the statement executor's kernel generation:
+	// 0 (the default) and positive run the vectorized columnar batch
+	// kernels, negative pins the integer-at-a-time encoded path. The two
+	// produce byte-identical answers (gated by the three-way differential
+	// suites); the escape hatch exists for comparison and bisection.
+	BatchKernels int
 }
 
 // Engine answers keyword queries over one database.
@@ -205,6 +211,7 @@ func Open(d *DB, opts *Options) (*Engine, error) {
 		copts.Chaos = opts.Chaos
 		copts.MemoCells = opts.MemoCells
 		copts.VerifyPlans = opts.VerifyPlans
+		copts.BatchKernels = opts.BatchKernels
 		cacheSize = opts.CacheSize
 	}
 	sys, err := core.Open(d.db, copts)
