@@ -1,6 +1,6 @@
 # Standard entry points; everything is pure Go with no external dependencies.
 
-.PHONY: all build test test-race race cover cover-check test-prop test-chaos fuzz-smoke bench bench-json experiments verify fmt fmt-check vet lint lint-json ci examples
+.PHONY: all build test test-shuffle test-race race cover cover-check test-prop test-chaos fuzz-smoke bench bench-json bench-check experiments verify fmt fmt-check vet lint lint-json ci examples
 
 all: build test
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	go test ./...
+
+# Order-shuffled pass (mirrors the CI test matrix's second step): catches
+# inter-test coupling that the fixed order hides.
+test-shuffle:
+	go test -shuffle=on -count=1 ./...
 
 # Tier-1 gate for the concurrency work: the whole suite under the race
 # detector, including the 100+-goroutine stress tests.
@@ -58,15 +63,26 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Machine-readable record of the executor-kernel and memo benchmarks
-# (BENCH_PR6.json is the committed record for the batch-kernel PR, with
-# per-kernel rows/s metrics; BENCH_PR4.json stays as the dictionary-encoding
-# PR's record; the nightly workflow regenerates the current file as an
-# artifact). -cpu 1,4 covers both the single-threaded kernels and the
-# serving parallelism.
+# (BENCH_PR7.json is the committed record for the shard-parallel PR, with
+# per-kernel rows/s metrics across all four execution modes; BENCH_PR4.json
+# and BENCH_PR6.json stay as earlier PRs' records; the nightly workflow
+# regenerates the current file as an artifact). -cpu 1,4 covers both the
+# single-threaded kernels and the shard-parallel scaling (the sharded mode
+# runs GOMAXPROCS workers, so its 1-vs-4 pair is the scaling curve).
+KERNEL_BENCHES = Kernel|HashJoin3Way|GroupByAggregate|DistinctProjection|EqualityFilter|MemoSharedSubplans
+KERNEL_BENCH_RUN = go test -run '^$$' -bench '$(KERNEL_BENCHES)' -benchmem -cpu 1,4 ./internal/sqldb/
+
 bench-json:
-	go test -run '^$$' -bench 'Kernel|HashJoin3Way|GroupByAggregate|DistinctProjection|EqualityFilter|MemoSharedSubplans' \
-		-benchmem -cpu 1,4 ./internal/sqldb/ | go run ./cmd/benchjson > BENCH_PR6.json
-	@echo "wrote BENCH_PR6.json"
+	$(KERNEL_BENCH_RUN) | go run ./cmd/benchjson > BENCH_PR7.json
+	@echo "wrote BENCH_PR7.json"
+
+# Bench-regression gate: rerun the kernel benchmarks and fail when any
+# rows/s-bearing benchmark falls more than 25% below the committed
+# BENCH_PR7.json baseline (or disappears from the run). The fresh run is
+# written to BENCH_CURRENT.json for the CI artifact either way.
+bench-check:
+	$(KERNEL_BENCH_RUN) | go run ./cmd/benchjson -compare BENCH_PR7.json -tolerance 0.25 > BENCH_CURRENT.json
+	@echo "wrote BENCH_CURRENT.json"
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -103,8 +119,10 @@ lint-json:
 	@echo "wrote KWLINT.json KWLINT_PLANS.json"
 
 # Mirrors .github/workflows/ci.yml exactly, so contributors can run the
-# whole push gate locally before opening a PR.
-ci: build vet fmt-check lint test test-race test-chaos test-prop cover-check
+# whole push gate locally before opening a PR (the PR-only fuzz and
+# bench-regression jobs are `go test -fuzz=FuzzExec -fuzztime=30s
+# ./internal/sqldb/` and `make bench-check`).
+ci: build vet fmt-check lint test test-shuffle test-race test-chaos test-prop cover-check
 
 # Run every example end to end.
 examples:

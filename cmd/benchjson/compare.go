@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// rowsPerSec is the throughput metric the regression gate compares: every
+// kernel benchmark reports it via b.ReportMetric, and unlike ns/op it is
+// comparable across -cpu values of the same benchmark run.
+const rowsPerSec = "rows/s"
+
+// loadReport reads a benchjson document written by a previous run (the
+// committed baseline).
+func loadReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// benchKey identifies one benchmark variant across runs: the -cpu flag reruns
+// every benchmark per GOMAXPROCS value, so the same name legitimately appears
+// once per procs count.
+type benchKey struct {
+	Name  string
+	Procs int
+}
+
+// compareReports checks every rows/s-bearing benchmark of the baseline
+// against the fresh run. It returns human-readable status lines for all
+// compared benchmarks and a separate list of failures: a benchmark whose
+// fresh throughput fell more than tolerance (a fraction, e.g. 0.25) below the
+// baseline, or a baseline benchmark missing from the fresh run entirely
+// (deleting a kernel benchmark must not silently pass the gate). Baseline
+// entries without a rows/s metric and fresh-only benchmarks are ignored.
+func compareReports(base, fresh Report, tolerance float64) (lines, failures []string) {
+	got := make(map[benchKey]float64)
+	for _, b := range fresh.Benchmarks {
+		if v, ok := b.Metrics[rowsPerSec]; ok {
+			got[benchKey{b.Name, b.Procs}] = v
+		}
+	}
+	for _, b := range sortedBaseline(base) {
+		want, ok := b.Metrics[rowsPerSec]
+		if !ok || want <= 0 {
+			continue
+		}
+		key := benchKey{b.Name, b.Procs}
+		have, ok := got[key]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s (procs=%d): in baseline but missing from this run", b.Name, b.Procs))
+			continue
+		}
+		delta := have/want - 1
+		line := fmt.Sprintf("%-50s procs=%-2d %14.0f -> %14.0f rows/s (%+.1f%%)",
+			b.Name, b.Procs, want, have, 100*delta)
+		if delta < -tolerance {
+			failures = append(failures, fmt.Sprintf("%s (procs=%d): %.0f rows/s is %.1f%% below the baseline %.0f (tolerance %.0f%%)",
+				b.Name, b.Procs, have, -100*delta, want, 100*tolerance))
+			line += "  REGRESSION"
+		}
+		lines = append(lines, line)
+	}
+	return lines, failures
+}
+
+// sortedBaseline orders the baseline deterministically by name then procs so
+// the comparison log is stable across runs.
+func sortedBaseline(rep Report) []Benchmark {
+	bs := append([]Benchmark(nil), rep.Benchmarks...)
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].Name != bs[j].Name {
+			return bs[i].Name < bs[j].Name
+		}
+		return bs[i].Procs < bs[j].Procs
+	})
+	return bs
+}

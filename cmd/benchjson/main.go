@@ -1,14 +1,25 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // stable JSON document on stdout, so benchmark runs can be committed (see
-// BENCH_PR4.json, BENCH_PR6.json) and archived as CI artifacts without
+// BENCH_PR4.json, BENCH_PR7.json) and archived as CI artifacts without
 // scraping ad-hoc text.
 //
 //	go test -run '^$' -bench . -benchmem ./internal/sqldb/ | go run ./cmd/benchjson
+//
+// With -compare, the parsed run is additionally checked against a committed
+// baseline document: every baseline benchmark carrying a rows/s metric must
+// appear in the fresh run and must not fall more than -tolerance (default
+// 0.25, i.e. 25%) below its baseline throughput, or benchjson exits 1 after
+// printing the per-benchmark comparison to stderr. The JSON still goes to
+// stdout either way, so one invocation both gates and produces the artifact:
+//
+//	go test -run '^$' -bench Kernel -benchmem -cpu 1,4 ./internal/sqldb/ | \
+//	    go run ./cmd/benchjson -compare BENCH_PR7.json > BENCH_CURRENT.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -88,6 +99,12 @@ func parseBench(line string) (Benchmark, bool) {
 }
 
 func main() {
+	compare := flag.String("compare", "",
+		"baseline benchjson document; exit 1 when any of its rows/s benchmarks regresses or disappears")
+	tolerance := flag.Float64("tolerance", 0.25,
+		"allowed fractional rows/s drop below the -compare baseline before failing")
+	flag.Parse()
+
 	rep := Report{Benchmarks: []Benchmark{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -122,5 +139,26 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *compare != "" {
+		base, err := loadReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: loading baseline:", err)
+			os.Exit(1)
+		}
+		lines, failures := compareReports(base, rep, *tolerance)
+		fmt.Fprintf(os.Stderr, "benchjson: comparing %d rows/s benchmarks against %s (tolerance %.0f%%)\n",
+			len(lines), *compare, 100**tolerance)
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, "  "+l)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s):\n", len(failures))
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "  "+f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: no regressions")
 	}
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, procs int, rows float64) Benchmark {
+	b := Benchmark{Name: name, Procs: procs, NsPerOp: 1}
+	if rows > 0 {
+		b.Metrics = map[string]float64{rowsPerSec: rows}
+	}
+	return b
+}
+
+func TestParseBenchRowsMetric(t *testing.T) {
+	line := "BenchmarkKernelFilter/sharded-4   1318   905143 ns/op   291227050 rows/s   76 B/op    2 allocs/op"
+	b, ok := parseBench(line)
+	if !ok {
+		t.Fatalf("parseBench rejected %q", line)
+	}
+	if b.Name != "KernelFilter/sharded" || b.Procs != 4 {
+		t.Fatalf("parsed %q procs=%d", b.Name, b.Procs)
+	}
+	if b.NsPerOp != 905143 || b.Metrics[rowsPerSec] != 291227050 {
+		t.Fatalf("parsed ns=%v metrics=%v", b.NsPerOp, b.Metrics)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 2 {
+		t.Fatalf("parsed allocs=%v", b.AllocsPerOp)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		bench("KernelFilter/batch", 1, 100e6),
+		bench("KernelFilter/sharded", 4, 300e6),
+		bench("KernelJoinProbe/batch", 1, 50e6),
+		bench("Parse", 1, 0), // no rows/s: not part of the gate
+	}}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		fresh := Report{Benchmarks: []Benchmark{
+			bench("KernelFilter/batch", 1, 80e6),    // -20%
+			bench("KernelFilter/sharded", 4, 320e6), // improved
+			bench("KernelJoinProbe/batch", 1, 50e6),
+			bench("KernelNew/batch", 1, 1e6), // fresh-only: ignored
+		}}
+		lines, failures := compareReports(base, fresh, 0.25)
+		if len(failures) != 0 {
+			t.Fatalf("unexpected failures: %v", failures)
+		}
+		if len(lines) != 3 {
+			t.Fatalf("compared %d benchmarks, want 3: %v", len(lines), lines)
+		}
+	})
+
+	t.Run("regression beyond tolerance fails", func(t *testing.T) {
+		fresh := Report{Benchmarks: []Benchmark{
+			bench("KernelFilter/batch", 1, 70e6), // -30%
+			bench("KernelFilter/sharded", 4, 300e6),
+			bench("KernelJoinProbe/batch", 1, 50e6),
+		}}
+		_, failures := compareReports(base, fresh, 0.25)
+		if len(failures) != 1 || !strings.Contains(failures[0], "KernelFilter/batch") {
+			t.Fatalf("failures = %v", failures)
+		}
+	})
+
+	t.Run("missing benchmark fails", func(t *testing.T) {
+		fresh := Report{Benchmarks: []Benchmark{
+			bench("KernelFilter/batch", 1, 100e6),
+			bench("KernelFilter/sharded", 4, 300e6),
+		}}
+		_, failures := compareReports(base, fresh, 0.25)
+		if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+			t.Fatalf("failures = %v", failures)
+		}
+	})
+
+	t.Run("same name different procs are distinct", func(t *testing.T) {
+		fresh := Report{Benchmarks: []Benchmark{
+			bench("KernelFilter/batch", 1, 100e6),
+			bench("KernelFilter/sharded", 1, 100e6), // procs=1, not the baseline's 4
+			bench("KernelJoinProbe/batch", 1, 50e6),
+		}}
+		_, failures := compareReports(base, fresh, 0.25)
+		if len(failures) != 1 || !strings.Contains(failures[0], "procs=4") {
+			t.Fatalf("failures = %v", failures)
+		}
+	})
+}

@@ -34,7 +34,9 @@ func main() {
 			"per-request timeout (negative disables)")
 		maxConc = flag.Int("max-concurrent", 64,
 			"max simultaneously served requests; excess get 503 (negative disables)")
-		maxK      = flag.Int("max-k", 10, "cap on interpretations executed per request")
+		maxK = flag.Int("max-k", 10, "cap on interpretations executed per request")
+		live = flag.Bool("live", false,
+			"open the engine for live ingest: POST /api/ingest buffers rows and commits data epochs")
 		reqlog    = flag.Bool("reqlog", true, "log one structured JSON line per request to stderr")
 		pprofOpt  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		chaosSpec = flag.String("chaos", "",
@@ -55,12 +57,12 @@ func main() {
 		opts = &kwagg.Options{Chaos: inj}
 		log.Printf("kwserve: chaos enabled: %s", *chaosSpec)
 	}
-	eng, err := openEngine(*dataset, *load, *small, opts)
+	eng, err := openEngine(*dataset, *load, *small, *live, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("kwserve: dataset %q on %s (unnormalized: %v, workers: %d, pprof: %v)",
-		*dataset, *addr, eng.Unnormalized(), eng.Workers(), *pprofOpt)
+	log.Printf("kwserve: dataset %q on %s (unnormalized: %v, workers: %d, live: %v, pprof: %v)",
+		*dataset, *addr, eng.Unnormalized(), eng.Workers(), eng.Live(), *pprofOpt)
 	var accessLog io.Writer
 	if *reqlog {
 		accessLog = os.Stderr
@@ -76,13 +78,19 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
-func openEngine(dataset, load string, small bool, opts *kwagg.Options) (*kwagg.Engine, error) {
+func openEngine(dataset, load string, small, live bool, opts *kwagg.Options) (*kwagg.Engine, error) {
 	if load != "" {
 		db, err := kwagg.Load(load)
 		if err != nil {
 			return nil, err
 		}
+		if live {
+			return kwagg.OpenLive(db, opts)
+		}
 		return kwagg.Open(db, opts)
+	}
+	if live {
+		return kwagg.OpenDatasetLive(dataset, small, opts)
 	}
 	return kwagg.OpenDatasetOpts(dataset, small, opts)
 }

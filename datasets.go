@@ -128,6 +128,27 @@ func OpenDataset(name string, small bool) (*Engine, error) {
 // callers can layer caching, worker-pool and chaos settings over any bundled
 // dataset.
 func OpenDatasetOpts(name string, small bool, opts *Options) (*Engine, error) {
+	db, merged, err := datasetDB(name, small, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Open(db, merged)
+}
+
+// OpenDatasetLive is OpenDatasetOpts but opens the dataset for live ingest
+// (see OpenLive): the bundled data becomes epoch 0, and Ingest/CommitEpoch
+// grow it from there.
+func OpenDatasetLive(name string, small bool, opts *Options) (*Engine, error) {
+	db, merged, err := datasetDB(name, small, opts)
+	if err != nil {
+		return nil, err
+	}
+	return OpenLive(db, merged)
+}
+
+// datasetDB builds the named bundled dataset and merges its view names into
+// the caller's options.
+func datasetDB(name string, small bool, opts *Options) (*DB, *Options, error) {
 	tscale, ascale := TPCHDefault, ACMDLDefault
 	if small {
 		tscale, ascale = TPCHSmall, ACMDLSmall
@@ -152,7 +173,7 @@ func OpenDatasetOpts(name string, small bool, opts *Options) (*Engine, error) {
 	case "acmdl-denorm":
 		db, views = ACMDLUnnormalizedDB(ascale), ACMDLViewNames()
 	default:
-		return nil, fmt.Errorf("kwagg: unknown dataset %q", name)
+		return nil, nil, fmt.Errorf("kwagg: unknown dataset %q", name)
 	}
 	merged := Options{}
 	if opts != nil {
@@ -161,5 +182,5 @@ func OpenDatasetOpts(name string, small bool, opts *Options) (*Engine, error) {
 	if merged.ViewNames == nil {
 		merged.ViewNames = views
 	}
-	return Open(db, &merged)
+	return db, &merged, nil
 }

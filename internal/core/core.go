@@ -86,6 +86,13 @@ type System struct {
 	// kernels instead of the vectorized batch kernels (output is
 	// byte-identical either way). Built by Open from Options.BatchKernels.
 	NoBatch bool
+
+	// Shards is the shard-parallel worker target for a single statement's
+	// batch kernels: 0 resolves to min(GOMAXPROCS, 8), negative pins
+	// single-shard execution. Answers are row- and byte-identical either
+	// way (see internal/sqldb/parallel.go). Built by Open from
+	// Options.Shards.
+	Shards int
 }
 
 // Retry policy defaults: up to two retries, 1ms base backoff doubling per
@@ -128,6 +135,10 @@ type Options struct {
 	// the integer-at-a-time encoded path — the escape hatch, byte-identical
 	// output, mirroring the MemoCells zero/negative idiom.
 	BatchKernels int
+	// Shards is the per-statement shard-parallel worker target: 0 means
+	// min(GOMAXPROCS, 8), 1 or negative pins single-shard execution —
+	// the same zero/negative idiom as MemoCells and BatchKernels.
+	Shards int
 }
 
 // Open prepares a database for keyword search. It checks every relation's
@@ -173,6 +184,7 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 	s.Plan = planck.New(db)
 	s.VerifyPlans = opts.VerifyPlans
 	s.NoBatch = opts.BatchKernels < 0
+	s.Shards = opts.Shards
 	// Freeze the stored data: later inserts are rejected, and every
 	// per-table value index and column dictionary is built now so query
 	// execution never mutates shared state (the thread-safety contract of
@@ -304,6 +316,29 @@ func (s *System) AnswerParallel(query string, k int) ([]Answer, error) {
 func (s *System) ExecWorkers() int {
 	if s.Workers > 0 {
 		return s.Workers
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ShardWorkers resolves the per-statement shard-parallel worker target: the
+// configured Shards when positive, single-shard when negative, otherwise
+// min(GOMAXPROCS, 8). The inter-statement pool (ExecWorkers) and the
+// intra-statement shard workers share the process: sqldb bounds the total
+// number of extra kernel goroutines with a process-wide slot pool, so
+// stacking both never oversubscribes the machine.
+func (s *System) ShardWorkers() int {
+	if s.Shards > 0 {
+		return s.Shards
+	}
+	if s.Shards < 0 {
+		return 1
 	}
 	n := runtime.GOMAXPROCS(0)
 	if n > 8 {
@@ -532,13 +567,20 @@ func (s *System) execAttempt(sctx context.Context, in Interpretation, detail str
 			return nil, err
 		}
 	}
-	res, st, err := sqldb.ExecOpts(sctx, s.Data, in.SQL, sqldb.ExecConfig{Memo: s.Memo, NoBatch: s.NoBatch})
-	if st.Hits > 0 || st.Misses > 0 {
+	res, st, err := sqldb.ExecOpts(sctx, s.Data, in.SQL,
+		sqldb.ExecConfig{Memo: s.Memo, NoBatch: s.NoBatch, Shards: s.ShardWorkers()})
+	if st.Hits > 0 || st.Misses > 0 || st.ShardRuns > 0 {
 		if reg := obs.RegistryFrom(sctx); reg != nil {
-			reg.Counter("kwagg_memo_hits_total",
-				"Subplan fragments served from the shared-subplan memo.").Add(uint64(st.Hits))
-			reg.Counter("kwagg_memo_misses_total",
-				"Subplan fragments computed on a memo miss.").Add(uint64(st.Misses))
+			if st.Hits > 0 || st.Misses > 0 {
+				reg.Counter("kwagg_memo_hits_total",
+					"Subplan fragments served from the shared-subplan memo.").Add(uint64(st.Hits))
+				reg.Counter("kwagg_memo_misses_total",
+					"Subplan fragments computed on a memo miss.").Add(uint64(st.Misses))
+			}
+			if st.ShardRuns > 0 {
+				reg.Counter("kwagg_shard_runs_total",
+					"Kernel passes executed shard-parallel.").Add(uint64(st.ShardRuns))
+			}
 		}
 	}
 	return res, err
@@ -607,7 +649,8 @@ func (s *System) BestAnswer(query string, k int, pick func(Interpretation) bool)
 			return nil, fmt.Errorf("core: no interpretation of %q matches the selector", query)
 		}
 	}
-	res, _, err := sqldb.ExecOpts(nil, s.Data, ins[idx].SQL, sqldb.ExecConfig{NoBatch: s.NoBatch})
+	res, _, err := sqldb.ExecOpts(nil, s.Data, ins[idx].SQL,
+		sqldb.ExecConfig{NoBatch: s.NoBatch, Shards: s.ShardWorkers()})
 	if err != nil {
 		return nil, fmt.Errorf("core: executing %q: %w", ins[idx].SQL, err)
 	}
@@ -622,7 +665,8 @@ func (s *System) Execute(sql string) (*sqldb.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := sqldb.ExecOpts(nil, s.Data, q, sqldb.ExecConfig{NoBatch: s.NoBatch})
+	res, _, err := sqldb.ExecOpts(nil, s.Data, q,
+		sqldb.ExecConfig{NoBatch: s.NoBatch, Shards: s.ShardWorkers()})
 	return res, err
 }
 

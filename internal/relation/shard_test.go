@@ -1,0 +1,81 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardTable builds a frozen table of n rows with a small-cardinality K
+// column (i % 97) and a unique V column.
+func shardTable(t *testing.T, n int) *Table {
+	t.Helper()
+	tb := NewTable(NewSchema("S", "K INT", "V INT").Key("V"))
+	for i := 0; i < n; i++ {
+		tb.MustInsert(int64(i%97), int64(i))
+	}
+	tb.Freeze()
+	return tb
+}
+
+func TestShardLayout(t *testing.T) {
+	cases := []struct {
+		rows   int
+		shards int
+	}{
+		{0, 0},
+		{1, 1},
+		{ShardRows, 1},
+		{ShardRows + 1, 2},
+		{3*ShardRows + 517, 4},
+	}
+	for _, c := range cases {
+		tb := shardTable(t, c.rows)
+		if got := tb.ShardCount(); got != c.shards {
+			t.Fatalf("%d rows: ShardCount = %d, want %d", c.rows, got, c.shards)
+		}
+		covered := 0
+		for s := 0; s < tb.ShardCount(); s++ {
+			lo, hi := tb.ShardRange(s)
+			if lo != covered {
+				t.Fatalf("%d rows: shard %d starts at %d, want %d", c.rows, s, lo, covered)
+			}
+			if hi <= lo {
+				t.Fatalf("%d rows: shard %d is empty [%d,%d)", c.rows, s, lo, hi)
+			}
+			if hi-lo > ShardRows {
+				t.Fatalf("%d rows: shard %d spans %d rows", c.rows, s, hi-lo)
+			}
+			if lo%BlockSize != 0 {
+				t.Fatalf("%d rows: shard %d start %d not block-aligned", c.rows, s, lo)
+			}
+			covered = hi
+		}
+		if covered != c.rows {
+			t.Fatalf("%d rows: shards cover %d rows", c.rows, covered)
+		}
+	}
+}
+
+func TestLookupRangeMatchesLookup(t *testing.T) {
+	tb := shardTable(t, 2*ShardRows+517)
+	for _, v := range []Value{int64(0), int64(13), int64(96), int64(97)} {
+		all := tb.Lookup("K", v)
+		var stitched []int
+		for s := 0; s < tb.ShardCount(); s++ {
+			lo, hi := tb.ShardRange(s)
+			part := tb.LookupRange("K", v, lo, hi)
+			for _, ri := range part {
+				if ri < lo || ri >= hi {
+					t.Fatalf("K=%v shard %d: row %d outside [%d,%d)", v, s, ri, lo, hi)
+				}
+			}
+			stitched = append(stitched, part...)
+		}
+		if fmt.Sprint(stitched) != fmt.Sprint(all) {
+			t.Fatalf("K=%v: stitched shard lookups %v != global %v", v, stitched, all)
+		}
+	}
+	if got := tb.LookupRange("K", int64(5), 100, 100); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+}

@@ -53,6 +53,36 @@ func (t *Table) Insert(tu Tuple) error {
 	return nil
 }
 
+// AppendShared bulk-appends already-typed tuple batches to an unfrozen
+// table, sharing the tuples by reference — the epoch rebuild in core.Live
+// re-inserts the previous epoch's rows this way (tuples are immutable by
+// convention, so epochs may share them). The backing array is allocated
+// once for all batches; arity is checked per tuple, and nothing is
+// appended on error. Frozen tables reject the append, like Insert.
+func (t *Table) AppendShared(batches ...[]Tuple) error {
+	if t.frozen {
+		return fmt.Errorf("relation: %s is frozen (opened for keyword search); inserts are rejected", t.Schema.Name)
+	}
+	total := len(t.Tuples)
+	for _, b := range batches {
+		total += len(b)
+		for _, tu := range b {
+			if len(tu) != len(t.Schema.Attributes) {
+				return fmt.Errorf("relation: %s expects %d values, got %d",
+					t.Schema.Name, len(t.Schema.Attributes), len(tu))
+			}
+		}
+	}
+	out := make([]Tuple, 0, total)
+	out = append(out, t.Tuples...)
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	t.Tuples = out
+	t.hashIdx = nil
+	return nil
+}
+
 // Freeze makes the table immutable: subsequent Insert/InsertRow calls return
 // an error, every column is dictionary-encoded (each distinct value gets a
 // dense uint32 ID, with the encoded tuples stored row-major alongside the

@@ -25,6 +25,38 @@ func TestInsertArity(t *testing.T) {
 	}
 }
 
+func TestAppendShared(t *testing.T) {
+	src := sampleTable(t)
+	extra := []Tuple{{"s4", "Brown", int64(25)}}
+	tb := NewTable(studentSchema())
+	if err := tb.AppendShared(src.Tuples, nil, extra); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 4 {
+		t.Fatalf("appended table has %d rows", tb.Len())
+	}
+	// Shared by reference, not copied.
+	if &tb.Tuples[0][0] != &src.Tuples[0][0] {
+		t.Error("tuples were copied, not shared")
+	}
+	if v := tb.Value(3, "Sname"); v != "Brown" {
+		t.Errorf("tail row: %v", v)
+	}
+
+	// A bad-arity tuple anywhere rejects the whole call, appending nothing.
+	if err := tb.AppendShared([]Tuple{{"s5", "X", int64(1)}, {"s6"}}); err == nil {
+		t.Error("short tuple should be rejected")
+	}
+	if tb.Len() != 4 {
+		t.Errorf("failed append mutated the table: %d rows", tb.Len())
+	}
+
+	tb.Freeze()
+	if err := tb.AppendShared(extra); err == nil {
+		t.Error("frozen table should reject AppendShared")
+	}
+}
+
 func TestInsertRowCoercion(t *testing.T) {
 	tb := NewTable(studentSchema())
 	if err := tb.InsertRow("s1", "George", "22"); err != nil {

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"kwagg"
+)
+
+func liveTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng, err := kwagg.OpenLive(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+type ingestBody struct {
+	Table  string     `json:"table"`
+	Rows   [][]string `json:"rows"`
+	Commit bool       `json:"commit"`
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	ts := liveTestServer(t)
+
+	// Buffer without committing: epoch stays 0, pending grows.
+	resp := postJSON(t, ts.URL+"/api/ingest", ingestBody{
+		Table: "Student", Rows: [][]string{{"s9", "Green", "23"}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	var out struct {
+		Epoch   uint64 `json:"epoch"`
+		Pending int    `json:"pending"`
+	}
+	decode(t, resp, &out)
+	if out.Epoch != 0 || out.Pending != 1 {
+		t.Fatalf("buffered ingest: %+v", out)
+	}
+
+	// Second batch with commit: epoch 1, nothing pending.
+	resp = postJSON(t, ts.URL+"/api/ingest", ingestBody{
+		Table: "Enrol", Rows: [][]string{{"s9", "c2", "A"}}, Commit: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit status %d", resp.StatusCode)
+	}
+	decode(t, resp, &out)
+	if out.Epoch != 1 || out.Pending != 0 {
+		t.Fatalf("committed ingest: %+v", out)
+	}
+
+	// The committed rows answer queries.
+	resp = postJSON(t, ts.URL+"/api/sql", map[string]string{
+		"sql": "SELECT S.Sname FROM Student S WHERE S.Sid = 's9'"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sql status %d", resp.StatusCode)
+	}
+	var grid struct{ Rows [][]string }
+	decode(t, resp, &grid)
+	if len(grid.Rows) != 1 || grid.Rows[0][0] != "Green" {
+		t.Fatalf("epoch-1 row not visible: %+v", grid)
+	}
+
+	// Stats reports the live engine's epoch.
+	sresp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Live        bool   `json:"live"`
+		Epoch       uint64 `json:"epoch"`
+		PendingRows int    `json:"pending_rows"`
+	}
+	decode(t, sresp, &stats)
+	if !stats.Live || stats.Epoch != 1 || stats.PendingRows != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestIngestEndpointErrors(t *testing.T) {
+	ts := liveTestServer(t)
+	for _, c := range []struct {
+		name string
+		body any
+		want int
+	}{
+		{"bad rows", ingestBody{Table: "Student", Rows: [][]string{{"s9"}}}, http.StatusUnprocessableEntity},
+		{"unknown table", ingestBody{Table: "Nope", Rows: [][]string{{"x"}}}, http.StatusUnprocessableEntity},
+		{"missing table", ingestBody{Rows: [][]string{{"x"}}}, http.StatusBadRequest},
+		{"empty request", ingestBody{}, http.StatusBadRequest},
+	} {
+		if resp := postJSON(t, ts.URL+"/api/ingest", c.body); resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/api/ingest"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET ingest: %v %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// A frozen engine answers 422 for every ingest, including bare commits.
+	frozen := testServer(t)
+	if resp := postJSON(t, frozen.URL+"/api/ingest", ingestBody{
+		Table: "Student", Rows: [][]string{{"s9", "Green", "23"}}}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ingest on frozen engine: status %d, want 422", resp.StatusCode)
+	}
+	if resp := postJSON(t, frozen.URL+"/api/ingest", ingestBody{Commit: true}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("commit on frozen engine: status %d, want 422", resp.StatusCode)
+	}
+}

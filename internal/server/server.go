@@ -9,6 +9,9 @@
 //	POST /api/sql               {"sql": "SELECT ..."} -> result grid
 //	POST /api/sqak              {"q": "..."} -> the SQAK baseline's answer
 //	GET  /api/explain?q=...&i=0 explanation of the i-th interpretation
+//	POST /api/ingest            {"table": ..., "rows": [[...]], "commit": true}
+//	                            buffer rows into a live engine; commit swaps
+//	                            the next data epoch in (422 when not live)
 //
 // The engine is safe for concurrent use (immutable after Open, with a
 // singleflight interpretation cache), so one Server handles concurrent
@@ -128,6 +131,7 @@ func NewWith(eng *kwagg.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/api/sql", s.handleSQL)
 	s.mux.HandleFunc("/api/sqak", s.handleSQAK)
 	s.mux.HandleFunc("/api/explain", s.handleExplain)
+	s.mux.HandleFunc("/api/ingest", s.handleIngest)
 	if cfg.Pprof {
 		mountPprof(s.mux)
 	}
@@ -223,6 +227,9 @@ type statsResponse struct {
 	Cache       qcache.Stats         `json:"cache"`
 	AnswerCache qcache.Stats         `json:"answer_cache"`
 	Workers     int                  `json:"workers"`
+	Live        bool                 `json:"live"`
+	Epoch       uint64               `json:"epoch"`
+	PendingRows int                  `json:"pending_rows"`
 	Server      serverStats          `json:"server"`
 	Obs         []obs.MetricSnapshot `json:"obs"`
 }
@@ -243,6 +250,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:       s.eng.CacheStats(),
 		AnswerCache: s.eng.AnswerCacheStats(),
 		Workers:     s.eng.Workers(),
+		Live:        s.eng.Live(),
+		Epoch:       s.eng.Epoch(),
+		PendingRows: s.eng.PendingRows(),
 		Server: serverStats{
 			Requests: s.requests.Value(),
 			InFlight: int64(s.inflight.Value()),
@@ -392,6 +402,48 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"explanation": out})
+}
+
+type ingestRequest struct {
+	Table string     `json:"table"`
+	Rows  [][]string `json:"rows"`
+	// Commit additionally freezes everything pending (this batch included)
+	// into the next data epoch and swaps it in.
+	Commit bool `json:"commit"`
+}
+
+type ingestResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Pending int    `json:"pending"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !s.readPost(w, r, &req) {
+		return
+	}
+	if len(req.Rows) > 0 {
+		if req.Table == "" {
+			writeErr(w, http.StatusBadRequest, errors.New("missing table"))
+			return
+		}
+		if _, err := s.eng.Ingest(req.Table, req.Rows); err != nil {
+			// Not-live and bad-batch errors are both the client's request
+			// being unprocessable against this engine.
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	if req.Commit {
+		if _, err := s.eng.CommitEpoch(r.Context()); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	} else if len(req.Rows) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("nothing to do: empty rows and commit=false"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Epoch: s.eng.Epoch(), Pending: s.eng.PendingRows()})
 }
 
 // readPost decodes a JSON POST body into v, writing the error response

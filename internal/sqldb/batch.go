@@ -205,20 +205,40 @@ func countBits(sel []uint64) int {
 // fillFilterBits computes the whole-input selection bitset for an equality
 // (keep == nil, match against id) or dictionary-keep (keep != nil) filter
 // over rs's column i, block at a time with a cancellation poll per block.
+// With a shard-parallel worker target the blocks are filled shard-parallel:
+// shard boundaries are block- and therefore word-aligned, so workers write
+// disjoint words of the one shared bitset.
 func (e *executor) fillFilterBits(rs *rowset, i int, id uint32, keep []uint64) ([]uint64, error) {
 	n := len(rs.rows)
 	sel := e.ensureBits((n + 63) / 64)
+	if e.parFor(n) > 1 {
+		err := e.forEachShard(n, func(_, lo, hi int) error {
+			return e.fillBitsRange(rs, i, id, keep, sel, lo, hi, true)
+		})
+		return sel, err
+	}
+	return sel, e.fillBitsRange(rs, i, id, keep, sel, 0, n, false)
+}
+
+// fillBitsRange fills the selection words of the blocks covering rows
+// [lo, hi); lo is block-aligned. parallel selects the shard workers'
+// stateless cancellation poll over the sequential path's row-counting stepN.
+func (e *executor) fillBitsRange(rs *rowset, i int, id uint32, keep []uint64, sel []uint64, lo, hi int, parallel bool) error {
 	col := colView(rs, i)
 	st := len(rs.cols)
-	for b := 0; b*relation.BlockSize < n; b++ {
-		lo := b * relation.BlockSize
-		nb := n - lo
+	for ; lo < hi; lo += relation.BlockSize {
+		nb := hi - lo
 		if nb > relation.BlockSize {
 			nb = relation.BlockSize
 		}
-		if err := e.stepN(nb); err != nil {
-			return nil, err
+		if parallel {
+			if err := e.pollCtx(); err != nil {
+				return err
+			}
+		} else if err := e.stepN(nb); err != nil {
+			return err
 		}
+		b := lo / relation.BlockSize
 		words := sel[b*blockWords:]
 		switch {
 		case col != nil && keep == nil:
@@ -231,7 +251,7 @@ func (e *executor) fillFilterBits(rs *rowset, i int, id uint32, keep []uint64) (
 			keepBitsStrided(words, rs.enc[lo*st+i:], st, nb, keep)
 		}
 	}
-	return sel, nil
+	return nil
 }
 
 // gatherSelected appends the selected rows to out in ascending row order,

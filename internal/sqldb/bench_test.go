@@ -2,6 +2,8 @@ package sqldb
 
 import (
 	"context"
+	"runtime"
+	"sync"
 	"testing"
 
 	"kwagg/internal/dataset/tpch"
@@ -177,8 +179,20 @@ const kernelBenchRows = 256*relation.BlockSize + 517
 // kernelDB builds the synthetic kernel-benchmark database: T carries a
 // grouping key (64 values), a join key (16384 values) and a float filter
 // column (512 values); U is a small build side covering 64 of T's join keys
-// with one row each, so almost every probe misses.
+// with one row each, so almost every probe misses; W covers every join key
+// once, so every probe hits exactly once and emission dominates. The frozen
+// database is immutable, so one instance is shared across all callers.
+var kernelDBOnce = struct {
+	sync.Once
+	db *relation.Database
+}{}
+
 func kernelDB() *relation.Database {
+	kernelDBOnce.Do(func() { kernelDBOnce.db = buildKernelDB() })
+	return kernelDBOnce.db
+}
+
+func buildKernelDB() *relation.Database {
 	db := relation.NewDatabase("kernelbench")
 	tt := db.AddSchema(relation.NewSchema("T", "G INT", "V INT", "K INT", "F FLOAT").Key("V"))
 	for i := 0; i < kernelBenchRows; i++ {
@@ -187,6 +201,10 @@ func kernelDB() *relation.Database {
 	uu := db.AddSchema(relation.NewSchema("U", "K INT", "M INT").Key("K"))
 	for i := 0; i < 64; i++ {
 		uu.MustInsert(int64(i), int64(i*100))
+	}
+	ww := db.AddSchema(relation.NewSchema("W", "K INT", "M INT").Key("K"))
+	for i := 0; i < 16384; i++ {
+		ww.MustInsert(int64(i), int64(i*100))
 	}
 	db.Freeze()
 	return db
@@ -204,26 +222,36 @@ func kernelSource(b *testing.B, e *executor, name string) *rowset {
 	return rs
 }
 
-// benchKernelModes runs op through the three executor generations (batch,
+// benchKernelModes runs op through the executor generations (sharded, batch,
 // encoded, reference), reporting input rows per second per mode. op receives
-// a fresh mode-configured executor per call.
+// a fresh mode-configured executor per call. The sharded mode is the batch
+// kernels driven shard-parallel at GOMAXPROCS workers — run with -cpu 1,4 the
+// pair of sharded lines shows the multi-core scaling directly, and at -cpu 1
+// sharded collapses to batch (parFor caps workers at GOMAXPROCS).
 func benchKernelModes(b *testing.B, inputRows int, op func(e *executor) error) {
 	b.Helper()
 	modes := []struct {
 		name    string
 		noIndex bool
 		noBatch bool
+		par     int
 	}{
-		{"batch", false, false},
-		{"encoded", false, true},
-		{"reference", true, false},
+		{"sharded", false, false, runtime.GOMAXPROCS(0)},
+		{"batch", false, false, 0},
+		{"encoded", false, true, 0},
+		{"reference", true, false, 0},
+	}
+	// One untimed warm-up op so the first timed mode does not pay the heap
+	// ramp-up for large outputs that later modes then inherit for free.
+	if err := op(&executor{}); err != nil {
+		b.Fatal(err)
 	}
 	for _, m := range modes {
 		m := m
 		b.Run(m.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := op(&executor{noIndex: m.noIndex, noBatch: m.noBatch}); err != nil {
+				if err := op(&executor{noIndex: m.noIndex, noBatch: m.noBatch, par: m.par}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -276,6 +304,86 @@ func BenchmarkKernelJoinProbe(b *testing.B) {
 		}
 		return err
 	})
+}
+
+// BenchmarkKernelJoinEmit isolates the join *emission* path: W covers every
+// one of T's 16384 join keys exactly once, so every probe hits and the
+// benchmark is dominated by carving output tuples out of arena blocks
+// (~hundreds of ns per match when emission allocates per row; the arena
+// amortizes that to one allocation per tupleArenaValues values, and the
+// sharded path materializes at prefix-summed offsets with no append growth).
+// Throughput is reported as emitted matches per second.
+func BenchmarkKernelJoinEmit(b *testing.B) {
+	db := kernelDB()
+	eqs := []sqlast.JoinPred{{
+		Left:  sqlast.Col{Table: "T", Column: "K"},
+		Right: sqlast.Col{Table: "W", Column: "K"},
+	}}
+	benchKernelModes(b, kernelBenchRows, func(e *executor) error {
+		e.db = db
+		left := kernelSource(b, e, "T")
+		right := kernelSource(b, e, "W")
+		out, err := e.join(left, right, eqs)
+		if err == nil && len(out.rows) != kernelBenchRows {
+			b.Fatalf("emit join produced %d rows", len(out.rows))
+		}
+		return err
+	})
+}
+
+// TestJoinEmitAllocs pins the emit path's allocation amortization: the
+// every-probe-hits join from BenchmarkKernelJoinEmit must stay far below one
+// allocation per emitted match on both the sequential batch path (arena
+// carving) and the shard-parallel path (prefix-sum preallocation). A
+// regression to per-row tuple boxing trips the 0.02 allocs/match budget by
+// 50x.
+func TestJoinEmitAllocs(t *testing.T) {
+	db := kernelDB()
+	eqs := []sqlast.JoinPred{{
+		Left:  sqlast.Col{Table: "T", Column: "K"},
+		Right: sqlast.Col{Table: "W", Column: "K"},
+	}}
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{
+		{"batch", 0},
+		{"sharded", runtime.GOMAXPROCS(0)},
+	} {
+		e := &executor{db: db, par: mode.par}
+		left, err := e.source(sqlast.TableRef{Name: "T", Alias: "T"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := e.source(sqlast.TableRef{Name: "W", Alias: "W"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// testing.AllocsPerRun pins GOMAXPROCS to 1 for its measurement,
+		// which would collapse the sharded leg onto the sequential path —
+		// count cumulative mallocs by hand instead. Mallocs is a
+		// whole-process counter, so the budget leaves room for runtime
+		// noise (it sits ~25x above the measured cost).
+		const runs = 3
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < runs; i++ {
+			out, err := e.join(left, right, eqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.rows) != kernelBenchRows {
+				t.Fatalf("emit join produced %d rows", len(out.rows))
+			}
+		}
+		runtime.ReadMemStats(&after)
+		allocs := float64(after.Mallocs-before.Mallocs) / runs
+		if per := allocs / float64(kernelBenchRows); per > 0.02 {
+			t.Errorf("%s: join emitted %d matches in %.0f allocs (%.4f allocs/match, budget 0.02)",
+				mode.name, kernelBenchRows, allocs, per)
+		}
+	}
 }
 
 // BenchmarkKernelGroupBy isolates the grouping kernel through the whole

@@ -107,6 +107,14 @@ func ExecNoIndex(db *relation.Database, q *sqlast.Query) (*Result, error) {
 	return e.query(q)
 }
 
+// ExecSharded evaluates the query with the batch kernels driven
+// shard-parallel by up to workers goroutines (see parallel.go). Answers are
+// row- and byte-identical to Exec; workers <= 1 is exactly Exec.
+func ExecSharded(db *relation.Database, q *sqlast.Query, workers int) (*Result, error) {
+	e := &executor{db: db, par: workers}
+	return e.query(q)
+}
+
 // ExecEncoded evaluates the query with the batch kernels disabled but the
 // dictionary-encoded integer-at-a-time kernels (and the value index) on —
 // the PR4 execution mode. It is the middle rung of the three-way
@@ -225,8 +233,16 @@ type executor struct {
 	ops     uint            // row-touch counter for amortized ctx checks
 	memo    *Memo           // shared-subplan cache; nil = no memoization
 
+	// Shard-parallel configuration (see parallel.go): the worker target for
+	// the batch-kernel drivers (<=1 runs everything sequentially) and the
+	// rows-per-shard override (0 = relation.ShardRows; rounded up to whole
+	// blocks).
+	par       int
+	shardRows int
+
 	memoHits   int
 	memoMisses int
+	shardRuns  int // kernel passes that actually ran shard-parallel
 
 	// Batch-kernel scratch, reused across operators of one statement (the
 	// executor is single-goroutine and never reentrant within an operator):
@@ -910,6 +926,15 @@ func (e *executor) join(left, right *rowset, eqs []sqlast.JoinPred) (*rowset, er
 		}
 		remap := left.dicts[li].RemapCached(right.dicts[ri])
 		if e.batchOn() {
+			if e.parFor(len(left.rows)) > 1 {
+				// Shard-parallel probe: per-shard match collection, then an
+				// exactly-preallocated materialization at prefix-sum offsets
+				// (see parProbe). Output is byte-identical to batchProbe.
+				if err := e.parProbe(left, right, li, remap, denseHeads, mapHeads, next, out); err != nil {
+					return nil, err
+				}
+				return out, nil
+			}
 			// Batch probe: translate a block of probe IDs through the remap
 			// table, mask misses and NULLs branch-free, walk chains only for
 			// the packed survivors (see batchProbe).
@@ -1188,12 +1213,33 @@ func (e *executor) project(rs *rowset, q *sqlast.Query, wantEnc bool) (*rowset, 
 		}
 	}
 	if e.batchOn() && len(rs.rows) > 0 && (len(gidx) == 0 || allEnc) {
-		rowSlot, bfirsts, sizes, err := e.batchGroupSlots(rs, gidx)
+		var rowSlot []int32
+		var bfirsts []int
+		var sizes []int32
+		var err error
+		par := e.parFor(len(rs.rows)) > 1
+		if par && len(gidx) >= 1 && len(gidx) <= 2 {
+			rowSlot, bfirsts, sizes, err = e.parGroupSlots(rs, gidx)
+		} else {
+			rowSlot, bfirsts, sizes, err = e.batchGroupSlots(rs, gidx)
+		}
 		if err != nil {
 			return nil, err
 		}
 		if rowSlot != nil { // shape is batchable (0–2 encoded key columns)
 			firsts = bfirsts
+			if par {
+				// Shard-parallel fold: distinct slots fold concurrently, each
+				// slot's rows in ascending order on one worker — value- and
+				// byte-identical to the sequential folds (see parAggregate).
+				if wantEnc {
+					setupGroupEnc(out, rs, plan, len(firsts))
+				}
+				if err := e.parAggregate(rs, plan, rowSlot, firsts, sizes, out); err != nil {
+					return nil, err
+				}
+				return out, nil
+			}
 			if simplePlan(plan) {
 				// Columnar fold: aggregate straight off the slot assignment,
 				// never materializing per-slot row lists.

@@ -131,23 +131,31 @@ func FuzzExec(f *testing.F) {
 		// multi-block tables; bound each differential execution with the
 		// executor's cancellation polling and skip the comparison when a side
 		// runs out of time (the fuzzer must never look hung).
-		run := func(noBatch bool) (*Result, error) {
+		run := func(cfg ExecConfig) (*Result, error) {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
-			res, _, err := ExecOpts(ctx, blocks, q, ExecConfig{NoBatch: noBatch})
+			res, _, err := ExecOpts(ctx, blocks, q, cfg)
 			return res, err
 		}
-		batch, berr := run(false)
-		encoded, eerr := run(true)
-		if errors.Is(berr, context.DeadlineExceeded) || errors.Is(eerr, context.DeadlineExceeded) {
+		batch, berr := run(ExecConfig{})
+		encoded, eerr := run(ExecConfig{NoBatch: true})
+		// Third leg: shard-parallel drivers forced onto one-block shards.
+		sharded, serr := run(ExecConfig{Shards: 4, ShardRows: relation.BlockSize})
+		if errors.Is(berr, context.DeadlineExceeded) || errors.Is(eerr, context.DeadlineExceeded) ||
+			errors.Is(serr, context.DeadlineExceeded) {
 			return
 		}
-		if (berr == nil) != (eerr == nil) {
-			t.Fatalf("kernel generations disagree on error:\nSQL: %s\nbatch:   %v\nencoded: %v", q, berr, eerr)
+		if (berr == nil) != (eerr == nil) || (berr == nil) != (serr == nil) {
+			t.Fatalf("kernel generations disagree on error:\nSQL: %s\nbatch:   %v\nencoded: %v\nsharded: %v",
+				q, berr, eerr, serr)
 		}
 		if berr == nil && !reflect.DeepEqual(batch, encoded) {
 			t.Fatalf("batch result diverged from encoded (row order included):\nSQL: %s\nbatch:   %+v\nencoded: %+v",
 				q, batch, encoded)
+		}
+		if berr == nil && !reflect.DeepEqual(batch, sharded) {
+			t.Fatalf("sharded result diverged from batch (row order included):\nSQL: %s\nbatch:   %+v\nsharded: %+v",
+				q, batch, sharded)
 		}
 	})
 }

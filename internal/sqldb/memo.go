@@ -183,14 +183,21 @@ func (e *executor) memoized(key string, compute func() (*rowset, error)) (*rowse
 	return out, err
 }
 
-// MemoStats reports how one statement's execution interacted with the memo.
-type MemoStats struct {
-	Hits   int // subplan fragments served from the memo
-	Misses int // fragments computed (and, when cacheable, published)
+// ExecStats reports how one statement's execution used the optional
+// machinery: the shared-subplan memo and the shard-parallel kernel drivers.
+type ExecStats struct {
+	Hits      int // subplan fragments served from the memo
+	Misses    int // fragments computed (and, when cacheable, published)
+	ShardRuns int // kernel passes that actually ran shard-parallel
 }
 
+// MemoStats is the pre-sharding name of ExecStats, kept as an alias for
+// existing callers.
+type MemoStats = ExecStats
+
 // ExecConfig bundles the optional execution machinery one statement runs
-// with: the shared-subplan memo and the kernel selection.
+// with: the shared-subplan memo, the kernel selection and the shard-parallel
+// worker target.
 type ExecConfig struct {
 	// Memo is the shared-subplan cache; nil disables memoization. It may be
 	// shared between batch and integer-at-a-time executions of the same
@@ -200,17 +207,27 @@ type ExecConfig struct {
 	// NoBatch pins the integer-at-a-time encoded kernels (the PR4 execution
 	// mode) instead of the default vectorized batch kernels.
 	NoBatch bool
+	// Shards is the shard-parallel worker target for the batch kernels
+	// (see parallel.go): <=1 runs single-shard, n > 1 lets filter,
+	// join-probe and GROUP BY passes use up to n workers (capped by the
+	// shard count and GOMAXPROCS at execution time). Answers are row- and
+	// byte-identical either way.
+	Shards int
+	// ShardRows overrides the rows-per-shard morsel size (0 uses
+	// relation.ShardRows; rounded up to whole ColData blocks). A test hook:
+	// shrinking it forces multi-shard execution on small inputs.
+	ShardRows int
 }
 
-// ExecOpts is ExecContext with an ExecConfig: cancellation from ctx,
-// memoization and kernel selection from cfg.
-func ExecOpts(ctx context.Context, db *relation.Database, q *sqlast.Query, cfg ExecConfig) (*Result, MemoStats, error) {
-	e := &executor{db: db, memo: cfg.Memo, noBatch: cfg.NoBatch}
+// ExecOpts is ExecContext with an ExecConfig: cancellation from ctx;
+// memoization, kernel selection and shard parallelism from cfg.
+func ExecOpts(ctx context.Context, db *relation.Database, q *sqlast.Query, cfg ExecConfig) (*Result, ExecStats, error) {
+	e := &executor{db: db, memo: cfg.Memo, noBatch: cfg.NoBatch, par: cfg.Shards, shardRows: cfg.ShardRows}
 	if ctx != nil && ctx.Done() != nil {
 		e.ctx = ctx
 	}
 	res, err := e.query(q)
-	return res, MemoStats{Hits: e.memoHits, Misses: e.memoMisses}, err
+	return res, ExecStats{Hits: e.memoHits, Misses: e.memoMisses, ShardRuns: e.shardRuns}, err
 }
 
 // ExecMemoContext is ExecContext with shared-subplan memoization: filtered

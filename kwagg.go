@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"kwagg/internal/chaos"
 	"kwagg/internal/core"
@@ -178,6 +179,12 @@ type Options struct {
 	// produce byte-identical answers (gated by the three-way differential
 	// suites); the escape hatch exists for comparison and bisection.
 	BatchKernels int
+	// Shards is the shard-parallel worker target for a single statement's
+	// batch kernels: 0 means min(GOMAXPROCS, 8), 1 or negative pins
+	// single-shard execution. Answers are row- and byte-identical either
+	// way; the knob trades per-statement latency against cross-statement
+	// throughput of the Workers pool.
+	Shards int
 }
 
 // Engine answers keyword queries over one database.
@@ -190,21 +197,47 @@ type Options struct {
 // PatternDot all share the cached slice. Executed answers are memoized the
 // same way per (query, k) — sound because the frozen data cannot change —
 // so repeat queries skip execution entirely.
+//
+// An engine opened with OpenLive additionally accepts rows through Ingest
+// and folds them into a new immutable data epoch on CommitEpoch. Each query
+// snapshots one epoch's state atomically (system, baseline, epoch number),
+// and both caches key on the epoch, so a swap mid-request can never mix
+// epochs within one answer or serve a stale cached answer as the new epoch's.
 type Engine struct {
-	sys     *core.System
-	sqak    *sqak.System
+	cur     atomic.Pointer[engineState]
+	live    *core.Live    // nil for engines opened with Open (frozen forever)
 	cache   *qcache.Cache // nil when caching is disabled; holds []core.Interpretation
 	answers *qcache.Cache // nil when caching is disabled; holds []Answer per (query, k)
 	metrics *obs.Registry // per-engine observability registry (never nil)
 }
 
-// Open prepares the database for keyword search: it checks every relation's
-// normal form, builds the ORM schema graph (over the normalized view for
-// unnormalized databases), and indexes the stored values. Open freezes the
-// database; see DB.Insert.
-func Open(d *DB, opts *Options) (*Engine, error) {
+// engineState is the per-epoch immutable query state, swapped as one unit:
+// queries that loaded it keep planning and executing against a single epoch
+// even while a commit swaps in the next one.
+type engineState struct {
+	sys   *core.System
+	sqak  *sqak.System
+	epoch uint64
+}
+
+// state returns the current epoch's engine state, folding in a freshly
+// committed epoch first (CAS; the loser of a race adopts the winner's state).
+func (e *Engine) state() *engineState {
+	st := e.cur.Load()
+	if e.live == nil || e.live.Epoch() == st.epoch {
+		return st
+	}
+	sys, epoch := e.live.Snapshot()
+	next := &engineState{sys: sys, sqak: sqak.New(sys.Data), epoch: epoch}
+	if e.cur.CompareAndSwap(st, next) {
+		return next
+	}
+	return e.cur.Load()
+}
+
+// coreOptions translates the public Options into core's.
+func coreOptions(opts *Options) *core.Options {
 	copts := &core.Options{}
-	cacheSize := 0
 	if opts != nil {
 		copts.NameHints = opts.ViewNames
 		copts.Workers = opts.Workers
@@ -212,13 +245,44 @@ func Open(d *DB, opts *Options) (*Engine, error) {
 		copts.MemoCells = opts.MemoCells
 		copts.VerifyPlans = opts.VerifyPlans
 		copts.BatchKernels = opts.BatchKernels
-		cacheSize = opts.CacheSize
+		copts.Shards = opts.Shards
 	}
-	sys, err := core.Open(d.db, copts)
+	return copts
+}
+
+// Open prepares the database for keyword search: it checks every relation's
+// normal form, builds the ORM schema graph (over the normalized view for
+// unnormalized databases), and indexes the stored values. Open freezes the
+// database; see DB.Insert.
+func Open(d *DB, opts *Options) (*Engine, error) {
+	sys, err := core.Open(d.db, coreOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{sys: sys, sqak: sqak.New(d.db), metrics: obs.NewRegistry()}
+	return newEngine(sys, nil, opts), nil
+}
+
+// OpenLive is Open for a database that keeps growing: the engine answers
+// queries exactly like a frozen one, but additionally accepts rows through
+// Ingest and, on CommitEpoch, freezes them into the next immutable data
+// epoch and atomically swaps it in. In-flight queries finish on the epoch
+// they started on; completed answers are always byte-identical to some
+// single epoch.
+func OpenLive(d *DB, opts *Options) (*Engine, error) {
+	live, err := core.OpenLive(d.db, coreOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(live.System(), live, opts), nil
+}
+
+func newEngine(sys *core.System, live *core.Live, opts *Options) *Engine {
+	e := &Engine{live: live, metrics: obs.NewRegistry()}
+	e.cur.Store(&engineState{sys: sys, sqak: sqak.New(sys.Data)})
+	cacheSize := 0
+	if opts != nil {
+		cacheSize = opts.CacheSize
+	}
 	if cacheSize >= 0 {
 		e.cache = qcache.New(cacheSize)
 		e.answers = qcache.New(cacheSize)
@@ -230,8 +294,62 @@ func Open(d *DB, opts *Options) (*Engine, error) {
 		registerCacheMetrics(e.metrics, "answer", e.answers.Stats)
 	}
 	e.metrics.GaugeFunc("kwagg_exec_workers", "Size of the pool executing top-k statements.",
-		func() float64 { return float64(e.sys.ExecWorkers()) })
-	return e, nil
+		func() float64 { return float64(e.state().sys.ExecWorkers()) })
+	e.metrics.GaugeFunc("kwagg_shard_workers", "Shard-parallel worker target per statement.",
+		func() float64 { return float64(e.state().sys.ShardWorkers()) })
+	if live != nil {
+		e.metrics.GaugeFunc("kwagg_epoch_pending_rows", "Rows ingested but not yet committed to an epoch.",
+			func() float64 { return float64(live.Pending()) })
+	}
+	return e
+}
+
+// ErrNotLive is returned by the live-ingest methods of an engine opened with
+// Open: its database is frozen forever. Use OpenLive to accept rows.
+var ErrNotLive = errors.New("kwagg: engine is not live (opened with Open; use OpenLive to ingest)")
+
+// Live reports whether the engine accepts live ingest (opened with OpenLive).
+func (e *Engine) Live() bool { return e.live != nil }
+
+// Epoch returns the engine's current committed data epoch: 0 for a frozen
+// engine or a live one before its first CommitEpoch.
+func (e *Engine) Epoch() uint64 { return e.state().epoch }
+
+// PendingRows reports the rows ingested but not yet committed (0 for a
+// frozen engine).
+func (e *Engine) PendingRows() int {
+	if e.live == nil {
+		return 0
+	}
+	return e.live.Pending()
+}
+
+// Ingest buffers rows (one string per column, in declaration order, coerced
+// to the declared types like DB.Insert) for the named table. Buffered rows
+// are invisible to queries until CommitEpoch; the batch is atomic — any bad
+// row rejects the whole call. Returns the total pending row count.
+func (e *Engine) Ingest(table string, rows [][]string) (int, error) {
+	if e.live == nil {
+		return 0, ErrNotLive
+	}
+	return e.live.Ingest(table, rows)
+}
+
+// CommitEpoch freezes the pending ingested rows into the next immutable data
+// epoch and atomically swaps it in, returning the new epoch number (or the
+// current one when nothing is pending). Queries already running finish on
+// the epoch they started; new queries see the new epoch, with fresh cache
+// entries (both caches key on the epoch).
+func (e *Engine) CommitEpoch(ctx context.Context) (uint64, error) {
+	if e.live == nil {
+		return 0, ErrNotLive
+	}
+	epoch, err := e.live.Commit(e.withObs(ctx))
+	if err != nil {
+		return epoch, err
+	}
+	e.state() // fold the swap in eagerly instead of on the next query
+	return epoch, nil
 }
 
 // Metrics returns the engine's observability registry: per-stage latency
@@ -314,17 +432,25 @@ func cachedCompute(ctx context.Context, c *qcache.Cache, key string, compute fun
 	}
 }
 
-// interpretations returns the full ranked interpretation slice of the query,
-// serving from the cache when possible. Callers must treat the slice as
-// read-only (it is shared across goroutines); take sub-slices, don't modify.
-// A trace on the context records whether the slice came from the cache.
-func (e *Engine) interpretations(ctx context.Context, query string) ([]core.Interpretation, error) {
+// epochKey suffixes a cache key with the state's epoch, so entries computed
+// on one epoch's data are never served as another's. Old-epoch entries stop
+// being referenced after a swap and age out of the LRU.
+func epochKey(key string, st *engineState) string {
+	return key + "\x00e=" + strconv.FormatUint(st.epoch, 10)
+}
+
+// interpretations returns the full ranked interpretation slice of the query
+// on st's epoch, serving from the cache when possible. Callers must treat the
+// slice as read-only (it is shared across goroutines); take sub-slices, don't
+// modify. A trace on the context records whether the slice came from the
+// cache.
+func (e *Engine) interpretations(ctx context.Context, st *engineState, query string) ([]core.Interpretation, error) {
 	ctx = e.withObs(ctx)
 	if e.cache == nil {
-		return e.sys.InterpretContext(ctx, query, 0)
+		return st.sys.InterpretContext(ctx, query, 0)
 	}
-	v, computed, err := cachedCompute(ctx, e.cache, normalizeQuery(query), func() (any, error) {
-		ins, err := e.sys.InterpretContext(ctx, query, 0)
+	v, computed, err := cachedCompute(ctx, e.cache, epochKey(normalizeQuery(query), st), func() (any, error) {
+		ins, err := st.sys.InterpretContext(ctx, query, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -361,11 +487,11 @@ func (e *Engine) AnswerCacheStats() qcache.Stats {
 
 // Unnormalized reports whether the engine plans over a derived normalized
 // view because the stored schema violates 3NF.
-func (e *Engine) Unnormalized() bool { return e.sys.Unnormalized() }
+func (e *Engine) Unnormalized() bool { return e.state().sys.Unnormalized() }
 
 // SchemaGraph describes the ORM schema graph nodes, their types, and their
 // adjacency (Figures 3 and 9 of the paper).
-func (e *Engine) SchemaGraph() string { return e.sys.DescribeSchema() }
+func (e *Engine) SchemaGraph() string { return e.state().sys.DescribeSchema() }
 
 // Interpretation is one ranked reading of a keyword query.
 type Interpretation struct {
@@ -443,7 +569,7 @@ func (s *AnswerSet) Err() error {
 // per query and cached, so follow-up calls with any k (and Answer, Explain,
 // PatternDot on the same query) are served from the cache.
 func (e *Engine) Interpret(query string, k int) ([]Interpretation, error) {
-	ins, err := e.interpretations(context.Background(), query)
+	ins, err := e.interpretations(context.Background(), e.state(), query)
 	if err != nil {
 		return nil, err
 	}
@@ -467,20 +593,21 @@ func (e *Engine) Interpret(query string, k int) ([]Interpretation, error) {
 // nodes, disambiguation and duplicate-elimination decisions, and the
 // ranking signals.
 func (e *Engine) Explain(query string, i int) (string, error) {
-	ins, err := e.interpretations(context.Background(), query)
+	st := e.state()
+	ins, err := e.interpretations(context.Background(), st, query)
 	if err != nil {
 		return "", err
 	}
 	if i < 0 || i >= len(ins) {
 		return "", fmt.Errorf("kwagg: interpretation %d out of range (have %d)", i, len(ins))
 	}
-	return e.sys.Explain(ins[i]).String(), nil
+	return st.sys.Explain(ins[i]).String(), nil
 }
 
 // PatternDot renders the i-th ranked interpretation's annotated query
 // pattern in Graphviz DOT form (the paper's Figures 4-7 style).
 func (e *Engine) PatternDot(query string, i int) (string, error) {
-	ins, err := e.interpretations(context.Background(), query)
+	ins, err := e.interpretations(context.Background(), e.state(), query)
 	if err != nil {
 		return "", err
 	}
@@ -492,7 +619,7 @@ func (e *Engine) PatternDot(query string, i int) (string, error) {
 
 // SchemaDot renders the ORM schema graph in Graphviz DOT form (Figures 3
 // and 9).
-func (e *Engine) SchemaDot() string { return e.sys.Graph.Dot() }
+func (e *Engine) SchemaDot() string { return e.state().sys.Graph.Dot() }
 
 // Answer interprets the query and executes the top-k generated statements.
 // Interpretations come from the cache when available; the statements execute
@@ -561,12 +688,13 @@ type partialResult struct{ set *AnswerSet }
 func (p *partialResult) Error() string { return "kwagg: partial answer set" }
 
 func (e *Engine) answerSetCached(ctx context.Context, query string, k int) (*AnswerSet, error) {
+	st := e.state()
 	if e.answers == nil {
-		return e.answerSetUncached(ctx, query, k)
+		return e.answerSetUncached(ctx, st, query, k)
 	}
-	key := normalizeQuery(query) + "\x00k=" + strconv.Itoa(k)
+	key := epochKey(normalizeQuery(query)+"\x00k="+strconv.Itoa(k), st)
 	v, computed, err := cachedCompute(ctx, e.answers, key, func() (any, error) {
-		set, err := e.answerSetUncached(ctx, query, k)
+		set, err := e.answerSetUncached(ctx, st, query, k)
 		if err != nil {
 			return nil, err
 		}
@@ -591,15 +719,18 @@ func (e *Engine) answerSetCached(ctx context.Context, query string, k int) (*Ans
 	}
 }
 
-func (e *Engine) answerSetUncached(ctx context.Context, query string, k int) (*AnswerSet, error) {
-	ins, err := e.interpretations(ctx, query)
+// answerSetUncached interprets and executes on st's epoch: the whole answer
+// — interpretations and every executed statement — comes from one epoch even
+// when a commit swaps the engine mid-request.
+func (e *Engine) answerSetUncached(ctx context.Context, st *engineState, query string, k int) (*AnswerSet, error) {
+	ins, err := e.interpretations(ctx, st, query)
 	if err != nil {
 		return nil, err
 	}
 	if k > 0 && len(ins) > k {
 		ins = ins[:k]
 	}
-	rep := e.sys.ExecuteAllReport(ctx, ins)
+	rep := st.sys.ExecuteAllReport(ctx, ins)
 	if ctx.Err() != nil {
 		// The request itself is dead: its client gets the timeout/cancel
 		// semantics, not a partial answer it is no longer waiting for.
@@ -638,7 +769,11 @@ func (e *Engine) answerSetUncached(ctx context.Context, query string, k int) (*A
 }
 
 // Workers reports the size of the pool Answer executes statements on.
-func (e *Engine) Workers() int { return e.sys.ExecWorkers() }
+func (e *Engine) Workers() int { return e.state().sys.ExecWorkers() }
+
+// ShardWorkers reports the shard-parallel worker target of one statement's
+// batch kernels.
+func (e *Engine) ShardWorkers() int { return e.state().sys.ShardWorkers() }
 
 // PlanFinding is one plan invariant violated by a generated statement, as
 // reported by the plan verifier (internal/planck): Rule names the invariant
@@ -654,7 +789,7 @@ type PlanFinding struct {
 // slice for every query; `kwlint -plans` replays the dataset workloads
 // through this to gate CI.
 func (e *Engine) PlanFindings(query string, k int) ([]PlanFinding, error) {
-	fs, err := e.sys.CheckPlans(query, k)
+	fs, err := e.state().sys.CheckPlans(query, k)
 	if err != nil {
 		return nil, err
 	}
@@ -668,7 +803,7 @@ func (e *Engine) PlanFindings(query string, k int) ([]PlanFinding, error) {
 // ExecuteSQL runs a SQL statement of the supported subset directly against
 // the stored database.
 func (e *Engine) ExecuteSQL(sql string) (Result, error) {
-	res, err := sqldb.ExecSQL(e.sys.Data, sql)
+	res, err := sqldb.ExecSQL(e.state().sys.Data, sql)
 	if err != nil {
 		return Result{}, err
 	}
@@ -678,7 +813,7 @@ func (e *Engine) ExecuteSQL(sql string) (Result, error) {
 // ExplainSQLPlan returns the engine's evaluation plan for a SQL statement:
 // scan cardinalities, pushed-down filters, and the chosen join order.
 func (e *Engine) ExplainSQLPlan(sql string) (string, error) {
-	plan, err := sqldb.ExplainSQL(e.sys.Data, sql)
+	plan, err := sqldb.ExplainSQL(e.state().sys.Data, sql)
 	if err != nil {
 		return "", err
 	}
@@ -689,7 +824,7 @@ func (e *Engine) ExplainSQLPlan(sql string) (string, error) {
 // reproduces SQAK's documented restrictions (no self joins, at most one
 // aggregate expression).
 func (e *Engine) SQAKTranslate(query string) (string, error) {
-	sql, err := e.sqak.Translate(query)
+	sql, err := e.state().sqak.Translate(query)
 	if err != nil {
 		return "", err
 	}
@@ -698,7 +833,7 @@ func (e *Engine) SQAKTranslate(query string) (string, error) {
 
 // SQAKAnswer generates and executes the SQAK baseline's SQL.
 func (e *Engine) SQAKAnswer(query string) (Result, string, error) {
-	res, sql, err := e.sqak.Answer(query)
+	res, sql, err := e.state().sqak.Answer(query)
 	if err != nil {
 		return Result{}, "", err
 	}
