@@ -1,6 +1,6 @@
 # Standard entry points; everything is pure Go with no external dependencies.
 
-.PHONY: all build test test-shuffle test-race race cover cover-check test-prop test-chaos fuzz-smoke bench bench-json bench-check experiments verify fmt fmt-check vet lint lint-json ci examples
+.PHONY: all build test test-shuffle test-race race cover cover-check test-prop test-chaos test-backend fuzz-smoke bench bench-json bench-check experiments verify fmt fmt-check vet lint lint-json ci examples
 
 all: build test
 
@@ -50,7 +50,14 @@ test-prop:
 test-chaos:
 	go test -race -count=1 -run 'Chaos|Leak|Partial|Timeout|Cancel' . ./internal/chaos/ ./internal/core/ ./internal/server/ ./internal/qcache/
 
-# Short fuzzing pass over every fuzz target (~5 minutes total); the nightly
+# Backend seam under the race detector: the dialect renderer, the sqlite3
+# CLI driver, the exporter and the SQLite differential oracle (every dataset
+# workload interpretation on both engines). Skips the live halves cleanly
+# when no sqlite3 binary is on PATH.
+test-backend:
+	go test -race -count=1 ./internal/backend/... ./internal/sqlast/render/
+
+# Short fuzzing pass over every fuzz target (~6 minutes total); the nightly
 # workflow runs this, and `go test ./...` always replays the committed seed
 # corpora in testdata/fuzz/.
 fuzz-smoke:
@@ -58,6 +65,7 @@ fuzz-smoke:
 	go test -fuzz=FuzzParse -fuzztime=75s ./internal/sqldb/
 	go test -fuzz=FuzzPretty -fuzztime=75s ./internal/sqldb/
 	go test -fuzz=FuzzExec -fuzztime=75s ./internal/sqldb/
+	go test -fuzz=FuzzRender -fuzztime=75s ./internal/backend/
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -122,7 +130,7 @@ lint-json:
 # whole push gate locally before opening a PR (the PR-only fuzz and
 # bench-regression jobs are `go test -fuzz=FuzzExec -fuzztime=30s
 # ./internal/sqldb/` and `make bench-check`).
-ci: build vet fmt-check lint test test-shuffle test-race test-chaos test-prop cover-check
+ci: build vet fmt-check lint test test-shuffle test-race test-chaos test-prop test-backend cover-check
 
 # Run every example end to end.
 examples:

@@ -1,5 +1,5 @@
 // Package analysis is the repo-specific static-analysis suite behind
-// cmd/kwlint: half a dozen analyzers that encode the code-level contracts the
+// cmd/kwlint: seven analyzers that encode the code-level contracts the
 // previous PRs established but `go vet` cannot see — deterministic output
 // (no unsorted map iteration feeding results, no wall clock or math/rand in
 // the deterministic pipeline), allocation discipline in the sqldb kernels
@@ -64,6 +64,7 @@ func Analyzers() []*Analyzer {
 		MetricName(),
 		CtxFlow(),
 		FreezeWrite(),
+		DepScope(),
 	}
 }
 

@@ -431,3 +431,58 @@ func TestLoadModule(t *testing.T) {
 		}
 	}
 }
+
+func TestDepScopeFlagsDriverMachineryOutsideBackend(t *testing.T) {
+	src := `package pattern
+import (
+	_ "database/sql"
+	_ "os/exec"
+)
+`
+	diags := check(t, "kwagg/internal/pattern", src, DepScope())
+	wantDiag(t, diags, "depscope", "database/sql outside kwagg/internal/backend")
+	wantDiag(t, diags, "depscope", "os/exec outside kwagg/internal/backend")
+}
+
+func TestDepScopeFlagsBackendLeaks(t *testing.T) {
+	src := `package pattern
+import (
+	_ "kwagg/internal/backend"
+	_ "kwagg/internal/backend/sqlitecli"
+)
+`
+	diags := check(t, "kwagg/internal/sqldb", src, DepScope())
+	wantDiag(t, diags, "depscope", "kwagg/internal/backend/sqlitecli outside kwagg/internal/backend")
+	wantDiag(t, diags, "depscope", "kwagg/internal/backend outside kwagg, kwagg/internal/core")
+}
+
+func TestDepScopeAllowsTheSeamItself(t *testing.T) {
+	wantNone(t, check(t, "kwagg/internal/backend/pattern", `package pattern
+import (
+	_ "database/sql"
+	_ "os/exec"
+	_ "kwagg/internal/backend/sqlitecli"
+)
+`, DepScope()))
+	wantNone(t, check(t, "kwagg/internal/core", `package core
+import _ "kwagg/internal/backend"
+`, DepScope()))
+	wantNone(t, check(t, "kwagg/internal/analysis", `package analysis
+import _ "os/exec"
+`, DepScope()))
+}
+
+// TestDepScopeThirdParty covers the dependency-free rule at the unit level:
+// a third-party import cannot be type-checked in this module (no export
+// data), so the rule function is exercised directly.
+func TestDepScopeThirdParty(t *testing.T) {
+	if msg := depViolation("kwagg/internal/sqldb", "github.com/mattn/go-sqlite3"); !strings.Contains(msg, "dependency-free") {
+		t.Errorf("third-party import not flagged: %q", msg)
+	}
+	if msg := depViolation("kwagg/internal/sqldb", "encoding/json"); msg != "" {
+		t.Errorf("stdlib import flagged: %q", msg)
+	}
+	if msg := depViolation("kwagg", "kwagg/internal/backend"); msg != "" {
+		t.Errorf("root kwagg may import the backend seam: %q", msg)
+	}
+}

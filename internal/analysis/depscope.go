@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Dependency-scope rules. The module's layering contract, made checkable:
+// the core engine is stdlib-only and knows external engines exclusively
+// through the backend seam, and the process-spawning SQL driver machinery
+// never leaks past that seam.
+const (
+	backendTree  = "kwagg/internal/backend"
+	sqliteDriver = "kwagg/internal/backend/sqlitecli"
+	analysisTree = "kwagg/internal/analysis"
+	coreTree     = "kwagg/internal/core"
+)
+
+// DepScope checks every production import against the layering contract:
+//
+//  1. Packages import only the standard library and kwagg/... — the module
+//     is dependency-free by design (ROADMAP north star).
+//  2. database/sql and database/sql/driver are confined to
+//     kwagg/internal/backend/...: the engine's own executor is not built on
+//     driver plumbing, external engines are.
+//  3. os/exec is confined to kwagg/internal/backend/... (the sqlite3 CLI
+//     driver and exporter) and kwagg/internal/analysis (which shells out to
+//     the go command for export data).
+//  4. kwagg/internal/backend/sqlitecli is importable only from
+//     kwagg/internal/backend/...: callers register backends, not drivers.
+//  5. kwagg/internal/backend/... is importable only from the backend tree
+//     itself, kwagg/internal/core and the root kwagg package — the two
+//     places Options.Backend is plumbed through.
+//
+// Test packages are exempt by construction: the loader analyzes production
+// files only.
+func DepScope() *Analyzer {
+	a := &Analyzer{
+		Name: "depscope",
+		Doc:  "imports must respect the module's layering: stdlib-only core, driver machinery confined to the backend seam",
+	}
+	a.Run = func(pkg *Pkg) []Diagnostic {
+		if !inTree(pkg.Path, "kwagg") {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if msg := depViolation(pkg.Path, path); msg != "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "depscope",
+						Pos:      pkg.Fset.Position(imp.Pos()),
+						Message:  msg,
+					})
+				}
+			}
+		}
+		return diags
+	}
+	return a
+}
+
+// depViolation reports why importer may not import path, or "" if it may.
+func depViolation(importer, path string) string {
+	if !stdlibPath(path) && !inTree(path, "kwagg") {
+		return "import of " + path + ": the module is dependency-free, only the standard library and kwagg/... may be imported"
+	}
+	switch {
+	case path == "database/sql" || path == "database/sql/driver":
+		if !inTree(importer, backendTree) {
+			return "import of " + path + " outside " + backendTree + ": SQL driver machinery is confined to the backend seam"
+		}
+	case path == "os/exec":
+		if !inTree(importer, backendTree) && !inTree(importer, analysisTree) {
+			return "import of os/exec outside " + backendTree + " and " + analysisTree + ": process spawning is confined to the backend seam and the analysis loader"
+		}
+	case inTree(path, sqliteDriver):
+		if !inTree(importer, backendTree) {
+			return "import of " + path + " outside " + backendTree + ": callers use backend.Backend, not the driver"
+		}
+	case inTree(path, backendTree):
+		if !inTree(importer, backendTree) && !inTree(importer, coreTree) && importer != "kwagg" {
+			return "import of " + path + " outside kwagg, " + coreTree + " and the backend tree: external engines are reached via Options.Backend"
+		}
+	}
+	return ""
+}
+
+// inTree reports whether path is root or inside root's subtree.
+func inTree(path, root string) bool {
+	return path == root || strings.HasPrefix(path, root+"/")
+}
+
+// stdlibPath uses the go command's own convention: standard-library import
+// paths have no dot in their first segment, module paths do.
+func stdlibPath(path string) bool {
+	first := path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}

@@ -1,0 +1,128 @@
+package backend
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+
+	"kwagg/internal/backend/sqlitecli"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast/render"
+)
+
+// insertBatch bounds the rows per multi-row INSERT in an export script:
+// large enough to amortize statement overhead, small enough to stay far
+// under any engine's statement-size and SQL-depth limits.
+const insertBatch = 500
+
+// Script renders a frozen relation.Database as a SQL script — CREATE TABLE
+// plus batched multi-row INSERTs — in the given external dialect. Tables are
+// emitted in registration order and rows in storage order, so the script is
+// deterministic for a given database. No constraints are emitted: the
+// exported copy is an execution oracle, not a system of record, and the
+// frozen storage already validated keys on Freeze.
+func Script(db *relation.Database, d render.Dialect) (string, error) {
+	if d == render.SQLDB {
+		return "", fmt.Errorf("backend: cannot export to the %s dialect (in-memory engine has no DDL)", d)
+	}
+	var b strings.Builder
+	for _, tbl := range db.Tables() {
+		sc := tbl.Schema
+		tname, err := render.Ident(sc.Name, d)
+		if err != nil {
+			return "", fmt.Errorf("backend: table %q: %w", sc.Name, err)
+		}
+		b.WriteString("CREATE TABLE ")
+		b.WriteString(tname)
+		b.WriteString(" (")
+		for i, attr := range sc.Attributes {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			aname, err := render.Ident(attr.Name, d)
+			if err != nil {
+				return "", fmt.Errorf("backend: column %s.%s: %w", sc.Name, attr.Name, err)
+			}
+			b.WriteString(aname)
+			b.WriteByte(' ')
+			b.WriteString(columnType(attr.Type, d))
+		}
+		b.WriteString(");\n")
+
+		rows := tbl.Tuples
+		for start := 0; start < len(rows); start += insertBatch {
+			end := start + insertBatch
+			if end > len(rows) {
+				end = len(rows)
+			}
+			b.WriteString("INSERT INTO ")
+			b.WriteString(tname)
+			b.WriteString(" VALUES\n")
+			for r := start; r < end; r++ {
+				if r > start {
+					b.WriteString(",\n")
+				}
+				b.WriteString("  (")
+				for c, v := range rows[r] {
+					if c > 0 {
+						b.WriteString(", ")
+					}
+					lit, err := render.Literal(v, d)
+					if err != nil {
+						return "", fmt.Errorf("backend: %s row %d col %d: %w", sc.Name, r, c, err)
+					}
+					b.WriteString(lit)
+				}
+				b.WriteByte(')')
+			}
+			b.WriteString(";\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// columnType maps a relation type to a column type of the dialect. Dates are
+// stored as TEXT: the frozen engine treats them as formatted strings and the
+// oracle must compare them the same way.
+func columnType(t relation.Type, d render.Dialect) string {
+	switch t {
+	case relation.TypeInt:
+		if d == render.Postgres {
+			return "BIGINT"
+		}
+		return "INTEGER"
+	case relation.TypeFloat:
+		if d == render.Postgres {
+			return "DOUBLE PRECISION"
+		}
+		return "REAL"
+	default: // TypeString, TypeDate
+		return "TEXT"
+	}
+}
+
+// LoadSQLite exports db into a fresh SQLite database file at path by piping
+// the SQLite-dialect script through one sqlite3 shell. The file must not
+// already contain the exported tables (pass a new temp file).
+func LoadSQLite(db *relation.Database, path string) error {
+	bin, err := sqlitecli.Binary()
+	if err != nil {
+		return fmt.Errorf("backend: sqlite3 binary not found: %w", err)
+	}
+	script, err := Script(db, render.SQLite)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(bin, "-batch", path)
+	cmd.Stdin = strings.NewReader(script)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return fmt.Errorf("backend: loading %s: %s", path, msg)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Failure-mode contracts of the external backend path, mirroring the chaos
+// suite's guarantees for the embedded engine: cancellation aborts a running
+// statement and surfaces the context error, transient backend faults are
+// retried by the executor while permanent ones are not, and the retry
+// classification flows through chaos.IsTransient via the Transient() bool
+// contract.
+package backend_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kwagg/internal/backend"
+	"kwagg/internal/backend/sqlitecli"
+	"kwagg/internal/chaos"
+	"kwagg/internal/core"
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+)
+
+// slowDB is a database whose self-join cross product is large enough that a
+// COUNT over it cannot finish before the test cancels it.
+func slowDB() *relation.Database {
+	db := relation.NewDatabase("slow")
+	n := db.AddSchema(relation.NewSchema("N", "Id INT").Key("Id"))
+	for i := 0; i < 800; i++ {
+		n.MustInsert(int64(i))
+	}
+	db.Freeze()
+	return db
+}
+
+// crossCount is COUNT(*) over an 800^3 cartesian self-join — ~5e8 rows of
+// nested-loop work for SQLite.
+func crossCount() *sqlast.Query {
+	return &sqlast.Query{
+		Select: []sqlast.SelectItem{{Expr: sqlast.AggExpr{Func: sqlast.AggCount, Arg: sqlast.Col{Table: "A", Column: "Id"}}, Alias: "n"}},
+		From: []sqlast.TableRef{
+			{Name: "N", Alias: "A"}, {Name: "N", Alias: "B"}, {Name: "N", Alias: "C"},
+		},
+	}
+}
+
+func TestSQLiteCancellationMidQuery(t *testing.T) {
+	if !sqlitecli.Available() {
+		t.Skip("sqlite3 binary not on PATH")
+	}
+	ext, err := backend.NewSQLite(slowDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ext.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rows, err := ext.Exec(ctx, crossCount())
+	if err == nil {
+		res, cerr := backend.Collect(rows)
+		t.Fatalf("cross join finished despite cancellation: %v rows, %v (in %v)", res, cerr, time.Since(start))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if backend.IsTransient(err) {
+		t.Error("cancellation classified transient — it would be retried")
+	}
+}
+
+func TestSQLiteExpiredDeadline(t *testing.T) {
+	if !sqlitecli.Available() {
+		t.Skip("sqlite3 binary not on PATH")
+	}
+	ext, err := backend.NewSQLite(cornerDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ext.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err = ext.Exec(ctx, parse(t, "SELECT I.Id FROM Item I"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+// flakyBackend fails the first failures Exec calls with err, then delegates.
+type flakyBackend struct {
+	inner    backend.Backend
+	failures int32
+	err      error
+}
+
+func (f *flakyBackend) Name() string { return "flaky-" + f.inner.Name() }
+func (f *flakyBackend) Close() error { return f.inner.Close() }
+func (f *flakyBackend) Exec(ctx context.Context, q *sqlast.Query) (backend.Rows, error) {
+	if atomic.AddInt32(&f.failures, -1) >= 0 {
+		return nil, f.err
+	}
+	return f.inner.Exec(ctx, q)
+}
+
+// execUniversity opens the university system, swaps in the backend, and runs
+// one workload query through the full executor (deadlines, retries, pool).
+func execUniversity(t *testing.T, wrap func(backend.Backend) backend.Backend) *core.ExecReport {
+	t.Helper()
+	db := university.New()
+	sys, err := core.Open(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := backend.NewSQLite(sys.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ext.Close() })
+	sys.Backend = wrap(ext)
+	ins, err := sys.Interpret("COUNT Student GROUPBY Course", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) == 0 {
+		t.Fatal("no interpretations")
+	}
+	return sys.ExecuteAllReport(context.Background(), ins)
+}
+
+func TestTransientBackendFaultIsRetried(t *testing.T) {
+	if !sqlitecli.Available() {
+		t.Skip("sqlite3 binary not on PATH")
+	}
+	rep := execUniversity(t, func(b backend.Backend) backend.Backend {
+		return &flakyBackend{inner: b, failures: 1,
+			err: &backend.TransientError{Err: errors.New("engine momentarily busy")}}
+	})
+	if len(rep.Failed) != 0 {
+		t.Fatalf("transient fault not ridden out: %v", rep.Failed[0].Err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("no retries recorded for a transient backend fault")
+	}
+	if len(rep.Answers) == 0 {
+		t.Fatal("no answers completed")
+	}
+}
+
+func TestPermanentBackendFaultIsNotRetried(t *testing.T) {
+	if !sqlitecli.Available() {
+		t.Skip("sqlite3 binary not on PATH")
+	}
+	boom := errors.New("no such table: Zork")
+	rep := execUniversity(t, func(b backend.Backend) backend.Backend {
+		return &flakyBackend{inner: b, failures: 1, err: boom}
+	})
+	if rep.Retries != 0 {
+		t.Fatalf("permanent backend error was retried %d times", rep.Retries)
+	}
+	if len(rep.Failed) == 0 {
+		t.Fatal("permanent fault vanished")
+	}
+	if !errors.Is(rep.Failed[0].Err, boom) {
+		t.Fatalf("failure is %v, want %v", rep.Failed[0].Err, boom)
+	}
+}
+
+// TestDriverBusyClassification pins the full chain: a driver busy error is
+// recognized by chaos.IsTransient (the executor's retry predicate) without
+// the executor importing the driver.
+func TestDriverBusyClassification(t *testing.T) {
+	busy := &backend.TransientError{Err: errors.New("database is locked (5)")}
+	if !chaos.IsTransient(busy) {
+		t.Error("chaos.IsTransient does not recognize backend.TransientError")
+	}
+	if chaos.IsTransient(errors.New("database is locked")) {
+		t.Error("unclassified error treated as transient")
+	}
+}

@@ -1,0 +1,179 @@
+package backend
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"kwagg/internal/backend/sqlitecli"
+	"kwagg/internal/relation"
+	"kwagg/internal/sqlast"
+	"kwagg/internal/sqlast/render"
+)
+
+// SQLBackend executes rendered statements on any database/sql engine. The
+// renderer is parameterized by dialect, so the same backend type serves
+// SQLite and Postgres; only the connection and dialect differ.
+type SQLBackend struct {
+	db      *sql.DB
+	dialect render.Dialect
+	name    string
+
+	// Inline renders literals into the SQL text instead of binding
+	// placeholders. The CLI-backed SQLite driver interpolates anyway, but
+	// server engines should keep the default (placeholders).
+	Inline bool
+
+	// cleanup, when set, runs after the connection closes (temp-file removal
+	// for NewSQLite).
+	cleanup func() error
+}
+
+// NewSQL wraps an opened database/sql handle as a Backend. The name shows up
+// in metrics and diagnostics; keep it short and stable ("sqlite",
+// "postgres").
+func NewSQL(db *sql.DB, d render.Dialect, name string) *SQLBackend {
+	return &SQLBackend{db: db, dialect: d, name: name}
+}
+
+// Name identifies the backend.
+func (b *SQLBackend) Name() string { return b.name }
+
+// Dialect reports the SQL dialect the backend renders.
+func (b *SQLBackend) Dialect() render.Dialect { return b.dialect }
+
+// DB exposes the underlying handle (test seams; loading fixtures).
+func (b *SQLBackend) DB() *sql.DB { return b.db }
+
+// Exec renders q for the backend's dialect and runs it. Driver faults are
+// classified for the retry layer (see classifyDriver); result column names
+// come from the query AST so answer shapes match the in-memory engine even
+// where the external engine names computed columns differently.
+func (b *SQLBackend) Exec(ctx context.Context, q *sqlast.Query) (Rows, error) {
+	var (
+		rows *sql.Rows
+		err  error
+	)
+	if b.Inline {
+		var text string
+		text, err = render.SQL(q, b.dialect)
+		if err != nil {
+			return nil, err
+		}
+		rows, err = b.db.QueryContext(ctx, text)
+	} else {
+		var text string
+		var args []any
+		text, args, err = render.Params(q, b.dialect)
+		if err != nil {
+			return nil, err
+		}
+		rows, err = b.db.QueryContext(ctx, text, args...)
+	}
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, classifyDriver(err)
+	}
+	return &sqlRows{cols: OutputColumns(q), rows: rows}, nil
+}
+
+// Close closes the connection pool and runs any registered cleanup.
+func (b *SQLBackend) Close() error {
+	err := b.db.Close()
+	if b.cleanup != nil {
+		if cerr := b.cleanup(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// sqlRows adapts *sql.Rows to the backend Rows interface, scanning each row
+// into relation values (int64, float64, string, nil).
+type sqlRows struct {
+	cols []string
+	rows *sql.Rows
+}
+
+func (r *sqlRows) Columns() []string { return r.cols }
+
+func (r *sqlRows) Next() (relation.Tuple, error) {
+	if !r.rows.Next() {
+		if err := r.rows.Err(); err != nil {
+			return nil, classifyDriver(err)
+		}
+		return nil, io.EOF
+	}
+	raw := make([]any, len(r.cols))
+	ptrs := make([]any, len(r.cols))
+	for i := range raw {
+		ptrs[i] = &raw[i]
+	}
+	if err := r.rows.Scan(ptrs...); err != nil {
+		return nil, classifyDriver(err)
+	}
+	t := make(relation.Tuple, len(raw))
+	for i, v := range raw {
+		rv, err := toValue(v)
+		if err != nil {
+			return nil, err
+		}
+		t[i] = rv
+	}
+	return t, nil
+}
+
+func (r *sqlRows) Close() error { return r.rows.Close() }
+
+// toValue narrows a scanned driver value to the relation value domain.
+func toValue(v any) (relation.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case int64:
+		return x, nil
+	case float64:
+		return x, nil
+	case string:
+		return x, nil
+	case []byte:
+		return string(x), nil
+	case bool:
+		if x {
+			return int64(1), nil
+		}
+		return int64(0), nil
+	default:
+		return nil, fmt.Errorf("backend: driver returned unsupported value type %T", v)
+	}
+}
+
+// NewSQLite exports db into a temporary SQLite file and opens it read-only
+// through the CLI-backed driver. Close removes the temp file. Callers should
+// gate on sqlitecli.Available() first; without the sqlite3 binary this
+// returns an error.
+func NewSQLite(db *relation.Database) (*SQLBackend, error) {
+	dir, err := os.MkdirTemp("", "kwagg-sqlite-")
+	if err != nil {
+		return nil, fmt.Errorf("backend: %w", err)
+	}
+	path := filepath.Join(dir, "oracle.db")
+	if err := LoadSQLite(db, path); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	handle, err := sql.Open(sqlitecli.DriverName, path+"?mode=ro")
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("backend: %w", err)
+	}
+	b := NewSQL(handle, render.SQLite, "sqlite")
+	b.Inline = true // the CLI driver would interpolate anyway; skip the indirection
+	b.cleanup = func() error { return os.RemoveAll(dir) }
+	return b, nil
+}

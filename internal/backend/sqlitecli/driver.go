@@ -1,0 +1,464 @@
+// Package sqlitecli is a database/sql driver backed by the sqlite3
+// command-line shell. The container this repo builds in has no module
+// network, so a pure-Go SQLite driver (modernc.org/sqlite) cannot be
+// vendored; the stock sqlite3 binary is a full SQLite and the driver speaks
+// to it one process per statement: SQL goes in as an argument, rows come
+// back as JSON (.mode json output), and the process's exit status and stderr
+// become the driver error. That keeps the whole module stdlib-only while
+// still executing generated SQL on a real, independent SQL engine.
+//
+// The driver may only be imported from internal/backend (enforced by the
+// kwlint depscope analyzer): it is an execution detail of the external
+// backend, exactly as a vendored driver module would be.
+//
+// Registered as "sqlite3cli". The DSN is a filesystem path (":memory:" works
+// for throwaway databases), optionally suffixed with "?mode=ro" to open the
+// database read-only:
+//
+//	db, err := sql.Open("sqlite3cli", "/tmp/oracle.db?mode=ro")
+//
+// Placeholders: the shell cannot bind parameters, so the driver interpolates
+// '?' placeholders itself with fully escaped literals (quote-aware: a '?'
+// inside a string literal or quoted identifier is never a placeholder).
+// Type-correctness of interpolation is covered by the escaping and fuzz
+// suites in internal/backend.
+package sqlitecli
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DriverName is the name the driver registers under with database/sql.
+const DriverName = "sqlite3cli"
+
+func init() { sql.Register(DriverName, &Driver{}) }
+
+// binary resolution is process-wide and memoized: LookPath once.
+var (
+	binOnce sync.Once
+	binPath string
+	binErr  error
+)
+
+// Binary returns the resolved sqlite3 executable path, or an error when the
+// host has none — the signal the backend and test suites gate on.
+func Binary() (string, error) {
+	binOnce.Do(func() {
+		binPath, binErr = exec.LookPath("sqlite3")
+	})
+	return binPath, binErr
+}
+
+// Available reports whether the sqlite3 shell is on PATH.
+func Available() bool {
+	_, err := Binary()
+	return err == nil
+}
+
+// Driver implements database/sql/driver.Driver over the sqlite3 shell.
+type Driver struct{}
+
+// Open parses the DSN (path with an optional ?mode=ro suffix) and returns a
+// connection. The database file is not touched until the first statement.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	bin, err := Binary()
+	if err != nil {
+		return nil, fmt.Errorf("sqlitecli: sqlite3 binary not found: %w", err)
+	}
+	path := dsn
+	readonly := false
+	if i := strings.IndexByte(dsn, '?'); i >= 0 {
+		path = dsn[:i]
+		for _, opt := range strings.Split(dsn[i+1:], "&") {
+			switch opt {
+			case "mode=ro":
+				readonly = true
+			case "mode=rw", "":
+			default:
+				return nil, fmt.Errorf("sqlitecli: unknown DSN option %q", opt)
+			}
+		}
+	}
+	if path == "" {
+		return nil, errors.New("sqlitecli: empty database path")
+	}
+	return &conn{bin: bin, path: path, readonly: readonly}, nil
+}
+
+// conn is one logical connection. The shell is spawned per statement, so a
+// conn holds no OS resources; database/sql still serializes use of one conn.
+type conn struct {
+	bin      string
+	path     string
+	readonly bool
+}
+
+// Prepare compiles the statement on the engine (EXPLAIN runs SQLite's
+// prepare step without executing the query), so a statement SQLite cannot
+// parse or resolve fails here — the contract the FuzzRender suite leans on.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext is Prepare honoring a context for the validation run.
+func (c *conn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
+	if _, err := c.run(ctx, "EXPLAIN "+query); err != nil {
+		return nil, err
+	}
+	return &stmt{c: c, query: query}, nil
+}
+
+// Close releases nothing: the shell exited with the last statement.
+func (c *conn) Close() error { return nil }
+
+// stmt is a prepared statement: the validated SQL text plus the conn that
+// will execute it. NumInput is -1 (the driver does not count placeholders up
+// front; interpolate checks arity at execution time).
+type stmt struct {
+	c     *conn
+	query string
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return -1 }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, named(args))
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, named(args))
+}
+
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	return s.c.ExecContext(ctx, s.query, args)
+}
+
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	return s.c.QueryContext(ctx, s.query, args)
+}
+
+// named adapts positional driver values to the NamedValue shape the
+// context-aware paths take.
+func named(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, v := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return out
+}
+
+// Begin is unsupported: the backend is read-only and every statement is its
+// own process. database/sql only calls it for explicit transactions.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("sqlitecli: transactions are not supported (one process per statement)")
+}
+
+// QueryContext runs a query directly (database/sql fast path without an
+// explicit Prepare).
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	sqlText, err := interpolate(query, args)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.run(ctx, sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return parseJSONRows(out)
+}
+
+// ExecContext runs a statement for side effects (schema/data loading).
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	sqlText, err := interpolate(query, args)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.run(ctx, sqlText); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
+// run spawns one shell for the statement and returns its stdout. Context
+// cancellation kills the process; the context error wins over the kill's
+// exit error so callers see deadline/cancel semantics.
+func (c *conn) run(ctx context.Context, sqlText string) (string, error) {
+	args := []string{"-batch", "-json"}
+	if c.readonly {
+		args = append(args, "-readonly")
+	}
+	args = append(args, c.path, sqlText)
+	cmd := exec.CommandContext(ctx, c.bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if cerr := ctx.Err(); cerr != nil {
+		return "", cerr
+	}
+	if err != nil {
+		return "", classifyShell(err, stderr.String())
+	}
+	return stdout.String(), nil
+}
+
+// Error is a permanent engine error (syntax, unknown relation, type error),
+// carrying the shell's stderr.
+type Error struct{ Msg string }
+
+// Error returns the engine's message.
+func (e *Error) Error() string { return "sqlitecli: " + e.Msg }
+
+// busyError is a retryable engine fault (SQLITE_BUSY / SQLITE_LOCKED). It
+// satisfies the Transient() contract the executor's retry predicate checks.
+type busyError struct{ msg string }
+
+func (e *busyError) Error() string { return "sqlitecli: transient: " + e.msg }
+
+// Transient marks the fault retryable.
+func (e *busyError) Transient() bool { return true }
+
+// classifyShell maps a shell failure onto the retry classification: the
+// process exit code is SQLite's primary result code, so BUSY(5) and
+// LOCKED(6) — the only codes a retry can ride out — become transient and
+// everything else permanent.
+func classifyShell(err error, stderr string) error {
+	msg := strings.TrimSpace(stderr)
+	if msg == "" {
+		msg = err.Error()
+	}
+	var xerr *exec.ExitError
+	if errors.As(err, &xerr) {
+		switch xerr.ExitCode() {
+		case 5, 6: // SQLITE_BUSY, SQLITE_LOCKED
+			return &busyError{msg: msg}
+		}
+	}
+	lower := strings.ToLower(msg)
+	if strings.Contains(lower, "database is locked") || strings.Contains(lower, "database table is locked") {
+		return &busyError{msg: msg}
+	}
+	return &Error{Msg: msg}
+}
+
+// interpolate substitutes '?' placeholders with escaped literals. The scan
+// is quote-aware: placeholders inside '...' string literals, "..." quoted
+// identifiers or [...] bracket identifiers are left alone.
+func interpolate(query string, args []driver.NamedValue) (string, error) {
+	var b strings.Builder
+	b.Grow(len(query) + 16*len(args))
+	next := 0
+	for i := 0; i < len(query); i++ {
+		ch := query[i]
+		switch ch {
+		case '\'', '"', '`':
+			// Quoted region: copy through the matching close quote, honoring
+			// doubled quotes as escapes.
+			b.WriteByte(ch)
+			for i++; i < len(query); i++ {
+				b.WriteByte(query[i])
+				if query[i] == ch {
+					if i+1 < len(query) && query[i+1] == ch {
+						i++
+						b.WriteByte(ch)
+						continue
+					}
+					break
+				}
+			}
+		case '[':
+			b.WriteByte(ch)
+			for i++; i < len(query); i++ {
+				b.WriteByte(query[i])
+				if query[i] == ']' {
+					break
+				}
+			}
+		case '?':
+			if next >= len(args) {
+				return "", fmt.Errorf("sqlitecli: statement has more placeholders than the %d bound args", len(args))
+			}
+			lit, err := literal(args[next].Value)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(lit)
+			next++
+		default:
+			b.WriteByte(ch)
+		}
+	}
+	if next != len(args) {
+		return "", fmt.Errorf("sqlitecli: %d args bound but statement has %d placeholders", len(args), next)
+	}
+	return b.String(), nil
+}
+
+// literal renders one bound value as a SQLite literal.
+func literal(v driver.Value) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "NULL", nil
+	case int64:
+		return strconv.FormatInt(x, 10), nil
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return "", fmt.Errorf("sqlitecli: float %v is not representable", x)
+		}
+		s := strconv.FormatFloat(x, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s, nil
+	case bool:
+		if x {
+			return "1", nil
+		}
+		return "0", nil
+	case string:
+		if strings.ContainsRune(x, 0) {
+			return "", errors.New("sqlitecli: string argument contains a NUL byte")
+		}
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'", nil
+	case []byte:
+		return "X'" + hex.EncodeToString(x) + "'", nil
+	case time.Time:
+		return "'" + x.UTC().Format(time.RFC3339Nano) + "'", nil
+	default:
+		return "", fmt.Errorf("sqlitecli: unsupported argument type %T", v)
+	}
+}
+
+// rows is the materialized JSON result. Column order (and duplicate column
+// names) follow the engine's output order; values are int64, float64,
+// string or nil.
+type rows struct {
+	cols []string
+	vals [][]driver.Value
+	next int
+}
+
+func (r *rows) Columns() []string { return r.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.next >= len(r.vals) {
+		return io.EOF
+	}
+	copy(dest, r.vals[r.next])
+	r.next++
+	return nil
+}
+
+// parseJSONRows decodes the shell's .mode json output: an array of objects,
+// one per row, keys in SELECT-list order. The token-level walk (instead of
+// Unmarshal into maps) preserves duplicate column names and column order. An
+// empty output is a zero-row result with unknown columns — the backend layer
+// derives column names from the query AST, so none are synthesized here.
+func parseJSONRows(out string) (*rows, error) {
+	r := &rows{}
+	trimmed := strings.TrimSpace(out)
+	if trimmed == "" {
+		return r, nil
+	}
+	dec := json.NewDecoder(strings.NewReader(trimmed))
+	dec.UseNumber()
+	if err := expectDelim(dec, '['); err != nil {
+		return nil, fmt.Errorf("sqlitecli: malformed json output: %w", err)
+	}
+	first := true
+	for dec.More() {
+		if err := expectDelim(dec, '{'); err != nil {
+			return nil, fmt.Errorf("sqlitecli: malformed row: %w", err)
+		}
+		var row []driver.Value
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return nil, fmt.Errorf("sqlitecli: malformed row key: %w", err)
+			}
+			key, ok := keyTok.(string)
+			if !ok {
+				return nil, fmt.Errorf("sqlitecli: row key %v is not a string", keyTok)
+			}
+			if first {
+				r.cols = append(r.cols, key)
+			}
+			valTok, err := dec.Token()
+			if err != nil {
+				return nil, fmt.Errorf("sqlitecli: malformed row value: %w", err)
+			}
+			v, err := tokenValue(valTok)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		if err := expectDelim(dec, '}'); err != nil {
+			return nil, fmt.Errorf("sqlitecli: unterminated row: %w", err)
+		}
+		if !first && len(row) != len(r.cols) {
+			return nil, fmt.Errorf("sqlitecli: row has %d values, want %d", len(row), len(r.cols))
+		}
+		first = false
+		r.vals = append(r.vals, row)
+	}
+	if err := expectDelim(dec, ']'); err != nil {
+		return nil, fmt.Errorf("sqlitecli: unterminated result: %w", err)
+	}
+	return r, nil
+}
+
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok || d != want {
+		return fmt.Errorf("got %v, want %v", tok, want)
+	}
+	return nil
+}
+
+// tokenValue converts one JSON scalar into a driver.Value: integers stay
+// int64 (SQLite prints INTEGER values without a decimal point), everything
+// else numeric becomes float64.
+func tokenValue(tok json.Token) (driver.Value, error) {
+	switch x := tok.(type) {
+	case nil:
+		return nil, nil
+	case string:
+		return x, nil
+	case bool:
+		return x, nil
+	case json.Number:
+		s := x.String()
+		if !strings.ContainsAny(s, ".eE") {
+			if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+				return i, nil
+			}
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("sqlitecli: unparseable number %q: %w", s, err)
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("sqlitecli: unexpected value token %v (%T)", tok, tok)
+	}
+}

@@ -1,0 +1,269 @@
+package sqlitecli
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func nv(t *testing.T, vals ...driver.Value) []driver.NamedValue {
+	t.Helper()
+	out := make([]driver.NamedValue, len(vals))
+	for i, v := range vals {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return out
+}
+
+func TestInterpolate(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		args  []driver.Value
+		want  string
+	}{
+		{"basic", "SELECT * FROM t WHERE a = ? AND b = ?", []driver.Value{int64(1), "x"}, "SELECT * FROM t WHERE a = 1 AND b = 'x'"},
+		{"quote-in-arg", "SELECT ?", []driver.Value{"O'Brien"}, "SELECT 'O''Brien'"},
+		{"placeholder-in-string", "SELECT '?' , ?", []driver.Value{int64(2)}, "SELECT '?' , 2"},
+		{"placeholder-in-ident", `SELECT "a?b" FROM t WHERE c = ?`, []driver.Value{int64(3)}, `SELECT "a?b" FROM t WHERE c = 3`},
+		{"placeholder-in-bracket", "SELECT [a?b] FROM t WHERE c = ?", []driver.Value{int64(4)}, "SELECT [a?b] FROM t WHERE c = 4"},
+		{"doubled-quote-string", "SELECT 'it''s ?' WHERE x = ?", []driver.Value{int64(5)}, "SELECT 'it''s ?' WHERE x = 5"},
+		{"null", "SELECT ?", []driver.Value{nil}, "SELECT NULL"},
+		{"float-integral", "SELECT ?", []driver.Value{float64(2)}, "SELECT 2.0"},
+		{"no-args", "SELECT 1", nil, "SELECT 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := interpolate(tc.query, nv(t, tc.args...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %s, want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestInterpolateArityErrors(t *testing.T) {
+	if _, err := interpolate("SELECT ?", nv(t)); err == nil {
+		t.Error("missing arg accepted")
+	}
+	if _, err := interpolate("SELECT 1", nv(t, int64(1))); err == nil {
+		t.Error("excess arg accepted")
+	}
+	if _, err := interpolate("SELECT ?", nv(t, "nul\x00")); err == nil {
+		t.Error("NUL byte in arg accepted")
+	}
+}
+
+func TestParseJSONRows(t *testing.T) {
+	// Duplicate keys must be preserved in order — SQLite emits one key per
+	// SELECT item, even when names collide.
+	out := `[{"a":1,"a":"x'y","b":2.5},
+{"a":null,"a":"z","b":-3.0}]`
+	rows, err := parseJSONRows(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "a", "b"}; !reflect.DeepEqual(rows.cols, want) {
+		t.Fatalf("cols = %v, want %v", rows.cols, want)
+	}
+	dest := make([]driver.Value, 3)
+	if err := rows.Next(dest); err != nil {
+		t.Fatal(err)
+	}
+	if dest[0] != int64(1) || dest[1] != "x'y" || dest[2] != 2.5 {
+		t.Fatalf("row 1 = %v", dest)
+	}
+	if err := rows.Next(dest); err != nil {
+		t.Fatal(err)
+	}
+	if dest[0] != nil || dest[1] != "z" || dest[2] != -3.0 {
+		t.Fatalf("row 2 = %v", dest)
+	}
+	if err := rows.Next(dest); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestParseJSONRowsEmpty(t *testing.T) {
+	rows, err := parseJSONRows("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.cols) != 0 || len(rows.vals) != 0 {
+		t.Fatalf("empty output produced %v / %v", rows.cols, rows.vals)
+	}
+}
+
+func TestParseJSONRowsNumberTyping(t *testing.T) {
+	rows, err := parseJSONRows(`[{"i":42,"f":42.0,"e":1.0e+21,"big":9223372036854775807}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := make([]driver.Value, 4)
+	if err := rows.Next(dest); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dest[0].(int64); !ok {
+		t.Errorf("integer scanned as %T", dest[0])
+	}
+	if _, ok := dest[1].(float64); !ok {
+		t.Errorf("42.0 scanned as %T", dest[1])
+	}
+	if _, ok := dest[2].(float64); !ok {
+		t.Errorf("1.0e+21 scanned as %T", dest[2])
+	}
+	if dest[3] != int64(9223372036854775807) {
+		t.Errorf("max int64 = %v (%T)", dest[3], dest[3])
+	}
+}
+
+func TestClassifyShell(t *testing.T) {
+	if err := classifyShell(errors.New("boom"), "Error: database is locked"); !isTransientErr(err) {
+		t.Errorf("locked not transient: %v", err)
+	}
+	err := classifyShell(errors.New("exit status 1"), "Error: in prepare, no such table: Zork")
+	if isTransientErr(err) {
+		t.Errorf("prepare error classified transient: %v", err)
+	}
+	var perm *Error
+	if !errors.As(err, &perm) {
+		t.Errorf("permanent error has type %T", err)
+	}
+}
+
+func isTransientErr(err error) bool {
+	var m interface{ Transient() bool }
+	return errors.As(err, &m) && m.Transient()
+}
+
+// The remaining tests exercise the real shell and skip when absent.
+
+func openTemp(t *testing.T) *sql.DB {
+	t.Helper()
+	if !Available() {
+		t.Skip("sqlite3 binary not on PATH")
+	}
+	path := filepath.Join(t.TempDir(), "t.db")
+	db, err := sql.Open(DriverName, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestLiveRoundTrip(t *testing.T) {
+	db := openTemp(t)
+	ctx := context.Background()
+	if _, err := db.ExecContext(ctx, "CREATE TABLE t (a TEXT, b INTEGER, c REAL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx, "INSERT INTO t VALUES (?, ?, ?), (?, ?, ?)",
+		"x'y", int64(5), 2.0, nil, int64(-1), nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryContext(ctx, "SELECT a, b, c FROM t ORDER BY b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got [][]any
+	for rows.Next() {
+		var a, b, c any
+		if err := rows.Scan(&a, &b, &c); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, []any{a, b, c})
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]any{{nil, int64(-1), nil}, {"x'y", int64(5), 2.0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLivePrepareRejectsBadSQL(t *testing.T) {
+	db := openTemp(t)
+	if _, err := db.Exec("CREATE TABLE t (a)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Prepare("SELECT FROM WHERE"); err == nil {
+		t.Error("syntactically invalid SQL prepared without error")
+	}
+	if _, err := db.Prepare("SELECT * FROM no_such_table"); err == nil {
+		t.Error("unknown table prepared without error")
+	}
+	stmt, err := db.Prepare("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt.Close()
+}
+
+func TestLiveReadonly(t *testing.T) {
+	if !Available() {
+		t.Skip("sqlite3 binary not on PATH")
+	}
+	path := filepath.Join(t.TempDir(), "ro.db")
+	rw, err := sql.Open(DriverName, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.Exec("CREATE TABLE t (a)"); err != nil {
+		t.Fatal(err)
+	}
+	rw.Close()
+	ro, err := sql.Open(DriverName, path+"?mode=ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	var n int64
+	if err := ro.QueryRow("SELECT COUNT(*) FROM t").Scan(&n); err != nil || n != 0 {
+		t.Fatalf("readonly read: %v %d", err, n)
+	}
+	if _, err := ro.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Error("write through readonly connection succeeded")
+	}
+}
+
+func TestLiveContextCancel(t *testing.T) {
+	db := openTemp(t)
+	if _, err := db.Exec("CREATE TABLE t (a)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass before the query starts
+	_, err := db.QueryContext(ctx, "SELECT * FROM t")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestDSNErrors(t *testing.T) {
+	if !Available() {
+		t.Skip("sqlite3 binary not on PATH")
+	}
+	for _, dsn := range []string{"", "?mode=ro", "/tmp/x.db?mode=banana"} {
+		db, err := sql.Open(DriverName, dsn)
+		if err != nil {
+			continue // some errors surface at Open
+		}
+		if err := db.Ping(); err == nil {
+			t.Errorf("DSN %q accepted", dsn)
+		}
+		db.Close()
+	}
+}

@@ -83,12 +83,18 @@ func (t *Transient) Error() string {
 	return fmt.Sprintf("chaos: injected transient fault at %s", t.Point)
 }
 
-// IsTransient reports whether err is (or wraps) an injected transient fault —
-// the only class of statement error the executor retries; real execution
-// errors are deterministic and surface immediately.
+// IsTransient reports whether err is retryable: an injected transient fault,
+// or any error marking itself retryable via a Transient() bool method (the
+// contract external execution backends use for engine-busy and momentary
+// driver faults). Real execution errors are deterministic and surface
+// immediately.
 func IsTransient(err error) bool {
 	var t *Transient
-	return errors.As(err, &t)
+	if errors.As(err, &t) {
+		return true
+	}
+	var m interface{ Transient() bool }
+	return errors.As(err, &m) && m.Transient()
 }
 
 // Sleep blocks for d or until ctx is done, whichever comes first, returning

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kwagg/internal/backend"
 	"kwagg/internal/chaos"
 	"kwagg/internal/keyword"
 	"kwagg/internal/match"
@@ -93,6 +94,14 @@ type System struct {
 	// way (see internal/sqldb/parallel.go). Built by Open from
 	// Options.Shards.
 	Shards int
+
+	// Backend, when non-nil, executes every statement instead of the
+	// embedded in-memory engine: generated SQL is rendered for the backend's
+	// dialect and run on its engine, under the same per-statement deadline,
+	// chaos injection and transient-retry policy as the default path. The
+	// backend must hold (an export of) the same frozen data as Data. Built by
+	// Open from Options.Backend.
+	Backend backend.Backend
 }
 
 // Retry policy defaults: up to two retries, 1ms base backoff doubling per
@@ -139,6 +148,10 @@ type Options struct {
 	// min(GOMAXPROCS, 8), 1 or negative pins single-shard execution —
 	// the same zero/negative idiom as MemoCells and BatchKernels.
 	Shards int
+	// Backend routes statement execution to an external engine (nil — the
+	// default — executes on the embedded in-memory engine). The caller keeps
+	// ownership: Close it after the System is done.
+	Backend backend.Backend
 }
 
 // Open prepares a database for keyword search. It checks every relation's
@@ -185,6 +198,7 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 	s.VerifyPlans = opts.VerifyPlans
 	s.NoBatch = opts.BatchKernels < 0
 	s.Shards = opts.Shards
+	s.Backend = opts.Backend
 	// Freeze the stored data: later inserts are rejected, and every
 	// per-table value index and column dictionary is built now so query
 	// execution never mutates shared state (the thread-safety contract of
@@ -557,7 +571,8 @@ func (s *System) execStatement(sctx, rctx context.Context, in Interpretation, id
 
 // execAttempt is one execution attempt: chaos statement injection (latency,
 // transient error, injected cancellation) followed by the cancellable
-// evaluation under the per-statement deadline.
+// evaluation under the per-statement deadline — on the external backend when
+// one is configured, on the embedded engine otherwise.
 func (s *System) execAttempt(sctx context.Context, in Interpretation, detail string) (*sqldb.Result, error) {
 	if s.Chaos != nil {
 		if err := chaos.Sleep(sctx, s.Chaos.Delay(chaos.PointStatement)); err != nil {
@@ -566,6 +581,9 @@ func (s *System) execAttempt(sctx context.Context, in Interpretation, detail str
 		if err := s.Chaos.Fault(chaos.PointStatement, detail); err != nil {
 			return nil, err
 		}
+	}
+	if s.Backend != nil {
+		return s.execBackend(sctx, in)
 	}
 	res, st, err := sqldb.ExecOpts(sctx, s.Data, in.SQL,
 		sqldb.ExecConfig{Memo: s.Memo, NoBatch: s.NoBatch, Shards: s.ShardWorkers()})
@@ -584,6 +602,43 @@ func (s *System) execAttempt(sctx context.Context, in Interpretation, detail str
 		}
 	}
 	return res, err
+}
+
+// execBackend runs one attempt on the configured external backend and
+// counts it: kwagg_backend_statements_total broken down by backend name and
+// outcome (ok / transient / error), kwagg_backend_rows_total for answer
+// volume. The result rows stream through backend.Collect into the same
+// sqldb.Result shape the embedded engine produces, so ranking, caching and
+// response rendering never see which engine answered.
+func (s *System) execBackend(sctx context.Context, in Interpretation) (*sqldb.Result, error) {
+	reg := obs.RegistryFrom(sctx)
+	rows, err := s.Backend.Exec(sctx, in.SQL)
+	var res *sqldb.Result
+	if err == nil {
+		res, err = backend.Collect(rows)
+	}
+	if reg != nil {
+		outcome := "ok"
+		switch {
+		case err == nil:
+		case chaos.IsTransient(err):
+			outcome = "transient"
+		default:
+			outcome = "error"
+		}
+		reg.Counter("kwagg_backend_statements_total",
+			"Statement attempts executed on an external backend, by backend and outcome.",
+			obs.L("backend", s.Backend.Name()), obs.L("outcome", outcome)).Inc()
+		if err == nil {
+			reg.Counter("kwagg_backend_rows_total",
+				"Rows returned by external-backend statements, by backend.",
+				obs.L("backend", s.Backend.Name())).Add(uint64(len(res.Rows)))
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // statementMarginCap bounds the slice of the request budget reserved for

@@ -1,0 +1,165 @@
+// Per-dialect golden renderings: one representative interpretation per
+// bundled dataset, rendered in every dialect (the engine's native String(),
+// SQLite, Postgres) and pinned to committed files under testdata/. The same
+// determinism, parallel-read-only and clone-isolation harness as
+// internal/sqlast/golden_test.go guards the renderer: 100 repeated renders
+// must be byte-identical, concurrent renders race-free, and mutating a
+// Clone must not leak into the original's rendering.
+//
+// Regenerate the goldens with:
+//
+//	go test ./internal/sqlast/render/ -run Golden -update
+package render_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"kwagg"
+	"kwagg/internal/dataset/acmdl"
+	"kwagg/internal/dataset/tpch"
+	"kwagg/internal/experiments"
+	"kwagg/internal/sqlast"
+	"kwagg/internal/sqlast/render"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDialects orders the sections of each golden file.
+var goldenDialects = []render.Dialect{render.SQLDB, render.SQLite, render.Postgres}
+
+// representative returns the pinned interpretation for a dataset: the first
+// interpretation of the first workload query — deterministic because both
+// the workload list and Interpret ranking are.
+func representative(t *testing.T, name string, build func() (*experiments.Setup, error)) (string, *sqlast.Query) {
+	t.Helper()
+	queries := kwagg.DatasetWorkloads()[name]
+	if len(queries) == 0 {
+		t.Fatalf("dataset %q has no workload", name)
+	}
+	s, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := s.Ours.Interpret(queries[0], 0)
+	if err != nil {
+		t.Fatalf("%s: %v", queries[0], err)
+	}
+	if len(ins) == 0 {
+		t.Fatalf("%s: no interpretations", queries[0])
+	}
+	return queries[0], ins[0].SQL
+}
+
+func goldenSetups() map[string]func() (*experiments.Setup, error) {
+	return map[string]func() (*experiments.Setup, error){
+		"university":   experiments.NewUniversity,
+		"tpch":         func() (*experiments.Setup, error) { return experiments.NewTPCH(tpch.Small()) },
+		"tpch-denorm":  func() (*experiments.Setup, error) { return experiments.NewTPCHUnnormalized(tpch.Small()) },
+		"acmdl":        func() (*experiments.Setup, error) { return experiments.NewACMDL(acmdl.Small()) },
+		"acmdl-denorm": func() (*experiments.Setup, error) { return experiments.NewACMDLUnnormalized(acmdl.Small()) },
+	}
+}
+
+// renderAll produces the golden file body: the keyword query, then one
+// section per dialect.
+func renderAll(t *testing.T, kw string, q *sqlast.Query) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("-- keyword query: " + kw + "\n")
+	for _, d := range goldenDialects {
+		sql, err := render.SQL(q, d)
+		if err != nil {
+			t.Fatalf("render %s: %v", d, err)
+		}
+		b.WriteString("-- dialect: " + d.String() + "\n" + sql + "\n")
+	}
+	return b.String()
+}
+
+func TestDialectGoldens(t *testing.T) {
+	for name, build := range goldenSetups() {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			kw, q := representative(t, name, build)
+			got := renderAll(t, kw, q)
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("rendering diverged from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+
+			// Determinism: 100 repeated renders are byte-identical.
+			for i := 0; i < 100; i++ {
+				if renderAll(t, kw, q) != got {
+					t.Fatalf("render %d diverged from the first render", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDialectGoldenParallel renders one shared query from many goroutines in
+// every dialect; under -race this proves the renderer is read-only.
+func TestDialectGoldenParallel(t *testing.T) {
+	kw, q := representative(t, "university", experiments.NewUniversity)
+	golden := renderAll(t, kw, q)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var b strings.Builder
+				b.WriteString("-- keyword query: " + kw + "\n")
+				for _, d := range goldenDialects {
+					sql, err := render.SQL(q, d)
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					b.WriteString("-- dialect: " + d.String() + "\n" + sql + "\n")
+				}
+				if b.String() != golden {
+					errs <- "concurrent render diverged from the golden"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestDialectGoldenClone: a Clone renders identically in every dialect, and
+// mutating the clone leaves the original's renderings untouched.
+func TestDialectGoldenClone(t *testing.T) {
+	kw, q := representative(t, "university", experiments.NewUniversity)
+	golden := renderAll(t, kw, q)
+	c := q.Clone()
+	if renderAll(t, kw, c) != golden {
+		t.Fatal("Clone() renders differently from the original")
+	}
+	c.From[0].Alias = "X9"
+	c.Select[0].Alias = "mangled"
+	if renderAll(t, kw, q) != golden {
+		t.Fatal("mutating the clone changed the original's rendering")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"kwagg/internal/backend"
 	"kwagg/internal/chaos"
 	"kwagg/internal/core"
 	"kwagg/internal/keyword"
@@ -185,6 +186,13 @@ type Options struct {
 	// way; the knob trades per-statement latency against cross-statement
 	// throughput of the Workers pool.
 	Shards int
+	// Backend routes statement execution to an external engine
+	// (internal/backend): generated SQL is rendered for the backend's
+	// dialect and executed there, under the same per-statement deadlines,
+	// retry policy and partial-answer semantics as the embedded engine. nil
+	// (the default) executes in-memory. The engine does not take ownership —
+	// Close the backend after the engine is done with it.
+	Backend backend.Backend
 }
 
 // Engine answers keyword queries over one database.
@@ -246,6 +254,7 @@ func coreOptions(opts *Options) *core.Options {
 		copts.VerifyPlans = opts.VerifyPlans
 		copts.BatchKernels = opts.BatchKernels
 		copts.Shards = opts.Shards
+		copts.Backend = opts.Backend
 	}
 	return copts
 }

@@ -1,0 +1,144 @@
+// Engine-level contract of Options.Backend: the public engine executes
+// keyword queries on an external SQLite engine with identical answers,
+// counts the backend's statements in the engine registry, and keeps the
+// partial-answer-never-cached guarantee when the backend fails.
+package kwagg_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"kwagg"
+	"kwagg/internal/backend"
+	"kwagg/internal/backend/sqlitecli"
+	"kwagg/internal/dataset/university"
+	"kwagg/internal/sqlast"
+)
+
+// universitySQLite exports the (deterministic) university dataset into a
+// fresh SQLite file and returns its backend.
+func universitySQLite(t *testing.T) *backend.SQLBackend {
+	t.Helper()
+	if !sqlitecli.Available() {
+		t.Skip("sqlite3 binary not on PATH")
+	}
+	ext, err := backend.NewSQLite(university.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ext.Close() })
+	return ext
+}
+
+func TestEngineBackendAnswersMatchEmbedded(t *testing.T) {
+	ext := universitySQLite(t)
+	onSQLite, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Backend: ext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	embedded, err := kwagg.OpenDataset("university", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, query := range kwagg.DatasetWorkloads()["university"] {
+		a, err := onSQLite.Answer(query, 0)
+		if err != nil {
+			t.Fatalf("%s on sqlite: %v", query, err)
+		}
+		b, err := embedded.Answer(query, 0)
+		if err != nil {
+			t.Fatalf("%s embedded: %v", query, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d answers on sqlite, %d embedded", query, len(a), len(b))
+		}
+		for i := range a {
+			if got, want := a[i].Result.String(), b[i].Result.String(); got != want {
+				t.Errorf("%s interpretation %d diverged:\nsqlite:\n%s\nembedded:\n%s", query, i, got, want)
+			}
+		}
+	}
+}
+
+func TestEngineBackendMetrics(t *testing.T) {
+	ext := universitySQLite(t)
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Backend: ext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Answer("COUNT Student GROUPBY Course", 0); err != nil {
+		t.Fatal(err)
+	}
+	var statements, rows float64
+	for _, m := range eng.Metrics().Snapshot() {
+		switch m.Name {
+		case "kwagg_backend_statements_total":
+			if m.Labels["backend"] != "sqlite" {
+				t.Errorf("statements counted for backend %q", m.Labels["backend"])
+			}
+			if m.Labels["outcome"] == "ok" {
+				statements += m.Value
+			}
+		case "kwagg_backend_rows_total":
+			rows += m.Value
+		}
+	}
+	if statements == 0 {
+		t.Error("kwagg_backend_statements_total{outcome=ok} not incremented")
+	}
+	if rows == 0 {
+		t.Error("kwagg_backend_rows_total not incremented")
+	}
+}
+
+// healableBackend fails every Exec with a permanent error while broken.
+type healableBackend struct {
+	inner  backend.Backend
+	broken atomic.Bool
+}
+
+func (h *healableBackend) Name() string { return h.inner.Name() }
+func (h *healableBackend) Close() error { return h.inner.Close() }
+func (h *healableBackend) Exec(ctx context.Context, q *sqlast.Query) (backend.Rows, error) {
+	if h.broken.Load() {
+		return nil, errors.New("backend down")
+	}
+	return h.inner.Exec(ctx, q)
+}
+
+// TestEngineBackendPartialNotCached breaks the backend for the first
+// request (every statement fails → the query errors; with >1 interpretation
+// a partial set), then heals it: the repeat query must recompute and come
+// back complete, proving no degraded result was cached.
+func TestEngineBackendPartialNotCached(t *testing.T) {
+	ext := universitySQLite(t)
+	h := &healableBackend{inner: ext}
+	eng, err := kwagg.OpenDatasetOpts("university", true, &kwagg.Options{Backend: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const query = "Green SUM Credit"
+
+	h.broken.Store(true)
+	set, err := eng.AnswerSetContext(context.Background(), query, 2)
+	if err == nil && !set.Partial {
+		t.Fatalf("all statements failed yet the set is complete: %+v", set)
+	}
+
+	h.broken.Store(false)
+	set, err = eng.AnswerSetContext(context.Background(), query, 2)
+	if err != nil {
+		t.Fatalf("after healing: %v", err)
+	}
+	if set.Partial || len(set.Answers) == 0 {
+		t.Fatalf("degraded result was cached: %+v", set)
+	}
+	for _, f := range set.Failed {
+		if strings.Contains(f.Message, "backend down") {
+			t.Fatalf("healed run still reports the old fault: %+v", f)
+		}
+	}
+}
