@@ -1,6 +1,6 @@
 # Standard entry points; everything is pure Go with no external dependencies.
 
-.PHONY: all build test test-shuffle test-race race cover cover-check test-prop test-chaos test-backend fuzz-smoke bench bench-json bench-check experiments verify fmt fmt-check vet lint lint-json ci examples
+.PHONY: all build test test-shuffle test-race race cover cover-check test-prop test-chaos test-backend test-incremental fuzz-smoke bench bench-json bench-check experiments verify fmt fmt-check vet lint lint-json ci examples
 
 all: build test
 
@@ -57,6 +57,15 @@ test-chaos:
 test-backend:
 	go test -race -count=1 ./internal/backend/... ./internal/sqlast/render/
 
+# Incremental-commit differential under the race detector: the relation
+# delta-builder suite (ExtendFrozen vs full Freeze, index patching vs
+# BuildIndex), the core Live incremental-vs-full-vs-direct equivalence, and
+# the top-level replay of every dataset workload on an engine built via K
+# incremental commits against one full core.Open — byte-identical answers
+# required throughout, including under chaos injection mid-query.
+test-incremental:
+	go test -race -count=1 -run 'Incremental|ExtendFrozen|AppendRows|DictExtend|RemapCache|LiveCommit|LiveIngest|LiveEpoch' . ./internal/relation/ ./internal/core/
+
 # Short fuzzing pass over every fuzz target (~6 minutes total); the nightly
 # workflow runs this, and `go test ./...` always replays the committed seed
 # corpora in testdata/fuzz/.
@@ -70,26 +79,33 @@ fuzz-smoke:
 bench:
 	go test -bench=. -benchmem ./...
 
-# Machine-readable record of the executor-kernel and memo benchmarks
-# (BENCH_PR7.json is the committed record for the shard-parallel PR, with
-# per-kernel rows/s metrics across all four execution modes; BENCH_PR4.json
-# and BENCH_PR6.json stay as earlier PRs' records; the nightly workflow
-# regenerates the current file as an artifact). -cpu 1,4 covers both the
-# single-threaded kernels and the shard-parallel scaling (the sharded mode
-# runs GOMAXPROCS workers, so its 1-vs-4 pair is the scaling curve).
+# Machine-readable record of the executor-kernel, memo and epoch-commit
+# benchmarks (BENCH_PR9.json is the committed record for the incremental
+# epoch-commit PR: the PR-7 kernel grid plus BenchmarkEpochCommit's N
+# existing × M new rows matrix in both incremental and full-refreeze modes;
+# BENCH_PR4.json, BENCH_PR6.json and BENCH_PR7.json stay as earlier PRs'
+# records; the nightly workflow regenerates the current file as an
+# artifact). -cpu 1,4 covers both the single-threaded kernels and the
+# shard-parallel scaling; the epoch benches run -cpu 1 with a fixed 20x
+# iteration count so the database grows identically run to run.
 KERNEL_BENCHES = Kernel|HashJoin3Way|GroupByAggregate|DistinctProjection|EqualityFilter|MemoSharedSubplans
 KERNEL_BENCH_RUN = go test -run '^$$' -bench '$(KERNEL_BENCHES)' -benchmem -cpu 1,4 ./internal/sqldb/
+EPOCH_BENCH_RUN = go test -run '^$$' -bench 'EpochCommit' -benchmem -benchtime 20x -cpu 1 ./internal/core/
 
 bench-json:
-	$(KERNEL_BENCH_RUN) | go run ./cmd/benchjson > BENCH_PR7.json
-	@echo "wrote BENCH_PR7.json"
+	{ $(KERNEL_BENCH_RUN); $(EPOCH_BENCH_RUN); } | go run ./cmd/benchjson > BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json"
 
-# Bench-regression gate: rerun the kernel benchmarks and fail when any
-# rows/s-bearing benchmark falls more than 25% below the committed
-# BENCH_PR7.json baseline (or disappears from the run). The fresh run is
-# written to BENCH_CURRENT.json for the CI artifact either way.
+# Bench-regression gate: rerun the kernel and epoch-commit benchmarks and
+# fail when any rows/s-bearing benchmark falls more than 25% below the
+# committed BENCH_PR9.json baseline (or disappears from the run). Because
+# the baseline holds both modes of BenchmarkEpochCommit, this gate also
+# pins the incremental-vs-full commit speedup: the incremental rows/s
+# entries sit an order of magnitude above full's, so losing the delta path
+# fails the comparison outright. The fresh run is written to
+# BENCH_CURRENT.json for the CI artifact either way.
 bench-check:
-	$(KERNEL_BENCH_RUN) | go run ./cmd/benchjson -compare BENCH_PR7.json -tolerance 0.25 > BENCH_CURRENT.json
+	{ $(KERNEL_BENCH_RUN); $(EPOCH_BENCH_RUN); } | go run ./cmd/benchjson -compare BENCH_PR9.json -tolerance 0.25 > BENCH_CURRENT.json
 	@echo "wrote BENCH_CURRENT.json"
 
 # Regenerate every table and figure of the paper's evaluation.
@@ -130,7 +146,7 @@ lint-json:
 # whole push gate locally before opening a PR (the PR-only fuzz and
 # bench-regression jobs are `go test -fuzz=FuzzExec -fuzztime=30s
 # ./internal/sqldb/` and `make bench-check`).
-ci: build vet fmt-check lint test test-shuffle test-race test-chaos test-prop test-backend cover-check
+ci: build vet fmt-check lint test test-shuffle test-race test-chaos test-prop test-backend test-incremental cover-check
 
 # Run every example end to end.
 examples:

@@ -368,6 +368,34 @@ func rename(s *relation.Schema) {
 	wantNone(t, check(t, "kwagg/internal/match", src, FreezeWrite()))
 }
 
+func TestFreezeWriteFlagsDeltaSeamOutsideCore(t *testing.T) {
+	// The incremental epoch builder claims frozen tables' spare capacity;
+	// only core.Live.Commit serializes committers, so direct calls from
+	// anywhere else are a latent race.
+	src := `package match
+import "kwagg/internal/relation"
+func grow(db *relation.Database, idx *relation.InvertedIndex, rows map[string][]relation.Tuple) {
+	relation.ExtendFrozenDatabase(db, rows)
+	idx.AppendRows(db, nil)
+}
+`
+	diags := check(t, "kwagg/internal/match", src, FreezeWrite())
+	wantDiag(t, diags, "freezewrite", "relation.ExtendFrozenDatabase")
+	wantDiag(t, diags, "freezewrite", "relation.AppendRows")
+}
+
+func TestFreezeWriteAllowsDeltaSeamInCore(t *testing.T) {
+	// core is the sanctioned epoch builder (Live.Commit holds the mutex).
+	src := `package core
+import "kwagg/internal/relation"
+func build(db *relation.Database, rows map[string][]relation.Tuple) (*relation.Database, error) {
+	next, _, err := relation.ExtendFrozenDatabase(db, rows)
+	return next, err
+}
+`
+	wantNone(t, check(t, "kwagg/internal/core", src, FreezeWrite()))
+}
+
 func TestSuppressionSilencesDiagnostic(t *testing.T) {
 	src := `package pattern
 func keys(m map[string]int) []string {

@@ -17,6 +17,26 @@ func freezeWriteAllowed(path string) bool {
 		strings.HasPrefix(path, "kwagg/internal/dataset")
 }
 
+// deltaSeamFuncs are the relation-package entry points of the incremental
+// epoch builder: they extend frozen storage in place (claiming the base
+// table's spare backing capacity — see relation.ExtendFrozen) and patch the
+// inverted index, which is only sound under the single-committer discipline
+// core.Live.Commit enforces with its mutex.
+var deltaSeamFuncs = map[string]bool{
+	"ExtendFrozen":         true,
+	"ExtendFrozenDatabase": true,
+	"AppendRows":           true,
+}
+
+// deltaSeamAllowed returns whether the package may call the delta-builder
+// seam directly: the relation package itself and core, whose Live.Commit is
+// the one sanctioned epoch builder. Everything else must go through
+// core.Live — a direct call would mutate spare capacity of tables another
+// epoch may own.
+func deltaSeamAllowed(path string) bool {
+	return path == relationPkg || path == "kwagg/internal/core"
+}
+
 // schemaMetaFields are the Schema fields that define keys and dependencies;
 // rewriting them after build silently changes superkey and FD reasoning
 // (IsSuperkey, EffectiveFDs) mid-flight.
@@ -33,13 +53,21 @@ var schemaMetaFields = map[string]bool{
 // and the dataset builders. After core.Open the database is frozen and
 // shared by concurrent queries; such a write is a data race and invalidates
 // the dictionaries, hash indexes and caches built at Freeze.
+//
+// It also reports direct calls to the incremental epoch builder's seam
+// (relation.ExtendFrozen / ExtendFrozenDatabase / InvertedIndex.AppendRows)
+// outside the sanctioned allowlist (deltaSeamAllowed): those functions write
+// into frozen storage's spare capacity under a one-shot claim, which is only
+// race-free under core.Live.Commit's single-committer mutex.
 func FreezeWrite() *Analyzer {
 	a := &Analyzer{
 		Name: "freezewrite",
 		Doc:  "mutation of relation.Table / relation.Schema storage outside the Freeze/build path",
 	}
 	a.Run = func(pkg *Pkg) []Diagnostic {
-		if freezeWriteAllowed(pkg.Path) {
+		fieldOK := freezeWriteAllowed(pkg.Path)
+		seamOK := deltaSeamAllowed(pkg.Path)
+		if fieldOK && seamOK {
 			return nil
 		}
 		var diags []Diagnostic
@@ -55,15 +83,39 @@ func FreezeWrite() *Analyzer {
 					" outside the Freeze/build path; the database is frozen and shared after core.Open — build new tables instead of mutating stored ones",
 			})
 		}
+		checkCall := func(call *ast.CallExpr) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != relationPkg || !deltaSeamFuncs[fn.Name()] {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "freezewrite",
+				Pos:      pkg.Fset.Position(sel.Pos()),
+				Message: "calls relation." + fn.Name() +
+					" outside the epoch-builder seam; the delta freeze claims frozen tables' spare capacity and is only race-free under core.Live.Commit — ingest through core.Live instead",
+			})
+		}
 		for _, fd := range funcDecls(pkg) {
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch st := n.(type) {
 				case *ast.AssignStmt:
-					for _, lhs := range st.Lhs {
-						check(lhs, "assigns to")
+					if !fieldOK {
+						for _, lhs := range st.Lhs {
+							check(lhs, "assigns to")
+						}
 					}
 				case *ast.IncDecStmt:
-					check(st.X, "mutates")
+					if !fieldOK {
+						check(st.X, "mutates")
+					}
+				case *ast.CallExpr:
+					if !seamOK {
+						checkCall(st)
+					}
 				}
 				return true
 			})

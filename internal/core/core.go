@@ -152,6 +152,12 @@ type Options struct {
 	// default — executes on the embedded in-memory engine). The caller keeps
 	// ownership: Close it after the System is done.
 	Backend backend.Backend
+	// FullRefreeze pins Live.Commit to the from-scratch O(total rows) epoch
+	// rebuild instead of the incremental O(new rows) delta freeze. The two
+	// produce byte-identical epochs (the differential suites gate it); the
+	// escape hatch exists for comparison benchmarks and bisection, mirroring
+	// the BatchKernels idiom.
+	FullRefreeze bool
 }
 
 // Open prepares a database for keyword search. It checks every relation's
@@ -160,6 +166,17 @@ type Options struct {
 // derived, the graph is built on D', and translation maps back to the stored
 // relations and rewrites the SQL.
 func Open(db *relation.Database, opts *Options) (*System, error) {
+	return openSystem(db, opts, nil)
+}
+
+// openSystem is Open with an optional pre-built inverted index over db (it
+// must equal relation.BuildIndex(db); nil builds one). The incremental epoch
+// commit passes the patched previous-epoch index so opening the next epoch
+// never re-tokenizes old rows; everything else about Open is unchanged — on
+// an already-frozen database (a delta-built epoch) the Freeze below is a
+// per-table no-op, so the open costs only the schema-sized work (view, ORM
+// graph, plan checker, fresh memo).
+func openSystem(db *relation.Database, opts *Options, idx *relation.InvertedIndex) (*System, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -178,7 +195,7 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 			return nil, fmt.Errorf("core: building ORM graph over normalized view: %w", err)
 		}
 		s.Graph = g
-		s.Matcher = match.New(db, view.Schemas, g, view.Sources)
+		s.Matcher = match.NewWithIndex(db, view.Schemas, g, view.Sources, idx)
 		s.Translator = &translate.Translator{Graph: g, Data: db, Sources: view.Sources, Rewrite: true}
 	} else {
 		g, err := orm.Build(db.Schemas())
@@ -186,7 +203,7 @@ func Open(db *relation.Database, opts *Options) (*System, error) {
 			return nil, fmt.Errorf("core: building ORM graph: %w", err)
 		}
 		s.Graph = g
-		s.Matcher = match.New(db, db.Schemas(), g, nil)
+		s.Matcher = match.NewWithIndex(db, db.Schemas(), g, nil, idx)
 		s.Translator = translate.New(g, db)
 	}
 	s.Generator = pattern.NewGenerator(s.Matcher)

@@ -2,8 +2,10 @@
 // frozen, immutable databases (dictionaries, column blocks, value indexes and
 // both caches all assume the data never changes), so mutation is modeled as a
 // sequence of immutable epochs: rows accumulate in a mutable write buffer on
-// the side, and Commit builds a brand-new frozen database — the previous
-// epoch's tuples followed by the buffered ones — opens a fresh System over it
+// the side, and Commit builds the next frozen database — the previous
+// epoch's rows followed by the buffered ones, assembled incrementally from
+// the previous epoch's frozen state (see relation.ExtendFrozenDatabase) —
+// opens a fresh System over it
 // and atomically swaps it in. Queries that started on epoch N keep running on
 // epoch N's System to completion (the old database is immutable and
 // garbage-collected when the last reader drops it), so every completed answer
@@ -16,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kwagg/internal/obs"
 	"kwagg/internal/relation"
@@ -42,6 +45,8 @@ type Live struct {
 	mu      sync.Mutex                  // guards buf/pending; serializes Commit
 	buf     map[string][]relation.Tuple // lower-cased table name -> buffered rows
 	pending int
+
+	lastBuild atomic.Int64 // wall time of the most recent Commit build, in nanoseconds
 }
 
 // OpenLive opens db for keyword search (freezing it — see Open) and wraps the
@@ -121,20 +126,60 @@ func (l *Live) Ingest(table string, rows [][]string) (int, error) {
 	return l.pending, nil
 }
 
-// Commit freezes the write buffer into the next epoch: it rebuilds the
-// database as the current epoch's tuples followed by the buffered rows (in
-// ingest order), opens a fresh System over it and atomically swaps it in,
-// returning the new epoch number. With nothing pending it returns the current
-// epoch unchanged. On a build error the buffer and current epoch are kept, so
-// the caller can repair and retry.
+// IngestTuples is Ingest for rows that already carry their declared types —
+// the tuple-level twin of the string-coercing path (string coercion cannot
+// express a NULL string value, which the differential suites need). Arity is
+// checked per tuple and the batch is atomic; the tuples are retained by
+// reference and must not be mutated afterwards. Returns the total number of
+// pending rows after the append.
+func (l *Live) IngestTuples(table string, tuples []relation.Tuple) (int, error) {
+	t := l.System().Data.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("core: ingest into unknown table %q", table)
+	}
+	schema := t.Schema
+	for i, tu := range tuples {
+		if len(tu) != len(schema.Attributes) {
+			return 0, fmt.Errorf("core: ingest into %s: row %d has %d values, want %d",
+				schema.Name, i, len(tu), len(schema.Attributes))
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := strings.ToLower(schema.Name)
+	l.buf[key] = append(l.buf[key], tuples...)
+	l.pending += len(tuples)
+	return l.pending, nil
+}
+
+// BuildDuration returns the wall time the most recent Commit spent building
+// and opening its epoch (zero before the first commit). Served as
+// epoch_build_ms by /api/stats.
+func (l *Live) BuildDuration() time.Duration {
+	return time.Duration(l.lastBuild.Load())
+}
+
+// Commit freezes the write buffer into the next epoch: the current epoch's
+// frozen tables are extended with the buffered rows (in ingest order) via
+// the incremental delta builder — dictionaries grow private tails for unseen
+// values only, full 1024-row column blocks and untouched posting lists carry
+// over by reference, and the inverted keyword index is patched with only the
+// new tuples' tokens — then a fresh System is opened over the result and
+// atomically swapped in, returning the new epoch number. The build is
+// O(new rows + touched index entries + per-epoch slice headers) instead of
+// the O(total rows) full re-freeze (kept behind Options.FullRefreeze as the
+// comparison baseline); both paths produce byte-identical epochs, which the
+// incremental-vs-full differential suites gate. With nothing pending Commit
+// returns the current epoch unchanged. On a build error the buffer and
+// current epoch are kept, so the caller can repair and retry.
 //
-// Because the previous epoch's tuples are re-inserted first and in order,
-// re-freezing assigns them the same dictionary IDs as before and the new rows
-// land in the trailing rows — the tail shards — of each table, which keeps
-// shard-parallel answers byte-identical across epochs for data the epochs
-// share. In-flight queries keep the old System (immutable) to completion; the
-// caches attached to it age out with it. The rebuild is O(total rows), the
-// price of keeping every epoch's execution substrate fully immutable.
+// Dictionary-ID prefix stability makes the delta sound: a full freeze
+// interns values in row order, so the previous epoch's dictionaries, encoded
+// rows and cached remap tables are exactly the prefix of the next epoch's.
+// New rows land in the trailing rows — the tail shards — of each table,
+// keeping shard-parallel answers byte-identical across epochs for data the
+// epochs share. In-flight queries keep the old System (immutable) to
+// completion; the caches attached to it age out with it.
 func (l *Live) Commit(ctx context.Context) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -142,19 +187,19 @@ func (l *Live) Commit(ctx context.Context) (uint64, error) {
 	if l.pending == 0 {
 		return st.epoch, nil
 	}
+	elapsed := obs.Stopwatch()
 	_, span := obs.Start(ctx, "epoch_build")
 	defer span.End()
-	old := st.sys.Data
-	next := relation.NewDatabase(old.Name)
-	for _, t := range old.Tables() {
-		nt := relation.NewTable(t.Schema.Clone())
-		// Tuples are immutable by convention, so both epochs share them.
-		if err := nt.AppendShared(t.Tuples, l.buf[strings.ToLower(t.Schema.Name)]); err != nil {
-			return st.epoch, fmt.Errorf("core: building epoch %d: %w", st.epoch+1, err)
-		}
-		next.Add(nt)
+	var (
+		sys   *System
+		stats relation.DeltaStats
+		err   error
+	)
+	if l.opts.FullRefreeze {
+		sys, err = l.buildFull(st.sys)
+	} else {
+		sys, stats, err = l.buildDelta(st.sys)
 	}
-	sys, err := Open(next, l.opts)
 	if err != nil {
 		return st.epoch, fmt.Errorf("core: building epoch %d: %w", st.epoch+1, err)
 	}
@@ -163,6 +208,8 @@ func (l *Live) Commit(ctx context.Context) (uint64, error) {
 	l.cur.Store(swapped)
 	l.buf = make(map[string][]relation.Tuple)
 	l.pending = 0
+	d := elapsed()
+	l.lastBuild.Store(int64(d))
 	if reg := obs.RegistryFrom(ctx); reg != nil {
 		reg.Counter("kwagg_epoch_swaps_total",
 			"Epoch commits that swapped in a rebuilt database.").Inc()
@@ -170,6 +217,48 @@ func (l *Live) Commit(ctx context.Context) (uint64, error) {
 			"Ingested rows frozen into an epoch by Commit.").Add(uint64(committed))
 		reg.Gauge("kwagg_epoch_current",
 			"Current live-ingest epoch number.").Set(float64(swapped.epoch))
+		reg.Histogram("kwagg_epoch_build_seconds",
+			"Wall time Commit spent building and opening an epoch.", nil).Observe(d.Seconds())
+		reg.Counter("kwagg_epoch_reused_blocks_total",
+			"Column blocks carried into a new epoch by reference instead of rebuilt.").
+			Add(uint64(stats.ReusedBlocks))
 	}
 	return swapped.epoch, nil
+}
+
+// buildDelta opens the next epoch over the incrementally extended database:
+// the frozen tables grow in place (relation.ExtendFrozenDatabase), the
+// inverted index is patched with only the new rows, and openSystem redoes
+// just the schema-sized work. l.mu must be held.
+func (l *Live) buildDelta(old *System) (*System, relation.DeltaStats, error) {
+	prev := make(map[string]int)
+	for _, t := range old.Data.Tables() {
+		prev[strings.ToLower(t.Schema.Name)] = t.Len()
+	}
+	next, stats, err := relation.ExtendFrozenDatabase(old.Data, l.buf)
+	if err != nil {
+		return nil, stats, err
+	}
+	idx, _ := old.Matcher.Index().AppendRows(next, prev)
+	sys, err := openSystem(next, l.opts, idx)
+	if err != nil {
+		return nil, stats, err
+	}
+	return sys, stats, nil
+}
+
+// buildFull opens the next epoch from scratch — the O(total rows) re-freeze
+// the incremental path replaced, retained behind Options.FullRefreeze as the
+// comparison baseline. Tuples are immutable by convention, so both epochs
+// share them. l.mu must be held.
+func (l *Live) buildFull(old *System) (*System, error) {
+	next := relation.NewDatabase(old.Data.Name)
+	for _, t := range old.Data.Tables() {
+		nt := relation.NewTable(t.Schema.Clone())
+		if err := nt.AppendShared(t.Tuples, l.buf[strings.ToLower(t.Schema.Name)]); err != nil {
+			return nil, err
+		}
+		next.Add(nt)
+	}
+	return Open(next, l.opts)
 }

@@ -232,3 +232,26 @@ func TestComponentRelationMatching(t *testing.T) {
 		t.Errorf("component value tags: %v", got)
 	}
 }
+
+// TestNewWithIndexReusesIndex pins the epoch-reopen seam: a Matcher built
+// around an existing inverted index (as core.openSystem does after an
+// incremental commit) serves it back via Index and matches through it, and
+// a nil index falls back to a fresh BuildIndex.
+func TestNewWithIndexReusesIndex(t *testing.T) {
+	db := university.New()
+	g, err := orm.Build(db.Schemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := relation.BuildIndex(db)
+	m := NewWithIndex(db, db.Schemas(), g, nil, idx)
+	if m.Index() != idx {
+		t.Fatal("NewWithIndex did not retain the supplied index")
+	}
+	if got := kinds(m.Match(basic("Green")))[Value]; got == 0 {
+		t.Fatal("matcher with a supplied index found no value match for Green")
+	}
+	if fresh := uniMatcher(t).Index(); fresh == nil {
+		t.Fatal("nil-index construction left Index nil")
+	}
+}

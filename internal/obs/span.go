@@ -304,3 +304,13 @@ func (t *Trace) MarshalJSON() ([]byte, error) {
 func ms(d time.Duration) float64 {
 	return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
 }
+
+// Stopwatch returns a function reporting the wall time elapsed since the
+// call. Clock access is confined to this package (see the detclock
+// analyzer), so deterministic packages that need a duration — e.g. the epoch
+// commit recording kwagg_epoch_build_seconds — time themselves through it
+// instead of reading time.Now directly.
+func Stopwatch() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}

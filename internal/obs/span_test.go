@@ -161,3 +161,17 @@ func TestNewIDUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+// TestStopwatch pins the clock-containment helper the epoch builder times
+// itself with: elapsed time is positive and monotonically non-decreasing
+// across reads.
+func TestStopwatch(t *testing.T) {
+	elapsed := Stopwatch()
+	first := elapsed()
+	if first < 0 {
+		t.Fatalf("negative elapsed time %v", first)
+	}
+	if second := elapsed(); second < first {
+		t.Fatalf("elapsed went backwards: %v then %v", first, second)
+	}
+}

@@ -3,12 +3,26 @@ package relation
 import (
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // NoID is the sentinel dictionary ID meaning "no such value"; it is returned
 // by remapping tables for values absent from the target dictionary. Real IDs
 // are dense from 0, so NoID can never collide with one.
 const NoID = ^uint32(0)
+
+// maxDictDepth bounds the delta-dictionary chain length (see Extend): a
+// lookup walks at most this many layers, and an Extend that would exceed it
+// flattens the chain back into a single layer first. Flattening costs
+// O(distinct) but happens at most once per maxDictDepth epochs, so the
+// amortized per-commit cost stays O(distinct/maxDictDepth).
+const maxDictDepth = 8
+
+// remapCacheMax bounds the number of remap tables cached per dictionary.
+// Long-lived delta chains reuse base dictionaries across many epochs; without
+// a cap every epoch's partner dictionaries would pin a translation table (and
+// the partner itself) forever.
+const remapCacheMax = 128
 
 // Dict is a per-column value dictionary: every distinct stored value gets a
 // dense uint32 ID. Distinctness is by the value's Format rendering — the same
@@ -20,26 +34,80 @@ const NoID = ^uint32(0)
 //
 // A Dict is built while freezing a table and never mutated afterwards, so it
 // is safe for unsynchronized concurrent readers.
+//
+// Dictionaries grow across live-ingest epochs as deltas: Extend returns a new
+// Dict layering a private tail (IDs from base.Len() up) over the immutable
+// base, so committing M new rows interns only their unseen values instead of
+// re-encoding the whole column. ID assignment is identical to a from-scratch
+// build of the full data — both intern in row order, and the base's IDs are a
+// prefix by construction — which is what keeps delta-built epochs
+// byte-identical to full freezes.
 type Dict struct {
-	ids    map[string]uint32 // Format(v) -> id
-	vals   []Value           // id -> first value encoded with that id
-	allStr bool              // every encoded value was a string
+	base   *Dict             // previous layer, nil for a full build
+	start  uint32            // first ID owned by this layer (== base.Len())
+	depth  int               // layers below this one
+	ids    map[string]uint32 // Format(v) -> id, this layer's tail only
+	vals   []Value           // id start+i -> first value encoded with that id
+	allStr bool              // every encoded value (all layers) was a string
 	remaps sync.Map          // *Dict -> []uint32 translation tables (see RemapCached)
+	remapN atomic.Int32      // cached remap tables, capped at remapCacheMax
 }
 
 func newDict() *Dict { return &Dict{ids: make(map[string]uint32), allStr: true} }
 
+// Extend returns a new dictionary sharing this one as its immutable base:
+// encode on the result interns unseen values into a private tail starting at
+// d.Len(), leaving d untouched (old-epoch readers keep using it
+// concurrently). When the layer chain would exceed maxDictDepth the base is
+// flattened first, bounding lookup cost.
+func (d *Dict) Extend() *Dict {
+	base := d
+	if d.depth >= maxDictDepth {
+		base = d.flatten()
+	}
+	return &Dict{
+		base:   base,
+		start:  uint32(base.Len()),
+		depth:  base.depth + 1,
+		ids:    make(map[string]uint32),
+		allStr: base.allStr,
+	}
+}
+
+// flatten collapses the layer chain into a single fresh dictionary with the
+// same ID assignment. Keys live in exactly one layer, so the maps merge
+// without re-rendering any value.
+func (d *Dict) flatten() *Dict {
+	n := d.Len()
+	nd := &Dict{ids: make(map[string]uint32, n), vals: make([]Value, n), allStr: d.allStr}
+	for e := d; e != nil; e = e.base {
+		copy(nd.vals[e.start:int(e.start)+len(e.vals)], e.vals)
+		for k, id := range e.ids {
+			nd.ids[k] = id
+		}
+	}
+	return nd
+}
+
+// tailLen returns the number of values interned into this layer alone; a
+// delta layer with an empty tail encoded nothing new, so callers may keep
+// using the base dictionary (preserving pointer identity and its remap
+// caches across epochs).
+func (d *Dict) tailLen() int { return len(d.vals) }
+
 // encode interns v and returns its ID, assigning the next dense ID to a
-// formatted form not seen before.
+// formatted form not seen before (in this layer or any base layer).
 func (d *Dict) encode(v Value) uint32 {
 	if _, ok := v.(string); !ok {
 		d.allStr = false
 	}
 	key := Format(v)
-	if id, ok := d.ids[key]; ok {
-		return id
+	for e := d; e != nil; e = e.base {
+		if id, ok := e.ids[key]; ok {
+			return id
+		}
 	}
-	id := uint32(len(d.vals))
+	id := d.start + uint32(len(d.vals))
 	d.ids[key] = id
 	d.vals = append(d.vals, v)
 	return id
@@ -51,23 +119,44 @@ func (d *Dict) encode(v Value) uint32 {
 func (d *Dict) ID(v Value) (uint32, bool) {
 	switch x := v.(type) {
 	case string:
-		id, ok := d.ids[x]
-		return id, ok
+		for e := d; e != nil; e = e.base {
+			if id, ok := e.ids[x]; ok {
+				return id, true
+			}
+		}
+		return 0, false
 	case int64:
 		var buf [20]byte
-		id, ok := d.ids[string(strconv.AppendInt(buf[:0], x, 10))]
-		return id, ok
+		b := strconv.AppendInt(buf[:0], x, 10)
+		for e := d; e != nil; e = e.base {
+			if id, ok := e.ids[string(b)]; ok {
+				return id, true
+			}
+		}
+		return 0, false
 	}
-	id, ok := d.ids[Format(v)]
-	return id, ok
+	key := Format(v)
+	for e := d; e != nil; e = e.base {
+		if id, ok := e.ids[key]; ok {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
-// Len returns the number of distinct (by Format) values in the dictionary.
-func (d *Dict) Len() int { return len(d.vals) }
+// Len returns the number of distinct (by Format) values in the dictionary,
+// across all layers.
+func (d *Dict) Len() int { return int(d.start) + len(d.vals) }
 
 // Value decodes an ID back to a stored value: the first value that was
 // encoded with that ID. IDs come from the same dictionary's encode/ID.
-func (d *Dict) Value(id uint32) Value { return d.vals[id] }
+func (d *Dict) Value(id uint32) Value {
+	e := d
+	for e.base != nil && id < e.start {
+		e = e.base
+	}
+	return e.vals[id-e.start]
+}
 
 // AllStrings reports whether every encoded value was a string. Kernels that
 // evaluate a predicate once per dictionary entry instead of once per row
@@ -82,13 +171,15 @@ func (d *Dict) AllStrings() bool { return d.allStr }
 // it to probe a build table keyed in another column's ID space with O(1) per
 // row after O(distinct) setup.
 func (d *Dict) Remap(to *Dict) []uint32 {
-	out := make([]uint32, len(d.vals))
-	for id, v := range d.vals {
-		tid, ok := to.ID(v)
-		if !ok {
-			tid = NoID
+	out := make([]uint32, d.Len())
+	for e := d; e != nil; e = e.base {
+		for i, v := range e.vals {
+			tid, ok := to.ID(v)
+			if !ok {
+				tid = NoID
+			}
+			out[int(e.start)+i] = tid
 		}
-		out[id] = tid
 	}
 	return out
 }
@@ -97,11 +188,19 @@ func (d *Dict) Remap(to *Dict) []uint32 {
 // dictionary. Frozen dictionaries are immutable, so a table computed once is
 // valid forever; joins between the same column pair — the common case across
 // a keyword query's top-k interpretations — pay the O(distinct) build once.
-// Safe for concurrent use; a duplicated build is benign.
+// Safe for concurrent use; a duplicated build is benign. The cache is capped
+// (base dictionaries outlive many epochs' partners); past the cap the table
+// is computed uncached.
 func (d *Dict) RemapCached(to *Dict) []uint32 {
 	if v, ok := d.remaps.Load(to); ok {
 		return v.([]uint32)
 	}
-	m, _ := d.remaps.LoadOrStore(to, d.Remap(to))
+	if d.remapN.Load() >= remapCacheMax {
+		return d.Remap(to)
+	}
+	m, loaded := d.remaps.LoadOrStore(to, d.Remap(to))
+	if !loaded {
+		d.remapN.Add(1)
+	}
 	return m.([]uint32)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Tuple is one row of a table; Tuple[i] is the value of Schema.Attributes[i].
@@ -32,6 +33,14 @@ type Table struct {
 	enc   []uint32
 	cols  []ColData
 	post  [][][]int
+
+	// tailClaimed marks that one delta table (see ExtendFrozen) has taken
+	// ownership of this frozen table's spare backing capacity: the first
+	// delta built from a frozen base may append new rows in place beyond the
+	// base's slice lengths (addresses old-epoch readers never touch), but a
+	// second delta from the same base — a branch — must copy instead, so
+	// siblings never race on the same spare capacity. One-shot.
+	tailClaimed atomic.Bool
 }
 
 // NewTable creates an empty table with the given schema.
@@ -111,7 +120,11 @@ func (t *Table) Freeze() {
 	if ncols > 0 {
 		ids := make([]uint32, len(t.Tuples)*ncols) // one backing array for all columns
 		for j := range t.cols {
-			col := ids[j*len(t.Tuples) : (j+1)*len(t.Tuples)]
+			// The three-index slice clamps each column's capacity to its own
+			// length: the columns share one backing array, so an in-place
+			// delta append (ExtendFrozen) must see cap==len here and copy
+			// the column privately instead of growing into its neighbor.
+			col := ids[j*len(t.Tuples) : (j+1)*len(t.Tuples) : (j+1)*len(t.Tuples)]
 			for i := range t.Tuples {
 				col[i] = t.enc[i*ncols+j]
 			}

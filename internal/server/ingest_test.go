@@ -73,13 +73,17 @@ func TestIngestEndpoint(t *testing.T) {
 	}
 	defer sresp.Body.Close()
 	var stats struct {
-		Live        bool   `json:"live"`
-		Epoch       uint64 `json:"epoch"`
-		PendingRows int    `json:"pending_rows"`
+		Live         bool    `json:"live"`
+		Epoch        uint64  `json:"epoch"`
+		PendingRows  int     `json:"pending_rows"`
+		EpochBuildMS float64 `json:"epoch_build_ms"`
 	}
 	decode(t, sresp, &stats)
 	if !stats.Live || stats.Epoch != 1 || stats.PendingRows != 0 {
 		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.EpochBuildMS <= 0 {
+		t.Fatalf("epoch_build_ms = %v after a commit, want > 0", stats.EpochBuildMS)
 	}
 }
 

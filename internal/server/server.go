@@ -224,14 +224,17 @@ type queryRequest struct {
 // snapshot are read from the same registry metrics /metrics encodes, so the
 // two endpoints cannot disagree.
 type statsResponse struct {
-	Cache       qcache.Stats         `json:"cache"`
-	AnswerCache qcache.Stats         `json:"answer_cache"`
-	Workers     int                  `json:"workers"`
-	Live        bool                 `json:"live"`
-	Epoch       uint64               `json:"epoch"`
-	PendingRows int                  `json:"pending_rows"`
-	Server      serverStats          `json:"server"`
-	Obs         []obs.MetricSnapshot `json:"obs"`
+	Cache       qcache.Stats `json:"cache"`
+	AnswerCache qcache.Stats `json:"answer_cache"`
+	Workers     int          `json:"workers"`
+	Live        bool         `json:"live"`
+	Epoch       uint64       `json:"epoch"`
+	PendingRows int          `json:"pending_rows"`
+	// EpochBuildMS is the wall time the most recent epoch commit spent
+	// building (milliseconds; 0 before the first commit or when not live).
+	EpochBuildMS float64              `json:"epoch_build_ms"`
+	Server       serverStats          `json:"server"`
+	Obs          []obs.MetricSnapshot `json:"obs"`
 }
 
 type serverStats struct {
@@ -247,12 +250,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
-		Cache:       s.eng.CacheStats(),
-		AnswerCache: s.eng.AnswerCacheStats(),
-		Workers:     s.eng.Workers(),
-		Live:        s.eng.Live(),
-		Epoch:       s.eng.Epoch(),
-		PendingRows: s.eng.PendingRows(),
+		Cache:        s.eng.CacheStats(),
+		AnswerCache:  s.eng.AnswerCacheStats(),
+		Workers:      s.eng.Workers(),
+		Live:         s.eng.Live(),
+		Epoch:        s.eng.Epoch(),
+		PendingRows:  s.eng.PendingRows(),
+		EpochBuildMS: float64(s.eng.EpochBuildDuration()) / float64(time.Millisecond),
 		Server: serverStats{
 			Requests: s.requests.Value(),
 			InFlight: int64(s.inflight.Value()),

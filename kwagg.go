@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"kwagg/internal/backend"
 	"kwagg/internal/chaos"
@@ -193,6 +194,12 @@ type Options struct {
 	// (the default) executes in-memory. The engine does not take ownership —
 	// Close the backend after the engine is done with it.
 	Backend backend.Backend
+	// FullRefreeze pins CommitEpoch to the from-scratch O(total rows) epoch
+	// rebuild instead of the incremental O(new rows) delta freeze. Both
+	// produce byte-identical epochs (gated by the incremental-vs-full
+	// differential suites); the escape hatch exists for comparison
+	// benchmarks and bisection, mirroring the BatchKernels idiom.
+	FullRefreeze bool
 }
 
 // Engine answers keyword queries over one database.
@@ -255,6 +262,7 @@ func coreOptions(opts *Options) *core.Options {
 		copts.BatchKernels = opts.BatchKernels
 		copts.Shards = opts.Shards
 		copts.Backend = opts.Backend
+		copts.FullRefreeze = opts.FullRefreeze
 	}
 	return copts
 }
@@ -359,6 +367,16 @@ func (e *Engine) CommitEpoch(ctx context.Context) (uint64, error) {
 	}
 	e.state() // fold the swap in eagerly instead of on the next query
 	return epoch, nil
+}
+
+// EpochBuildDuration returns the wall time the most recent CommitEpoch spent
+// building and opening its epoch (zero for a frozen engine or before the
+// first commit). Served as epoch_build_ms by /api/stats.
+func (e *Engine) EpochBuildDuration() time.Duration {
+	if e.live == nil {
+		return 0
+	}
+	return e.live.BuildDuration()
 }
 
 // Metrics returns the engine's observability registry: per-stage latency

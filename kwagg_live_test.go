@@ -50,6 +50,9 @@ func TestLiveEngineEpochs(t *testing.T) {
 	if eng.Epoch() != 1 || eng.PendingRows() != 0 {
 		t.Fatalf("after commit: epoch=%d pending=%d", eng.Epoch(), eng.PendingRows())
 	}
+	if eng.EpochBuildDuration() <= 0 {
+		t.Fatalf("EpochBuildDuration after commit = %v, want > 0", eng.EpochBuildDuration())
+	}
 	after, err := eng.Answer(query, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -141,5 +144,8 @@ func TestFrozenEngineRejectsIngest(t *testing.T) {
 	}
 	if eng.Epoch() != 0 || eng.PendingRows() != 0 {
 		t.Fatalf("frozen engine epoch=%d pending=%d", eng.Epoch(), eng.PendingRows())
+	}
+	if d := eng.EpochBuildDuration(); d != 0 {
+		t.Fatalf("EpochBuildDuration on frozen engine = %v, want 0", d)
 	}
 }
