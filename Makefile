@@ -129,16 +129,17 @@ vet:
 	go vet ./...
 
 # Two-level static analysis (see docs/STATIC_ANALYSIS.md): the repo-specific
-# code analyzers over every package, then the plan-invariant verifier over
-# every statement the bundled dataset workloads generate.
+# code analyzers over every package — test files included, for the
+# determinism analyzers — then the plan-invariant verifier over every
+# statement the bundled dataset workloads generate.
 lint:
-	go run ./cmd/kwlint ./...
+	go run ./cmd/kwlint -tests ./...
 	go run ./cmd/kwlint -plans
 
-# Machine-readable lint record; the nightly workflow uploads it as an
+# Machine-readable lint record; the CI and nightly workflows upload it as an
 # artifact next to BENCH_PR4.json.
 lint-json:
-	go run ./cmd/kwlint -json ./... > KWLINT.json || true
+	go run ./cmd/kwlint -json -tests ./... > KWLINT.json || true
 	go run ./cmd/kwlint -json -plans > KWLINT_PLANS.json || true
 	@echo "wrote KWLINT.json KWLINT_PLANS.json"
 

@@ -3,9 +3,14 @@
 // Code mode (the default) type-checks the requested packages and runs the
 // repo-specific analyzers of internal/analysis — map-iteration determinism,
 // kernel-loop allocation discipline, clock/randomness containment, metric
-// naming, context threading and frozen-storage writes:
+// naming, context threading, frozen-storage writes and import layering,
+// plus the interprocedural dataflow analyzers (atomic-snapshot discipline,
+// copy-on-write safety, lock ordering, SQL sanitizer taint, sqlast switch
+// exhaustiveness). -tests additionally loads _test.go files, on which the
+// determinism analyzers also run:
 //
 //	kwlint ./...
+//	kwlint -tests ./...
 //	kwlint -json ./internal/sqldb
 //
 // Plan mode (-plans) opens every bundled dataset at the small scale, replays
@@ -60,9 +65,10 @@ type report struct {
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a single JSON object")
 	plans := flag.Bool("plans", false, "verify generated query plans instead of analyzing code")
+	tests := flag.Bool("tests", false, "also analyze _test.go files (determinism analyzers only)")
 	k := flag.Int("k", 0, "with -plans: interpretations to verify per query (0 = all)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: kwlint [-json] [packages]\n       kwlint [-json] -plans [-k N]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kwlint [-json] [-tests] [packages]\n       kwlint [-json] -plans [-k N]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,7 +78,7 @@ func main() {
 	if *plans {
 		rep.Plans, err = runPlans(*k)
 	} else {
-		rep.Diagnostics, err = runCode(flag.Args())
+		rep.Diagnostics, err = runCode(flag.Args(), *tests)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kwlint: %v\n", err)
@@ -106,12 +112,17 @@ func main() {
 }
 
 // runCode type-checks the named packages (default ./...) and applies every
-// analyzer.
-func runCode(patterns []string) ([]diagJSON, error) {
+// analyzer. With tests, _test.go files load as test-variant packages and the
+// determinism analyzers (maporder, detclock, metricname) run on them too.
+func runCode(patterns []string, tests bool) ([]diagJSON, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	loader, err := analysis.NewLoader(".")
+	newLoader := analysis.NewLoader
+	if tests {
+		newLoader = analysis.NewLoaderWithTests
+	}
+	loader, err := newLoader(".")
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,18 @@
 // Package analysis is the repo-specific static-analysis suite behind
-// cmd/kwlint: seven analyzers that encode the code-level contracts the
-// previous PRs established but `go vet` cannot see — deterministic output
-// (no unsorted map iteration feeding results, no wall clock or math/rand in
-// the deterministic pipeline), allocation discipline in the sqldb kernels
-// pinned by alloc_test.go, kwagg_-prefixed metric names registered with one
-// help string, context.Context threaded through the statement-execution
-// path, and no writes to frozen relation storage outside the Freeze/build
-// path.
+// cmd/kwlint: twelve analyzers that encode the code-level contracts the
+// previous PRs established but `go vet` cannot see. Seven are single-package
+// AST walks — deterministic output (no unsorted map iteration feeding
+// results, no wall clock or math/rand in the deterministic pipeline),
+// allocation discipline in the sqldb kernels pinned by alloc_test.go,
+// kwagg_-prefixed metric names registered with one help string,
+// context.Context threaded through the statement-execution path, no writes
+// to frozen relation storage outside the Freeze/build path, and the
+// backend-seam import layering. The other five ride the interprocedural
+// dataflow engine in callgraph.go (symbol-keyed call graph, per-function
+// summaries): one atomic snapshot Load per operation, copy-on-write
+// discipline outside the relation delta seam, lock-order consistency with
+// no blocking under a lock, sanitizer discipline for rendered SQL, and
+// exhaustive switches over sqlast node kinds.
 //
 // The package is stdlib-only (go/ast, go/parser, go/types, go/importer plus
 // os/exec to ask the go command for export data), keeping the module
@@ -36,20 +42,34 @@ func (d Diagnostic) String() string {
 }
 
 // Pkg is one loaded, type-checked package handed to the analyzers.
+//
+// When the loader includes test files (kwlint -tests), each package with
+// tests is loaded twice: the plain production package, and a test variant
+// (ForTest) holding the production files plus the _test.go files (external
+// _test packages load as their own ForTest Pkg). TestFiles names the test
+// sources; Run only keeps a test variant's diagnostics positioned in them,
+// so production findings are never reported twice.
 type Pkg struct {
-	Path  string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+	ForTest   bool
+	TestFiles map[string]bool
 }
 
 // Analyzer is one named check. Run is called once per package; Finish, when
 // non-nil, is called after every package has been seen (for analyzers that
-// accumulate cross-package state, like the metric-name uniqueness check).
+// accumulate cross-package state: the metric-name uniqueness check and the
+// interprocedural dataflow analyzers, which need the whole call graph).
+// Tests marks the analyzers that also run on test variants — the
+// determinism rules (maporder, detclock, metricname) apply to test code
+// too, while the request-path and seam disciplines are production-only.
 type Analyzer struct {
 	Name   string
 	Doc    string
+	Tests  bool
 	Run    func(*Pkg) []Diagnostic
 	Finish func() []Diagnostic
 }
@@ -65,25 +85,46 @@ func Analyzers() []*Analyzer {
 		CtxFlow(),
 		FreezeWrite(),
 		DepScope(),
+		Snapshot(),
+		CowSafety(),
+		LockLast(),
+		SQLTaint(),
+		SwitchCover(),
 	}
 }
 
+// knownAnalyzerNames is the full catalog plus the "all" wildcard, used to
+// validate //kwlint:ignore directives even when Run executes a subset.
+func knownAnalyzerNames() map[string]bool {
+	names := map[string]bool{"all": true}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
 // Run executes every analyzer over every package, applies the
-// //kwlint:ignore suppressions, and returns the surviving diagnostics in
+// //kwlint:ignore suppressions, reports directives that are malformed or no
+// longer suppress anything, and returns the surviving diagnostics in
 // deterministic (file, line, column, analyzer) order.
 func Run(pkgs []*Pkg, analyzers []*Analyzer) []Diagnostic {
+	runNames := make(map[string]bool)
+	for _, a := range analyzers {
+		runNames[a.Name] = true
+	}
+	sup := collectSuppressions(pkgs)
+
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		diags = append(diags, sup.errors...)
 		for _, a := range analyzers {
-			if a.Run == nil {
+			if a.Run == nil || (pkg.ForTest && !a.Tests) {
 				continue
 			}
 			for _, d := range a.Run(pkg) {
-				if !sup.matches(d) {
-					diags = append(diags, d)
+				if pkg.ForTest && !pkg.TestFiles[d.Pos.Filename] {
+					continue
 				}
+				diags = append(diags, d)
 			}
 		}
 	}
@@ -92,8 +133,17 @@ func Run(pkgs []*Pkg, analyzers []*Analyzer) []Diagnostic {
 			diags = append(diags, a.Finish()...)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
+
+	kept := append([]Diagnostic(nil), sup.errors...)
+	for _, d := range diags {
+		if !sup.matches(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, sup.stale(runNames)...)
+
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -103,15 +153,32 @@ func Run(pkgs []*Pkg, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	// Dedupe: with -tests the same production file is parsed under two
+	// package variants, so file-level findings (and directive errors) can
+	// surface twice at the same position.
+	out := kept[:0]
+	for i, d := range kept {
+		if i > 0 && d == kept[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
-// suppression is one //kwlint:ignore directive: it silences diagnostics of
-// the named analyzer ("all" silences every analyzer) on the directive's line
-// or the line immediately below it. A reason is mandatory — a suppression
-// without one is itself reported.
+// suppression is one //kwlint:ignore directive entry: it silences
+// diagnostics of the named analyzer ("all" silences every analyzer) on the
+// directive's line or the line immediately below it. One directive may name
+// several analyzers, comma-separated: //kwlint:ignore a,b <reason>. A
+// written reason is mandatory and the analyzer names must exist — a
+// malformed directive is itself reported, and so is a directive that no
+// longer suppresses any finding (stale suppressions rot into false
+// confidence).
 type suppression struct {
 	file     string
 	line     int
@@ -119,34 +186,66 @@ type suppression struct {
 }
 
 type suppressionSet struct {
-	entries map[suppression]bool
+	entries map[suppression]*suppressionEntry
 	errors  []Diagnostic
 }
 
+type suppressionEntry struct {
+	pos  token.Position
+	used bool
+}
+
 // IgnoreDirective is the comment prefix that suppresses a finding:
-// //kwlint:ignore <analyzer> <reason>.
+// //kwlint:ignore <analyzer>[,<analyzer>...] <reason>.
 const IgnoreDirective = "//kwlint:ignore"
 
-func collectSuppressions(pkg *Pkg) *suppressionSet {
-	s := &suppressionSet{entries: make(map[suppression]bool)}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, IgnoreDirective) {
-					continue
+func collectSuppressions(pkgs []*Pkg) *suppressionSet {
+	s := &suppressionSet{entries: make(map[suppression]*suppressionEntry)}
+	known := knownAnalyzerNames()
+	errSeen := make(map[Diagnostic]bool) // -tests parses production files twice
+	addErr := func(d Diagnostic) {
+		if !errSeen[d] {
+			errSeen[d] = true
+			s.errors = append(s.errors, d)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, IgnoreDirective) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, IgnoreDirective))
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						addErr(Diagnostic{
+							Analyzer: "kwlint",
+							Pos:      pos,
+							Message:  "kwlint:ignore requires an analyzer name and a written reason: //kwlint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						name = strings.TrimSpace(name)
+						if name == "" {
+							continue
+						}
+						if !known[name] {
+							addErr(Diagnostic{
+								Analyzer: "kwlint",
+								Pos:      pos,
+								Message:  fmt.Sprintf("kwlint:ignore names unknown analyzer %q (known: %s)", name, strings.Join(sortedKeys(known), ", ")),
+							})
+							continue
+						}
+						key := suppression{file: pos.Filename, line: pos.Line, analyzer: name}
+						if s.entries[key] == nil {
+							s.entries[key] = &suppressionEntry{pos: pos}
+						}
+					}
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, IgnoreDirective))
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					s.errors = append(s.errors, Diagnostic{
-						Analyzer: "kwlint",
-						Pos:      pos,
-						Message:  "kwlint:ignore requires an analyzer name and a written reason: //kwlint:ignore <analyzer> <reason>",
-					})
-					continue
-				}
-				s.entries[suppression{file: pos.Filename, line: pos.Line, analyzer: fields[0]}] = true
 			}
 		}
 	}
@@ -154,15 +253,39 @@ func collectSuppressions(pkg *Pkg) *suppressionSet {
 }
 
 func (s *suppressionSet) matches(d Diagnostic) bool {
+	hit := false
 	for _, name := range []string{d.Analyzer, "all"} {
 		// The directive suppresses its own line and, when written as a
 		// standalone comment line, the line below it.
-		if s.entries[suppression{file: d.Pos.Filename, line: d.Pos.Line, analyzer: name}] ||
-			s.entries[suppression{file: d.Pos.Filename, line: d.Pos.Line - 1, analyzer: name}] {
-			return true
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			if e := s.entries[suppression{file: d.Pos.Filename, line: line, analyzer: name}]; e != nil {
+				e.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale reports the directives that suppressed nothing in this run, limited
+// to the analyzers that actually ran ("all" is always checked — kwlint runs
+// the full suite, so an unused blanket suppression is dead weight).
+func (s *suppressionSet) stale(runNames map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for key, e := range s.entries {
+		if e.used {
+			continue
+		}
+		if key.analyzer != "all" && !runNames[key.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "kwlint",
+			Pos:      e.pos,
+			Message:  fmt.Sprintf("stale suppression: no %s finding is reported here anymore; delete the //kwlint:ignore directive", key.analyzer),
+		})
+	}
+	return out
 }
 
 // ---- shared AST / type helpers used by several analyzers ----

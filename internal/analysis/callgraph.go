@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the interprocedural half of the suite: a static call graph
+// over go/types resolving direct calls, method calls through concrete
+// receivers, and interface calls via class-hierarchy analysis (every named
+// type in the analyzed packages that implements the interface). The five
+// dataflow analyzers (snapshot, cowsafety, locklast, sqltaint, switchcover)
+// build per-function summaries and propagate them over this graph.
+
+// FuncNode is one analyzable function: a declared function/method or a
+// function literal. Literals are independent nodes — a closure runs as its
+// own operation (a metrics gauge callback, a deferred cleanup), so the
+// dataflow analyzers give each literal its own summary instead of folding it
+// into the enclosing function.
+type FuncNode struct {
+	Obj  *types.Func   // nil for function literals
+	Decl *ast.FuncDecl // non-nil for declared functions
+	Lit  *ast.FuncLit  // non-nil for literals
+	Pkg  *Pkg
+	Name string // qualified, for messages: "kwagg/internal/core.(*Live).Commit"
+}
+
+// Body returns the function body (never nil for nodes in a Program).
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// FuncType returns the node's signature syntax.
+func (n *FuncNode) FuncType() *ast.FuncType {
+	if n.Decl != nil {
+		return n.Decl.Type
+	}
+	return n.Lit.Type
+}
+
+// Pos returns the node's declaration position.
+func (n *FuncNode) Pos() ast.Node {
+	if n.Decl != nil {
+		return n.Decl
+	}
+	return n.Lit
+}
+
+// Program is the cross-package view the interprocedural analyzers share: all
+// loaded packages, every function node, and the named-type universe used for
+// class-hierarchy interface resolution.
+// Because every package is type-checked independently against compiled
+// export data, a *types.Func seen at a cross-package call site is a
+// different object than the one defined by the source-checked callee
+// package. The graph therefore keys functions by their qualified symbol
+// ("pkgpath.Type.name" / "pkgpath.name"), which unifies across the two
+// universes.
+type Program struct {
+	Pkgs  []*Pkg
+	Funcs []*FuncNode
+	bySym map[string]*FuncNode
+	byLit map[*ast.FuncLit]*FuncNode
+	named []*types.Named
+}
+
+// NewProgram indexes the packages into a call-graph-ready view. Test-variant
+// packages are skipped: the interprocedural contracts are production-path
+// contracts, and the production files of a test variant are already analyzed
+// under their primary package.
+func NewProgram(pkgs []*Pkg) *Program {
+	p := &Program{
+		bySym: make(map[string]*FuncNode),
+		byLit: make(map[*ast.FuncLit]*FuncNode),
+	}
+	for _, pkg := range pkgs {
+		if pkg.ForTest {
+			continue
+		}
+		p.Pkgs = append(p.Pkgs, pkg)
+	}
+	for _, pkg := range p.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if named, ok := tn.Type().(*types.Named); ok {
+					p.named = append(p.named, named)
+				}
+			}
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				node := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg, Name: funcName(pkg, obj, fd)}
+				p.Funcs = append(p.Funcs, node)
+				if obj != nil {
+					p.bySym[funcSymbol(obj)] = node
+				}
+				p.addLits(pkg, node.Name, fd.Body)
+			}
+		}
+	}
+	return p
+}
+
+// addLits registers every function literal under the declared function as an
+// independent node. Nested literals are found by the recursive walk.
+func (p *Program) addLits(pkg *Pkg, outer string, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		pos := pkg.Fset.Position(lit.Pos())
+		node := &FuncNode{Lit: lit, Pkg: pkg, Name: fmt.Sprintf("%s.func@%d:%d", outer, pos.Line, pos.Column)}
+		p.Funcs = append(p.Funcs, node)
+		p.byLit[lit] = node
+		return true
+	})
+}
+
+func funcName(pkg *Pkg, obj *types.Func, fd *ast.FuncDecl) string {
+	if obj == nil {
+		return pkg.Path + "." + fd.Name.Name
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s%s).%s", pkg.Path, ptr, named.Obj().Name(), obj.Name())
+		}
+	}
+	return pkg.Path + "." + obj.Name()
+}
+
+// funcSymbol qualifies a function object the same way from either type
+// universe: "pkgpath.RecvType.name" for methods, "pkgpath.name" otherwise.
+func funcSymbol(obj *types.Func) string {
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedDeref(sig.Recv().Type()); named != nil && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + obj.Name()
+		}
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// FuncOf returns the node for a declared function or method, or nil when the
+// function is outside the analyzed packages (stdlib, export-data-only).
+func (p *Program) FuncOf(obj *types.Func) *FuncNode { return p.bySym[funcSymbol(obj)] }
+
+// LitOf returns the node for a function literal.
+func (p *Program) LitOf(lit *ast.FuncLit) *FuncNode { return p.byLit[lit] }
+
+// Callees resolves a call expression to the set of program functions it may
+// invoke. Direct calls and concrete-receiver method calls resolve to one
+// node; interface method calls resolve via class-hierarchy analysis to every
+// implementing type's method. Calls into packages outside the program (or
+// through function values the graph cannot see) resolve to nil.
+func (p *Program) Callees(pkg *Pkg, call *ast.CallExpr) []*FuncNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		if n := p.byLit[fun]; n != nil {
+			return []*FuncNode{n}
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if n := p.bySym[funcSymbol(obj)]; n != nil {
+				return []*FuncNode{n}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if types.IsInterface(sel.Recv().Underlying()) {
+				return p.implementers(sel.Recv(), fun.Sel.Name)
+			}
+			if obj, ok := sel.Obj().(*types.Func); ok {
+				if n := p.bySym[funcSymbol(obj)]; n != nil {
+					return []*FuncNode{n}
+				}
+			}
+			return nil
+		}
+		// Qualified identifier: pkgname.Func.
+		if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if n := p.bySym[funcSymbol(obj)]; n != nil {
+				return []*FuncNode{n}
+			}
+		}
+	}
+	return nil
+}
+
+// implementers finds, over every named type of the program, the methods that
+// could be dispatched for an interface call — the class-hierarchy
+// approximation of dynamic dispatch. Because the two type universes (source-
+// checked packages vs imported export data) don't share object identity,
+// implementation is established by method-name coverage: a named type
+// implements the interface when its method set contains every method name
+// the interface asks for. That is looser than signature identity but exactly
+// right for a lint-grade dispatch approximation.
+func (p *Program) implementers(recv types.Type, method string) []*FuncNode {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok || iface.Empty() {
+		return nil
+	}
+	want := make([]string, 0, iface.NumMethods())
+	for i := 0; i < iface.NumMethods(); i++ {
+		want = append(want, iface.Method(i).Name())
+	}
+	var out []*FuncNode
+	seen := make(map[*FuncNode]bool)
+	for _, named := range p.named {
+		if types.IsInterface(named.Underlying()) {
+			continue
+		}
+		mset := types.NewMethodSet(types.NewPointer(named))
+		covers := true
+		for _, name := range want {
+			if mset.Lookup(named.Obj().Pkg(), name) == nil && lookupExported(mset, name) == nil {
+				covers = false
+				break
+			}
+		}
+		if !covers {
+			continue
+		}
+		sel := mset.Lookup(named.Obj().Pkg(), method)
+		if sel == nil {
+			sel = lookupExported(mset, method)
+		}
+		if sel == nil {
+			continue
+		}
+		if fn, ok := sel.Obj().(*types.Func); ok {
+			if n := p.bySym[funcSymbol(fn)]; n != nil && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// lookupExported finds an exported method by name in a method set (exported
+// names need no package qualifier).
+func lookupExported(mset *types.MethodSet, name string) *types.Selection {
+	for i := 0; i < mset.Len(); i++ {
+		if m := mset.At(i); m.Obj().Name() == name && m.Obj().Exported() {
+			return m
+		}
+	}
+	return nil
+}
+
+// ---- shared type-inspection helpers for the interprocedural analyzers ----
+
+// namedDeref unwraps pointers and returns the named type underneath, if any.
+func namedDeref(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// typeFromPkg reports whether t (after pointer unwrapping) is a named type
+// declared in the package with the given import path.
+func typeFromPkg(t types.Type, pkgPath string) bool {
+	named := namedDeref(t)
+	return named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == pkgPath
+}
+
+// methodOn matches a call of the form recv.Name(...) where recv's type
+// (after pointer unwrapping) is the named type ownerPkg.ownerType. It returns
+// the receiver expression.
+func methodOn(info *types.Info, call *ast.CallExpr, ownerPkg, ownerType, name string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, false
+	}
+	named := namedDeref(s.Recv())
+	if named == nil || named.Obj().Name() != ownerType {
+		return nil, false
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || pkg.Path() != ownerPkg {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// atomicPointerMethod matches x.M(...) where x is a sync/atomic.Pointer[T]
+// (or atomic.Value) and M is one of the given method names. It returns the
+// receiver expression and the matched method name.
+func atomicPointerMethod(info *types.Info, call *ast.CallExpr, names ...string) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	named := namedDeref(s.Recv())
+	if named == nil {
+		return nil, "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return nil, "", false
+	}
+	if obj.Name() != "Pointer" && obj.Name() != "Value" {
+		return nil, "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return sel.X, n, true
+		}
+	}
+	return nil, "", false
+}
+
+// fieldKey names a struct field globally: "pkgpath.Type.field". The
+// snapshot and locklast analyzers identify atomic pointers and mutexes by
+// their declaring field, not by instance — the disciplines they check are
+// per-field design rules.
+func fieldKey(info *types.Info, expr ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		// Package-level variable: pkgname.Var.
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+		return "", false
+	}
+	named := namedDeref(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name, true
+}

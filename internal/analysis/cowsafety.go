@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CowSafety is the dataflow complement to freezewrite: instead of gating
+// calls at the package boundary, it follows the values. Slices and maps read
+// out of frozen relation state (a Table's tuple slice, a Schema's attribute
+// list, encoded column data) are shared by every epoch that references the
+// same backing arrays; writing an element or growing one in place from
+// outside the delta seam corrupts a published snapshot. The analyzer taints
+// every expression whose value is reachable from relation-package state and
+// flags element writes, appends, copies and deletes on tainted values — plus
+// calls that pass a tainted value to a parameter the callee (transitively)
+// writes through.
+//
+// Fresh allocations (make, new, composite literals, append results bound to
+// new variables, Clone/Copy-style constructors) are clean: the rule is about
+// provenance, not type. The relation package itself, the core builder and the
+// other freeze-path packages are exempt — they are the delta seam the writes
+// are legal in (same exemption set as freezewrite).
+func CowSafety() *Analyzer {
+	c := &cowState{}
+	return &Analyzer{
+		Name: "cowsafety",
+		Doc:  "element writes and growing appends on slices/maps reachable from frozen relation state are only legal inside the delta seam",
+		Run: func(pkg *Pkg) []Diagnostic {
+			c.pkgs = append(c.pkgs, pkg)
+			return nil
+		},
+		Finish: c.finish,
+	}
+}
+
+const relationPkgPath = "kwagg/internal/relation"
+
+type cowState struct {
+	pkgs []*Pkg
+	prog *Program
+	// writesParam maps a function to the parameter indices (receiver is 0,
+	// parameters follow) through which the function element-writes, directly
+	// or transitively.
+	writesParam map[*FuncNode]map[int]bool
+}
+
+func (c *cowState) finish() []Diagnostic {
+	c.prog = NewProgram(c.pkgs)
+	c.writesParam = make(map[*FuncNode]map[int]bool)
+	// Fixpoint over the call graph: a parameter is "written" when the body
+	// element-writes it, or passes it to a callee position already known to
+	// be written. Three rounds bound the call-chain depth this propagates
+	// through; the repo's delta helpers are two deep.
+	for round := 0; round < 3; round++ {
+		changed := false
+		for _, fn := range c.prog.Funcs {
+			if c.updateWrites(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var diags []Diagnostic
+	for _, fn := range c.prog.Funcs {
+		if cowExempt(fn.Pkg.Path) {
+			continue
+		}
+		diags = append(diags, c.checkFunc(fn)...)
+	}
+	return diags
+}
+
+// cowExempt reuses freezewrite's delta-seam exemptions: the relation package
+// and the freeze/build path own the copy-on-write machinery.
+func cowExempt(path string) bool {
+	return freezeWriteAllowed(path) || deltaSeamAllowed(path)
+}
+
+// paramVars returns the receiver (index 0 slot when present) and parameters
+// of a declared function as a var→index map.
+func paramVars(fn *FuncNode) map[*types.Var]int {
+	out := make(map[*types.Var]int)
+	if fn.Obj == nil {
+		sig, ok := fn.Pkg.Info.TypeOf(fn.Lit).(*types.Signature)
+		if !ok {
+			return out
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			out[sig.Params().At(i)] = i
+		}
+		return out
+	}
+	sig := fn.Obj.Type().(*types.Signature)
+	idx := 0
+	if sig.Recv() != nil {
+		out[sig.Recv()] = idx
+		idx++
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out[sig.Params().At(i)] = idx
+		idx++
+	}
+	return out
+}
+
+// updateWrites recomputes fn's written-parameter set; reports change.
+func (c *cowState) updateWrites(fn *FuncNode) bool {
+	params := paramVars(fn)
+	if len(params) == 0 {
+		return false
+	}
+	cur := c.writesParam[fn]
+	if cur == nil {
+		cur = make(map[int]bool)
+		c.writesParam[fn] = cur
+	}
+	before := len(cur)
+	rootedAtParam := func(e ast.Expr) (int, bool) {
+		v := rootVar(fn.Pkg.Info, e)
+		if v == nil {
+			return 0, false
+		}
+		i, ok := params[v]
+		return i, ok
+	}
+	inspectOwn(fn, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if base, ok := indexedBase(lhs); ok {
+					if i, ok := rootedAtParam(base); ok {
+						cur[i] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, arg := builtinMutation(fn.Pkg.Info, st); name != "" {
+				if i, ok := rootedAtParam(arg); ok {
+					cur[i] = true
+				}
+				return
+			}
+			for _, callee := range c.prog.Callees(fn.Pkg, st) {
+				w := c.writesParam[callee]
+				if len(w) == 0 {
+					continue
+				}
+				for argIdx, argExpr := range callArgs(fn.Pkg.Info, st, callee) {
+					if !w[argIdx] {
+						continue
+					}
+					if i, ok := rootedAtParam(argExpr); ok {
+						cur[i] = true
+					}
+				}
+			}
+		}
+	})
+	return len(cur) != before
+}
+
+// callArgs aligns a call's argument expressions with the callee's parameter
+// indexing (receiver first for methods).
+func callArgs(info *types.Info, call *ast.CallExpr, callee *FuncNode) map[int]ast.Expr {
+	out := make(map[int]ast.Expr)
+	idx := 0
+	if callee.Obj != nil {
+		if sig, ok := callee.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					out[0] = sel.X
+				}
+			}
+			idx = 1
+		}
+	}
+	for _, a := range call.Args {
+		out[idx] = a
+		idx++
+	}
+	return out
+}
+
+// indexedBase unwraps an element-write lvalue (x[i], *p, (x)) to the
+// container expression being mutated.
+func indexedBase(e ast.Expr) (ast.Expr, bool) {
+	switch lv := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		return lv.X, true
+	case *ast.StarExpr:
+		return lv.X, true
+	}
+	return nil, false
+}
+
+// builtinMutation matches the builtins that mutate (or may mutate, via spare
+// capacity) their first argument: append, copy, delete. It returns the
+// builtin name and the mutated expression.
+func builtinMutation(info *types.Info, call *ast.CallExpr) (string, ast.Expr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", nil
+	}
+	switch id.Name {
+	case "append", "copy", "delete":
+		if len(call.Args) > 0 {
+			return id.Name, call.Args[0]
+		}
+	}
+	return "", nil
+}
+
+// rootVar resolves an expression to the local/parameter variable its value
+// is rooted at, looking through indexing, slicing, field selection on the
+// same variable chain, dereference and parens. Returns nil when the root is
+// not a simple variable.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			return v
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkFunc taints frozen-state expressions and flags mutations on them.
+func (c *cowState) checkFunc(fn *FuncNode) []Diagnostic {
+	info := fn.Pkg.Info
+	tainted := make(map[*types.Var]bool)
+
+	// isFrozen reports whether the expression's value is (or aliases into)
+	// frozen relation state.
+	var isFrozen func(e ast.Expr) bool
+	isFrozen = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			return v != nil && tainted[v]
+		case *ast.IndexExpr:
+			return isFrozen(x.X)
+		case *ast.SliceExpr:
+			return isFrozen(x.X)
+		case *ast.StarExpr:
+			return isFrozen(x.X)
+		case *ast.SelectorExpr:
+			// A field read off a relation-package value yields shared frozen
+			// storage when it is slice/map/pointer shaped.
+			if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+				if typeFromPkg(s.Recv(), relationPkgPath) && sharedShape(info.TypeOf(e)) {
+					return true
+				}
+			}
+			return isFrozen(x.X)
+		case *ast.CallExpr:
+			// Method/function results on relation values share backing
+			// storage unless the callee is a known fresh constructor.
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.MethodVal {
+				return false
+			}
+			if !typeFromPkg(s.Recv(), relationPkgPath) || !sharedShape(info.TypeOf(e)) {
+				return false
+			}
+			return !freshRelationMethod(sel.Sel.Name)
+		}
+		return false
+	}
+
+	// Two passes: straight-line taint propagation through local assignments
+	// and range statements, then once more so a variable assigned before its
+	// source variable was recognized still taints.
+	for pass := 0; pass < 2; pass++ {
+		inspectOwn(fn, func(n ast.Node) {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Lhs {
+						id, ok := st.Lhs[i].(*ast.Ident)
+						if !ok {
+							continue
+						}
+						v := objVar(info, id)
+						if v != nil && isFrozen(st.Rhs[i]) && sharedShape(v.Type()) {
+							tainted[v] = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if !isFrozen(st.X) {
+					return
+				}
+				for _, k := range []ast.Expr{st.Key, st.Value} {
+					if id, ok := k.(*ast.Ident); ok {
+						if v := objVar(info, id); v != nil && sharedShape(v.Type()) {
+							tainted[v] = true
+						}
+					}
+				}
+			}
+		})
+	}
+
+	var diags []Diagnostic
+	report := func(n ast.Node, what string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "cowsafety",
+			Pos:      fn.Pkg.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf("%s on storage reachable from frozen relation state in %s; frozen epochs share backing arrays — build fresh storage or go through the relation delta seam", what, shortFuncName(fn)),
+		})
+	}
+	inspectOwn(fn, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if base, ok := indexedBase(lhs); ok && isFrozen(base) {
+					report(lhs, "element write")
+				}
+			}
+		case *ast.IncDecStmt:
+			if base, ok := indexedBase(st.X); ok && isFrozen(base) {
+				report(st, "element update")
+			}
+		case *ast.CallExpr:
+			if name, arg := builtinMutation(info, st); name != "" {
+				if isFrozen(arg) {
+					report(st, name+" into")
+				}
+				return
+			}
+			for _, callee := range c.prog.Callees(fn.Pkg, st) {
+				w := c.writesParam[callee]
+				if len(w) == 0 || cowExempt(callee.Pkg.Path) {
+					continue
+				}
+				for argIdx, argExpr := range callArgs(info, st, callee) {
+					if w[argIdx] && isFrozen(argExpr) {
+						report(st, fmt.Sprintf("passing to %s (which writes through parameter %d)", shortFuncName(callee), argIdx))
+					}
+				}
+			}
+		}
+	})
+	return diags
+}
+
+func objVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// sharedShape reports whether a type can alias shared backing storage: a
+// slice, map, or pointer (strings and scalars copy by value).
+func sharedShape(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// freshRelationMethod names the relation-package methods/constructors whose
+// results are caller-owned fresh allocations, not views into frozen state.
+func freshRelationMethod(name string) bool {
+	switch name {
+	case "Clone", "Copy", "CloneTable", "NewTable", "NewSchema", "NewDatabase", "AppendFormat", "AttrNames":
+		return true
+	}
+	return false
+}

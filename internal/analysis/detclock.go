@@ -27,8 +27,9 @@ var detClockAllowed = map[string]bool{
 // flagged.
 func DetClock() *Analyzer {
 	a := &Analyzer{
-		Name: "detclock",
-		Doc:  "wall clock / global math-rand use outside chaos, obs and the server layer",
+		Name:  "detclock",
+		Doc:   "wall clock / global math-rand use outside chaos, obs and the server layer",
+		Tests: true,
 	}
 	a.Run = func(pkg *Pkg) []Diagnostic {
 		if detClockAllowed[pkg.Path] ||

@@ -1,0 +1,594 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockLast summarizes per-function mutex behavior and propagates it over the
+// call graph:
+//
+//   - Lock-order consistency: every "lock B acquired while holding lock A"
+//     observation (direct or through a callee's summary) becomes an edge
+//     A→B; a cycle in that graph is a potential deadlock and both edges are
+//     reported. Lock identity is the declaring field ("pkg.Type.mu"), not
+//     the instance — acquisition order is a per-field design rule.
+//   - Blocking under lock: channel sends/receives/selects on channels that
+//     reach the function from outside (parameters, fields — not channels the
+//     locked region itself created, which are bounded structured
+//     concurrency), Backend.Exec calls (arbitrary external latency), and
+//     atomic Swap/CompareAndSwap (mixing two synchronization disciplines;
+//     plain Store under the committer mutex is the sanctioned
+//     single-committer publish) are flagged when a mutex is held.
+//
+// The held-set walker understands Lock/RLock, explicit Unlock/RUnlock, and
+// defer Unlock (held to function end); branches are walked with the
+// fall-through intersection so a conditionally released lock stays held.
+func LockLast() *Analyzer {
+	l := &lockState{}
+	return &Analyzer{
+		Name: "locklast",
+		Doc:  "consistent mutex acquisition order; no blocking channel ops, Backend.Exec, or atomic swaps while holding a lock",
+		Run: func(pkg *Pkg) []Diagnostic {
+			l.pkgs = append(l.pkgs, pkg)
+			return nil
+		},
+		Finish: l.finish,
+	}
+}
+
+type lockEdge struct{ from, to string }
+
+type lockObservation struct {
+	pos  token.Position
+	fn   string
+	what string
+}
+
+type lockSummary struct {
+	acquires map[string]bool // locks (transitively) acquired during the call
+	blocking []string        // blocking-op descriptions the call may perform
+}
+
+type lockState struct {
+	pkgs      []*Pkg
+	prog      *Program
+	summaries map[*FuncNode]*lockSummary
+	edges     map[lockEdge]lockObservation // first observation per ordered pair
+	diags     []Diagnostic
+}
+
+func (l *lockState) finish() []Diagnostic {
+	l.prog = NewProgram(l.pkgs)
+	l.summaries = make(map[*FuncNode]*lockSummary)
+	l.edges = make(map[lockEdge]lockObservation)
+	for _, fn := range l.prog.Funcs {
+		l.summaries[fn] = &lockSummary{acquires: make(map[string]bool)}
+	}
+	// Fixpoint for transitive acquisition sets (three rounds cover the
+	// repo's call depth under locks; the loop exits early when stable).
+	for round := 0; round < 3; round++ {
+		changed := false
+		for _, fn := range l.prog.Funcs {
+			if l.updateSummary(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Report pass: walk every function with the held-set interpreter.
+	for _, fn := range l.prog.Funcs {
+		l.walkFunc(fn, true)
+	}
+	// Cycle detection over the order graph: for a 2-cycle (or longer, found
+	// via DFS) report each edge once, naming the conflicting order.
+	l.reportCycles()
+	sort.Slice(l.diags, func(i, j int) bool { return l.diags[i].String() < l.diags[j].String() })
+	return l.diags
+}
+
+// updateSummary recomputes fn's transitive acquisition set; reports change.
+func (l *lockState) updateSummary(fn *FuncNode) bool {
+	sum := l.summaries[fn]
+	before := len(sum.acquires) + len(sum.blocking)
+	sum.blocking = sum.blocking[:0]
+	l.walkFunc(fn, false)
+	return len(sum.acquires)+len(sum.blocking) != before
+}
+
+// lockID identifies the mutex behind expr ("pkg.Type.field" for fields,
+// "pkg.var" for globals, "local:<name>@<line>" for locals).
+func lockID(pkg *Pkg, expr ast.Expr) (string, bool) {
+	if key, ok := fieldKey(pkg.Info, expr); ok {
+		return key, true
+	}
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name(), true
+			}
+			pos := pkg.Fset.Position(v.Pos())
+			return fmt.Sprintf("local:%s@%s:%d", v.Name(), pos.Filename, pos.Line), true
+		}
+	}
+	return "", false
+}
+
+// mutexMethod matches x.M() where x is a sync.Mutex or sync.RWMutex.
+func mutexMethod(pkg *Pkg, call *ast.CallExpr) (id string, method string, ok bool) {
+	sel, sok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !sok {
+		return "", "", false
+	}
+	s, sok := pkg.Info.Selections[sel]
+	if !sok || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	named := namedDeref(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		key, kok := lockID(pkg, sel.X)
+		if !kok {
+			return "", "", false
+		}
+		return key, sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// heldSet is the walker's abstract state: the set of lock IDs currently held.
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+func (h heldSet) sorted() []string {
+	out := make([]string, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// walkFunc interprets fn's body tracking the held set. In summary mode
+// (report=false) it records acquisitions and blocking ops into fn's summary;
+// in report mode it emits diagnostics for blocking-under-lock and records
+// order edges.
+func (l *lockState) walkFunc(fn *FuncNode, report bool) {
+	held := make(heldSet)
+	l.walkStmt(fn, fn.Body(), held, report)
+}
+
+func (l *lockState) walkStmt(fn *FuncNode, stmt ast.Stmt, held heldSet, report bool) {
+	if stmt == nil {
+		return
+	}
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, s := range st.List {
+			l.walkStmt(fn, s, held, report)
+		}
+	case *ast.IfStmt:
+		l.walkStmt(fn, st.Init, held, report)
+		l.walkExpr(fn, st.Cond, held, report)
+		thenHeld := held.clone()
+		l.walkStmt(fn, st.Body, thenHeld, report)
+		elseHeld := held.clone()
+		l.walkStmt(fn, st.Else, elseHeld, report)
+		// Fall-through state: a lock is held after the if when every arm
+		// leaves it held.
+		for k := range held {
+			if !thenHeld[k] || !elseHeld[k] {
+				delete(held, k)
+			}
+		}
+		for k := range thenHeld {
+			if elseHeld[k] {
+				held[k] = true
+			}
+		}
+	case *ast.ForStmt:
+		l.walkStmt(fn, st.Init, held, report)
+		l.walkExpr(fn, st.Cond, held, report)
+		body := held.clone()
+		l.walkStmt(fn, st.Body, body, report)
+		l.walkStmt(fn, st.Post, body, report)
+	case *ast.RangeStmt:
+		l.walkExpr(fn, st.X, held, report)
+		body := held.clone()
+		l.walkStmt(fn, st.Body, body, report)
+	case *ast.SwitchStmt:
+		l.walkStmt(fn, st.Init, held, report)
+		l.walkExpr(fn, st.Tag, held, report)
+		l.walkCases(fn, st.Body, held, report)
+	case *ast.TypeSwitchStmt:
+		l.walkStmt(fn, st.Init, held, report)
+		l.walkStmt(fn, st.Assign, held, report)
+		l.walkCases(fn, st.Body, held, report)
+	case *ast.SelectStmt:
+		if report && len(held) > 0 {
+			l.blockingOp(fn, st.Pos(), "select", held, report)
+		}
+		l.recordBlocking(fn, "select", report)
+		l.walkCases(fn, st.Body, held, report)
+	case *ast.SendStmt:
+		l.walkExpr(fn, st.Value, held, report)
+		l.channelOp(fn, st.Chan, st.Pos(), "channel send", held, report)
+	case *ast.ExprStmt:
+		l.walkExpr(fn, st.X, held, report)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			l.walkExpr(fn, e, held, report)
+		}
+		for _, e := range st.Lhs {
+			l.walkExpr(fn, e, held, report)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			l.walkExpr(fn, e, held, report)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at function end: the lock stays held
+		// for the remainder of the walk, which is exactly the conservative
+		// state we want. Other deferred calls are treated as running now.
+		if _, method, ok := mutexMethod(fn.Pkg, st.Call); ok && strings.Contains(method, "Unlock") {
+			return
+		}
+		l.walkExpr(fn, st.Call, held, report)
+	case *ast.GoStmt:
+		// The goroutine runs without the caller's locks; its body is a
+		// separate FuncNode when it is a literal.
+		for _, arg := range st.Call.Args {
+			l.walkExpr(fn, arg, held, report)
+		}
+	case *ast.IncDecStmt:
+		l.walkExpr(fn, st.X, held, report)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						l.walkExpr(fn, e, held, report)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		l.walkStmt(fn, st.Stmt, held, report)
+	}
+}
+
+func (l *lockState) walkCases(fn *FuncNode, body *ast.BlockStmt, held heldSet, report bool) {
+	for _, c := range body.List {
+		arm := held.clone()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				l.walkExpr(fn, e, arm, report)
+			}
+			for _, s := range cc.Body {
+				l.walkStmt(fn, s, arm, report)
+			}
+		case *ast.CommClause:
+			l.walkStmt(fn, cc.Comm, arm, report)
+			for _, s := range cc.Body {
+				l.walkStmt(fn, s, arm, report)
+			}
+		}
+	}
+}
+
+func (l *lockState) walkExpr(fn *FuncNode, expr ast.Expr, held heldSet, report bool) {
+	if expr == nil {
+		return
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		return // separate node, runs with its own (empty) held set assumption
+	case *ast.CallExpr:
+		// Arguments and the receiver chain evaluate first.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			l.walkExpr(fn, sel.X, held, report)
+		}
+		for _, a := range e.Args {
+			l.walkExpr(fn, a, held, report)
+		}
+		l.callEffects(fn, e, held, report)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			l.channelOp(fn, e.X, e.Pos(), "channel receive", held, report)
+			return
+		}
+		l.walkExpr(fn, e.X, held, report)
+	case *ast.BinaryExpr:
+		l.walkExpr(fn, e.X, held, report)
+		l.walkExpr(fn, e.Y, held, report)
+	case *ast.IndexExpr:
+		l.walkExpr(fn, e.X, held, report)
+		l.walkExpr(fn, e.Index, held, report)
+	case *ast.SliceExpr:
+		l.walkExpr(fn, e.X, held, report)
+	case *ast.StarExpr:
+		l.walkExpr(fn, e.X, held, report)
+	case *ast.SelectorExpr:
+		l.walkExpr(fn, e.X, held, report)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				l.walkExpr(fn, kv.Value, held, report)
+				continue
+			}
+			l.walkExpr(fn, el, held, report)
+		}
+	case *ast.TypeAssertExpr:
+		l.walkExpr(fn, e.X, held, report)
+	}
+}
+
+// callEffects applies a call's lock effects to the held set and checks the
+// blocking rules.
+func (l *lockState) callEffects(fn *FuncNode, call *ast.CallExpr, held heldSet, report bool) {
+	pkg := fn.Pkg
+	if id, method, ok := mutexMethod(pkg, call); ok {
+		switch method {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if report {
+				for _, h := range held.sorted() {
+					if h == id {
+						l.diags = append(l.diags, Diagnostic{
+							Analyzer: "locklast",
+							Pos:      pkg.Fset.Position(call.Pos()),
+							Message:  fmt.Sprintf("%s re-acquires %s while already holding it (self-deadlock)", shortFuncName(fn), id),
+						})
+						continue
+					}
+					l.orderEdge(h, id, pkg.Fset.Position(call.Pos()), fn)
+				}
+			}
+			l.record(fn, id, report)
+			held[id] = true
+		case "Unlock", "RUnlock":
+			delete(held, id)
+		}
+		return
+	}
+	// Atomic swap disciplines: Swap/CompareAndSwap under a mutex mixes two
+	// synchronization protocols (plain Store is the sanctioned
+	// mutex-serialized publish and is allowed).
+	if _, name, ok := atomicPointerMethod(pkg.Info, call, "Swap", "CompareAndSwap"); ok {
+		if report && len(held) > 0 {
+			l.blockingOp(fn, call.Pos(), "atomic "+name, held, report)
+		}
+		l.recordBlocking(fn, "atomic "+name, report)
+		return
+	}
+	// Backend.Exec: arbitrary external latency (subprocess, network).
+	if isBackendExec(pkg, call) {
+		if report && len(held) > 0 {
+			l.blockingOp(fn, call.Pos(), "Backend.Exec", held, report)
+		}
+		l.recordBlocking(fn, "Backend.Exec", report)
+		return
+	}
+	// Callee summaries: transitive acquisitions form order edges; callee
+	// blocking ops surface here when a lock is held.
+	for _, callee := range l.prog.Callees(pkg, call) {
+		sum := l.summaries[callee]
+		if sum == nil {
+			continue
+		}
+		for _, acq := range sortedKeys(sum.acquires) {
+			if report {
+				for _, h := range held.sorted() {
+					if h == acq {
+						l.diags = append(l.diags, Diagnostic{
+							Analyzer: "locklast",
+							Pos:      pkg.Fset.Position(call.Pos()),
+							Message:  fmt.Sprintf("%s calls %s, which acquires %s, while already holding it (self-deadlock)", shortFuncName(fn), shortFuncName(callee), acq),
+						})
+						continue
+					}
+					l.orderEdge(h, acq, pkg.Fset.Position(call.Pos()), fn)
+				}
+			}
+			l.record(fn, acq, report)
+		}
+		for _, b := range sum.blocking {
+			if report && len(held) > 0 {
+				l.diags = append(l.diags, Diagnostic{
+					Analyzer: "locklast",
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Message:  fmt.Sprintf("%s performs %s (via %s) while holding %s", shortFuncName(fn), b, shortFuncName(callee), strings.Join(held.sorted(), ", ")),
+				})
+			}
+			l.recordBlocking(fn, b, report)
+		}
+	}
+}
+
+// channelOp flags a send/receive on a channel that reaches the locked region
+// from outside. Channels created locally (make in this function) are bounded
+// structured concurrency and are allowed.
+func (l *lockState) channelOp(fn *FuncNode, ch ast.Expr, pos token.Pos, what string, held heldSet, report bool) {
+	l.walkExpr(fn, ch, held, report)
+	if localChan(fn, ch) {
+		return
+	}
+	if report && len(held) > 0 {
+		l.blockingOp(fn, pos, what, held, report)
+	}
+	l.recordBlocking(fn, what, report)
+}
+
+// localChan reports whether the channel expression is rooted at a variable
+// assigned from make(chan ...) inside this function.
+func localChan(fn *FuncNode, ch ast.Expr) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := objVar(fn.Pkg.Info, id)
+	if v == nil {
+		return false
+	}
+	local := false
+	inspectOwn(fn, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i := range as.Lhs {
+			lid, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || objVar(fn.Pkg.Info, lid) != v {
+				continue
+			}
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if bid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && bid.Name == "make" {
+					local = true
+				}
+			}
+		}
+	})
+	return local
+}
+
+// isBackendExec matches a call to the Exec method of the backend.Backend
+// interface or of any type implementing it.
+func isBackendExec(pkg *Pkg, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Exec" {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	named := namedDeref(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	if path == "kwagg/internal/backend" || strings.HasPrefix(path, "kwagg/internal/backend/") {
+		return true
+	}
+	// Concrete implementers elsewhere: check the backend.Backend interface.
+	if types.IsInterface(named.Underlying()) && named.Obj().Name() == "Backend" {
+		return true
+	}
+	return false
+}
+
+func (l *lockState) record(fn *FuncNode, id string, report bool) {
+	if !report {
+		l.summaries[fn].acquires[id] = true
+	}
+}
+
+func (l *lockState) recordBlocking(fn *FuncNode, what string, report bool) {
+	if report {
+		return
+	}
+	sum := l.summaries[fn]
+	for _, b := range sum.blocking {
+		if b == what {
+			return
+		}
+	}
+	sum.blocking = append(sum.blocking, what)
+}
+
+func (l *lockState) blockingOp(fn *FuncNode, pos token.Pos, what string, held heldSet, report bool) {
+	l.diags = append(l.diags, Diagnostic{
+		Analyzer: "locklast",
+		Pos:      fn.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf("%s performs %s while holding %s; blocking under a lock stalls every other path through it", shortFuncName(fn), what, strings.Join(held.sorted(), ", ")),
+	})
+}
+
+func (l *lockState) orderEdge(from, to string, pos token.Position, fn *FuncNode) {
+	e := lockEdge{from, to}
+	if _, ok := l.edges[e]; !ok {
+		l.edges[e] = lockObservation{pos: pos, fn: shortFuncName(fn)}
+	}
+}
+
+// reportCycles finds cycles in the lock-order graph and reports every edge
+// participating in one.
+func (l *lockState) reportCycles() {
+	adj := make(map[string][]string)
+	for e := range l.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	// An edge A→B is in a cycle iff B can reach A.
+	var edges []lockEdge
+	for e := range l.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if reaches(adj, e.to, e.from) {
+			obs := l.edges[e]
+			l.diags = append(l.diags, Diagnostic{
+				Analyzer: "locklast",
+				Pos:      obs.pos,
+				Message:  fmt.Sprintf("%s acquires %s while holding %s, but the reverse order also exists elsewhere: inconsistent lock order (potential deadlock)", obs.fn, e.to, e.from),
+			})
+		}
+	}
+}
+
+func reaches(adj map[string][]string, from, to string) bool {
+	seen := make(map[string]bool)
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, next := range adj[n] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

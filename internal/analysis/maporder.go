@@ -29,8 +29,9 @@ var mapOrderPkgs = map[string]bool{
 // allowed.
 func MapOrder() *Analyzer {
 	a := &Analyzer{
-		Name: "maporder",
-		Doc:  "unsorted map iteration feeding output slices/strings in the deterministic pipeline",
+		Name:  "maporder",
+		Doc:   "unsorted map iteration feeding output slices/strings in the deterministic pipeline",
+		Tests: true,
 	}
 	a.Run = func(pkg *Pkg) []Diagnostic {
 		if !mapOrderPkgs[pkg.Path] {

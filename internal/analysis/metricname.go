@@ -34,10 +34,13 @@ type metricReg struct {
 // concatenated with a runtime suffix), and each family name must be
 // registered with one help string tree-wide — the registry keeps the first
 // help it sees, so divergent help strings silently lose text on /metrics.
+// An empty help string is the registry's read-an-existing-family idiom
+// (family() ignores help after creation) and never conflicts.
 func MetricName() *Analyzer {
 	a := &Analyzer{
-		Name: "metricname",
-		Doc:  "obs metric names must be kwagg_*-prefixed constants with one help string per family",
+		Name:  "metricname",
+		Doc:   "obs metric names must be kwagg_*-prefixed constants with one help string per family",
+		Tests: true,
 	}
 	seen := make(map[string][]metricReg) // family name -> registrations
 	a.Run = func(pkg *Pkg) []Diagnostic {
@@ -90,16 +93,30 @@ func MetricName() *Analyzer {
 		sort.Strings(names)
 		for _, name := range names {
 			regs := seen[name]
-			for _, r := range regs[1:] {
-				if r.help != regs[0].help {
-					diags = append(diags, Diagnostic{
-						Analyzer: "metricname",
-						Pos:      r.pos,
-						Message: "metric " + name + " registered with help " + strconv.Quote(r.help) +
-							" but " + regs[0].pos.String() + " registered it with " + strconv.Quote(regs[0].help) +
-							"; the registry keeps the first help it sees",
-					})
+			// Empty help is the registry's read-an-existing-family idiom
+			// (family() ignores help after creation), so only non-empty
+			// helps can conflict; the first one is canonical.
+			first := -1
+			for i, r := range regs {
+				if r.help != "" {
+					first = i
+					break
 				}
+			}
+			if first < 0 {
+				continue
+			}
+			for i, r := range regs {
+				if i == first || r.help == "" || r.help == regs[first].help {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "metricname",
+					Pos:      r.pos,
+					Message: "metric " + name + " registered with help " + strconv.Quote(r.help) +
+						" but " + regs[first].pos.String() + " registered it with " + strconv.Quote(regs[first].help) +
+						"; the registry keeps the first help it sees",
+				})
 			}
 		}
 		return diags

@@ -1,0 +1,387 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Snapshot machine-checks PR 7's "one state snapshot per request" rule: on
+// the request path, code must .Load() an atomic.Pointer engine/live state at
+// most once per operation. A second Load inside one operation can observe a
+// different epoch — a torn-epoch read that mixes two frozen states in one
+// answer.
+//
+// The analyzer classifies every function per atomic.Pointer field:
+//
+//   - accessor: only Loads the pointer (Live.Snapshot, Engine.Epoch). Its
+//     acquisition weight is the number of Loads on its worst path.
+//   - fold: Loads and CompareAndSwaps the pointer (Engine.state). A fold
+//     re-reads after a lost CAS race by design, so its body is exempt and it
+//     weighs as one acquisition for callers.
+//   - transition: Stores (or Swaps) the pointer (Live.Commit, engine
+//     construction). Transitions — and every function that transitively
+//     reaches one — are epoch-boundary code, not request-path code, and are
+//     exempt for that pointer.
+//
+// Everything else gets a structured path count: sequential acquisitions add,
+// if/switch branches take the maximum arm, loop bodies saturate at two (one
+// iteration already proves the double read), and a call contributes its
+// callee's weight capped at one — the callee is reported at its own
+// declaration, so the caller only needs to know "this call takes a
+// snapshot". Functions in the checked packages whose worst path weighs ≥ 2
+// are reported. Function literals are independent operations (gauge
+// callbacks, deferred cleanups) and are counted as their own nodes.
+func Snapshot() *Analyzer {
+	s := &snapshotState{}
+	return &Analyzer{
+		Name: "snapshot",
+		Doc:  "request-path code must Load an atomic.Pointer engine/live state at most once per operation",
+		Run: func(pkg *Pkg) []Diagnostic {
+			s.pkgs = append(s.pkgs, pkg)
+			return nil
+		},
+		Finish: s.finish,
+	}
+}
+
+// snapshotChecked is the set of packages whose functions are held to the
+// one-snapshot rule. Other packages still contribute call-graph summaries.
+var snapshotChecked = map[string]bool{
+	"kwagg":                 true,
+	"kwagg/internal/core":   true,
+	"kwagg/internal/server": true,
+}
+
+type snapshotState struct {
+	pkgs  []*Pkg
+	prog  *Program
+	keys  []string                // every atomic.Pointer field Loaded anywhere
+	casOn map[*FuncNode]stringSet // direct CompareAndSwap targets
+	stOn  map[*FuncNode]stringSet // direct Store/Swap targets
+	trans map[snapFuncKey]int8    // reaches-a-transition memo: 0 unknown, 1 yes, 2 no
+	wMemo map[snapFuncKey]int     // acquisition-weight memo
+	wBusy map[snapFuncKey]bool    // cycle guard
+}
+
+type stringSet map[string]bool
+
+type snapFuncKey struct {
+	fn  *FuncNode
+	key string
+}
+
+func (s *snapshotState) finish() []Diagnostic {
+	s.prog = NewProgram(s.pkgs)
+	s.casOn = make(map[*FuncNode]stringSet)
+	s.stOn = make(map[*FuncNode]stringSet)
+	s.trans = make(map[snapFuncKey]int8)
+	s.wMemo = make(map[snapFuncKey]int)
+	s.wBusy = make(map[snapFuncKey]bool)
+
+	keys := make(stringSet)
+	for _, fn := range s.prog.Funcs {
+		s.scanDirectOps(fn, keys)
+	}
+	for k := range keys {
+		s.keys = append(s.keys, k)
+	}
+	sort.Strings(s.keys)
+
+	var diags []Diagnostic
+	for _, fn := range s.prog.Funcs {
+		if !snapshotChecked[fn.Pkg.Path] {
+			continue
+		}
+		for _, key := range s.keys {
+			if s.casOn[fn][key] || s.stOn[fn][key] || s.reachesTransition(fn, key, nil) {
+				continue // fold or transition path: epoch-boundary code
+			}
+			if w := s.weight(fn, key); w >= 2 {
+				diags = append(diags, Diagnostic{
+					Analyzer: "snapshot",
+					Pos:      fn.Pkg.Fset.Position(fn.Pos().Pos()),
+					Message: fmt.Sprintf("%s acquires the %s snapshot %d times on one path; take one snapshot and pass it down (a second Load can observe a different epoch)",
+						shortFuncName(fn), key, w),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// scanDirectOps records which pointer fields the function directly Loads,
+// Stores/Swaps or CompareAndSwaps, skipping nested function literals (they
+// are scanned as their own nodes).
+func (s *snapshotState) scanDirectOps(fn *FuncNode, keys stringSet) {
+	inspectOwn(fn, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		recv, name, ok := atomicPointerMethod(fn.Pkg.Info, call, "Load", "Store", "Swap", "CompareAndSwap")
+		if !ok {
+			return
+		}
+		key, ok := fieldKey(fn.Pkg.Info, recv)
+		if !ok {
+			return
+		}
+		switch name {
+		case "Load":
+			keys[key] = true
+		case "Store", "Swap":
+			if s.stOn[fn] == nil {
+				s.stOn[fn] = make(stringSet)
+			}
+			s.stOn[fn][key] = true
+		case "CompareAndSwap":
+			if s.casOn[fn] == nil {
+				s.casOn[fn] = make(stringSet)
+			}
+			s.casOn[fn][key] = true
+		}
+	})
+}
+
+// inspectOwn walks the function body without descending into nested function
+// literals.
+func inspectOwn(fn *FuncNode, visit func(ast.Node)) {
+	root := ast.Node(fn.Body())
+	skip := fn.Pos()
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != skip {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// reachesTransition reports whether fn, or any statically reachable callee,
+// Stores or Swaps the pointer — marking the whole call chain as
+// epoch-transition code for that pointer.
+func (s *snapshotState) reachesTransition(fn *FuncNode, key string, stack map[*FuncNode]bool) bool {
+	mk := snapFuncKey{fn, key}
+	if v := s.trans[mk]; v != 0 {
+		return v == 1
+	}
+	if stack[fn] {
+		return false
+	}
+	if stack == nil {
+		stack = make(map[*FuncNode]bool)
+	}
+	stack[fn] = true
+	defer delete(stack, fn)
+	found := s.stOn[fn][key]
+	if !found {
+		inspectOwn(fn, func(n ast.Node) {
+			if found {
+				return
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			for _, callee := range s.prog.Callees(fn.Pkg, call) {
+				if s.reachesTransition(callee, key, stack) {
+					found = true
+					return
+				}
+			}
+		})
+	}
+	if found {
+		s.trans[mk] = 1
+	} else {
+		s.trans[mk] = 2
+	}
+	return found
+}
+
+// weight computes the structured acquisition count of fn for the pointer
+// field: worst sequential path, branch-max over alternatives, loops
+// saturated at two iterations.
+func (s *snapshotState) weight(fn *FuncNode, key string) int {
+	mk := snapFuncKey{fn, key}
+	if w, ok := s.wMemo[mk]; ok {
+		return w
+	}
+	if s.wBusy[mk] {
+		return 0 // recursion: bound the fixpoint at zero extra acquisitions
+	}
+	s.wBusy[mk] = true
+	w := s.countStmt(fn, key, fn.Body())
+	delete(s.wBusy, mk)
+	s.wMemo[mk] = w
+	return w
+}
+
+// calleeWeight is a call expression's contribution: folds and transitions
+// weigh one acquisition; other callees propagate min(weight, 1) — a callee
+// with its own double read is reported at its declaration, not re-reported
+// at every caller.
+func (s *snapshotState) calleeWeight(fn *FuncNode, key string) int {
+	if s.casOn[fn][key] || s.stOn[fn][key] {
+		return 1
+	}
+	if s.weight(fn, key) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func (s *snapshotState) countStmt(fn *FuncNode, key string, stmt ast.Stmt) int {
+	if stmt == nil {
+		return 0
+	}
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		n := 0
+		for _, s2 := range st.List {
+			n += s.countStmt(fn, key, s2)
+		}
+		return n
+	case *ast.IfStmt:
+		n := s.countStmt(fn, key, st.Init) + s.countExpr(fn, key, st.Cond)
+		then := s.countStmt(fn, key, st.Body)
+		els := s.countStmt(fn, key, st.Else)
+		return n + maxInt(then, els)
+	case *ast.SwitchStmt:
+		n := s.countStmt(fn, key, st.Init) + s.countExpr(fn, key, st.Tag)
+		return n + s.maxCase(fn, key, st.Body)
+	case *ast.TypeSwitchStmt:
+		n := s.countStmt(fn, key, st.Init) + s.countStmt(fn, key, st.Assign)
+		return n + s.maxCase(fn, key, st.Body)
+	case *ast.SelectStmt:
+		return s.maxCase(fn, key, st.Body)
+	case *ast.ForStmt:
+		n := s.countStmt(fn, key, st.Init)
+		body := s.countExpr(fn, key, st.Cond) + s.countStmt(fn, key, st.Body) + s.countStmt(fn, key, st.Post)
+		if body > 0 {
+			body = 2 // one repeat already proves the double read
+		}
+		return n + body
+	case *ast.RangeStmt:
+		n := s.countExpr(fn, key, st.X)
+		body := s.countStmt(fn, key, st.Body)
+		if body > 0 {
+			body = 2
+		}
+		return n + body
+	case *ast.ExprStmt:
+		return s.countExpr(fn, key, st.X)
+	case *ast.AssignStmt:
+		n := 0
+		for _, e := range st.Rhs {
+			n += s.countExpr(fn, key, e)
+		}
+		for _, e := range st.Lhs {
+			n += s.countExpr(fn, key, e)
+		}
+		return n
+	case *ast.ReturnStmt:
+		n := 0
+		for _, e := range st.Results {
+			n += s.countExpr(fn, key, e)
+		}
+		return n
+	case *ast.DeferStmt:
+		return s.countExpr(fn, key, st.Call)
+	case *ast.GoStmt:
+		return s.countExpr(fn, key, st.Call)
+	case *ast.SendStmt:
+		return s.countExpr(fn, key, st.Chan) + s.countExpr(fn, key, st.Value)
+	case *ast.IncDecStmt:
+		return s.countExpr(fn, key, st.X)
+	case *ast.DeclStmt:
+		n := 0
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						n += s.countExpr(fn, key, e)
+					}
+				}
+			}
+		}
+		return n
+	case *ast.LabeledStmt:
+		return s.countStmt(fn, key, st.Stmt)
+	case *ast.CaseClause, *ast.CommClause:
+		return 0 // handled by maxCase
+	}
+	return 0
+}
+
+func (s *snapshotState) maxCase(fn *FuncNode, key string, body *ast.BlockStmt) int {
+	best := 0
+	for _, c := range body.List {
+		n := 0
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				n += s.countExpr(fn, key, e)
+			}
+			for _, st := range cc.Body {
+				n += s.countStmt(fn, key, st)
+			}
+		case *ast.CommClause:
+			n += s.countStmt(fn, key, cc.Comm)
+			for _, st := range cc.Body {
+				n += s.countStmt(fn, key, st)
+			}
+		}
+		best = maxInt(best, n)
+	}
+	return best
+}
+
+func (s *snapshotState) countExpr(fn *FuncNode, key string, expr ast.Expr) int {
+	if expr == nil {
+		return 0
+	}
+	n := 0
+	ast.Inspect(expr, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.FuncLit:
+			return false // independent operation, counted as its own node
+		case *ast.CallExpr:
+			if recv, name, ok := atomicPointerMethod(fn.Pkg.Info, e, "Load"); ok && name == "Load" {
+				if k, ok := fieldKey(fn.Pkg.Info, recv); ok && k == key {
+					n++
+					// Still descend: the receiver chain may hold more calls.
+					return true
+				}
+			}
+			best := 0
+			for _, callee := range s.prog.Callees(fn.Pkg, e) {
+				best = maxInt(best, s.calleeWeight(callee, key))
+			}
+			n += best
+			return true
+		}
+		return true
+	})
+	return n
+}
+
+// shortFuncName trims the module path prefix for readable messages.
+func shortFuncName(fn *FuncNode) string {
+	name := fn.Name
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

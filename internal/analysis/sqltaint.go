@@ -1,0 +1,460 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SQLTaint enforces the escaping discipline of the backend seam: every
+// string that reaches rendered SQL text (a builder feeding sqlast/render
+// output, an exported script) or a database execution call must originate
+// from the designated sanitizers — render.Ident / render.Literal /
+// placeholder parameters / strconv — never from raw identifier or value data
+// via fmt.Sprintf or string concatenation.
+//
+// Raw data is tainted at its source: plain-string fields read off sqlast
+// nodes (table/column/alias names arrive from user keywords), String()
+// results of sqlast nodes (debug formatting, not SQL escaping), and values
+// read out of relation tuples. Taint propagates through assignment,
+// concatenation, fmt/strings formatting, conversions and — interprocedurally
+// — through per-function summaries (param→return, param→sink,
+// tainted-return). Sanitizer results are clean by definition; sanitizer
+// bodies are exempt (they write raw bytes by design — that is their job).
+// Closed token-set types (sqlast.CmpOp, sqlast.AggFunc) are not tainted:
+// their values are compile-time constants, not user data.
+func SQLTaint() *Analyzer {
+	t := &taintState{}
+	return &Analyzer{
+		Name: "sqltaint",
+		Doc:  "strings reaching rendered SQL or database execution must come from render.Ident/render.Literal/placeholders, never Sprintf/concatenation of raw data",
+		Run: func(pkg *Pkg) []Diagnostic {
+			t.pkgs = append(t.pkgs, pkg)
+			return nil
+		},
+		Finish: t.finish,
+	}
+}
+
+const sqlastPkgPath = "kwagg/internal/sqlast"
+
+// sqltaintScope is where SQL text is produced and executed. Other packages
+// never hold rendered SQL, so the rule (and its summaries) live here.
+var sqltaintScope = map[string]bool{
+	"kwagg/internal/sqlast/render":     true,
+	"kwagg/internal/backend":           true,
+	"kwagg/internal/backend/sqlitecli": true,
+}
+
+// sqltaintSanitizers are the designated escaping seams, by "pkg.func" (the
+// receiver is immaterial — the names are unique within their packages).
+var sqltaintSanitizers = map[string]bool{
+	"kwagg/internal/sqlast/render.SQL":             true,
+	"kwagg/internal/sqlast/render.Params":          true,
+	"kwagg/internal/sqlast/render.Ident":           true,
+	"kwagg/internal/sqlast/render.Literal":         true,
+	"kwagg/internal/sqlast/render.ident":           true,
+	"kwagg/internal/sqlast/render.col":             true,
+	"kwagg/internal/sqlast/render.literal":         true,
+	"kwagg/internal/sqlast/render.float":           true,
+	"kwagg/internal/sqlast/render.stringLit":       true,
+	"kwagg/internal/sqlast/render.value":           true,
+	"kwagg/internal/backend/sqlitecli.interpolate": true,
+	"kwagg/internal/backend/sqlitecli.literal":     true,
+}
+
+// sqltaintExemptBodies are the sanitizer implementations themselves: they
+// write raw quoted bytes because escaping is what they do.
+var sqltaintExemptBodies = sqltaintSanitizers
+
+type taintSummary struct {
+	retTainted   bool         // returns tainted data regardless of arguments
+	retFromParam map[int]bool // param i taints the return value
+	paramToSink  map[int]bool // param i reaches a sink unsanitized
+}
+
+type taintState struct {
+	pkgs      []*Pkg
+	prog      *Program
+	summaries map[*FuncNode]*taintSummary
+}
+
+func (t *taintState) finish() []Diagnostic {
+	t.prog = NewProgram(t.pkgs)
+	t.summaries = make(map[*FuncNode]*taintSummary)
+	var scoped []*FuncNode
+	for _, fn := range t.prog.Funcs {
+		if sqltaintScope[fn.Pkg.Path] {
+			scoped = append(scoped, fn)
+			t.summaries[fn] = &taintSummary{retFromParam: make(map[int]bool), paramToSink: make(map[int]bool)}
+		}
+	}
+	for round := 0; round < 3; round++ {
+		changed := false
+		for _, fn := range scoped {
+			if t.updateSummary(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var diags []Diagnostic
+	for _, fn := range scoped {
+		if sqltaintExemptBodies[funcKeyOf(fn)] {
+			continue
+		}
+		diags = append(diags, t.checkFunc(fn)...)
+	}
+	return diags
+}
+
+// funcKeyOf is "pkgpath.name" (receiver dropped), matching the sanitizer
+// table's keys. Literals key under their synthesized name and never match.
+func funcKeyOf(fn *FuncNode) string {
+	if fn.Obj != nil {
+		return fn.Pkg.Path + "." + fn.Obj.Name()
+	}
+	return fn.Name
+}
+
+// calleeKey resolves a call to "pkgpath.name" for sanitizer matching, for
+// program and export-data functions alike.
+func calleeKey(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fnObj, ok := obj.(*types.Func)
+	if !ok || fnObj.Pkg() == nil {
+		return "", false
+	}
+	return fnObj.Pkg().Path() + "." + fnObj.Name(), true
+}
+
+// taintEval evaluates taintedness of expressions under an assumption set of
+// tainted parameter variables (empty for the reporting pass).
+type taintEval struct {
+	st   *taintState
+	fn   *FuncNode
+	vars map[*types.Var]bool
+}
+
+func (t *taintState) newEval(fn *FuncNode, assume map[*types.Var]bool) *taintEval {
+	ev := &taintEval{st: t, fn: fn, vars: make(map[*types.Var]bool)}
+	for v := range assume {
+		ev.vars[v] = true
+	}
+	// Propagate through local assignments until stable (bounded passes: the
+	// bodies are straight-line builder code).
+	for pass := 0; pass < 3; pass++ {
+		changed := false
+		inspectOwn(fn, func(n ast.Node) {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return
+				}
+				for i := range st.Lhs {
+					id, ok := st.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v := objVar(fn.Pkg.Info, id)
+					if v != nil && !ev.vars[v] && ev.tainted(st.Rhs[i]) {
+						ev.vars[v] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if !ev.tainted(st.X) {
+					return
+				}
+				if id, ok := st.Value.(*ast.Ident); ok {
+					if v := objVar(fn.Pkg.Info, id); v != nil && !ev.vars[v] {
+						ev.vars[v] = true
+						changed = true
+					}
+				}
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+	return ev
+}
+
+// tainted reports whether the expression's value may be raw (unsanitized)
+// identifier or value data.
+func (ev *taintEval) tainted(expr ast.Expr) bool {
+	info := ev.fn.Pkg.Info
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		return false
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v != nil && ev.vars[v]
+	case *ast.BinaryExpr:
+		return ev.tainted(e.X) || ev.tainted(e.Y)
+	case *ast.SelectorExpr:
+		// Raw source: a plain-string field of an sqlast node (closed
+		// token-set types like CmpOp/AggFunc are not plain string).
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if typeFromPkg(s.Recv(), sqlastPkgPath) && isPlainString(info.TypeOf(expr)) {
+				return true
+			}
+			if typeFromPkg(s.Recv(), relationPkgPath) && isPlainString(info.TypeOf(expr)) {
+				return true
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		// Raw source: a value read out of a relation tuple/row.
+		if typeFromPkg(info.TypeOf(e.X), relationPkgPath) {
+			return true
+		}
+		if named, ok := info.TypeOf(e.X).(*types.Named); ok && typeFromPkg(named, relationPkgPath) {
+			return true
+		}
+		return ev.tainted(e.X)
+	case *ast.TypeAssertExpr:
+		return ev.tainted(e.X)
+	case *ast.StarExpr:
+		return ev.tainted(e.X)
+	case *ast.CallExpr:
+		return ev.taintedCall(e)
+	}
+	return false
+}
+
+func (ev *taintEval) taintedCall(call *ast.CallExpr) bool {
+	info := ev.fn.Pkg.Info
+	// Conversions: string(x), []byte(x) — taint follows the operand.
+	if len(call.Args) == 1 {
+		if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+			return ev.tainted(call.Args[0])
+		}
+	}
+	if key, ok := calleeKey(info, call); ok {
+		if sqltaintSanitizers[key] {
+			return false
+		}
+		pkgPath := key[:strings.LastIndex(key, ".")]
+		switch pkgPath {
+		case "strconv":
+			return false // numeric/quoted formatting of scalars
+		case "fmt", "strings", "bytes":
+			// Formatting propagates its inputs' taint.
+			for _, a := range call.Args {
+				if ev.tainted(a) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// sqlast String()/Pretty-style methods format raw names for debugging,
+	// not for SQL: their results are tainted.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if typeFromPkg(s.Recv(), sqlastPkgPath) && isPlainString(info.TypeOf(call)) {
+				return true
+			}
+		}
+	}
+	// Program callees: consult summaries.
+	for _, callee := range ev.st.prog.Callees(ev.fn.Pkg, call) {
+		sum := ev.st.summaries[callee]
+		if sum == nil {
+			continue
+		}
+		if sum.retTainted {
+			return true
+		}
+		for i, arg := range callArgs(info, call, callee) {
+			if sum.retFromParam[i] && ev.tainted(arg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sinkArgs returns the expressions a call must keep sanitized: builder
+// writes that become SQL text and database execution arguments.
+func sinkArgs(info *types.Info, call *ast.CallExpr) (string, []ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		named := namedDeref(s.Recv())
+		if named == nil || named.Obj().Pkg() == nil {
+			return "", nil
+		}
+		owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		switch owner {
+		case "strings.Builder", "bytes.Buffer":
+			switch sel.Sel.Name {
+			case "WriteString", "Write", "WriteRune":
+				return "SQL text builder write", call.Args
+			}
+		case "database/sql.DB", "database/sql.Tx", "database/sql.Conn", "database/sql.Stmt":
+			switch sel.Sel.Name {
+			case "Query", "QueryContext", "QueryRow", "QueryRowContext", "Exec", "ExecContext", "Prepare", "PrepareContext":
+				return "database execution", call.Args
+			}
+		}
+		return "", nil
+	}
+	// fmt.Fprintf(&b, ...) into a builder.
+	if pn, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if p, ok := info.Uses[pn].(*types.PkgName); ok && p.Imported().Path() == "fmt" &&
+			strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+			return "SQL text builder write", call.Args[1:]
+		}
+	}
+	return "", nil
+}
+
+// updateSummary recomputes fn's taint summary; reports change.
+func (t *taintState) updateSummary(fn *FuncNode) bool {
+	sum := t.summaries[fn]
+	before := fmt.Sprint(sum.retTainted, len(sum.retFromParam), len(sum.paramToSink))
+	params := paramVars(fn)
+	byIndex := make(map[int]*types.Var)
+	for v, i := range params {
+		byIndex[i] = v
+	}
+
+	evalWith := func(assume map[*types.Var]bool) (retTainted, reachesSink bool) {
+		ev := t.newEval(fn, assume)
+		inspectOwn(fn, func(n ast.Node) {
+			switch st := n.(type) {
+			case *ast.ReturnStmt:
+				for _, e := range st.Results {
+					if isPlainStringOrAny(fn.Pkg.Info.TypeOf(e)) && ev.tainted(e) {
+						retTainted = true
+					}
+				}
+			case *ast.CallExpr:
+				if _, args := sinkArgs(fn.Pkg.Info, st); args != nil {
+					for _, a := range args {
+						if ev.tainted(a) {
+							reachesSink = true
+						}
+					}
+				}
+				for _, callee := range t.prog.Callees(fn.Pkg, st) {
+					cs := t.summaries[callee]
+					if cs == nil {
+						continue
+					}
+					for i, arg := range callArgs(fn.Pkg.Info, st, callee) {
+						if cs.paramToSink[i] && ev.tainted(arg) {
+							reachesSink = true
+						}
+					}
+				}
+			}
+		})
+		return
+	}
+
+	// Base evaluation: no parameters assumed tainted.
+	rt, _ := evalWith(nil)
+	if rt {
+		sum.retTainted = true
+	}
+	// Per-parameter evaluation for string-shaped parameters.
+	for i := 0; i < len(byIndex); i++ {
+		v := byIndex[i]
+		if v == nil || !isPlainStringOrAny(v.Type()) {
+			continue
+		}
+		if sum.retFromParam[i] && sum.paramToSink[i] {
+			continue
+		}
+		prt, psink := evalWith(map[*types.Var]bool{v: true})
+		if prt {
+			sum.retFromParam[i] = true
+		}
+		if psink {
+			sum.paramToSink[i] = true
+		}
+	}
+	return fmt.Sprint(sum.retTainted, len(sum.retFromParam), len(sum.paramToSink)) != before
+}
+
+// checkFunc reports tainted expressions reaching sinks, with no parameters
+// assumed tainted (callers are covered by the param→sink summaries).
+func (t *taintState) checkFunc(fn *FuncNode) []Diagnostic {
+	ev := t.newEval(fn, nil)
+	var diags []Diagnostic
+	report := func(n ast.Node, sink string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "sqltaint",
+			Pos:      fn.Pkg.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf("raw (unsanitized) string reaches %s in %s; route identifiers through render.Ident and values through render.Literal or placeholder params", sink, shortFuncName(fn)),
+		})
+	}
+	inspectOwn(fn, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if sink, args := sinkArgs(fn.Pkg.Info, call); args != nil {
+			for _, a := range args {
+				if ev.tainted(a) {
+					report(a, sink)
+				}
+			}
+			return
+		}
+		for _, callee := range t.prog.Callees(fn.Pkg, call) {
+			cs := t.summaries[callee]
+			if cs == nil || sqltaintSanitizers[funcKeyOf(callee)] {
+				continue
+			}
+			for i, arg := range callArgs(fn.Pkg.Info, call, callee) {
+				if cs.paramToSink[i] && ev.tainted(arg) {
+					report(arg, fmt.Sprintf("a sink inside %s (parameter %d)", shortFuncName(callee), i))
+				}
+			}
+		}
+	})
+	return diags
+}
+
+// isPlainString reports whether t is the predeclared string type (not a
+// named string type, whose values are closed token sets).
+func isPlainString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isPlainStringOrAny also admits interface{} values (relation.Value data)
+// and byte slices.
+func isPlainStringOrAny(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isPlainString(t) {
+		return true
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok && iface.Empty() {
+		return true
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if b, ok := sl.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+			return true
+		}
+	}
+	return false
+}

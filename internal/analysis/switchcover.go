@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SwitchCover keeps the layers honest when the sqlast language grows: a type
+// switch over sqlast.Expr or sqlast.Pred — or a value switch over a closed
+// sqlast token type with declared constants (AggFunc, CmpOp) — in the
+// renderer, planner-verifier, executor, translator or backend must either
+// enumerate every implementation/constant or carry a default clause that
+// handles the leftovers loudly. A switch with neither lets a new AST node
+// fall through one layer silently while the others handle it, which is
+// exactly the kind of divergence the differential suites then chase for
+// days.
+func SwitchCover() *Analyzer {
+	return &Analyzer{
+		Name: "switchcover",
+		Doc:  "type switches over sqlast node kinds and value switches over sqlast token constants must be exhaustive or carry a default",
+		Run:  runSwitchCover,
+	}
+}
+
+// switchCoverScope is where sqlast nodes are consumed layer by layer.
+var switchCoverScope = map[string]bool{
+	"kwagg/internal/sqlast":            true,
+	"kwagg/internal/sqlast/render":     true,
+	"kwagg/internal/planck":            true,
+	"kwagg/internal/sqldb":             true,
+	"kwagg/internal/translate":         true,
+	"kwagg/internal/backend":           true,
+	"kwagg/internal/backend/sqlitecli": true,
+}
+
+func runSwitchCover(pkg *Pkg) []Diagnostic {
+	if !switchCoverScope[pkg.Path] || pkg.ForTest {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch sw := n.(type) {
+			case *ast.TypeSwitchStmt:
+				if d, ok := checkTypeSwitch(pkg, sw); ok {
+					diags = append(diags, d)
+				}
+			case *ast.SwitchStmt:
+				if d, ok := checkValueSwitch(pkg, sw); ok {
+					diags = append(diags, d)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// switchTagType extracts the static type of a type switch's operand.
+func switchTagType(pkg *Pkg, sw *ast.TypeSwitchStmt) types.Type {
+	var x ast.Expr
+	switch assign := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(assign.Rhs) == 1 {
+			if ta, ok := assign.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := assign.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return nil
+	}
+	return pkg.Info.TypeOf(x)
+}
+
+func checkTypeSwitch(pkg *Pkg, sw *ast.TypeSwitchStmt) (Diagnostic, bool) {
+	tag := switchTagType(pkg, sw)
+	named := namedDeref(tag)
+	if named == nil || !typeFromPkg(named, sqlastPkgPath) || !types.IsInterface(named.Underlying()) {
+		return Diagnostic{}, false
+	}
+	impls := sqlastImplementers(named)
+	if len(impls) == 0 {
+		return Diagnostic{}, false
+	}
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, te := range cc.List {
+			t := pkg.Info.TypeOf(te)
+			if n := namedDeref(t); n != nil {
+				covered[n.Obj().Name()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return Diagnostic{}, false
+	}
+	var missing []string
+	for _, impl := range impls {
+		if !covered[impl] {
+			missing = append(missing, impl)
+		}
+	}
+	if len(missing) == 0 {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Analyzer: "switchcover",
+		Pos:      pkg.Fset.Position(sw.Pos()),
+		Message: fmt.Sprintf("type switch over sqlast.%s misses %s and has no default clause; a new node kind would fall through this layer silently",
+			named.Obj().Name(), strings.Join(missing, ", ")),
+	}, true
+}
+
+// sqlastImplementers enumerates the named types of the sqlast package
+// implementing the interface (by value or pointer receiver).
+func sqlastImplementers(iface *types.Named) []string {
+	scope := iface.Obj().Pkg().Scope()
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named.Underlying()) {
+			continue
+		}
+		if types.Implements(named, it) || types.Implements(types.NewPointer(named), it) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkValueSwitch(pkg *Pkg, sw *ast.SwitchStmt) (Diagnostic, bool) {
+	if sw.Tag == nil {
+		return Diagnostic{}, false
+	}
+	tagType := pkg.Info.TypeOf(sw.Tag)
+	named, ok := tagType.(*types.Named)
+	if !ok || !typeFromPkg(named, sqlastPkgPath) {
+		return Diagnostic{}, false
+	}
+	if _, isBasic := named.Underlying().(*types.Basic); !isBasic {
+		return Diagnostic{}, false
+	}
+	consts := sqlastConstants(named)
+	if len(consts) < 2 {
+		return Diagnostic{}, false // not a closed token set
+	}
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, ce := range cc.List {
+			if tv, ok := pkg.Info.Types[ce]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return Diagnostic{}, false
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.val] {
+			missing = append(missing, c.name)
+		}
+	}
+	if len(missing) == 0 {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Analyzer: "switchcover",
+		Pos:      pkg.Fset.Position(sw.Pos()),
+		Message: fmt.Sprintf("switch over sqlast.%s misses %s and has no default clause; a new token would fall through this layer silently",
+			named.Obj().Name(), strings.Join(missing, ", ")),
+	}, true
+}
+
+type sqlastConst struct{ name, val string }
+
+// sqlastConstants lists the package-level constants declared with the given
+// sqlast token type.
+func sqlastConstants(named *types.Named) []sqlastConst {
+	scope := named.Obj().Pkg().Scope()
+	var out []sqlastConst
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if c.Type() != named {
+			if ct, ok := c.Type().(*types.Named); !ok || ct.Obj() != named.Obj() {
+				continue
+			}
+		}
+		out = append(out, sqlastConst{name: name, val: c.Val().ExactString()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,30 @@
+// Allowed fixture for the cowsafety analyzer: fresh allocations are
+// caller-owned, whatever their element type.
+package sqldb
+
+import "kwagg/internal/relation"
+
+// freshCopy explicitly copies before mutating.
+func freshCopy(s *relation.Schema) []string {
+	pk := append([]string(nil), s.PrimaryKey...)
+	pk[0] = "oid"
+	return pk
+}
+
+// attrNames returns a fresh slice per call (a known fresh constructor), so
+// mutating it is legal.
+func attrNames(s *relation.Schema) []string {
+	names := s.AttrNames()
+	names[0] = "renamed"
+	return append(names, "extra")
+}
+
+// localBuild grows a locally allocated slice from frozen values (reading is
+// fine; only the storage being written must be fresh).
+func localBuild(s *relation.Schema) []string {
+	var out []string
+	for _, a := range s.PrimaryKey {
+		out = append(out, a)
+	}
+	return out
+}

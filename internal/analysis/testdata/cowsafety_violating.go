@@ -1,0 +1,28 @@
+// Violating fixture for the cowsafety analyzer (checked under import path
+// kwagg/internal/sqldb): element writes and growing appends on storage read
+// out of frozen relation state.
+package sqldb
+
+import "kwagg/internal/relation"
+
+// clobberKey writes through a slice shared with the frozen schema.
+func clobberKey(s *relation.Schema) {
+	pk := s.PrimaryKey
+	pk[0] = "oid"
+}
+
+// growKey appends in place: spare capacity would scribble on the shared
+// backing array.
+func growKey(s *relation.Schema) []string {
+	return append(s.PrimaryKey, "extra")
+}
+
+// writeThrough passes frozen storage to a helper that element-writes its
+// parameter (caught through the writesParam summary).
+func writeThrough(s *relation.Schema) {
+	stamp(s.PrimaryKey)
+}
+
+func stamp(attrs []string) {
+	attrs[0] = "stamped"
+}

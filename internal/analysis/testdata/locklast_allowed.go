@@ -1,0 +1,44 @@
+// Allowed fixture for the locklast analyzer: one consistent acquisition
+// order, locally created channels, and channel work after release.
+package core
+
+import "sync"
+
+type pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+}
+
+// Both call sites agree on the order a→b: no cycle.
+func (p *pair) first() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) second() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// A channel made inside the locked region is bounded structured
+// concurrency, not an external dependency.
+func (p *pair) localChannel() int {
+	done := make(chan int, 1)
+	p.a.Lock()
+	done <- 1
+	v := <-done
+	p.a.Unlock()
+	return v
+}
+
+// Receiving after the explicit release is fine.
+func (p *pair) releasedFirst() int {
+	p.a.Lock()
+	p.a.Unlock()
+	return <-p.ch
+}

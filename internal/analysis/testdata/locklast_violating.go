@@ -1,0 +1,41 @@
+// Violating fixture for the locklast analyzer: inconsistent acquisition
+// order (one direction through a callee's summary) and blocking operations
+// performed while holding a mutex.
+package core
+
+import "sync"
+
+type pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+}
+
+// lockB only acquires b; its summary carries that to callers.
+func (p *pair) lockB() {
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// aThenB establishes the order a→b interprocedurally.
+func (p *pair) aThenB() {
+	p.a.Lock()
+	p.lockB()
+	p.a.Unlock()
+}
+
+// bThenA establishes the reverse order b→a directly: a cycle.
+func (p *pair) bThenA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// waitUnderLock receives from a field channel while holding a: the lock is
+// held for as long as the sender takes.
+func (p *pair) waitUnderLock() int {
+	p.a.Lock()
+	defer p.a.Unlock()
+	return <-p.ch
+}

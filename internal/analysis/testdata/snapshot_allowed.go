@@ -1,0 +1,51 @@
+// Allowed fixture for the snapshot analyzer: one Load per operation,
+// fold (CAS) bodies, and transition (Store) chains are all legal.
+package server
+
+import "sync/atomic"
+
+type state struct{ epoch uint64 }
+
+type engine struct {
+	cur atomic.Pointer[state]
+}
+
+// accessor: a single Load per call.
+func (e *engine) epoch() uint64 { return e.cur.Load().epoch }
+
+// one snapshot taken once and passed down.
+func (e *engine) handle() uint64 {
+	st := e.cur.Load()
+	return st.epoch + use(st)
+}
+
+func use(st *state) uint64 { return st.epoch }
+
+// fold: the post-CAS re-read is the designed retry of a lost race.
+func (e *engine) fold() *state {
+	st := e.cur.Load()
+	next := &state{epoch: st.epoch + 1}
+	if e.cur.CompareAndSwap(st, next) {
+		return next
+	}
+	return e.cur.Load()
+}
+
+// transition: Stores mark the whole chain as epoch-boundary code.
+func (e *engine) swap(next *state) { e.cur.Store(next) }
+
+func (e *engine) commit() uint64 {
+	before := e.cur.Load().epoch
+	e.swap(&state{epoch: before + 1})
+	return e.cur.Load().epoch
+}
+
+// branches count the worst arm, not the sum (the analyzer's path model is
+// structural, so the alternative goes in an explicit else arm).
+func (e *engine) either(flag bool) uint64 {
+	if flag {
+		return e.cur.Load().epoch
+	} else {
+		return e.epoch()
+	}
+}

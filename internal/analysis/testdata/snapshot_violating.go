@@ -1,0 +1,39 @@
+// Violating fixture for the snapshot analyzer (checked under import path
+// kwagg/internal/server): request-path code Loads the same atomic.Pointer
+// state twice on one path.
+package server
+
+import "sync/atomic"
+
+type state struct{ epoch uint64 }
+
+type engine struct {
+	cur atomic.Pointer[state]
+}
+
+func (e *engine) epoch() uint64 { return e.cur.Load().epoch }
+
+// handle double-loads directly: the two reads can observe different epochs.
+func (e *engine) handle() uint64 {
+	a := e.cur.Load().epoch
+	b := e.cur.Load().epoch
+	return a + b
+}
+
+// handleVia double-loads through an accessor: the callee weighs one
+// acquisition, the direct Load adds the second.
+func (e *engine) handleVia() uint64 {
+	if e.cur.Load() == nil {
+		return 0
+	}
+	return e.epoch()
+}
+
+// handleLoop loads inside a loop: one repeat already proves the double read.
+func (e *engine) handleLoop(n int) uint64 {
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += e.cur.Load().epoch
+	}
+	return sum
+}

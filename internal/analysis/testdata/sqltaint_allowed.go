@@ -1,0 +1,33 @@
+// Allowed fixture for the sqltaint analyzer: identifiers routed through the
+// designated sanitizer, literals as literals, strconv for scalars.
+package render
+
+import (
+	"strconv"
+	"strings"
+
+	"kwagg/internal/sqlast"
+)
+
+// ident is this package's sanitizer seam (its body is exempt by design, and
+// its results are clean).
+func ident(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// goodIdent quotes the raw name before it becomes SQL text.
+func goodIdent(b *strings.Builder, c sqlast.Col) {
+	b.WriteString(ident(c.Column))
+}
+
+// goodQualified builds the qualified form from sanitized parts only.
+func goodQualified(b *strings.Builder, c sqlast.Col) {
+	b.WriteString(ident(c.Table))
+	b.WriteString(".")
+	b.WriteString(ident(c.Column))
+}
+
+// goodScalar: strconv formatting of scalars is clean.
+func goodScalar(b *strings.Builder, n int64) {
+	b.WriteString(strconv.FormatInt(n, 10))
+}

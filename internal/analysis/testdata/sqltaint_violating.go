@@ -1,0 +1,36 @@
+// Violating fixture for the sqltaint analyzer (checked under import path
+// kwagg/internal/sqlast/render): raw sqlast name fields reaching SQL text
+// builders directly, via Sprintf, and via a helper's param→sink summary.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"kwagg/internal/sqlast"
+)
+
+// badIdent writes a raw column name into SQL text.
+func badIdent(b *strings.Builder, c sqlast.Col) {
+	b.WriteString(c.Column)
+}
+
+// badSprintf launders the raw names through fmt, which propagates taint.
+func badSprintf(b *strings.Builder, c sqlast.Col) {
+	b.WriteString(fmt.Sprintf("%s.%s", c.Table, c.Column))
+}
+
+// badString uses the debug String() form as SQL text.
+func badString(b *strings.Builder, c sqlast.Col) {
+	b.WriteString(c.String())
+}
+
+// writeRaw's parameter reaches a sink; badVia feeds it raw data, caught
+// through the interprocedural summary.
+func writeRaw(b *strings.Builder, s string) {
+	b.WriteString(s)
+}
+
+func badVia(b *strings.Builder, c sqlast.Col) {
+	writeRaw(b, c.Column)
+}

@@ -1,0 +1,48 @@
+// Allowed fixture for the switchcover analyzer: a default clause handles
+// the leftovers loudly, and full enumeration needs no default.
+package sqldb
+
+import (
+	"fmt"
+
+	"kwagg/internal/sqlast"
+)
+
+// defaultClause: incomplete enumeration is fine when the leftovers are
+// handled (here: loudly).
+func defaultClause(e sqlast.Expr) string {
+	switch e.(type) {
+	case sqlast.ColExpr:
+		return "col"
+	default:
+		panic(fmt.Sprintf("unhandled expr %T", e))
+	}
+}
+
+// fullEnumeration covers every CmpOp constant.
+func fullEnumeration(op sqlast.CmpOp, c int) bool {
+	switch op {
+	case sqlast.OpEq:
+		return c == 0
+	case sqlast.OpNe:
+		return c != 0
+	case sqlast.OpLt:
+		return c < 0
+	case sqlast.OpLe:
+		return c <= 0
+	case sqlast.OpGt:
+		return c > 0
+	case sqlast.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// nonSqlastSwitch: switches over other types are out of scope.
+func nonSqlastSwitch(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	}
+	return "many"
+}

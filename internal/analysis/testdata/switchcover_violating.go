@@ -1,0 +1,29 @@
+// Violating fixture for the switchcover analyzer (checked under import path
+// kwagg/internal/sqldb): a type switch over an sqlast interface and a value
+// switch over a closed sqlast token type, each missing cases with no
+// default clause.
+package sqldb
+
+import "kwagg/internal/sqlast"
+
+// exprKind misses every Expr implementer but ColExpr: a new node kind would
+// fall through silently.
+func exprKind(e sqlast.Expr) string {
+	switch e.(type) {
+	case sqlast.ColExpr:
+		return "col"
+	}
+	return "?"
+}
+
+// opKeep misses the ordering operators of CmpOp.
+func opKeep(op sqlast.CmpOp, c int) bool {
+	keep := false
+	switch op {
+	case sqlast.OpEq:
+		keep = c == 0
+	case sqlast.OpNe:
+		keep = c != 0
+	}
+	return keep
+}

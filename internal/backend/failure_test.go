@@ -59,10 +59,12 @@ func TestSQLiteCancellationMidQuery(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		cancel()
 	}()
+	//kwlint:ignore detclock wall-clock duration is diagnostic output for a missed cancellation
 	start := time.Now()
 	rows, err := ext.Exec(ctx, crossCount())
 	if err == nil {
 		res, cerr := backend.Collect(rows)
+		//kwlint:ignore detclock wall-clock duration is diagnostic output for a missed cancellation
 		t.Fatalf("cross join finished despite cancellation: %v rows, %v (in %v)", res, cerr, time.Since(start))
 	}
 	if !errors.Is(err, context.Canceled) {

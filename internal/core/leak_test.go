@@ -41,8 +41,10 @@ func TestExecuteAllNoLeakOnCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
+	//kwlint:ignore detclock the wall-clock bound on cancelled execution is the property under test
 	start := time.Now()
 	rep := s.ExecuteAllReport(ctx, ins)
+	//kwlint:ignore detclock the wall-clock bound on cancelled execution is the property under test
 	if took := time.Since(start); took > 5*time.Second {
 		t.Fatalf("cancelled execution took %v; workers waited out injected latency", took)
 	}

@@ -10,18 +10,18 @@ import (
 
 func TestCounterAndGauge(t *testing.T) {
 	r := NewRegistry()
-	c := r.Counter("test_total", "help")
+	c := r.Counter("kwagg_test_total", "help")
 	c.Inc()
 	c.Add(4)
 	if got := c.Value(); got != 5 {
 		t.Errorf("counter = %d, want 5", got)
 	}
 	// Same (name, labels) returns the same counter.
-	if r.Counter("test_total", "help") != c {
+	if r.Counter("kwagg_test_total", "help") != c {
 		t.Error("re-registering returned a different counter")
 	}
 
-	g := r.Gauge("test_gauge", "help", L("x", "1"))
+	g := r.Gauge("kwagg_test_gauge", "help", L("x", "1"))
 	g.Set(2.5)
 	g.Inc()
 	g.Dec()
@@ -33,7 +33,7 @@ func TestCounterAndGauge(t *testing.T) {
 
 func TestHistogramBucketBoundaries(t *testing.T) {
 	r := NewRegistry()
-	h := r.Histogram("test_seconds", "help", []float64{0.01, 0.1, 1})
+	h := r.Histogram("kwagg_test_seconds", "help", []float64{0.01, 0.1, 1})
 	// A value exactly on a bound lands in that bound's bucket (le is <=).
 	for _, v := range []float64{0.005, 0.01, 0.05, 0.1, 0.5, 1, 5} {
 		h.Observe(v)
@@ -42,11 +42,11 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	r.WritePrometheus(&b)
 	out := b.String()
 	for _, want := range []string{
-		`test_seconds_bucket{le="0.01"} 2`,
-		`test_seconds_bucket{le="0.1"} 4`,
-		`test_seconds_bucket{le="1"} 6`,
-		`test_seconds_bucket{le="+Inf"} 7`,
-		`test_seconds_count 7`,
+		`kwagg_test_seconds_bucket{le="0.01"} 2`,
+		`kwagg_test_seconds_bucket{le="0.1"} 4`,
+		`kwagg_test_seconds_bucket{le="1"} 6`,
+		`kwagg_test_seconds_bucket{le="+Inf"} 7`,
+		`kwagg_test_seconds_count 7`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("encoding missing %q in:\n%s", want, out)
@@ -64,7 +64,7 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 
 func TestHistogramQuantiles(t *testing.T) {
 	r := NewRegistry()
-	h := r.Histogram("q_seconds", "help", []float64{0.1, 0.2, 0.4, 0.8})
+	h := r.Histogram("kwagg_q_seconds", "help", []float64{0.1, 0.2, 0.4, 0.8})
 	// 100 observations uniform in (0, 0.1]: every quantile interpolates
 	// inside the first bucket.
 	for i := 1; i <= 100; i++ {
@@ -83,7 +83,7 @@ func TestHistogramQuantiles(t *testing.T) {
 
 	// Observations above every bound land in +Inf and clamp to the last
 	// finite bound.
-	h2 := r.Histogram("q2_seconds", "help", []float64{0.1, 0.2})
+	h2 := r.Histogram("kwagg_q2_seconds", "help", []float64{0.1, 0.2})
 	for i := 0; i < 10; i++ {
 		h2.Observe(5)
 	}
@@ -92,7 +92,7 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 
 	// Empty histogram: all quantiles zero.
-	h3 := r.Histogram("q3_seconds", "help", nil)
+	h3 := r.Histogram("kwagg_q3_seconds", "help", nil)
 	if s := h3.Snapshot(); s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Count != 0 {
 		t.Errorf("empty histogram snapshot = %+v, want zeros", s)
 	}
@@ -106,9 +106,9 @@ func TestConcurrentIncrements(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := r.Counter("conc_total", "help")
-			g := r.Gauge("conc_gauge", "help")
-			h := r.Histogram("conc_seconds", "help", nil)
+			c := r.Counter("kwagg_conc_total", "help")
+			g := r.Gauge("kwagg_conc_gauge", "help")
+			h := r.Histogram("kwagg_conc_seconds", "help", nil)
 			for j := 0; j < per; j++ {
 				c.Inc()
 				g.Add(1)
@@ -117,13 +117,13 @@ func TestConcurrentIncrements(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := r.Counter("conc_total", "help").Value(); got != goroutines*per {
+	if got := r.Counter("kwagg_conc_total", "help").Value(); got != goroutines*per {
 		t.Errorf("counter = %d, want %d", got, goroutines*per)
 	}
-	if got := r.Gauge("conc_gauge", "help").Value(); got != goroutines*per {
+	if got := r.Gauge("kwagg_conc_gauge", "help").Value(); got != goroutines*per {
 		t.Errorf("gauge = %v, want %d", got, goroutines*per)
 	}
-	snap := r.Histogram("conc_seconds", "help", nil).Snapshot()
+	snap := r.Histogram("kwagg_conc_seconds", "help", nil).Snapshot()
 	if snap.Count != goroutines*per {
 		t.Errorf("histogram count = %d, want %d", snap.Count, goroutines*per)
 	}
@@ -134,11 +134,11 @@ func TestConcurrentIncrements(t *testing.T) {
 
 func TestPrometheusEncoding(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("enc_total", "requests by outcome", L("outcome", "ok")).Add(3)
-	r.Counter("enc_total", "requests by outcome", L("outcome", "error")).Inc()
-	r.Gauge("enc_gauge", "a gauge").Set(1.5)
-	r.GaugeFunc("enc_func", "func gauge", func() float64 { return 42 })
-	r.Histogram("enc_seconds", "latency", []float64{0.1, 1}, L("stage", "match")).Observe(0.05)
+	r.Counter("kwagg_enc_total", "requests by outcome", L("outcome", "ok")).Add(3)
+	r.Counter("kwagg_enc_total", "requests by outcome", L("outcome", "error")).Inc()
+	r.Gauge("kwagg_enc_gauge", "a gauge").Set(1.5)
+	r.GaugeFunc("kwagg_enc_func", "func gauge", func() float64 { return 42 })
+	r.Histogram("kwagg_enc_seconds", "latency", []float64{0.1, 1}, L("stage", "match")).Observe(0.05)
 
 	var b strings.Builder
 	r.WritePrometheus(&b)
@@ -180,14 +180,14 @@ func TestPrometheusEncoding(t *testing.T) {
 		}
 	}
 	for _, want := range []string{
-		`enc_total{outcome="error"} 1`,
-		`enc_total{outcome="ok"} 3`,
-		`enc_gauge 1.5`,
-		`enc_func 42`,
-		`enc_seconds_bucket{le="0.1",stage="match"} 1`,
-		`enc_seconds_bucket{le="+Inf",stage="match"} 1`,
-		`enc_seconds_count{stage="match"} 1`,
-		`# TYPE enc_seconds histogram`,
+		`kwagg_enc_total{outcome="error"} 1`,
+		`kwagg_enc_total{outcome="ok"} 3`,
+		`kwagg_enc_gauge 1.5`,
+		`kwagg_enc_func 42`,
+		`kwagg_enc_seconds_bucket{le="0.1",stage="match"} 1`,
+		`kwagg_enc_seconds_bucket{le="+Inf",stage="match"} 1`,
+		`kwagg_enc_seconds_count{stage="match"} 1`,
+		`# TYPE kwagg_enc_seconds histogram`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("encoding missing %q in:\n%s", want, out)
@@ -204,28 +204,28 @@ func parseFloat(s string) (float64, error) {
 
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("esc_total", "h", L("q", "a\"b\\c\nd")).Inc()
+	r.Counter("kwagg_esc_total", "h", L("q", "a\"b\\c\nd")).Inc()
 	var b strings.Builder
 	r.WritePrometheus(&b)
-	if want := `esc_total{q="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+	if want := `kwagg_esc_total{q="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
 		t.Errorf("escaped encoding missing %q in:\n%s", want, b.String())
 	}
 }
 
 func TestSnapshot(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("snap_total", "h", L("outcome", "ok")).Add(2)
-	r.Histogram("snap_seconds", "h", nil, L("stage", "x")).Observe(0.01)
+	r.Counter("kwagg_snap_total", "h", L("outcome", "ok")).Add(2)
+	r.Histogram("kwagg_snap_seconds", "h", nil, L("stage", "x")).Observe(0.01)
 	snaps := r.Snapshot()
 	byName := map[string]MetricSnapshot{}
 	for _, s := range snaps {
 		byName[s.Name] = s
 	}
-	c, ok := byName["snap_total"]
+	c, ok := byName["kwagg_snap_total"]
 	if !ok || c.Value != 2 || c.Labels["outcome"] != "ok" || c.Type != "counter" {
 		t.Errorf("counter snapshot wrong: %+v", c)
 	}
-	h, ok := byName["snap_seconds"]
+	h, ok := byName["kwagg_snap_seconds"]
 	if !ok || h.Hist == nil || h.Hist.Count != 1 || h.Labels["stage"] != "x" {
 		t.Errorf("histogram snapshot wrong: %+v", h)
 	}

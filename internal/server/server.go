@@ -203,10 +203,13 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	// One Engine.Schema call snapshots once; three separate getters could
+	// each observe a different epoch mid-commit.
+	info := s.eng.Schema()
 	writeJSON(w, http.StatusOK, schemaResponse{
-		Unnormalized: s.eng.Unnormalized(),
-		Text:         s.eng.SchemaGraph(),
-		Dot:          s.eng.SchemaDot(),
+		Unnormalized: info.Unnormalized,
+		Text:         info.Text,
+		Dot:          info.Dot,
 	})
 }
 
@@ -249,14 +252,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	// One Engine.Status call snapshots once; per-field getters could mix
+	// epochs (e.g. the old epoch number with the new pending count).
+	st := s.eng.Status()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Cache:        s.eng.CacheStats(),
 		AnswerCache:  s.eng.AnswerCacheStats(),
-		Workers:      s.eng.Workers(),
-		Live:         s.eng.Live(),
-		Epoch:        s.eng.Epoch(),
-		PendingRows:  s.eng.PendingRows(),
-		EpochBuildMS: float64(s.eng.EpochBuildDuration()) / float64(time.Millisecond),
+		Workers:      st.Workers,
+		Live:         st.Live,
+		Epoch:        st.Epoch,
+		PendingRows:  st.PendingRows,
+		EpochBuildMS: float64(st.EpochBuild) / float64(time.Millisecond),
 		Server: serverStats{
 			Requests: s.requests.Value(),
 			InFlight: int64(s.inflight.Value()),
@@ -438,16 +444,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var resp ingestResponse
 	if req.Commit {
-		if _, err := s.eng.CommitEpoch(r.Context()); err != nil {
+		// CommitEpoch already returns the epoch it swapped in; reading
+		// Epoch() afterwards would take a second snapshot that can observe
+		// a later commit.
+		epoch, err := s.eng.CommitEpoch(r.Context())
+		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-	} else if len(req.Rows) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("nothing to do: empty rows and commit=false"))
-		return
+		resp = ingestResponse{Epoch: epoch, Pending: s.eng.PendingRows()}
+	} else {
+		if len(req.Rows) == 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("nothing to do: empty rows and commit=false"))
+			return
+		}
+		resp = ingestResponse{Epoch: s.eng.Epoch(), Pending: s.eng.PendingRows()}
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{Epoch: s.eng.Epoch(), Pending: s.eng.PendingRows()})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // readPost decodes a JSON POST body into v, writing the error response

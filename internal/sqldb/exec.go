@@ -768,6 +768,8 @@ func (e *executor) filterRows(rs *rowset, p sqlast.Pred) (*rowset, error) {
 			c := relation.Compare(row[li], row[ri])
 			keep := false
 			switch pp.Op {
+			case sqlast.OpEq:
+				keep = c == 0
 			case sqlast.OpNe:
 				keep = c != 0
 			case sqlast.OpLt:

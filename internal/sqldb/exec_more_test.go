@@ -77,6 +77,33 @@ func TestColComparePredRoundTrip(t *testing.T) {
 	}
 }
 
+// TestColComparePredEquality: the parser normalizes S1.A = S2.A into
+// JoinPred, but a programmatically built AST can carry OpEq in a
+// ColComparePred, and the executor must agree with the reference
+// interpreter's cmpMatches instead of silently dropping every row.
+func TestColComparePredEquality(t *testing.T) {
+	q := &sqlast.Query{
+		Select: []sqlast.SelectItem{{Expr: sqlast.ColExpr{Col: sqlast.Col{Table: "S1", Column: "Sid"}}}},
+		From: []sqlast.TableRef{
+			{Name: "Student", Alias: "S1"},
+			{Name: "Student", Alias: "S2"},
+		},
+		Where: []sqlast.Pred{sqlast.ColComparePred{
+			Left:  sqlast.Col{Table: "S1", Column: "Sid"},
+			Op:    sqlast.OpEq,
+			Right: sqlast.Col{Table: "S2", Column: "Sid"},
+		}},
+	}
+	res, err := Exec(uniDB(t), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(run(t, uniDB(t), "SELECT S.Sid FROM Student S").Rows)
+	if want == 0 || len(res.Rows) != want {
+		t.Fatalf("self-equality kept %d rows, want %d (one per student)", len(res.Rows), want)
+	}
+}
+
 func TestLexerErrors(t *testing.T) {
 	for _, src := range []string{
 		"SELECT x FROM T WHERE x = 'open",

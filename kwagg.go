@@ -239,10 +239,15 @@ type engineState struct {
 // committed epoch first (CAS; the loser of a race adopts the winner's state).
 func (e *Engine) state() *engineState {
 	st := e.cur.Load()
-	if e.live == nil || e.live.Epoch() == st.epoch {
+	if e.live == nil {
 		return st
 	}
+	// One Snapshot yields both the epoch check and the system to fold in; a
+	// second load could observe a different epoch than the first.
 	sys, epoch := e.live.Snapshot()
+	if epoch == st.epoch {
+		return st
+	}
 	next := &engineState{sys: sys, sqak: sqak.New(sys.Data), epoch: epoch}
 	if e.cur.CompareAndSwap(st, next) {
 		return next
@@ -339,6 +344,39 @@ func (e *Engine) PendingRows() int {
 		return 0
 	}
 	return e.live.Pending()
+}
+
+// Status is the engine's serving status, read from one snapshot.
+type Status struct {
+	// Live reports whether the engine accepts Ingest/CommitEpoch.
+	Live bool
+	// Epoch is the committed data epoch (0 for a frozen engine or a live
+	// one before its first CommitEpoch).
+	Epoch uint64
+	// Workers is the size of the execution worker pool.
+	Workers int
+	// PendingRows counts rows ingested but not yet committed.
+	PendingRows int
+	// EpochBuild is the wall time the most recent CommitEpoch spent
+	// building (zero before the first commit or for a frozen engine).
+	EpochBuild time.Duration
+}
+
+// Status reports the serving counters from a single engine snapshot, so the
+// epoch and worker count cannot mix epochs the way separate Epoch/Workers
+// calls could on a live engine mid-commit.
+func (e *Engine) Status() Status {
+	st := e.state()
+	s := Status{
+		Live:    e.live != nil,
+		Epoch:   st.epoch,
+		Workers: st.sys.ExecWorkers(),
+	}
+	if e.live != nil {
+		s.PendingRows = e.live.Pending()
+		s.EpochBuild = e.live.BuildDuration()
+	}
+	return s
 }
 
 // Ingest buffers rows (one string per column, in declaration order, coerced
@@ -647,6 +685,30 @@ func (e *Engine) PatternDot(query string, i int) (string, error) {
 // SchemaDot renders the ORM schema graph in Graphviz DOT form (Figures 3
 // and 9).
 func (e *Engine) SchemaDot() string { return e.state().sys.Graph.Dot() }
+
+// SchemaInfo describes the schema of one engine snapshot.
+type SchemaInfo struct {
+	// Unnormalized reports whether the engine plans over a derived
+	// normalized view because the stored schema violates 3NF.
+	Unnormalized bool
+	// Text describes the ORM schema graph nodes and their adjacency.
+	Text string
+	// Dot is the Graphviz DOT rendering of the same graph.
+	Dot string
+}
+
+// Schema returns the schema description from a single engine snapshot.
+// Separate Unnormalized/SchemaGraph/SchemaDot calls each take their own
+// snapshot and can mix epochs on a live engine mid-commit; the fields of one
+// SchemaInfo always describe the same epoch.
+func (e *Engine) Schema() SchemaInfo {
+	st := e.state()
+	return SchemaInfo{
+		Unnormalized: st.sys.Unnormalized(),
+		Text:         st.sys.DescribeSchema(),
+		Dot:          st.sys.Graph.Dot(),
+	}
+}
 
 // Answer interprets the query and executes the top-k generated statements.
 // Interpretations come from the cache when available; the statements execute

@@ -149,3 +149,46 @@ func TestFrozenEngineRejectsIngest(t *testing.T) {
 		t.Fatalf("EpochBuildDuration on frozen engine = %v, want 0", d)
 	}
 }
+
+// TestStatusAndSchemaSnapshots pins the single-snapshot aggregates: one
+// Status/Schema call must agree with the per-field getters on a quiescent
+// engine, across an epoch swap, and on a frozen engine.
+func TestStatusAndSchemaSnapshots(t *testing.T) {
+	eng, err := kwagg.OpenLive(kwagg.UniversityDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Status()
+	if !st.Live || st.Epoch != 0 || st.PendingRows != 0 || st.EpochBuild != 0 {
+		t.Fatalf("fresh live Status = %+v", st)
+	}
+	if st.Workers != eng.Workers() {
+		t.Fatalf("Status.Workers = %d, Workers() = %d", st.Workers, eng.Workers())
+	}
+	if _, err := eng.Ingest("Student", [][]string{{"s9", "Green", "23"}}); err != nil {
+		t.Fatal(err)
+	}
+	if st = eng.Status(); st.PendingRows != 1 || st.Epoch != 0 {
+		t.Fatalf("Status after ingest = %+v, want 1 pending row in epoch 0", st)
+	}
+	if _, err := eng.CommitEpoch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Status()
+	if st.Epoch != 1 || st.PendingRows != 0 || st.EpochBuild <= 0 {
+		t.Fatalf("Status after commit = %+v, want epoch 1, no pending, positive build time", st)
+	}
+
+	info := eng.Schema()
+	if info.Unnormalized != eng.Unnormalized() || info.Text != eng.SchemaGraph() || info.Dot != eng.SchemaDot() {
+		t.Fatal("Schema() disagrees with the per-field getters on a quiescent engine")
+	}
+	if info.Text == "" || info.Dot == "" {
+		t.Fatalf("Schema() returned empty descriptions: %+v", info)
+	}
+
+	frozen := universityEngine(t)
+	if st := frozen.Status(); st.Live || st.Epoch != 0 || st.PendingRows != 0 || st.EpochBuild != 0 {
+		t.Fatalf("frozen Status = %+v", st)
+	}
+}
